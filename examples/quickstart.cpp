@@ -1,0 +1,89 @@
+// Quickstart: the paper's conference scenario end to end.
+//
+// Demonstrates the core workflow of ocdx:
+//   1. declare schemas and parse an annotated mapping (op/cl per position),
+//   2. chase a source instance into the annotated canonical solution,
+//   3. answer positive queries by naive evaluation (Proposition 3),
+//   4. see how open vs closed annotations change certain answers for
+//      queries with negation — the paper's motivating example.
+
+#include <cstdio>
+
+#include "core/ocdx.h"
+#include "workloads/scenarios.h"
+
+using namespace ocdx;
+
+int main() {
+  Universe u;
+
+  // --- 1. Schemas and the annotated mapping --------------------------------
+  Schema source_schema, target_schema;
+  source_schema.Add("Papers", {"paper", "title"});
+  source_schema.Add("Assignments", {"paper", "reviewer"});
+  target_schema.Add("Submissions", {"paper", "author"});
+  target_schema.Add("Reviews", {"paper", "review"});
+
+  const char kRules[] = R"(
+    Submissions(x^cl, z^op) :- Papers(x, y);
+    Reviews(x^cl, z^cl)     :- Assignments(x, y);
+    Reviews(x^cl, z^op)     :- Papers(x, y) & !exists r. Assignments(x, r);
+  )";
+  Result<Mapping> mapping =
+      ParseMapping(kRules, source_schema, target_schema, &u);
+  if (!mapping.ok()) {
+    std::printf("parse error: %s\n", mapping.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== Mapping ==\n%s\n", mapping.value().ToString(u).c_str());
+
+  // --- 2. A source instance and its canonical solution ---------------------
+  Instance source;
+  source.Add("Papers", {u.Const("p1"), u.Const("OpenWorlds")});
+  source.Add("Papers", {u.Const("p2"), u.Const("ClosedWorlds")});
+  source.Add("Assignments", {u.Const("p1"), u.Const("alice")});
+
+  Result<CanonicalSolution> csol = Chase(mapping.value(), source, &u);
+  if (!csol.ok()) {
+    std::printf("chase error: %s\n", csol.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== Annotated canonical solution CSolA(S) ==\n%s\n",
+              csol.value().annotated.ToString(u).c_str());
+
+  // --- 3. Positive query: naive evaluation (Prop 3) ------------------------
+  Result<CertainAnswerEngine> engine =
+      CertainAnswerEngine::Create(mapping.value(), source, &u);
+  Result<FormulaPtr> submitted =
+      ParseFormula("exists a. Submissions(p, a)", &u);
+  Result<Relation> subs =
+      engine.value().CertainAnswers(submitted.value(), {"p"});
+  std::printf("== Certain answers: papers with a submission ==\n");
+  for (const Tuple& t : subs.value().SortedTuples()) {
+    std::printf("  %s\n", TupleToString(t, u).c_str());
+  }
+
+  // --- 4. Negation: where annotations matter (the one-author anomaly) ------
+  Result<FormulaPtr> one_author = ParseFormula(
+      "forall p a1 a2. (Submissions(p, a1) & Submissions(p, a2)) -> a1 = a2",
+      &u);
+  Result<CertainVerdict> mixed =
+      engine.value().IsCertainBoolean(one_author.value());
+  std::printf("\n\"Every paper has exactly one author\"\n");
+  std::printf("  mixed annotation (author open): certain = %s  [%s]\n",
+              mixed.value().certain ? "true" : "false",
+              mixed.value().method.c_str());
+
+  Mapping cwa = mapping.value().WithUniformAnnotation(Ann::kClosed);
+  Result<CertainAnswerEngine> cwa_engine =
+      CertainAnswerEngine::Create(cwa, source, &u);
+  Result<CertainVerdict> closed =
+      cwa_engine.value().IsCertainBoolean(one_author.value());
+  std::printf("  all-closed (CWA) reading:       certain = %s  [%s]\n",
+              closed.value().certain ? "true" : "false",
+              closed.value().method.c_str());
+  std::printf(
+      "\nThe CWA's minimality invents a 'unique author' fact; opening the\n"
+      "author attribute removes the anomaly, exactly as in the paper.\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+#include "base/annotation.h"
+
+namespace ocdx {
+
+std::string AnnVecToString(const AnnVec& a) {
+  std::string out;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (i > 0) out += ",";
+    out += AnnToString(a[i]);
+  }
+  return out;
+}
+
+}  // namespace ocdx

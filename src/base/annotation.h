@@ -1,0 +1,74 @@
+// Open/closed annotations (Section 3 of the paper).
+//
+// Every position of a target atom in an STD — and hence every position of
+// every tuple in an annotated instance — is annotated `op` (open) or `cl`
+// (closed). Closed positions behave like CWA nulls (exactly one value);
+// open positions model one-to-many relationships (arbitrarily many values
+// agreeing with the tuple on its closed positions).
+
+#ifndef OCDX_BASE_ANNOTATION_H_
+#define OCDX_BASE_ANNOTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ocdx {
+
+/// Annotation of a single attribute position.
+enum class Ann : uint8_t {
+  kOpen = 0,   ///< `op`: one-to-many; may be replicated with other values.
+  kClosed = 1, ///< `cl`: one-to-one; exactly the valuated value.
+};
+
+/// Per-position annotation of a tuple or atom.
+using AnnVec = std::vector<Ann>;
+
+/// All-open annotation of the given arity (the OWA extreme, [FKMP05]).
+inline AnnVec AllOpen(size_t arity) { return AnnVec(arity, Ann::kOpen); }
+
+/// All-closed annotation of the given arity (the CWA extreme, [Lib06]).
+inline AnnVec AllClosed(size_t arity) { return AnnVec(arity, Ann::kClosed); }
+
+inline bool IsAllOpen(const AnnVec& a) {
+  for (Ann x : a)
+    if (x == Ann::kClosed) return false;
+  return true;
+}
+
+inline bool IsAllClosed(const AnnVec& a) {
+  for (Ann x : a)
+    if (x == Ann::kOpen) return false;
+  return true;
+}
+
+inline size_t CountOpen(const AnnVec& a) {
+  size_t n = 0;
+  for (Ann x : a)
+    if (x == Ann::kOpen) ++n;
+  return n;
+}
+
+inline size_t CountClosed(const AnnVec& a) { return a.size() - CountOpen(a); }
+
+/// The annotation order of Theorem 1.3: a <= b iff wherever a is open,
+/// b is open too (closed annotations may be *relaxed* to open going from
+/// a to b). Returns true iff a "is at most as open as" b.
+inline bool AnnLeq(const AnnVec& a, const AnnVec& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == Ann::kOpen && b[i] == Ann::kClosed) return false;
+  }
+  return true;
+}
+
+inline const char* AnnToString(Ann a) {
+  return a == Ann::kOpen ? "op" : "cl";
+}
+
+/// "cl,op,cl" style rendering.
+std::string AnnVecToString(const AnnVec& a);
+
+}  // namespace ocdx
+
+#endif  // OCDX_BASE_ANNOTATION_H_

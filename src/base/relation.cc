@@ -1,0 +1,53 @@
+#include "base/relation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ocdx {
+
+bool Relation::Add(Tuple t) {
+  assert(t.size() == arity_ && "tuple arity mismatch");
+  auto [it, inserted] = set_.insert(t);
+  if (inserted) tuples_.push_back(std::move(t));
+  return inserted;
+}
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> out = tuples_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Relation::SubsetOf(const Relation& other) const {
+  for (const Tuple& t : tuples_) {
+    if (!other.Contains(t)) return false;
+  }
+  return true;
+}
+
+bool AnnotatedRelation::Add(AnnotatedTuple t) {
+  assert(t.ann.size() == arity_ && "annotation arity mismatch");
+  assert((t.values.empty() || t.values.size() == arity_) &&
+         "tuple arity mismatch");
+  auto [it, inserted] = set_.insert(t);
+  if (inserted) tuples_.push_back(std::move(t));
+  return inserted;
+}
+
+Relation AnnotatedRelation::RelPart() const {
+  Relation out(arity_);
+  for (const AnnotatedTuple& t : tuples_) {
+    if (!t.IsEmptyMarker()) out.Add(t.values);
+  }
+  return out;
+}
+
+size_t AnnotatedRelation::NumProperTuples() const {
+  size_t n = 0;
+  for (const AnnotatedTuple& t : tuples_) {
+    if (!t.IsEmptyMarker()) ++n;
+  }
+  return n;
+}
+
+}  // namespace ocdx

@@ -1,0 +1,92 @@
+// Relations: deduplicated sets of (annotated) tuples of a fixed arity.
+
+#ifndef OCDX_BASE_RELATION_H_
+#define OCDX_BASE_RELATION_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/tuple.h"
+
+namespace ocdx {
+
+/// A plain (unannotated) relation: a set of tuples over Const u Null.
+///
+/// Tuples are kept in insertion order for reproducible iteration; a hash
+/// set provides O(1) dedup and membership.
+class Relation {
+ public:
+  explicit Relation(size_t arity) : arity_(arity) {}
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts `t`; returns true iff it was not already present.
+  /// The tuple's size must equal arity().
+  bool Add(Tuple t);
+
+  bool Contains(const Tuple& t) const { return set_.count(t) > 0; }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Tuples in lexicographic Value order (canonical form for comparison
+  /// and printing).
+  std::vector<Tuple> SortedTuples() const;
+
+  /// True iff every tuple of this relation is in `other`.
+  bool SubsetOf(const Relation& other) const;
+
+  friend bool operator==(const Relation& a, const Relation& b) {
+    if (a.arity_ != b.arity_ || a.size() != b.size()) return false;
+    return a.SubsetOf(b);
+  }
+
+ private:
+  size_t arity_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, TupleHash> set_;
+};
+
+/// An annotated relation: a set of annotated tuples, possibly including
+/// empty markers (_, alpha).
+class AnnotatedRelation {
+ public:
+  explicit AnnotatedRelation(size_t arity) : arity_(arity) {}
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  bool Add(AnnotatedTuple t);
+
+  bool Contains(const AnnotatedTuple& t) const { return set_.count(t) > 0; }
+
+  const std::vector<AnnotatedTuple>& tuples() const { return tuples_; }
+
+  /// The pure relational part rel(T): non-empty tuples, annotations
+  /// dropped (Section 3).
+  Relation RelPart() const;
+
+  /// Number of non-marker tuples.
+  size_t NumProperTuples() const;
+
+  friend bool operator==(const AnnotatedRelation& a,
+                         const AnnotatedRelation& b) {
+    if (a.arity_ != b.arity_ || a.size() != b.size()) return false;
+    for (const auto& t : a.tuples_) {
+      if (!b.Contains(t)) return false;
+    }
+    return true;
+  }
+
+ private:
+  size_t arity_;
+  std::vector<AnnotatedTuple> tuples_;
+  std::unordered_set<AnnotatedTuple, AnnotatedTupleHash> set_;
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_BASE_RELATION_H_

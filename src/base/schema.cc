@@ -1,0 +1,77 @@
+#include "base/schema.h"
+
+#include "base/instance.h"
+#include "util/str.h"
+
+namespace ocdx {
+
+Schema& Schema::Add(std::string name, std::vector<std::string> attrs) {
+  index_[name] = decls_.size();
+  decls_.push_back(RelationDecl{std::move(name), std::move(attrs)});
+  return *this;
+}
+
+Schema& Schema::Add(std::string name, size_t arity) {
+  std::vector<std::string> attrs;
+  attrs.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) attrs.push_back(StrCat("a", i + 1));
+  return Add(std::move(name), std::move(attrs));
+}
+
+size_t Schema::Arity(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? 0 : decls_[it->second].arity();
+}
+
+const RelationDecl* Schema::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &decls_[it->second];
+}
+
+Status Schema::Validate(const Instance& inst) const {
+  for (const auto& [name, rel] : inst.relations()) {
+    const RelationDecl* decl = Find(name);
+    if (decl == nullptr) {
+      return Status::NotFound(StrCat("relation '", name,
+                                     "' is not declared in the schema"));
+    }
+    if (decl->arity() != rel.arity()) {
+      return Status::InvalidArgument(
+          StrCat("relation '", name, "' has arity ", rel.arity(),
+                 " but the schema declares arity ", decl->arity()));
+    }
+  }
+  return Status::OK();
+}
+
+bool Schema::DisjointFrom(const Schema& other) const {
+  for (const RelationDecl& d : decls_) {
+    if (other.Contains(d.name)) return false;
+  }
+  return true;
+}
+
+Result<Schema> Schema::DisjointUnion(const Schema& a, const Schema& b) {
+  if (!a.DisjointFrom(b)) {
+    return Status::InvalidArgument(
+        "schemas share relation names; cannot take disjoint union");
+  }
+  Schema out = a;
+  for (const RelationDecl& d : b.decls()) {
+    out.Add(d.name, d.attrs);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (const RelationDecl& d : decls_) {
+    out += d.name;
+    out += "(";
+    out += Join(d.attrs, ", ");
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace ocdx

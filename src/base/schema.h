@@ -1,0 +1,64 @@
+// Relational schemas: named relations with named attributes.
+
+#ifndef OCDX_BASE_SCHEMA_H_
+#define OCDX_BASE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ocdx {
+
+class Instance;
+
+/// Declaration of one relation symbol.
+struct RelationDecl {
+  std::string name;
+  std::vector<std::string> attrs;  ///< Attribute names; size is the arity.
+
+  size_t arity() const { return attrs.size(); }
+};
+
+/// A relational schema (the paper's sigma / tau / omega).
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Declares a relation with named attributes.
+  Schema& Add(std::string name, std::vector<std::string> attrs);
+
+  /// Declares a relation with anonymous attributes a1..aN.
+  Schema& Add(std::string name, size_t arity);
+
+  bool Contains(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  /// Arity of `name`; 0 if undeclared (check Contains first).
+  size_t Arity(const std::string& name) const;
+
+  const std::vector<RelationDecl>& decls() const { return decls_; }
+
+  const RelationDecl* Find(const std::string& name) const;
+
+  /// Checks that `inst` uses only declared relations with correct arities.
+  Status Validate(const Instance& inst) const;
+
+  /// True if the two schemas declare disjoint sets of relation names.
+  bool DisjointFrom(const Schema& other) const;
+
+  /// Union of two schemas with disjoint relation names.
+  static Result<Schema> DisjointUnion(const Schema& a, const Schema& b);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<RelationDecl> decls_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_BASE_SCHEMA_H_

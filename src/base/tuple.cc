@@ -1,0 +1,33 @@
+#include "base/tuple.h"
+
+#include "util/str.h"
+
+namespace ocdx {
+
+std::string TupleToString(const Tuple& t, const Universe& u) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += u.Describe(t[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::string AnnotatedTupleToString(const AnnotatedTuple& t,
+                                   const Universe& u) {
+  if (t.IsEmptyMarker()) {
+    return StrCat("(_, ", AnnVecToString(t.ann), ")");
+  }
+  std::string out = "(";
+  for (size_t i = 0; i < t.values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += u.Describe(t.values[i]);
+    out += "^";
+    out += AnnToString(t.ann[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ocdx

@@ -1,0 +1,73 @@
+// Tuples and annotated tuples.
+
+#ifndef OCDX_BASE_TUPLE_H_
+#define OCDX_BASE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/annotation.h"
+#include "base/value.h"
+
+namespace ocdx {
+
+/// A database tuple: a fixed-arity sequence of values.
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    uint64_t h = 0x243f6a8885a308d3ULL ^ (t.size() * 0x9e3779b97f4a7c15ULL);
+    for (Value v : t) {
+      h ^= ValueHash{}(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// An annotated tuple (t, alpha) of Section 3, including the *empty*
+/// annotated tuples (_, alpha) the paper introduces "for purely technical
+/// reasons (to deal with empty tables)".
+///
+/// An empty marker has no values but still carries a full annotation
+/// vector; its only semantic effect is that an all-open empty marker
+/// allows arbitrary tuples in RepA (and allows the empty table), see the
+/// RepA definition in Section 3.
+struct AnnotatedTuple {
+  Tuple values;  ///< Empty iff this is an empty marker.
+  AnnVec ann;    ///< Always sized to the relation's arity.
+
+  AnnotatedTuple() = default;
+  AnnotatedTuple(Tuple v, AnnVec a) : values(std::move(v)), ann(std::move(a)) {}
+
+  /// Creates the empty marker (_, alpha).
+  static AnnotatedTuple EmptyMarker(AnnVec a) {
+    return AnnotatedTuple(Tuple{}, std::move(a));
+  }
+
+  bool IsEmptyMarker() const { return values.empty() && !ann.empty(); }
+
+  size_t arity() const { return ann.size(); }
+
+  friend bool operator==(const AnnotatedTuple& a, const AnnotatedTuple& b) {
+    return a.values == b.values && a.ann == b.ann;
+  }
+};
+
+struct AnnotatedTupleHash {
+  size_t operator()(const AnnotatedTuple& t) const {
+    size_t h = TupleHash{}(t.values);
+    for (Ann a : t.ann) h = h * 1099511628211ULL + static_cast<size_t>(a) + 7;
+    return h;
+  }
+};
+
+/// Renders "(a, _N0)" using the universe's names.
+std::string TupleToString(const Tuple& t, const Universe& u);
+
+/// Renders "(a^cl, _N0^op)" or "(_, op,cl)" for empty markers.
+std::string AnnotatedTupleToString(const AnnotatedTuple& t, const Universe& u);
+
+}  // namespace ocdx
+
+#endif  // OCDX_BASE_TUPLE_H_

@@ -1,0 +1,15 @@
+#include "base/value.h"
+
+#include "util/str.h"
+
+namespace ocdx {
+
+std::string Universe::Describe(Value v) const {
+  if (!v.IsValid()) return "<invalid>";
+  if (v.IsConst()) return consts_.Get(v.id());
+  const NullInfo& info = nulls_.at(v.id());
+  if (!info.label.empty()) return StrCat("_", info.label);
+  return StrCat("_N", v.id());
+}
+
+}  // namespace ocdx

@@ -1,0 +1,141 @@
+// Value and Universe: the paper's two disjoint countably-infinite domains.
+//
+// Target instances in data exchange are populated by *constants* (elements
+// of Const, which come from the source) and *nulls* (elements of Null,
+// invented during the exchange). ocdx represents both as a single tagged
+// 64-bit handle, `Value`, whose identity lives in a `Universe`:
+//
+//   - constants are interned strings ("a", "p1", "42", ...);
+//   - nulls are minted fresh, each carrying its *justification* — the STD,
+//     the witness tuple and the existential variable that created it
+//     (Section 2 of the paper). Justifications are what the CWA machinery
+//     and the Skolem semantics key on.
+//
+// Only the equality structure of values matters (queries are generic), so
+// interning preserves the paper's semantics exactly.
+
+#ifndef OCDX_BASE_VALUE_H_
+#define OCDX_BASE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/interner.h"
+
+namespace ocdx {
+
+/// A constant or a null. Trivially copyable; 8 bytes.
+///
+/// The default-constructed Value is an invalid sentinel (use for "unset").
+class Value {
+ public:
+  constexpr Value() : raw_(kInvalidRaw) {}
+
+  static Value MakeConst(uint32_t id) { return Value(uint64_t{id}); }
+  static Value MakeNull(uint32_t id) { return Value(kNullBit | uint64_t{id}); }
+
+  bool IsValid() const { return raw_ != kInvalidRaw; }
+  bool IsConst() const { return IsValid() && (raw_ & kNullBit) == 0; }
+  bool IsNull() const { return IsValid() && (raw_ & kNullBit) != 0; }
+
+  /// Index into the universe's constant pool or null registry.
+  uint32_t id() const { return static_cast<uint32_t>(raw_ & 0xffffffffULL); }
+
+  /// Raw bits; stable hash/ordering key.
+  uint64_t raw() const { return raw_; }
+
+  friend bool operator==(Value a, Value b) { return a.raw_ == b.raw_; }
+  friend bool operator!=(Value a, Value b) { return a.raw_ != b.raw_; }
+  friend bool operator<(Value a, Value b) { return a.raw_ < b.raw_; }
+
+ private:
+  explicit constexpr Value(uint64_t raw) : raw_(raw) {}
+
+  static constexpr uint64_t kNullBit = uint64_t{1} << 63;
+  static constexpr uint64_t kInvalidRaw = ~uint64_t{0};
+
+  uint64_t raw_;
+};
+
+struct ValueHash {
+  size_t operator()(Value v) const {
+    // SplitMix64 finalizer over the raw bits.
+    uint64_t z = v.raw() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+};
+
+/// Provenance of a null: the "justification" of Section 2.
+///
+/// A justification consists of an STD (identified by its index in the
+/// mapping), a witness tuple (the source tuples (a-bar, b-bar) that
+/// satisfied the STD's body) and the existential variable that the null
+/// instantiates. Nulls minted outside a chase (e.g. by tests) leave
+/// std_index = -1.
+struct NullInfo {
+  int32_t std_index = -1;
+  std::vector<Value> witness;
+  std::string var;
+  std::string label;  ///< Optional pretty-print label.
+};
+
+/// Owns the identity of all values appearing in a family of instances.
+///
+/// Instances, mappings and solvers all operate on Values minted by one
+/// Universe. Creating a fresh Universe per test gives deterministic ids.
+/// Not thread-safe.
+class Universe {
+ public:
+  Universe() = default;
+  Universe(const Universe&) = delete;
+  Universe& operator=(const Universe&) = delete;
+
+  /// Interns a constant by name and returns its Value.
+  Value Const(std::string_view name) {
+    return Value::MakeConst(consts_.Intern(name));
+  }
+
+  /// Interns an integer constant (rendered in decimal).
+  Value IntConst(int64_t n) { return Const(std::to_string(n)); }
+
+  /// Returns the constant named `name` if it exists (invalid Value if not).
+  Value FindConst(std::string_view name) const {
+    uint32_t id = consts_.Find(name);
+    return id == UINT32_MAX ? Value() : Value::MakeConst(id);
+  }
+
+  /// Mints a fresh null with no justification (tests / ad-hoc instances).
+  Value FreshNull(std::string label = "") {
+    NullInfo info;
+    info.label = std::move(label);
+    return MintNull(std::move(info));
+  }
+
+  /// Mints a fresh null with a full justification (chase).
+  Value MintNull(NullInfo info) {
+    uint32_t id = static_cast<uint32_t>(nulls_.size());
+    nulls_.push_back(std::move(info));
+    return Value::MakeNull(id);
+  }
+
+  const NullInfo& null_info(Value v) const { return nulls_.at(v.id()); }
+
+  /// Printable form: the constant's name, or "_N<i>" / the null's label.
+  std::string Describe(Value v) const;
+
+  size_t num_consts() const { return consts_.size(); }
+  size_t num_nulls() const { return nulls_.size(); }
+
+ private:
+  StringInterner consts_;
+  std::vector<NullInfo> nulls_;
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_BASE_VALUE_H_

@@ -1,0 +1,301 @@
+#include "certain/certain.h"
+
+#include <algorithm>
+#include <set>
+
+#include "certain/naive.h"
+#include "logic/evaluator.h"
+#include "util/str.h"
+
+namespace ocdx {
+
+namespace {
+
+// Saturating left shift for the Lemma-2 2^K factor.
+uint64_t SatShift(uint64_t base, size_t k) {
+  if (k >= 40) return UINT64_MAX;
+  uint64_t factor = uint64_t{1} << k;
+  if (base > UINT64_MAX / factor) return UINT64_MAX;
+  return base * factor;
+}
+
+// Maximum number of open positions of any single annotated tuple,
+// counting an all-open marker as fully open (it licenses arbitrary
+// tuples) and other markers as inert.
+size_t MaxOpenPerTuple(const AnnotatedInstance& t) {
+  size_t m = 0;
+  for (const auto& [name, rel] : t.relations()) {
+    for (const AnnotatedTuple& at : rel.tuples()) {
+      if (at.IsEmptyMarker()) {
+        if (IsAllOpen(at.ann)) m = std::max(m, at.ann.size());
+      } else {
+        m = std::max(m, CountOpen(at.ann));
+      }
+    }
+  }
+  return m;
+}
+
+// Number of "open templates" (the K of Lemma 2): proper tuples with at
+// least one open position plus all-open markers.
+size_t CountOpenTemplates(const AnnotatedInstance& t) {
+  size_t k = 0;
+  for (const auto& [name, rel] : t.relations()) {
+    for (const AnnotatedTuple& at : rel.tuples()) {
+      if (at.IsEmptyMarker()) {
+        if (IsAllOpen(at.ann)) ++k;
+      } else if (CountOpen(at.ann) > 0) {
+        ++k;
+      }
+    }
+  }
+  return k;
+}
+
+// Number of leading universal quantifiers (the l of Proposition 5's
+// negated query: not-phi is exists^l forall* ...).
+size_t LeadingForallCount(const FormulaPtr& q) {
+  size_t l = 0;
+  const Formula* cur = q.get();
+  while (cur->kind() == Formula::Kind::kForall) {
+    l += cur->bound().size();
+    cur = cur->children()[0].get();
+  }
+  return l;
+}
+
+}  // namespace
+
+Result<CertainAnswerEngine> CertainAnswerEngine::Create(
+    const Mapping& mapping, const Instance& source, Universe* universe) {
+  OCDX_ASSIGN_OR_RETURN(CanonicalSolution csol,
+                        Chase(mapping, source, universe));
+  return CertainAnswerEngine(mapping, std::move(csol), universe);
+}
+
+Result<CertainAnswerEngine::Plan> CertainAnswerEngine::MakePlan(
+    const FormulaPtr& q, QueryClass cls, const CertainOptions& options) const {
+  Plan plan;
+  plan.enum_options = options.enum_options;
+
+  if (cls == QueryClass::kPositive || cls == QueryClass::kMonotone) {
+    // Proposition 4 (whose proof subsumes Proposition 3): for monotone Q,
+    // certain_{Sigma_alpha}(Q, S) = box-Q(CSol(S)) for *every* annotation,
+    // i.e. the all-closed reading of the plain canonical solution.
+    plan.target = Annotate(csol_.Plain(), Ann::kClosed);
+    plan.enum_options.fresh_pool = 0;
+    plan.method = "monotone->CWA valuation enumeration (Prop 4)";
+    return plan;
+  }
+
+  plan.target = csol_.annotated;
+  size_t max_open = MaxOpenPerTuple(plan.target);
+
+  if (max_open == 0) {
+    plan.enum_options.fresh_pool = 0;
+    plan.method = "CWA valuation enumeration (coNP, Thm 3.1)";
+    return plan;
+  }
+
+  size_t max_arity = 1;
+  for (const RelationDecl& d : mapping_.target().decls()) {
+    max_arity = std::max(max_arity, d.arity());
+  }
+
+  if (cls == QueryClass::kForallExists) {
+    // Proposition 5: a counterexample exists within l * arity(tau) extra
+    // domain values.
+    size_t l = LeadingForallCount(q);
+    size_t needed = std::max<size_t>(1, l * max_arity);
+    if (needed > plan.enum_options.fresh_pool) {
+      plan.bounds_are_proof = false;
+    }
+    plan.enum_options.fresh_pool =
+        std::min(needed, plan.enum_options.fresh_pool);
+    plan.method = "forall-exists small-witness search (coNP, Prop 5)";
+    return plan;
+  }
+
+  // General FO: Lemma 2 bound — (qr + #free + arity(Q)) fresh constants
+  // per connection type, with up to 2^K types.
+  size_t arity_q = FreeVars(q).size();
+  uint64_t per_type =
+      static_cast<uint64_t>(QuantifierRank(q)) + 2 * arity_q;
+  if (per_type == 0) per_type = 1;
+  uint64_t paper_bound = SatShift(per_type, CountOpenTemplates(plan.target));
+  if (paper_bound > plan.enum_options.fresh_pool) {
+    plan.bounds_are_proof = false;
+  }
+  plan.enum_options.fresh_pool = static_cast<size_t>(
+      std::min<uint64_t>(paper_bound, plan.enum_options.fresh_pool));
+  if (max_open == 1) {
+    plan.method = "Lemma-2 bounded member search (coNEXPTIME, Thm 3.2)";
+  } else {
+    plan.method = "bounded member search (#op >= 2: undecidable, Thm 3.3)";
+    plan.bounds_are_proof = false;
+  }
+  return plan;
+}
+
+Result<CertainVerdict> CertainAnswerEngine::IsCertain(
+    const FormulaPtr& q, const std::vector<std::string>& order, const Tuple& t,
+    const CertainOptions& options) {
+  if (order.size() != t.size()) {
+    return Status::InvalidArgument("output order and tuple sizes differ");
+  }
+  for (const std::string& v : FreeVars(q)) {
+    if (std::find(order.begin(), order.end(), v) == order.end()) {
+      return Status::InvalidArgument(
+          StrCat("free variable '", v, "' missing from output order"));
+    }
+  }
+
+  QueryClass cls =
+      options.force_general_engine ? QueryClass::kFirstOrder : Classify(q);
+
+  CertainVerdict verdict;
+
+  if (cls == QueryClass::kPositive) {
+    // Proposition 3: naive evaluation on the plain canonical solution.
+    Instance plain = csol_.Plain();
+    Env env;
+    for (size_t i = 0; i < order.size(); ++i) env[order[i]] = t[i];
+    Evaluator ev(plain, *universe_);
+    OCDX_ASSIGN_OR_RETURN(bool holds, ev.Holds(q, env));
+    // A certain answer must be a ground tuple over the evaluation domain
+    // (naive answers range over adom(CSol) and the query's constants).
+    std::vector<Value> domain = ev.Domain(q);
+    bool in_domain = true;
+    for (Value v : t) {
+      in_domain = in_domain && v.IsConst() &&
+                  std::find(domain.begin(), domain.end(), v) != domain.end();
+    }
+    verdict.certain = holds && in_domain;
+    verdict.exhaustive = true;
+    verdict.method = "naive evaluation (PTIME, Prop 3)";
+    verdict.members_checked = 1;
+    return verdict;
+  }
+
+  OCDX_ASSIGN_OR_RETURN(Plan plan, MakePlan(q, cls, options));
+
+  std::vector<Value> fixed = ConstantsIn(q);
+  for (Value v : t) fixed.push_back(v);
+
+  RepAMemberEnumerator en(plan.target, fixed, universe_, plan.enum_options);
+  bool certain = true;
+  Status inner = Status::OK();
+  Status st = en.ForEachMember([&](const Instance& member) {
+    Evaluator ev(member, *universe_);
+    Env env;
+    for (size_t i = 0; i < order.size(); ++i) env[order[i]] = t[i];
+    Result<bool> h = ev.Holds(q, env);
+    if (!h.ok()) {
+      inner = h.status();
+      return false;
+    }
+    if (!h.value()) {
+      certain = false;  // Concrete counterexample.
+      return false;
+    }
+    return true;
+  });
+  OCDX_RETURN_IF_ERROR(st);
+  OCDX_RETURN_IF_ERROR(inner);
+
+  verdict.certain = certain;
+  verdict.exhaustive =
+      certain ? (en.exhausted() && plan.bounds_are_proof) : true;
+  verdict.method = plan.method;
+  verdict.members_checked = en.members_visited();
+  return verdict;
+}
+
+Result<CertainVerdict> CertainAnswerEngine::IsCertainBoolean(
+    const FormulaPtr& q, const CertainOptions& options) {
+  if (!FreeVars(q).empty()) {
+    return Status::InvalidArgument(
+        "IsCertainBoolean requires a sentence; use IsCertain");
+  }
+  return IsCertain(q, {}, {}, options);
+}
+
+Result<Relation> CertainAnswerEngine::CertainAnswers(
+    const FormulaPtr& q, const std::vector<std::string>& order,
+    CertainVerdict* verdict, const CertainOptions& options) {
+  if (order.empty()) {
+    return Status::InvalidArgument(
+        "CertainAnswers needs output variables; use IsCertainBoolean for "
+        "sentences");
+  }
+  QueryClass cls =
+      options.force_general_engine ? QueryClass::kFirstOrder : Classify(q);
+
+  if (cls == QueryClass::kPositive) {
+    OCDX_ASSIGN_OR_RETURN(Relation out,
+                          NaiveEval(q, order, csol_.Plain(), *universe_));
+    if (verdict != nullptr) {
+      verdict->certain = true;
+      verdict->exhaustive = true;
+      verdict->method = "naive evaluation (PTIME, Prop 3)";
+      verdict->members_checked = 1;
+    }
+    return out;
+  }
+
+  OCDX_ASSIGN_OR_RETURN(Plan plan, MakePlan(q, cls, options));
+
+  // Certain answers can only mention constants present in every member:
+  // the constants of rel(CSolA) and of the query.
+  std::set<Value> allowed;
+  for (Value v : csol_.Plain().ActiveDomain()) {
+    if (v.IsConst()) allowed.insert(v);
+  }
+  for (Value v : ConstantsIn(q)) allowed.insert(v);
+
+  std::vector<Value> fixed = ConstantsIn(q);
+  RepAMemberEnumerator en(plan.target, fixed, universe_, plan.enum_options);
+
+  bool first = true;
+  Relation candidates(order.size());
+  Status inner = Status::OK();
+  Status st = en.ForEachMember([&](const Instance& member) {
+    Evaluator ev(member, *universe_);
+    Result<Relation> ans = ev.Answers(q, order);
+    if (!ans.ok()) {
+      inner = ans.status();
+      return false;
+    }
+    if (first) {
+      first = false;
+      for (const Tuple& t : ans.value().tuples()) {
+        bool ok = true;
+        for (Value v : t) ok = ok && allowed.count(v) > 0;
+        if (ok) candidates.Add(t);
+      }
+    } else {
+      Relation next(order.size());
+      for (const Tuple& t : candidates.tuples()) {
+        if (ans.value().Contains(t)) next.Add(t);
+      }
+      candidates = std::move(next);
+    }
+    // Early exit: the empty intersection is final (each removal was
+    // witnessed by a concrete member).
+    return !candidates.empty();
+  });
+  OCDX_RETURN_IF_ERROR(st);
+  OCDX_RETURN_IF_ERROR(inner);
+
+  if (verdict != nullptr) {
+    verdict->certain = !candidates.empty();
+    verdict->exhaustive = candidates.empty()
+                              ? true
+                              : (en.exhausted() && plan.bounds_are_proof);
+    verdict->method = plan.method;
+    verdict->members_checked = en.members_visited();
+  }
+  return candidates;
+}
+
+}  // namespace ocdx

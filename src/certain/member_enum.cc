@@ -1,0 +1,172 @@
+#include "certain/member_enum.h"
+
+#include <set>
+
+#include "util/combinatorics.h"
+#include "util/str.h"
+
+namespace ocdx {
+
+RepAMemberEnumerator::RepAMemberEnumerator(const AnnotatedInstance& t,
+                                           const std::vector<Value>& fixed,
+                                           Universe* universe,
+                                           MemberEnumOptions options)
+    : t_(t), universe_(universe), options_(options) {
+  std::set<Value> f(fixed.begin(), fixed.end());
+  for (Value v : t_.ActiveDomain()) {
+    if (v.IsConst()) f.insert(v);
+  }
+  fixed_.assign(f.begin(), f.end());
+}
+
+Status RepAMemberEnumerator::ForEachMember(
+    const std::function<bool(const Instance&)>& fn) {
+  exhausted_ = true;
+  members_ = 0;
+
+  std::vector<Value> nulls = t_.Nulls();
+  ValuationEnumerator valuations(nulls, fixed_, universe_);
+  Valuation v;
+  while (valuations.Next(&v)) {
+    // Base member: v(rel(T)).
+    Instance base = v.ApplyRelPart(t_);
+    // Make sure every relation of T exists in the member (including ones
+    // populated only by markers): queries distinguish empty from absent
+    // only through our Instance equality, which treats them alike, but
+    // downstream consumers iterate relations.
+    for (const auto& [name, rel] : t_.relations()) {
+      base.GetOrCreate(name, rel.arity());
+    }
+
+    // Extra-value pool: fixed constants + constants of the base + fresh.
+    std::set<Value> pool_set(fixed_.begin(), fixed_.end());
+    for (Value c : base.ActiveDomain()) pool_set.insert(c);
+    for (size_t i = 0; i < options_.fresh_pool; ++i) {
+      pool_set.insert(universe_->Const(StrCat("#e", i)));
+    }
+    std::vector<Value> pool(pool_set.begin(), pool_set.end());
+
+    // Extra-tuple universe U: fillings of open positions of proper
+    // tuples, plus arbitrary tuples for all-open markers. Each extra
+    // remembers its template so the Section 6 "1-to-m" replication limit
+    // can be enforced per template.
+    struct Extra {
+      std::string rel;
+      Tuple tuple;
+      size_t template_id;
+    };
+    std::vector<Extra> extras;
+    std::set<std::pair<std::string, Tuple>> extras_seen;
+    std::vector<size_t> template_cap;
+    size_t current_template = 0;
+    bool truncated = false;
+    auto add_extra = [&](const std::string& rel, Tuple tuple) {
+      if (extras.size() >= options_.max_universe) {
+        truncated = true;
+        return;
+      }
+      const Relation* brel = base.Find(rel);
+      if (brel != nullptr && brel->Contains(tuple)) return;
+      auto key = std::make_pair(rel, tuple);
+      if (extras_seen.insert(key).second) {
+        extras.push_back(Extra{rel, std::move(tuple), current_template});
+      }
+    };
+
+    for (const auto& [name, rel] : t_.relations()) {
+      for (const AnnotatedTuple& at : rel.tuples()) {
+        if (at.IsEmptyMarker()) {
+          if (!IsAllOpen(at.ann)) continue;
+          // All-open marker: any tuple over the pool; the marker itself
+          // contributes no base tuple, so a 1-to-m limit allows m extras.
+          current_template = template_cap.size();
+          template_cap.push_back(options_.open_replication_limit);
+          ForEachTuple(at.arity(), pool.size(),
+                       [&](const std::vector<uint32_t>& digits) {
+                         Tuple cand(at.arity());
+                         for (size_t p = 0; p < at.arity(); ++p) {
+                           cand[p] = pool[digits[p]];
+                         }
+                         add_extra(name, std::move(cand));
+                         return !truncated;
+                       });
+          continue;
+        }
+        size_t n_open = CountOpen(at.ann);
+        if (n_open == 0) continue;
+        std::vector<size_t> open_pos;
+        for (size_t p = 0; p < at.ann.size(); ++p) {
+          if (at.ann[p] == Ann::kOpen) open_pos.push_back(p);
+        }
+        // The base tuple v(t) is the first of the <= m instantiations a
+        // 1-to-m open tuple may take, so m-1 extras remain.
+        current_template = template_cap.size();
+        template_cap.push_back(
+            options_.open_replication_limit == SIZE_MAX
+                ? SIZE_MAX
+                : (options_.open_replication_limit == 0
+                       ? 0
+                       : options_.open_replication_limit - 1));
+        Tuple pattern = v.Apply(at.values);
+        ForEachTuple(open_pos.size(), pool.size(),
+                     [&](const std::vector<uint32_t>& digits) {
+                       Tuple cand = pattern;
+                       for (size_t j = 0; j < open_pos.size(); ++j) {
+                         cand[open_pos[j]] = pool[digits[j]];
+                       }
+                       add_extra(name, std::move(cand));
+                       return !truncated;
+                     });
+      }
+    }
+    if (truncated) exhausted_ = false;
+
+    // Visit base u E for subsets E of the universe, in increasing size.
+    size_t max_size = std::min(extras.size(), options_.max_extra_tuples);
+    if (max_size < extras.size()) exhausted_ = false;
+
+    // Combination enumeration, smallest subsets first (counterexamples
+    // tend to be small, and early exit then prunes the rest). The
+    // per-template usage counters enforce the 1-to-m replication limit.
+    std::vector<size_t> chosen;
+    std::vector<size_t> used(template_cap.size(), 0);
+    bool stop = false;
+    std::function<bool(size_t, size_t)> rec = [&](size_t start,
+                                                  size_t remaining) -> bool {
+      if (remaining == 0) {
+        if (++members_ > options_.max_members) {
+          exhausted_ = false;
+          stop = true;
+          return false;
+        }
+        Instance member = base;
+        for (size_t idx : chosen) {
+          member.Add(extras[idx].rel, extras[idx].tuple);
+        }
+        if (!fn(member)) {
+          stop = true;
+          return false;
+        }
+        return true;
+      }
+      for (size_t i = start; i + remaining <= extras.size(); ++i) {
+        size_t tpl = extras[i].template_id;
+        if (used[tpl] >= template_cap[tpl]) continue;
+        ++used[tpl];
+        chosen.push_back(i);
+        bool cont = rec(i + 1, remaining - 1);
+        chosen.pop_back();
+        --used[tpl];
+        if (!cont) return false;
+      }
+      return true;
+    };
+    for (size_t m = 0; m <= max_size && !stop; ++m) {
+      rec(0, m);
+    }
+    if (stop) return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace ocdx

@@ -1,0 +1,97 @@
+// Bounded enumeration of the members of RepA(T).
+//
+// Every certain-answer and composition procedure in the paper ultimately
+// quantifies over RepA(CSolA(S)) — an infinite set. This enumerator makes
+// that quantification finite and (within stated bounds) exact:
+//
+//   * valuations of the nulls are enumerated up to isomorphism fixing a
+//     caller-supplied constant set (genericity; see iso_enum.h);
+//   * "extra" tuples licensed by open positions and all-open markers are
+//     drawn from a finite pool: the fixed constants, the valuated
+//     instance's own constants, and a budget of fresh constants;
+//   * subsets of the extra-tuple universe are visited in increasing size.
+//
+// Exactness guarantees, following the paper:
+//   - all-closed T: no extras exist; enumeration is exact (Lemma 1 +
+//     genericity), matching the coNP procedure of [Lib06] (Theorem 3.1).
+//   - forall*-exists* queries: a counterexample, if any, exists with at
+//     most l * arity extra domain values (proof of Proposition 5); a pool
+//     that large makes the search a decision procedure.
+//   - #op(T) <= 1 and FO queries: Lemma 2 bounds a counterexample by
+//     (qr + |y-bar| + arity(Q)) fresh constants per "connection type"
+//     X subseteq K; a sufficient pool again gives a decision procedure
+//     (the coNEXPTIME bound of Theorem 3.2 is the size of this search).
+//   - #op >= 2: provably no bound exists (Theorem 3.3, undecidable); the
+//     enumeration is then a sound but incomplete counterexample search
+//     and reports exhausted() = false.
+
+#ifndef OCDX_CERTAIN_MEMBER_ENUM_H_
+#define OCDX_CERTAIN_MEMBER_ENUM_H_
+
+#include <functional>
+#include <vector>
+
+#include "base/instance.h"
+#include "semantics/iso_enum.h"
+#include "semantics/valuation.h"
+#include "util/status.h"
+
+namespace ocdx {
+
+struct MemberEnumOptions {
+  /// Number of fresh constants available for extra (open-position) tuples.
+  size_t fresh_pool = 2;
+  /// Cap on the number of extra tuples added per member (SIZE_MAX = no cap
+  /// beyond the universe size).
+  size_t max_extra_tuples = SIZE_MAX;
+  /// Cap on the size of the extra-tuple universe per valuation; a larger
+  /// universe is truncated (and the run marked non-exhaustive).
+  size_t max_universe = 24;
+  /// Global budget on visited members.
+  uint64_t max_members = 5'000'000;
+  /// The paper's Section 6 "1-to-m" extension: each open tuple may be
+  /// replicated at most this many times (SIZE_MAX = the paper's default
+  /// one-to-*many* semantics). With a finite m the member space becomes
+  /// polynomially bounded per valuation and "all the complexity results
+  /// about CWA mappings apply" — enumeration is then a decision
+  /// procedure for every query class.
+  size_t open_replication_limit = SIZE_MAX;
+};
+
+/// Enumerates ground members of RepA(T) and reports exhaustiveness.
+class RepAMemberEnumerator {
+ public:
+  /// `fixed` is the distinguished-constant set (query constants, candidate
+  /// answer constants, ...); valuations are enumerated up to isomorphisms
+  /// fixing it and the constants of T.
+  RepAMemberEnumerator(const AnnotatedInstance& t,
+                       const std::vector<Value>& fixed, Universe* universe,
+                       MemberEnumOptions options = {});
+
+  /// Visits members until `fn` returns false (early stop) or enumeration
+  /// finishes/budgets out. Returns OK unless a hard error occurred.
+  ///
+  /// `fn` receives each member instance; returning false stops.
+  Status ForEachMember(const std::function<bool(const Instance&)>& fn);
+
+  /// True iff the last ForEachMember call visited the *complete* bounded
+  /// space (no truncation and no budget exhaustion). Whether the bounded
+  /// space suffices for a proof is the caller's concern (see header
+  /// comment for the per-class guarantees).
+  bool exhausted() const { return exhausted_; }
+
+  /// Number of members visited by the last run.
+  uint64_t members_visited() const { return members_; }
+
+ private:
+  const AnnotatedInstance& t_;
+  std::vector<Value> fixed_;
+  Universe* universe_;
+  MemberEnumOptions options_;
+  bool exhausted_ = true;
+  uint64_t members_ = 0;
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_CERTAIN_MEMBER_ENUM_H_

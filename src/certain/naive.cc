@@ -1,0 +1,30 @@
+#include "certain/naive.h"
+
+namespace ocdx {
+
+Result<Relation> NaiveEval(const FormulaPtr& q,
+                           const std::vector<std::string>& order,
+                           const Instance& inst, const Universe& universe) {
+  Evaluator ev(inst, universe);
+  OCDX_ASSIGN_OR_RETURN(Relation all, ev.Answers(q, order));
+  Relation out(all.arity());
+  for (const Tuple& t : all.tuples()) {
+    bool has_null = false;
+    for (Value v : t) {
+      if (v.IsNull()) {
+        has_null = true;
+        break;
+      }
+    }
+    if (!has_null) out.Add(t);
+  }
+  return out;
+}
+
+Result<bool> NaiveEvalBoolean(const FormulaPtr& q, const Instance& inst,
+                              const Universe& universe) {
+  Evaluator ev(inst, universe);
+  return ev.Holds(q);
+}
+
+}  // namespace ocdx

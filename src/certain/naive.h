@@ -1,0 +1,30 @@
+// Naive evaluation [Imielinski-Lipski 84].
+//
+// For positive relational algebra queries, the certain answers over an
+// instance with nulls are obtained by evaluating the query treating nulls
+// as ordinary atomic values and then discarding every answer tuple that
+// contains a null. Proposition 3 of the paper lifts this to annotated
+// data exchange: for positive Q and *any* annotation alpha,
+// certain_{Sigma_alpha}(Q, S) = naive evaluation of Q on CSol(S).
+
+#ifndef OCDX_CERTAIN_NAIVE_H_
+#define OCDX_CERTAIN_NAIVE_H_
+
+#include "base/instance.h"
+#include "logic/evaluator.h"
+#include "util/status.h"
+
+namespace ocdx {
+
+/// Evaluates `q` over `inst` naively and keeps only null-free answers.
+Result<Relation> NaiveEval(const FormulaPtr& q,
+                           const std::vector<std::string>& order,
+                           const Instance& inst, const Universe& universe);
+
+/// Naive evaluation of a boolean (sentence) query.
+Result<bool> NaiveEvalBoolean(const FormulaPtr& q, const Instance& inst,
+                              const Universe& universe);
+
+}  // namespace ocdx
+
+#endif  // OCDX_CERTAIN_NAIVE_H_

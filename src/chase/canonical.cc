@@ -1,0 +1,109 @@
+#include "chase/canonical.h"
+
+#include "logic/evaluator.h"
+#include "util/str.h"
+
+namespace ocdx {
+
+namespace {
+
+// Evaluates a head term under the witness binding + fresh nulls.
+Result<Value> EvalHeadTerm(const Term& t, const Env& env) {
+  switch (t.kind) {
+    case Term::Kind::kConst:
+      return t.constant;
+    case Term::Kind::kVar: {
+      auto it = env.find(t.name);
+      if (it == env.end()) {
+        return Status::Internal(
+            StrCat("head variable '", t.name, "' has no binding"));
+      }
+      return it->second;
+    }
+    case Term::Kind::kFunc:
+      return Status::InvalidArgument(
+          StrCat("function term '", t.name,
+                 "' in a plain chase; Skolemized mappings must go through "
+                 "skolem::SolveSkolem"));
+  }
+  return Status::Internal("unknown term kind");
+}
+
+}  // namespace
+
+Result<CanonicalSolution> Chase(const Mapping& mapping, const Instance& source,
+                                Universe* universe) {
+  OCDX_RETURN_IF_ERROR(mapping.Validate(/*allow_functions=*/false));
+  OCDX_RETURN_IF_ERROR(mapping.source().Validate(source));
+
+  CanonicalSolution out;
+  // Pre-declare every target relation so that solutions mention all of
+  // them (empty relations matter for CWA facts and for printing).
+  for (const RelationDecl& decl : mapping.target().decls()) {
+    out.annotated.GetOrCreate(decl.name, decl.arity());
+  }
+
+  Evaluator eval(source, *universe);
+
+  for (size_t i = 0; i < mapping.stds().size(); ++i) {
+    const AnnotatedStd& std_ = mapping.stds()[i];
+    const std::vector<std::string> body_vars = std_.BodyVars();
+    const std::vector<std::string> exist_vars = std_.ExistentialVars();
+
+    // Collect the witnesses of the body over S.
+    std::vector<Tuple> witnesses;
+    if (body_vars.empty()) {
+      OCDX_ASSIGN_OR_RETURN(bool holds, eval.Holds(std_.body));
+      if (holds) witnesses.push_back(Tuple{});
+    } else {
+      OCDX_ASSIGN_OR_RETURN(Relation answers,
+                            eval.Answers(std_.body, body_vars));
+      witnesses = answers.SortedTuples();
+    }
+
+    if (witnesses.empty()) {
+      // "If phi evaluates to the empty set over S, we add empty tuples for
+      // each atom in psi, annotated according to alpha."
+      for (const HeadAtom& atom : std_.head) {
+        out.annotated.Add(atom.rel, AnnotatedTuple::EmptyMarker(atom.ann));
+      }
+      continue;
+    }
+
+    for (const Tuple& w : witnesses) {
+      ChaseTrigger trigger;
+      trigger.std_index = static_cast<int>(i);
+      trigger.var_order = body_vars;
+      trigger.witness = w;
+
+      Env env;
+      for (size_t v = 0; v < body_vars.size(); ++v) env[body_vars[v]] = w[v];
+      // One fresh null per existential variable per witness: the paper's
+      // bottom-bar_(phi, psi, a-bar, b-bar).
+      for (const std::string& z : exist_vars) {
+        NullInfo info;
+        info.std_index = static_cast<int>(i);
+        info.witness = w;
+        info.var = z;
+        info.label = StrCat(z, "_s", i, "w", out.triggers.size());
+        Value null = universe->MintNull(std::move(info));
+        env[z] = null;
+        trigger.fresh_nulls[z] = null;
+      }
+
+      for (const HeadAtom& atom : std_.head) {
+        Tuple t;
+        t.reserve(atom.terms.size());
+        for (const Term& term : atom.terms) {
+          OCDX_ASSIGN_OR_RETURN(Value v, EvalHeadTerm(term, env));
+          t.push_back(v);
+        }
+        out.annotated.Add(atom.rel, AnnotatedTuple(std::move(t), atom.ann));
+      }
+      out.triggers.push_back(std::move(trigger));
+    }
+  }
+  return out;
+}
+
+}  // namespace ocdx

@@ -1,0 +1,62 @@
+// The chase: building (annotated) canonical solutions.
+//
+// For a mapping (sigma, tau, Sigma_alpha) and a source instance S, the
+// canonical solution CSol(S) [FKMP05] is built by firing every STD on
+// every witness of its body: each witness mints a fresh tuple of nulls
+// for the STD's existential variables and emits the head atoms. The
+// *annotated* canonical solution CSolA(S) (Section 3) additionally tags
+// every emitted position with the STD's annotation, and — when a body has
+// no witnesses — records the empty annotated tuples (_, alpha) for each
+// head atom.
+//
+// By Theorem 1.4, RepA(CSolA(S)) *is* the semantics of the mapping on S,
+// and by Corollary 2 all certain-answer computation reduces to this one
+// polynomial-time-computable instance. The chase is therefore the load-
+// bearing substrate of the whole library.
+
+#ifndef OCDX_CHASE_CANONICAL_H_
+#define OCDX_CHASE_CANONICAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/instance.h"
+#include "mapping/mapping.h"
+#include "util/status.h"
+
+namespace ocdx {
+
+/// One firing of one STD: the justification shared by the nulls it minted.
+struct ChaseTrigger {
+  int std_index = -1;
+  /// Order of the body's free variables for `witness`.
+  std::vector<std::string> var_order;
+  /// The satisfying assignment (a-bar, b-bar) of the body.
+  Tuple witness;
+  /// Fresh nulls minted for the existential variables of the STD.
+  std::map<std::string, Value> fresh_nulls;
+};
+
+/// The result of chasing a source instance with a mapping.
+struct CanonicalSolution {
+  AnnotatedInstance annotated;  ///< CSolA(S), with empty markers.
+  /// All firings, in deterministic order. CWA justifications and the
+  /// Skolem F' ~ v correspondence (Lemma 4) both key on these.
+  std::vector<ChaseTrigger> triggers;
+
+  /// CSol(S): the plain canonical solution rel(CSolA(S)).
+  Instance Plain() const { return annotated.RelPart(); }
+};
+
+/// Chases `source` with `mapping` (which must not be Skolemized; use
+/// skolem::SolveSkolem for SkSTDs). Fresh nulls are minted in `*universe`.
+///
+/// Deterministic: STDs fire in order; witnesses fire in the evaluator's
+/// enumeration order.
+Result<CanonicalSolution> Chase(const Mapping& mapping, const Instance& source,
+                                Universe* universe);
+
+}  // namespace ocdx
+
+#endif  // OCDX_CHASE_CANONICAL_H_

@@ -1,0 +1,61 @@
+// Semantic composition of annotated schema mappings (Section 5, Thm 4).
+//
+// For mappings Sigma_alpha : sigma -> tau and Delta_alpha' : tau -> omega,
+// the composition is the relation
+//
+//   Sigma_alpha o Delta_alpha' =
+//     { (S, W) ground : exists J in [[S]]_{Sigma_alpha}
+//                              with W in [[J]]_{Delta_alpha'} }.
+//
+// The decision problem Comp(Sigma_alpha, Delta_alpha') is classified by
+// #op(Sigma_alpha) — Table 1 of the paper:
+//
+//     #op = 0   NP-complete          (exact here: valuation enumeration)
+//     #op = 1   NEXPTIME-complete    (bounded member search)
+//     #op > 1   undecidable          (bounded search, flagged)
+//   + NP for monotone all-open Delta regardless of Sigma's annotation
+//     (Lemma 3 / Corollary 4).
+
+#ifndef OCDX_COMPOSE_COMPOSE_H_
+#define OCDX_COMPOSE_COMPOSE_H_
+
+#include <string>
+
+#include "base/instance.h"
+#include "certain/member_enum.h"
+#include "mapping/mapping.h"
+#include "semantics/repa.h"
+#include "util/status.h"
+
+namespace ocdx {
+
+struct ComposeOptions {
+  /// Bounds for the intermediate-instance search when #op(Sigma) >= 1.
+  MemberEnumOptions enum_options;
+  RepAOptions repa;
+};
+
+struct ComposeVerdict {
+  bool member = false;
+  /// Positive verdicts are always proofs (a concrete intermediate J is
+  /// found). Negative verdicts are proofs exactly on the decidable paths
+  /// (all-closed Sigma; monotone all-open Delta; #op = 1 within the
+  /// Claim 5 / Lemma 2 bounds).
+  bool exhaustive = true;
+  std::string method;
+  uint64_t intermediates_checked = 0;
+};
+
+/// Decides (source, target) in Sigma_alpha o Delta_alpha'. Both instances
+/// must be ground; sigma's target schema and delta's source schema must
+/// declare the same relations.
+Result<ComposeVerdict> InComposition(const Mapping& sigma,
+                                     const Mapping& delta,
+                                     const Instance& source,
+                                     const Instance& target,
+                                     Universe* universe,
+                                     ComposeOptions options = {});
+
+}  // namespace ocdx
+
+#endif  // OCDX_COMPOSE_COMPOSE_H_

@@ -1,0 +1,39 @@
+// Umbrella header: the public API of ocdx.
+//
+// ocdx implements "Data exchange and schema mappings in open and closed
+// worlds" (Libkin & Sirangelo, PODS 2008 / JCSS 2011): annotated schema
+// mappings mixing open- and closed-world attribute semantics, canonical
+// solutions, certain-answer engines, and (syntactic and semantic) mapping
+// composition. See README.md for a guided tour.
+
+#ifndef OCDX_CORE_OCDX_H_
+#define OCDX_CORE_OCDX_H_
+
+#include "base/annotation.h"
+#include "base/instance.h"
+#include "base/relation.h"
+#include "base/schema.h"
+#include "base/tuple.h"
+#include "base/value.h"
+#include "certain/certain.h"
+#include "certain/member_enum.h"
+#include "certain/naive.h"
+#include "chase/canonical.h"
+#include "compose/compose.h"
+#include "logic/classify.h"
+#include "logic/evaluator.h"
+#include "logic/formula.h"
+#include "logic/parser.h"
+#include "mapping/mapping.h"
+#include "mapping/rule_parser.h"
+#include "semantics/homomorphism.h"
+#include "semantics/iso_enum.h"
+#include "semantics/membership.h"
+#include "semantics/repa.h"
+#include "semantics/solutions.h"
+#include "semantics/valuation.h"
+#include "skolem/compose.h"
+#include "skolem/skolem.h"
+#include "util/status.h"
+
+#endif  // OCDX_CORE_OCDX_H_

@@ -1,0 +1,159 @@
+#include "logic/classify.h"
+
+namespace ocdx {
+
+namespace {
+
+bool QuantifierFree(const Formula& f) {
+  switch (f.kind()) {
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall:
+      return false;
+    default:
+      for (const FormulaPtr& c : f.children()) {
+        if (!QuantifierFree(*c)) return false;
+      }
+      return true;
+  }
+}
+
+bool Positive(const Formula& f) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kEquals:
+      return true;
+    case Formula::Kind::kNot:
+    case Formula::Kind::kImplies:
+    case Formula::Kind::kForall:
+      return false;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kExists:
+      for (const FormulaPtr& c : f.children()) {
+        if (!Positive(*c)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+// Conjunction of atoms/equalities (no nesting of other connectives).
+bool IsAtomConjunction(const Formula& f) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kEquals:
+      return true;
+    case Formula::Kind::kAnd:
+      for (const FormulaPtr& c : f.children()) {
+        if (!IsAtomConjunction(*c)) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsCQ(const Formula& f) {
+  if (f.kind() == Formula::Kind::kExists) return IsCQ(*f.children()[0]);
+  return IsAtomConjunction(f);
+}
+
+// Monotonicity via polarity tracking. `positive` is the polarity of the
+// current subformula. Rules:
+//   - relational atom: allowed only in positive polarity;
+//   - equality: allowed in both (instance-independent);
+//   - exists: allowed only in positive polarity (it becomes forall under
+//     negation, and forall over a growing active domain is non-monotone);
+//   - forall: allowed only in negative polarity;
+//   - implication a -> b: a flips polarity.
+bool Monotone(const Formula& f, bool positive) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+    case Formula::Kind::kEquals:
+      return true;
+    case Formula::Kind::kAtom:
+      return positive;
+    case Formula::Kind::kNot:
+      return Monotone(*f.children()[0], !positive);
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+      for (const FormulaPtr& c : f.children()) {
+        if (!Monotone(*c, positive)) return false;
+      }
+      return true;
+    case Formula::Kind::kImplies:
+      return Monotone(*f.children()[0], !positive) &&
+             Monotone(*f.children()[1], positive);
+    case Formula::Kind::kExists:
+      return positive && Monotone(*f.children()[0], positive);
+    case Formula::Kind::kForall:
+      return !positive && Monotone(*f.children()[0], positive);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsQuantifierFree(const FormulaPtr& f) { return QuantifierFree(*f); }
+
+bool IsPositive(const FormulaPtr& f) { return Positive(*f); }
+
+bool IsConjunctiveQuery(const FormulaPtr& f) { return IsCQ(*f); }
+
+bool IsUnionOfConjunctiveQueries(const FormulaPtr& f) {
+  if (f->kind() == Formula::Kind::kOr) {
+    for (const FormulaPtr& c : f->children()) {
+      if (!IsCQ(*c)) return false;
+    }
+    return true;
+  }
+  return IsCQ(*f);
+}
+
+bool IsMonotoneSyntactic(const FormulaPtr& f) { return Monotone(*f, true); }
+
+bool IsForallExists(const FormulaPtr& f) {
+  const Formula* cur = f.get();
+  while (cur->kind() == Formula::Kind::kForall) {
+    cur = cur->children()[0].get();
+  }
+  while (cur->kind() == Formula::Kind::kExists) {
+    cur = cur->children()[0].get();
+  }
+  return QuantifierFree(*cur);
+}
+
+bool IsExistential(const FormulaPtr& f) {
+  const Formula* cur = f.get();
+  while (cur->kind() == Formula::Kind::kExists) {
+    cur = cur->children()[0].get();
+  }
+  return QuantifierFree(*cur);
+}
+
+QueryClass Classify(const FormulaPtr& f) {
+  if (IsPositive(f)) return QueryClass::kPositive;
+  if (IsMonotoneSyntactic(f)) return QueryClass::kMonotone;
+  if (IsForallExists(f)) return QueryClass::kForallExists;
+  return QueryClass::kFirstOrder;
+}
+
+const char* QueryClassToString(QueryClass c) {
+  switch (c) {
+    case QueryClass::kPositive:
+      return "positive";
+    case QueryClass::kMonotone:
+      return "monotone";
+    case QueryClass::kForallExists:
+      return "forall-exists";
+    case QueryClass::kFirstOrder:
+      return "first-order";
+  }
+  return "?";
+}
+
+}  // namespace ocdx

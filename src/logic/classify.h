@@ -1,0 +1,61 @@
+// Syntactic query classification.
+//
+// The paper's complexity results are parameterized by query class:
+//   - positive relational algebra (Prop 3, Cor 3): naive evaluation exact;
+//   - monotone queries (Prop 4): certain answers collapse to the CWA;
+//   - forall*-exists* queries (Prop 5): coNP for every annotation;
+//   - full FO (Thm 3): the trichotomy by #op.
+// These predicates are *sound* syntactic checks: IsMonotoneSyntactic may
+// return false for a semantically monotone query, never true for a
+// non-monotone one.
+
+#ifndef OCDX_LOGIC_CLASSIFY_H_
+#define OCDX_LOGIC_CLASSIFY_H_
+
+#include "logic/formula.h"
+
+namespace ocdx {
+
+/// No quantifiers anywhere.
+bool IsQuantifierFree(const FormulaPtr& f);
+
+/// Positive relational algebra: atoms, equalities, &, |, exists (and
+/// true/false). No negation, no implication, no forall, no inequality.
+bool IsPositive(const FormulaPtr& f);
+
+/// A conjunctive query: an (optional) exists-prefix over a conjunction of
+/// relational atoms and equalities.
+bool IsConjunctiveQuery(const FormulaPtr& f);
+
+/// A union (disjunction) of conjunctive queries.
+bool IsUnionOfConjunctiveQueries(const FormulaPtr& f);
+
+/// Syntactically monotone: in negation normal form the formula uses only
+/// positive relational atoms, (in)equalities, &, | and exists. Adding
+/// tuples to the instance can then never remove answers. CQs with
+/// inequalities (Prop 4 / [Madry05]) fall in this class.
+bool IsMonotoneSyntactic(const FormulaPtr& f);
+
+/// Prenex forall* exists* with a quantifier-free matrix (Prop 5; the shape
+/// of standard integrity constraints).
+bool IsForallExists(const FormulaPtr& f);
+
+/// Purely existential prenex formula (exists* matrix); mentioned in the
+/// paper's conclusions as keeping composition in NP.
+bool IsExistential(const FormulaPtr& f);
+
+/// The most specific class, used by the certain-answer dispatcher.
+enum class QueryClass {
+  kPositive,        ///< Naive evaluation is exact (Prop 3).
+  kMonotone,        ///< Collapses to CWA certain answers (Prop 4).
+  kForallExists,    ///< coNP via small-witness search (Prop 5).
+  kFirstOrder,      ///< General FO: trichotomy territory (Thm 3).
+};
+
+QueryClass Classify(const FormulaPtr& f);
+
+const char* QueryClassToString(QueryClass c);
+
+}  // namespace ocdx
+
+#endif  // OCDX_LOGIC_CLASSIFY_H_

@@ -1,0 +1,185 @@
+#include "logic/cq_eval.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace ocdx {
+
+namespace {
+
+struct CqAtom {
+  const std::string* rel;
+  const std::vector<Term>* terms;
+};
+
+struct CqEquality {
+  Term lhs;
+  Term rhs;
+};
+
+// Flattens an exists-prefixed conjunction into atoms + equalities.
+// Returns false on any unsupported construct.
+bool Flatten(const Formula& f, std::vector<CqAtom>* atoms,
+             std::vector<CqEquality>* equalities) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+      return true;
+    case Formula::Kind::kAtom:
+      for (const Term& t : f.terms()) {
+        if (t.IsFunc()) return false;
+      }
+      atoms->push_back(CqAtom{&f.rel(), &f.terms()});
+      return true;
+    case Formula::Kind::kEquals:
+      if (f.terms()[0].IsFunc() || f.terms()[1].IsFunc()) return false;
+      equalities->push_back(CqEquality{f.terms()[0], f.terms()[1]});
+      return true;
+    case Formula::Kind::kAnd:
+      for (const FormulaPtr& c : f.children()) {
+        if (!Flatten(*c, atoms, equalities)) return false;
+      }
+      return true;
+    case Formula::Kind::kExists:
+      // Existential variables are simply projected away at the end; the
+      // prefix may also occur nested inside the conjunction, which is
+      // equivalent for CQs as long as bound names do not clash with
+      // outer ones. Conservatively require global uniqueness by
+      // declining when a bound variable was already seen as bound.
+      return Flatten(*f.children()[0], atoms, equalities);
+    default:
+      return false;
+  }
+}
+
+// Collects bound-variable names; declines shadowing (same name bound
+// twice or bound-and-free), which would make naive flattening unsound.
+bool CollectBound(const Formula& f, std::set<std::string>* bound) {
+  switch (f.kind()) {
+    case Formula::Kind::kExists: {
+      for (const std::string& v : f.bound()) {
+        if (!bound->insert(v).second) return false;
+      }
+      return CollectBound(*f.children()[0], bound);
+    }
+    case Formula::Kind::kAnd:
+      for (const FormulaPtr& c : f.children()) {
+        if (!CollectBound(*c, bound)) return false;
+      }
+      return true;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+std::optional<Relation> TryEvalCQ(const FormulaPtr& f,
+                                  const std::vector<std::string>& order,
+                                  const Instance& inst) {
+  std::vector<CqAtom> atoms;
+  std::vector<CqEquality> equalities;
+  std::set<std::string> bound;
+  if (!CollectBound(*f, &bound)) return std::nullopt;
+  for (const std::string& v : order) {
+    if (bound.count(v)) return std::nullopt;  // Shadowed output variable.
+  }
+  // A name both bound and free would be conflated by flattening.
+  for (const std::string& v : FreeVars(f)) {
+    if (bound.count(v)) return std::nullopt;
+  }
+  if (!Flatten(*f, &atoms, &equalities)) return std::nullopt;
+
+  // Safety: every output variable and every equality variable must occur
+  // in some relational atom (otherwise it ranges over the whole domain
+  // and the generic evaluator is the right tool).
+  std::set<std::string> atom_vars;
+  for (const CqAtom& a : atoms) {
+    for (const Term& t : *a.terms) {
+      if (t.IsVar()) atom_vars.insert(t.name);
+    }
+  }
+  for (const std::string& v : order) {
+    if (!atom_vars.count(v)) return std::nullopt;
+  }
+  for (const CqEquality& eq : equalities) {
+    if (eq.lhs.IsVar() && !atom_vars.count(eq.lhs.name)) return std::nullopt;
+    if (eq.rhs.IsVar() && !atom_vars.count(eq.rhs.name)) return std::nullopt;
+  }
+
+  // Greedy atom ordering: prefer atoms over smaller relations first.
+  std::sort(atoms.begin(), atoms.end(),
+            [&](const CqAtom& a, const CqAtom& b) {
+              const Relation* ra = inst.Find(*a.rel);
+              const Relation* rb = inst.Find(*b.rel);
+              size_t sa = ra == nullptr ? 0 : ra->size();
+              size_t sb = rb == nullptr ? 0 : rb->size();
+              return sa < sb;
+            });
+
+  Relation out(order.size());
+  std::map<std::string, Value> env;
+
+  // Checks the equalities decidable under the current (partial) binding.
+  auto equalities_ok = [&]() {
+    for (const CqEquality& eq : equalities) {
+      Value l, r;
+      if (eq.lhs.IsConst()) {
+        l = eq.lhs.constant;
+      } else {
+        auto it = env.find(eq.lhs.name);
+        if (it == env.end()) continue;
+        l = it->second;
+      }
+      if (eq.rhs.IsConst()) {
+        r = eq.rhs.constant;
+      } else {
+        auto it = env.find(eq.rhs.name);
+        if (it == env.end()) continue;
+        r = it->second;
+      }
+      if (l != r) return false;
+    }
+    return true;
+  };
+
+  // Backtracking join.
+  std::function<void(size_t)> join = [&](size_t idx) {
+    if (idx == atoms.size()) {
+      if (!equalities_ok()) return;
+      Tuple t;
+      t.reserve(order.size());
+      for (const std::string& v : order) t.push_back(env.at(v));
+      out.Add(std::move(t));
+      return;
+    }
+    const CqAtom& atom = atoms[idx];
+    const Relation* rel = inst.Find(*atom.rel);
+    if (rel == nullptr) return;
+    for (const Tuple& tuple : rel->tuples()) {
+      std::vector<std::string> added;
+      bool ok = true;
+      for (size_t p = 0; p < atom.terms->size() && ok; ++p) {
+        const Term& term = (*atom.terms)[p];
+        if (term.IsConst()) {
+          ok = term.constant == tuple[p];
+        } else {
+          auto it = env.find(term.name);
+          if (it != env.end()) {
+            ok = it->second == tuple[p];
+          } else {
+            env[term.name] = tuple[p];
+            added.push_back(term.name);
+          }
+        }
+      }
+      if (ok && equalities_ok()) join(idx + 1);
+      for (const std::string& v : added) env.erase(v);
+    }
+  };
+  join(0);
+  return out;
+}
+
+}  // namespace ocdx

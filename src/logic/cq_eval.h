@@ -1,0 +1,37 @@
+// Join-based evaluation of safe conjunctive queries.
+//
+// The generic active-domain evaluator enumerates |domain|^k bindings; for
+// the CQ-shaped formulas that dominate data exchange (rule bodies, OWA
+// checks, guard conjunctions) a backtracking join over the atoms is
+// exponentially cheaper. TryEvalCQ recognizes the safe-CQ shape and
+// evaluates it; on any other shape it declines and the caller falls back
+// to the generic evaluator, so using it is always sound.
+
+#ifndef OCDX_LOGIC_CQ_EVAL_H_
+#define OCDX_LOGIC_CQ_EVAL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/instance.h"
+#include "logic/formula.h"
+#include "util/status.h"
+
+namespace ocdx {
+
+/// Attempts to evaluate `f` over `inst` as a safe conjunctive query:
+/// an exists-prefix over a conjunction of relational atoms (variable or
+/// constant arguments) and equalities, where every output variable and
+/// every equality variable occurs in some relational atom.
+///
+/// Returns the answer relation over `order`, or std::nullopt if the
+/// formula does not have the supported shape (never an error for shape
+/// reasons — the caller falls back).
+std::optional<Relation> TryEvalCQ(const FormulaPtr& f,
+                                  const std::vector<std::string>& order,
+                                  const Instance& inst);
+
+}  // namespace ocdx
+
+#endif  // OCDX_LOGIC_CQ_EVAL_H_

@@ -1,0 +1,220 @@
+#include "logic/evaluator.h"
+
+#include "logic/cq_eval.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/str.h"
+
+namespace ocdx {
+
+std::vector<Value> Evaluator::Domain(const FormulaPtr& f) const {
+  std::set<Value> acc;
+  for (Value v : inst_.ActiveDomain()) acc.insert(v);
+  for (Value v : ConstantsIn(f)) acc.insert(v);
+  for (Value v : extra_domain_) acc.insert(v);
+  return std::vector<Value>(acc.begin(), acc.end());
+}
+
+Result<Value> Evaluator::EvalTerm(const Term& t, const Env& env) {
+  switch (t.kind) {
+    case Term::Kind::kVar: {
+      auto it = env.find(t.name);
+      if (it == env.end()) {
+        return Status::InvalidArgument(
+            StrCat("unbound variable '", t.name, "' during evaluation"));
+      }
+      return it->second;
+    }
+    case Term::Kind::kConst:
+      return t.constant;
+    case Term::Kind::kFunc: {
+      if (oracle_ == nullptr) {
+        return Status::FailedPrecondition(
+            StrCat("function term '", t.name,
+                   "' evaluated without a function oracle"));
+      }
+      Tuple args;
+      args.reserve(t.args.size());
+      for (const Term& a : t.args) {
+        OCDX_ASSIGN_OR_RETURN(Value v, EvalTerm(a, env));
+        args.push_back(v);
+      }
+      return oracle_->Apply(t.name, args);
+    }
+  }
+  return Status::Internal("unknown term kind");
+}
+
+Result<bool> Evaluator::Eval(const Formula& f, Env* env,
+                             const std::vector<Value>& domain) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+      return true;
+    case Formula::Kind::kFalse:
+      return false;
+    case Formula::Kind::kAtom: {
+      const Relation* rel = inst_.Find(f.rel());
+      Tuple t;
+      t.reserve(f.terms().size());
+      for (const Term& term : f.terms()) {
+        OCDX_ASSIGN_OR_RETURN(Value v, EvalTerm(term, *env));
+        t.push_back(v);
+      }
+      if (rel == nullptr) return false;
+      if (rel->arity() != t.size()) {
+        return Status::InvalidArgument(
+            StrCat("atom ", f.rel(), "/", t.size(),
+                   " does not match relation arity ", rel->arity()));
+      }
+      return rel->Contains(t);
+    }
+    case Formula::Kind::kEquals: {
+      OCDX_ASSIGN_OR_RETURN(Value a, EvalTerm(f.terms()[0], *env));
+      OCDX_ASSIGN_OR_RETURN(Value b, EvalTerm(f.terms()[1], *env));
+      return a == b;
+    }
+    case Formula::Kind::kNot: {
+      OCDX_ASSIGN_OR_RETURN(bool v, Eval(*f.children()[0], env, domain));
+      return !v;
+    }
+    case Formula::Kind::kAnd: {
+      for (const FormulaPtr& c : f.children()) {
+        OCDX_ASSIGN_OR_RETURN(bool v, Eval(*c, env, domain));
+        if (!v) return false;
+      }
+      return true;
+    }
+    case Formula::Kind::kOr: {
+      for (const FormulaPtr& c : f.children()) {
+        OCDX_ASSIGN_OR_RETURN(bool v, Eval(*c, env, domain));
+        if (v) return true;
+      }
+      return false;
+    }
+    case Formula::Kind::kImplies: {
+      OCDX_ASSIGN_OR_RETURN(bool a, Eval(*f.children()[0], env, domain));
+      if (!a) return true;
+      return Eval(*f.children()[1], env, domain);
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      bool is_exists = f.kind() == Formula::Kind::kExists;
+      // Recursive enumeration over the bound variables.
+      const std::vector<std::string>& vars = f.bound();
+      std::vector<Value> saved(vars.size());
+      std::vector<bool> had(vars.size());
+      for (size_t i = 0; i < vars.size(); ++i) {
+        auto it = env->find(vars[i]);
+        had[i] = it != env->end();
+        if (had[i]) saved[i] = it->second;
+      }
+      // Odometer over domain^k.
+      size_t k = vars.size();
+      std::vector<size_t> idx(k, 0);
+      bool result = !is_exists;  // exists: false until witness; forall: true.
+      if (domain.empty() && k > 0) {
+        // Empty domain: exists is false, forall is vacuously true.
+        result = !is_exists;
+      } else {
+        while (true) {
+          for (size_t i = 0; i < k; ++i) (*env)[vars[i]] = domain[idx[i]];
+          OCDX_ASSIGN_OR_RETURN(bool v, Eval(*f.children()[0], env, domain));
+          if (is_exists && v) {
+            result = true;
+            break;
+          }
+          if (!is_exists && !v) {
+            result = false;
+            break;
+          }
+          // Advance odometer.
+          size_t p = k;
+          while (p > 0) {
+            --p;
+            if (++idx[p] < domain.size()) break;
+            idx[p] = 0;
+            if (p == 0) {
+              p = SIZE_MAX;
+              break;
+            }
+          }
+          if (p == SIZE_MAX || k == 0) break;
+        }
+      }
+      // Restore shadowed bindings.
+      for (size_t i = 0; i < k; ++i) {
+        if (had[i]) {
+          (*env)[vars[i]] = saved[i];
+        } else {
+          env->erase(vars[i]);
+        }
+      }
+      return result;
+    }
+  }
+  return Status::Internal("unknown formula kind");
+}
+
+Result<bool> Evaluator::Holds(const FormulaPtr& f, const Env& binding) {
+  std::vector<Value> domain = Domain(f);
+  Env env = binding;
+  return Eval(*f, &env, domain);
+}
+
+Result<Relation> Evaluator::Answers(const FormulaPtr& f,
+                                    const std::vector<std::string>& order) {
+  // Check the order covers the free variables.
+  std::vector<std::string> free = FreeVars(f);
+  for (const std::string& v : free) {
+    if (std::find(order.begin(), order.end(), v) == order.end()) {
+      return Status::InvalidArgument(
+          StrCat("free variable '", v, "' missing from output order"));
+    }
+  }
+  // Fast path: safe conjunctive queries evaluate by backtracking joins
+  // instead of domain^k enumeration (rule bodies are usually CQs).
+  if (oracle_ == nullptr) {
+    std::optional<Relation> fast = TryEvalCQ(f, order, inst_);
+    if (fast.has_value()) return std::move(*fast);
+  }
+  std::vector<Value> domain = Domain(f);
+  Relation out(order.size());
+  size_t k = order.size();
+  if (k == 0) {
+    return Status::InvalidArgument(
+        "Answers() needs at least one output variable; use Holds() for "
+        "sentences");
+  }
+  std::vector<size_t> idx(k, 0);
+  if (domain.empty()) return out;
+  Env env;
+  while (true) {
+    Tuple t(k);
+    for (size_t i = 0; i < k; ++i) {
+      env[order[i]] = domain[idx[i]];
+      t[i] = domain[idx[i]];
+    }
+    OCDX_ASSIGN_OR_RETURN(bool v, Eval(*f, &env, domain));
+    if (v) out.Add(std::move(t));
+    size_t p = k;
+    bool done = false;
+    while (p > 0) {
+      --p;
+      if (++idx[p] < domain.size()) break;
+      idx[p] = 0;
+      if (p == 0) done = true;
+    }
+    if (done) break;
+  }
+  return out;
+}
+
+Result<bool> EvalSentence(const FormulaPtr& f, const Instance& inst,
+                          const Universe& universe) {
+  Evaluator ev(inst, universe);
+  return ev.Holds(f);
+}
+
+}  // namespace ocdx

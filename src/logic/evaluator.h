@@ -1,0 +1,87 @@
+// Active-domain FO evaluation with the naive interpretation of nulls.
+//
+// Following the paper (and finite model theory generally), a formula is
+// evaluated over the structure whose universe is the instance's active
+// domain plus the constants mentioned in the formula (plus any
+// caller-supplied extras — Lemma 2 and Proposition 5 need evaluation over
+// D_I u C_phi). Nulls are treated as ordinary atomic values: two nulls are
+// equal iff they are the same null. This is the "naive evaluation"
+// building block; certain-answer semantics are layered on top in
+// src/certain.
+
+#ifndef OCDX_LOGIC_EVALUATOR_H_
+#define OCDX_LOGIC_EVALUATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/instance.h"
+#include "logic/formula.h"
+#include "util/status.h"
+
+namespace ocdx {
+
+/// Variable binding environment.
+using Env = std::map<std::string, Value>;
+
+/// Interprets Skolem function symbols during evaluation of SkSTD bodies.
+///
+/// The paper's actual functions F' are total maps Const^m -> Const; an
+/// oracle may also return nulls (ocdx uses term-keyed nulls to realize the
+/// F' ~ v correspondence of Lemma 4).
+class FunctionOracle {
+ public:
+  virtual ~FunctionOracle() = default;
+  virtual Result<Value> Apply(const std::string& func, const Tuple& args) = 0;
+};
+
+/// Evaluates FO formulas over one instance.
+class Evaluator {
+ public:
+  /// `inst` and `universe` must outlive the evaluator.
+  Evaluator(const Instance& inst, const Universe& universe)
+      : inst_(inst), universe_(universe) {}
+
+  /// Adds values to the quantification domain (beyond the active domain
+  /// and the formula's constants).
+  void AddDomainValues(const std::vector<Value>& values) {
+    extra_domain_.insert(extra_domain_.end(), values.begin(), values.end());
+  }
+
+  /// Supplies interpretations for function terms (optional; evaluation of
+  /// a function term without an oracle is an error).
+  void set_function_oracle(FunctionOracle* oracle) { oracle_ = oracle; }
+
+  /// Truth of a sentence (or of a formula under a partial binding of its
+  /// free variables; unbound free variables are an error).
+  Result<bool> Holds(const FormulaPtr& f, const Env& binding = {});
+
+  /// All satisfying assignments of `f`'s free variables, in the order
+  /// `free_order` (which must cover FreeVars(f)). Free variables range
+  /// over the evaluation domain.
+  Result<Relation> Answers(const FormulaPtr& f,
+                           const std::vector<std::string>& free_order);
+
+  /// The evaluation domain for `f`: active domain + constants of f +
+  /// extras, deduplicated.
+  std::vector<Value> Domain(const FormulaPtr& f) const;
+
+ private:
+  Result<bool> Eval(const Formula& f, Env* env,
+                    const std::vector<Value>& domain);
+  Result<Value> EvalTerm(const Term& t, const Env& env);
+
+  const Instance& inst_;
+  const Universe& universe_;
+  std::vector<Value> extra_domain_;
+  FunctionOracle* oracle_ = nullptr;
+};
+
+/// Convenience: evaluates a sentence over an instance.
+Result<bool> EvalSentence(const FormulaPtr& f, const Instance& inst,
+                          const Universe& universe);
+
+}  // namespace ocdx
+
+#endif  // OCDX_LOGIC_EVALUATOR_H_

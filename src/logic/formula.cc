@@ -1,0 +1,455 @@
+#include "logic/formula.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/str.h"
+
+namespace ocdx {
+
+bool Term::operator==(const Term& o) const {
+  if (kind != o.kind) return false;
+  switch (kind) {
+    case Kind::kVar:
+      return name == o.name;
+    case Kind::kConst:
+      return constant == o.constant;
+    case Kind::kFunc:
+      return name == o.name && args == o.args;
+  }
+  return false;
+}
+
+std::string Term::ToString(const Universe& u) const {
+  switch (kind) {
+    case Kind::kVar:
+      return name;
+    case Kind::kConst:
+      return StrCat("'", u.Describe(constant), "'");
+    case Kind::kFunc: {
+      std::vector<std::string> parts;
+      parts.reserve(args.size());
+      for (const Term& a : args) parts.push_back(a.ToString(u));
+      return StrCat(name, "(", Join(parts, ", "), ")");
+    }
+  }
+  return "?";
+}
+
+// A single shared instance for true/false keeps trees compact.
+FormulaPtr Formula::True() {
+  static const FormulaPtr t = [] {
+    Formula f;
+    f.kind_ = Kind::kTrue;
+    return FormulaPtr(new Formula(std::move(f)));
+  }();
+  return t;
+}
+
+FormulaPtr Formula::False() {
+  static const FormulaPtr t = [] {
+    Formula f;
+    f.kind_ = Kind::kFalse;
+    return FormulaPtr(new Formula(std::move(f)));
+  }();
+  return t;
+}
+
+FormulaPtr Formula::Atom(std::string rel, std::vector<Term> terms) {
+  Formula f;
+  f.kind_ = Kind::kAtom;
+  f.rel_ = std::move(rel);
+  f.terms_ = std::move(terms);
+  return FormulaPtr(new Formula(std::move(f)));
+}
+
+FormulaPtr Formula::Eq(Term a, Term b) {
+  Formula f;
+  f.kind_ = Kind::kEquals;
+  f.terms_ = {std::move(a), std::move(b)};
+  return FormulaPtr(new Formula(std::move(f)));
+}
+
+FormulaPtr Formula::Not(FormulaPtr inner) {
+  if (inner->kind() == Kind::kTrue) return False();
+  if (inner->kind() == Kind::kFalse) return True();
+  Formula f;
+  f.kind_ = Kind::kNot;
+  f.children_ = {std::move(inner)};
+  return FormulaPtr(new Formula(std::move(f)));
+}
+
+FormulaPtr Formula::And(std::vector<FormulaPtr> fs) {
+  std::vector<FormulaPtr> flat;
+  for (FormulaPtr& f : fs) {
+    if (f->kind() == Kind::kTrue) continue;
+    if (f->kind() == Kind::kFalse) return False();
+    if (f->kind() == Kind::kAnd) {
+      for (const FormulaPtr& c : f->children()) flat.push_back(c);
+    } else {
+      flat.push_back(std::move(f));
+    }
+  }
+  if (flat.empty()) return True();
+  if (flat.size() == 1) return flat[0];
+  Formula f;
+  f.kind_ = Kind::kAnd;
+  f.children_ = std::move(flat);
+  return FormulaPtr(new Formula(std::move(f)));
+}
+
+FormulaPtr Formula::And(FormulaPtr a, FormulaPtr b) {
+  std::vector<FormulaPtr> fs;
+  fs.push_back(std::move(a));
+  fs.push_back(std::move(b));
+  return And(std::move(fs));
+}
+
+FormulaPtr Formula::Or(std::vector<FormulaPtr> fs) {
+  std::vector<FormulaPtr> flat;
+  for (FormulaPtr& f : fs) {
+    if (f->kind() == Kind::kFalse) continue;
+    if (f->kind() == Kind::kTrue) return True();
+    if (f->kind() == Kind::kOr) {
+      for (const FormulaPtr& c : f->children()) flat.push_back(c);
+    } else {
+      flat.push_back(std::move(f));
+    }
+  }
+  if (flat.empty()) return False();
+  if (flat.size() == 1) return flat[0];
+  Formula f;
+  f.kind_ = Kind::kOr;
+  f.children_ = std::move(flat);
+  return FormulaPtr(new Formula(std::move(f)));
+}
+
+FormulaPtr Formula::Or(FormulaPtr a, FormulaPtr b) {
+  std::vector<FormulaPtr> fs;
+  fs.push_back(std::move(a));
+  fs.push_back(std::move(b));
+  return Or(std::move(fs));
+}
+
+FormulaPtr Formula::Implies(FormulaPtr a, FormulaPtr b) {
+  if (a->kind() == Kind::kTrue) return b;
+  if (a->kind() == Kind::kFalse) return True();
+  if (b->kind() == Kind::kTrue) return True();
+  Formula f;
+  f.kind_ = Kind::kImplies;
+  f.children_ = {std::move(a), std::move(b)};
+  return FormulaPtr(new Formula(std::move(f)));
+}
+
+FormulaPtr Formula::Exists(std::vector<std::string> vars, FormulaPtr inner) {
+  if (vars.empty()) return inner;
+  Formula f;
+  f.kind_ = Kind::kExists;
+  f.bound_ = std::move(vars);
+  f.children_ = {std::move(inner)};
+  return FormulaPtr(new Formula(std::move(f)));
+}
+
+FormulaPtr Formula::Forall(std::vector<std::string> vars, FormulaPtr inner) {
+  if (vars.empty()) return inner;
+  Formula f;
+  f.kind_ = Kind::kForall;
+  f.bound_ = std::move(vars);
+  f.children_ = {std::move(inner)};
+  return FormulaPtr(new Formula(std::move(f)));
+}
+
+std::string Formula::ToString(const Universe& u) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kAtom: {
+      std::vector<std::string> parts;
+      parts.reserve(terms_.size());
+      for (const Term& t : terms_) parts.push_back(t.ToString(u));
+      return StrCat(rel_, "(", Join(parts, ", "), ")");
+    }
+    case Kind::kEquals:
+      return StrCat(terms_[0].ToString(u), " = ", terms_[1].ToString(u));
+    case Kind::kNot:
+      return StrCat("!(", children_[0]->ToString(u), ")");
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<std::string> parts;
+      parts.reserve(children_.size());
+      for (const FormulaPtr& c : children_) {
+        parts.push_back(StrCat("(", c->ToString(u), ")"));
+      }
+      return Join(parts, kind_ == Kind::kAnd ? " & " : " | ");
+    }
+    case Kind::kImplies:
+      return StrCat("(", children_[0]->ToString(u), ") -> (",
+                    children_[1]->ToString(u), ")");
+    case Kind::kExists:
+    case Kind::kForall: {
+      std::string vars = Join(bound_, " ");
+      return StrCat(kind_ == Kind::kExists ? "exists " : "forall ", vars,
+                    ". (", children_[0]->ToString(u), ")");
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+void CollectTermVars(const Term& t, std::vector<std::string>* out,
+                     std::set<std::string>* seen,
+                     const std::set<std::string>& bound) {
+  switch (t.kind) {
+    case Term::Kind::kVar:
+      if (!bound.count(t.name) && !seen->count(t.name)) {
+        seen->insert(t.name);
+        out->push_back(t.name);
+      }
+      break;
+    case Term::Kind::kConst:
+      break;
+    case Term::Kind::kFunc:
+      for (const Term& a : t.args) CollectTermVars(a, out, seen, bound);
+      break;
+  }
+}
+
+void CollectFreeVars(const Formula& f, std::vector<std::string>* out,
+                     std::set<std::string>* seen,
+                     std::set<std::string> bound) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+      return;
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kEquals:
+      for (const Term& t : f.terms()) CollectTermVars(t, out, seen, bound);
+      return;
+    case Formula::Kind::kNot:
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies:
+      for (const FormulaPtr& c : f.children()) {
+        CollectFreeVars(*c, out, seen, bound);
+      }
+      return;
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      for (const std::string& v : f.bound()) bound.insert(v);
+      CollectFreeVars(*f.children()[0], out, seen, bound);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> FreeVars(const FormulaPtr& f) {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  CollectFreeVars(*f, &out, &seen, {});
+  return out;
+}
+
+int QuantifierRank(const FormulaPtr& f) {
+  switch (f->kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kEquals:
+      return 0;
+    case Formula::Kind::kNot:
+      return QuantifierRank(f->children()[0]);
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+    case Formula::Kind::kImplies: {
+      int m = 0;
+      for (const FormulaPtr& c : f->children()) {
+        m = std::max(m, QuantifierRank(c));
+      }
+      return m;
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall:
+      return static_cast<int>(f->bound().size()) +
+             QuantifierRank(f->children()[0]);
+  }
+  return 0;
+}
+
+namespace {
+
+void CollectTermConsts(const Term& t, std::set<Value>* acc) {
+  if (t.IsConst()) acc->insert(t.constant);
+  for (const Term& a : t.args) CollectTermConsts(a, acc);
+}
+
+void CollectConsts(const Formula& f, std::set<Value>* acc) {
+  for (const Term& t : f.terms()) CollectTermConsts(t, acc);
+  for (const FormulaPtr& c : f.children()) CollectConsts(*c, acc);
+}
+
+void CollectRels(const Formula& f, std::set<std::string>* acc) {
+  if (f.kind() == Formula::Kind::kAtom) acc->insert(f.rel());
+  for (const FormulaPtr& c : f.children()) CollectRels(*c, acc);
+}
+
+void CollectTermFuncs(const Term& t, std::map<std::string, size_t>* acc) {
+  if (t.IsFunc()) (*acc)[t.name] = t.args.size();
+  for (const Term& a : t.args) CollectTermFuncs(a, acc);
+}
+
+void CollectFuncs(const Formula& f, std::map<std::string, size_t>* acc) {
+  for (const Term& t : f.terms()) CollectTermFuncs(t, acc);
+  for (const FormulaPtr& c : f.children()) CollectFuncs(*c, acc);
+}
+
+Term SubstituteTerm(const Term& t, const std::map<std::string, Term>& subst) {
+  switch (t.kind) {
+    case Term::Kind::kVar: {
+      auto it = subst.find(t.name);
+      return it == subst.end() ? t : it->second;
+    }
+    case Term::Kind::kConst:
+      return t;
+    case Term::Kind::kFunc: {
+      Term out = t;
+      for (Term& a : out.args) a = SubstituteTerm(a, subst);
+      return out;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+std::vector<Value> ConstantsIn(const FormulaPtr& f) {
+  std::set<Value> acc;
+  CollectConsts(*f, &acc);
+  return std::vector<Value>(acc.begin(), acc.end());
+}
+
+std::set<std::string> RelationsIn(const FormulaPtr& f) {
+  std::set<std::string> acc;
+  CollectRels(*f, &acc);
+  return acc;
+}
+
+std::map<std::string, size_t> FunctionsIn(const FormulaPtr& f) {
+  std::map<std::string, size_t> acc;
+  CollectFuncs(*f, &acc);
+  return acc;
+}
+
+FormulaPtr Substitute(const FormulaPtr& f,
+                      const std::map<std::string, Term>& subst) {
+  if (subst.empty()) return f;
+  switch (f->kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+      return f;
+    case Formula::Kind::kAtom: {
+      std::vector<Term> terms;
+      terms.reserve(f->terms().size());
+      for (const Term& t : f->terms()) terms.push_back(SubstituteTerm(t, subst));
+      return Formula::Atom(f->rel(), std::move(terms));
+    }
+    case Formula::Kind::kEquals:
+      return Formula::Eq(SubstituteTerm(f->terms()[0], subst),
+                         SubstituteTerm(f->terms()[1], subst));
+    case Formula::Kind::kNot:
+      return Formula::Not(Substitute(f->children()[0], subst));
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      std::vector<FormulaPtr> cs;
+      cs.reserve(f->children().size());
+      for (const FormulaPtr& c : f->children()) {
+        cs.push_back(Substitute(c, subst));
+      }
+      return f->kind() == Formula::Kind::kAnd ? Formula::And(std::move(cs))
+                                              : Formula::Or(std::move(cs));
+    }
+    case Formula::Kind::kImplies:
+      return Formula::Implies(Substitute(f->children()[0], subst),
+                              Substitute(f->children()[1], subst));
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      // Bound variables shadow the substitution.
+      std::map<std::string, Term> inner = subst;
+      for (const std::string& v : f->bound()) inner.erase(v);
+      FormulaPtr child = Substitute(f->children()[0], inner);
+      return f->kind() == Formula::Kind::kExists
+                 ? Formula::Exists(f->bound(), std::move(child))
+                 : Formula::Forall(f->bound(), std::move(child));
+    }
+  }
+  return f;
+}
+
+FormulaPtr RenameVars(const FormulaPtr& f,
+                      const std::map<std::string, std::string>& renaming) {
+  std::map<std::string, Term> subst;
+  for (const auto& [from, to] : renaming) subst[from] = Term::Var(to);
+  return Substitute(f, subst);
+}
+
+namespace {
+
+Term RenameTermFunctions(const Term& t,
+                         const std::map<std::string, std::string>& renaming) {
+  Term out = t;
+  if (out.IsFunc()) {
+    auto it = renaming.find(out.name);
+    if (it != renaming.end()) out.name = it->second;
+  }
+  for (Term& a : out.args) a = RenameTermFunctions(a, renaming);
+  return out;
+}
+
+}  // namespace
+
+FormulaPtr RenameFunctions(const FormulaPtr& f,
+                           const std::map<std::string, std::string>& renaming) {
+  switch (f->kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+      return f;
+    case Formula::Kind::kAtom: {
+      std::vector<Term> terms;
+      for (const Term& t : f->terms()) {
+        terms.push_back(RenameTermFunctions(t, renaming));
+      }
+      return Formula::Atom(f->rel(), std::move(terms));
+    }
+    case Formula::Kind::kEquals:
+      return Formula::Eq(RenameTermFunctions(f->terms()[0], renaming),
+                         RenameTermFunctions(f->terms()[1], renaming));
+    case Formula::Kind::kNot:
+      return Formula::Not(RenameFunctions(f->children()[0], renaming));
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      std::vector<FormulaPtr> cs;
+      for (const FormulaPtr& c : f->children()) {
+        cs.push_back(RenameFunctions(c, renaming));
+      }
+      return f->kind() == Formula::Kind::kAnd ? Formula::And(std::move(cs))
+                                              : Formula::Or(std::move(cs));
+    }
+    case Formula::Kind::kImplies:
+      return Formula::Implies(RenameFunctions(f->children()[0], renaming),
+                              RenameFunctions(f->children()[1], renaming));
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      FormulaPtr child = RenameFunctions(f->children()[0], renaming);
+      return f->kind() == Formula::Kind::kExists
+                 ? Formula::Exists(f->bound(), std::move(child))
+                 : Formula::Forall(f->bound(), std::move(child));
+    }
+  }
+  return f;
+}
+
+}  // namespace ocdx

@@ -1,0 +1,159 @@
+// First-order formulas over a relational vocabulary.
+//
+// This is the query language of the paper: STD bodies are FO formulas over
+// the source schema, queries over targets are FO (relational algebra), and
+// SkSTD bodies additionally use function (Skolem) terms. The AST is an
+// immutable shared tree; builders normalize trivial cases (empty
+// conjunction = true, etc.).
+//
+// Conventions used by the parser and printers:
+//   - identifiers are variables (x, y, paper, ...);
+//   - constants are written 'quoted' or as bare integers;
+//   - function terms are written f(x, y) in term positions.
+
+#ifndef OCDX_LOGIC_FORMULA_H_
+#define OCDX_LOGIC_FORMULA_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/value.h"
+#include "util/status.h"
+
+namespace ocdx {
+
+/// A term: a variable, an interned constant, or a function application
+/// (used only in Skolemized dependencies).
+struct Term {
+  enum class Kind : uint8_t { kVar, kConst, kFunc };
+
+  Kind kind = Kind::kVar;
+  std::string name;        ///< Variable name (kVar) or function symbol (kFunc).
+  Value constant;          ///< kConst payload.
+  std::vector<Term> args;  ///< kFunc arguments.
+
+  static Term Var(std::string v) {
+    Term t;
+    t.kind = Kind::kVar;
+    t.name = std::move(v);
+    return t;
+  }
+  static Term Constant(Value c) {
+    Term t;
+    t.kind = Kind::kConst;
+    t.constant = c;
+    return t;
+  }
+  static Term Func(std::string f, std::vector<Term> args) {
+    Term t;
+    t.kind = Kind::kFunc;
+    t.name = std::move(f);
+    t.args = std::move(args);
+    return t;
+  }
+
+  bool IsVar() const { return kind == Kind::kVar; }
+  bool IsConst() const { return kind == Kind::kConst; }
+  bool IsFunc() const { return kind == Kind::kFunc; }
+
+  bool operator==(const Term& o) const;
+
+  std::string ToString(const Universe& u) const;
+};
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// An immutable FO formula node.
+class Formula {
+ public:
+  enum class Kind : uint8_t {
+    kTrue,
+    kFalse,
+    kAtom,     ///< rel(terms...)
+    kEquals,   ///< terms[0] = terms[1]
+    kNot,      ///< !children[0]
+    kAnd,      ///< children[0] & ... (n >= 2 after normalization)
+    kOr,       ///< children[0] | ...
+    kImplies,  ///< children[0] -> children[1]
+    kExists,   ///< exists bound... . children[0]
+    kForall,   ///< forall bound... . children[0]
+  };
+
+  Kind kind() const { return kind_; }
+  const std::string& rel() const { return rel_; }
+  const std::vector<Term>& terms() const { return terms_; }
+  const std::vector<FormulaPtr>& children() const { return children_; }
+  const std::vector<std::string>& bound() const { return bound_; }
+
+  // --- Builders (normalizing) ---------------------------------------------
+
+  static FormulaPtr True();
+  static FormulaPtr False();
+  static FormulaPtr Atom(std::string rel, std::vector<Term> terms);
+  static FormulaPtr Eq(Term a, Term b);
+  static FormulaPtr Neq(Term a, Term b) { return Not(Eq(a, b)); }
+  static FormulaPtr Not(FormulaPtr f);
+  /// Conjunction; flattens nested Ands; empty => True; singleton => itself.
+  static FormulaPtr And(std::vector<FormulaPtr> fs);
+  static FormulaPtr And(FormulaPtr a, FormulaPtr b);
+  /// Disjunction; flattens nested Ors; empty => False; singleton => itself.
+  static FormulaPtr Or(std::vector<FormulaPtr> fs);
+  static FormulaPtr Or(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr Implies(FormulaPtr a, FormulaPtr b);
+  /// Existential quantification; empty variable list => f itself.
+  static FormulaPtr Exists(std::vector<std::string> vars, FormulaPtr f);
+  static FormulaPtr Forall(std::vector<std::string> vars, FormulaPtr f);
+
+  std::string ToString(const Universe& u) const;
+
+ private:
+  Formula() = default;
+
+  Kind kind_ = Kind::kTrue;
+  std::string rel_;
+  std::vector<Term> terms_;
+  std::vector<FormulaPtr> children_;
+  std::vector<std::string> bound_;
+};
+
+// --- Analyses --------------------------------------------------------------
+
+/// Free variables in order of first occurrence (deterministic).
+std::vector<std::string> FreeVars(const FormulaPtr& f);
+
+/// Quantifier rank (max nesting depth of quantifiers; each variable in a
+/// block counts once per block as in the standard definition qr(Qx.f) =
+/// 1 + qr(f) applied per variable).
+int QuantifierRank(const FormulaPtr& f);
+
+/// All constants occurring in the formula.
+std::vector<Value> ConstantsIn(const FormulaPtr& f);
+
+/// All relation names occurring in atoms.
+std::set<std::string> RelationsIn(const FormulaPtr& f);
+
+/// All function symbols (name, arity) occurring in terms.
+std::map<std::string, size_t> FunctionsIn(const FormulaPtr& f);
+
+/// Substitutes free variables by terms. Bound variables shadow; no
+/// capture-avoidance is performed, so callers must ensure the substituted
+/// terms do not mention bound variables of f (the library's own call sites
+/// rename apart first).
+FormulaPtr Substitute(const FormulaPtr& f,
+                      const std::map<std::string, Term>& subst);
+
+/// Renames free variables (a special case of Substitute).
+FormulaPtr RenameVars(const FormulaPtr& f,
+                      const std::map<std::string, std::string>& renaming);
+
+/// Renames every function symbol through `renaming` (missing = unchanged).
+FormulaPtr RenameFunctions(const FormulaPtr& f,
+                           const std::map<std::string, std::string>& renaming);
+
+}  // namespace ocdx
+
+#endif  // OCDX_LOGIC_FORMULA_H_

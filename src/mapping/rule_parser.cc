@@ -1,0 +1,85 @@
+#include "mapping/rule_parser.h"
+
+#include "logic/parser.h"
+#include "util/str.h"
+
+namespace ocdx {
+
+namespace {
+
+// Parses one head atom "R(t1^a1, ..., tk^ak)" at the parser cursor.
+Result<HeadAtom> ParseHeadAtom(FormulaParser* p, Ann default_ann) {
+  if (p->Peek().kind != TokKind::kIdent) {
+    return p->MakeError("expected a head atom");
+  }
+  HeadAtom atom;
+  atom.rel = p->Advance().text;
+  OCDX_RETURN_IF_ERROR(p->Expect(TokKind::kLParen, "'(' after head relation"));
+  if (!p->Accept(TokKind::kRParen)) {
+    while (true) {
+      OCDX_ASSIGN_OR_RETURN(Term t, p->ParseTerm());
+      Ann ann = default_ann;
+      if (p->Accept(TokKind::kCaret)) {
+        if (p->Peek().kind != TokKind::kIdent ||
+            (p->Peek().text != "op" && p->Peek().text != "cl")) {
+          return p->MakeError("expected 'op' or 'cl' after '^'");
+        }
+        ann = p->Advance().text == "op" ? Ann::kOpen : Ann::kClosed;
+      }
+      atom.terms.push_back(std::move(t));
+      atom.ann.push_back(ann);
+      if (p->Accept(TokKind::kComma)) continue;
+      OCDX_RETURN_IF_ERROR(p->Expect(TokKind::kRParen, "')' or ','"));
+      break;
+    }
+  }
+  return atom;
+}
+
+// Parses "head1, head2, ... :- body" at the cursor; stops after the body.
+Result<AnnotatedStd> ParseOneRule(FormulaParser* p, Ann default_ann) {
+  AnnotatedStd std_;
+  while (true) {
+    OCDX_ASSIGN_OR_RETURN(HeadAtom atom, ParseHeadAtom(p, default_ann));
+    std_.head.push_back(std::move(atom));
+    if (p->Accept(TokKind::kComma) || p->Accept(TokKind::kAmp)) continue;
+    break;
+  }
+  OCDX_RETURN_IF_ERROR(p->Expect(TokKind::kColonDash, "':-' after rule head"));
+  OCDX_ASSIGN_OR_RETURN(std_.body, p->ParseFormulaExpr());
+  return std_;
+}
+
+}  // namespace
+
+Result<AnnotatedStd> ParseStd(std::string_view rule, Universe* universe,
+                              Ann default_ann) {
+  OCDX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(rule));
+  FormulaParser parser(std::move(tokens), universe);
+  OCDX_ASSIGN_OR_RETURN(AnnotatedStd std_, ParseOneRule(&parser, default_ann));
+  parser.Accept(TokKind::kSemicolon);
+  if (!parser.AtEnd()) {
+    return parser.MakeError("trailing input after rule");
+  }
+  return std_;
+}
+
+Result<Mapping> ParseMapping(std::string_view rules, const Schema& source,
+                             const Schema& target, Universe* universe,
+                             Ann default_ann, bool allow_functions) {
+  OCDX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(rules));
+  FormulaParser parser(std::move(tokens), universe);
+  Mapping mapping(source, target);
+  while (!parser.AtEnd()) {
+    OCDX_ASSIGN_OR_RETURN(AnnotatedStd std_,
+                          ParseOneRule(&parser, default_ann));
+    mapping.AddStd(std::move(std_));
+    if (!parser.Accept(TokKind::kSemicolon) && !parser.AtEnd()) {
+      return parser.MakeError("expected ';' between rules");
+    }
+  }
+  OCDX_RETURN_IF_ERROR(mapping.Validate(allow_functions));
+  return mapping;
+}
+
+}  // namespace ocdx

@@ -1,0 +1,36 @@
+// Text syntax for annotated STDs, mirroring the paper's notation.
+//
+//   Submissions(x^cl, z^op) :- Papers(x, y);
+//   Reviews(x^cl, z^op)     :- Papers(x, y) & !exists r. Assignments(x, r);
+//   C(x^op, y^op, z^op), B(x^cl) :- N(w);
+//   T(f(em)^cl, em^cl, g(em, proj)^op) :- S(em, proj);   // SkSTD
+//
+// Rules are terminated by ';'. Head atoms are separated by ',' (or '&').
+// Annotations are written as '^op' / '^cl' suffixes on head arguments;
+// unannotated arguments get `default_ann`.
+
+#ifndef OCDX_MAPPING_RULE_PARSER_H_
+#define OCDX_MAPPING_RULE_PARSER_H_
+
+#include <string_view>
+
+#include "mapping/mapping.h"
+#include "util/status.h"
+
+namespace ocdx {
+
+/// Parses a semicolon-separated list of rules into a Mapping over the
+/// given schemas. Validates against the schemas (allowing function terms
+/// iff `allow_functions`).
+Result<Mapping> ParseMapping(std::string_view rules, const Schema& source,
+                             const Schema& target, Universe* universe,
+                             Ann default_ann = Ann::kClosed,
+                             bool allow_functions = false);
+
+/// Parses a single rule "head1, head2 :- body" (no trailing ';').
+Result<AnnotatedStd> ParseStd(std::string_view rule, Universe* universe,
+                              Ann default_ann = Ann::kClosed);
+
+}  // namespace ocdx
+
+#endif  // OCDX_MAPPING_RULE_PARSER_H_

@@ -1,0 +1,192 @@
+#include "semantics/homomorphism.h"
+
+#include <set>
+#include <vector>
+
+#include "util/str.h"
+
+namespace ocdx {
+
+namespace {
+
+enum class Mode { kHom, kOntoImage, kExpansion };
+
+class HomSearch {
+ public:
+  HomSearch(const AnnotatedInstance& a, const AnnotatedInstance& b, Mode mode,
+            HomOptions options)
+      : a_(a), b_(b), mode_(mode), options_(options) {
+    for (const auto& [name, rel] : a_.relations()) {
+      for (const AnnotatedTuple& t : rel.tuples()) {
+        if (!t.IsEmptyMarker()) items_.push_back(Item{&name, &t});
+      }
+    }
+  }
+
+  Result<std::optional<NullMap>> Run() {
+    // Marker preconditions. A homomorphism fixes markers, so every marker
+    // of `a` must occur in `b`; the exact-image mode also needs the
+    // converse.
+    for (const auto& [name, rel] : a_.relations()) {
+      for (const AnnotatedTuple& t : rel.tuples()) {
+        if (!t.IsEmptyMarker()) continue;
+        const AnnotatedRelation* brel = b_.Find(name);
+        if (brel == nullptr || !brel->Contains(t)) {
+          return std::optional<NullMap>();
+        }
+      }
+    }
+    if (mode_ == Mode::kOntoImage) {
+      for (const auto& [name, rel] : b_.relations()) {
+        for (const AnnotatedTuple& t : rel.tuples()) {
+          if (!t.IsEmptyMarker()) continue;
+          const AnnotatedRelation* arel = a_.Find(name);
+          if (arel == nullptr || !arel->Contains(t)) {
+            return std::optional<NullMap>();
+          }
+        }
+      }
+    }
+    OCDX_ASSIGN_OR_RETURN(bool found, Search(0));
+    if (!found) return std::optional<NullMap>();
+    return std::optional<NullMap>(h_);
+  }
+
+ private:
+  struct Item {
+    const std::string* rel;
+    const AnnotatedTuple* tuple;
+  };
+
+  Result<bool> Search(size_t idx) {
+    if (++steps_ > options_.max_steps) {
+      return Status::ResourceExhausted(StrCat(
+          "homomorphism search exceeded ", options_.max_steps, " steps"));
+    }
+    if (idx == items_.size()) return CheckLeaf();
+    const Item& item = items_[idx];
+    const AnnotatedRelation* brel = b_.Find(*item.rel);
+    if (brel == nullptr) return false;
+
+    // An all-open marker in `b` licenses any expansion tuple, so in
+    // expansion mode the item is unconstrained if one is present.
+    if (mode_ == Mode::kExpansion) {
+      AnnotatedTuple marker =
+          AnnotatedTuple::EmptyMarker(AllOpen(brel->arity()));
+      if (brel->Contains(marker)) {
+        OCDX_ASSIGN_OR_RETURN(bool found, Search(idx + 1));
+        if (found) return true;
+      }
+    }
+
+    for (const AnnotatedTuple& cand : brel->tuples()) {
+      if (cand.IsEmptyMarker()) continue;
+      if (mode_ != Mode::kExpansion && cand.ann != item.tuple->ann) continue;
+      std::vector<Value> added;
+      if (TryUnify(*item.tuple, cand, &added)) {
+        OCDX_ASSIGN_OR_RETURN(bool found, Search(idx + 1));
+        if (found) return true;
+      }
+      for (auto it = added.rbegin(); it != added.rend(); ++it) h_.Unset(*it);
+    }
+    return false;
+  }
+
+  // Attempts to make h map item.tuple into/compatible-with `cand`,
+  // recording newly bound nulls in `added`. In kHom/kOntoImage mode every
+  // position must agree; in kExpansion mode only the positions `cand`
+  // annotates closed constrain h.
+  bool TryUnify(const AnnotatedTuple& src, const AnnotatedTuple& cand,
+                std::vector<Value>* added) {
+    for (size_t p = 0; p < src.values.size(); ++p) {
+      if (mode_ == Mode::kExpansion && cand.ann[p] == Ann::kOpen) continue;
+      Value sv = src.values[p];
+      Value cv = cand.values[p];
+      if (sv.IsConst()) {
+        if (sv != cv) return Undo(added);
+      } else {
+        // h maps nulls to nulls only.
+        if (!cv.IsNull()) return Undo(added);
+        if (h_.Defined(sv)) {
+          if (h_.Apply(sv) != cv) return Undo(added);
+        } else {
+          h_.Set(sv, cv);
+          added->push_back(sv);
+        }
+      }
+    }
+    return true;
+  }
+
+  bool Undo(std::vector<Value>* added) {
+    for (auto it = added->rbegin(); it != added->rend(); ++it) h_.Unset(*it);
+    added->clear();
+    return false;
+  }
+
+  Result<bool> CheckLeaf() {
+    if (mode_ != Mode::kOntoImage) return true;
+    // Exact image: every proper tuple of b must be the h-image of some
+    // proper tuple of a, with the same annotation.
+    std::map<std::string, AnnotatedRelation> image;
+    for (const Item& item : items_) {
+      auto it = image.find(*item.rel);
+      if (it == image.end()) {
+        it = image.emplace(*item.rel, AnnotatedRelation(item.tuple->arity()))
+                 .first;
+      }
+      it->second.Add(AnnotatedTuple(h_.Apply(item.tuple->values),
+                                    item.tuple->ann));
+    }
+    std::set<Value> image_nulls;
+    for (const auto& [name, rel] : image) {
+      for (const AnnotatedTuple& t : rel.tuples()) {
+        for (Value v : t.values) {
+          if (v.IsNull()) image_nulls.insert(v);
+        }
+      }
+    }
+    for (const auto& [name, brel] : b_.relations()) {
+      for (const AnnotatedTuple& t : brel.tuples()) {
+        if (t.IsEmptyMarker()) continue;
+        auto it = image.find(name);
+        if (it == image.end() || !it->second.Contains(t)) return false;
+      }
+    }
+    // Onto the nulls of b.
+    for (Value v : b_.Nulls()) {
+      if (!image_nulls.count(v)) return false;
+    }
+    return true;
+  }
+
+  const AnnotatedInstance& a_;
+  const AnnotatedInstance& b_;
+  Mode mode_;
+  HomOptions options_;
+  std::vector<Item> items_;
+  NullMap h_;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+Result<std::optional<NullMap>> FindHomomorphism(const AnnotatedInstance& from,
+                                                const AnnotatedInstance& to,
+                                                HomOptions options) {
+  return HomSearch(from, to, Mode::kHom, options).Run();
+}
+
+Result<std::optional<NullMap>> FindOntoImage(const AnnotatedInstance& from,
+                                             const AnnotatedInstance& image,
+                                             HomOptions options) {
+  return HomSearch(from, image, Mode::kOntoImage, options).Run();
+}
+
+Result<std::optional<NullMap>> FindExpansionHom(const AnnotatedInstance& inst,
+                                                const AnnotatedInstance& core,
+                                                HomOptions options) {
+  return HomSearch(inst, core, Mode::kExpansion, options).Run();
+}
+
+}  // namespace ocdx

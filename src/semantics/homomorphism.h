@@ -1,0 +1,85 @@
+// Homomorphisms of annotated instances (Section 3).
+//
+// A homomorphism h : T -> T' is a map Null -> Null such that for every
+// annotated tuple (t, a) of a relation R in T, the tuple (h(t), a) is in
+// R of T' — annotations are preserved, constants are fixed. Three search
+// problems arise in the paper:
+//
+//   1. generic homomorphism  T -> T'                        (FindHomomorphism)
+//   2. "T is a homomorphic image of CSolA(S)": h with h(CSolA) = T exactly
+//      and h onto the nulls of T — the *presolution* condition
+//                                                          (FindOntoImage)
+//   3. "h from T into an expansion of CSolA(S)": every proper tuple of T,
+//      under h, coincides with some CSolA tuple on the positions *that
+//      tuple* annotates closed — the Sigma-alpha-solution condition of
+//      Proposition 1                                       (FindExpansionHom)
+//
+// All three are NP-complete in general and solved by backtracking with a
+// step budget.
+
+#ifndef OCDX_SEMANTICS_HOMOMORPHISM_H_
+#define OCDX_SEMANTICS_HOMOMORPHISM_H_
+
+#include <map>
+#include <optional>
+
+#include "base/instance.h"
+#include "util/status.h"
+
+namespace ocdx {
+
+/// A map Null -> Null; application is total (identity off-domain).
+class NullMap {
+ public:
+  void Set(Value from, Value to) { map_[from] = to; }
+  void Unset(Value from) { map_.erase(from); }
+  bool Defined(Value from) const { return map_.count(from) > 0; }
+
+  Value Apply(Value v) const {
+    auto it = map_.find(v);
+    return it == map_.end() ? v : it->second;
+  }
+
+  Tuple Apply(const Tuple& t) const {
+    Tuple out;
+    out.reserve(t.size());
+    for (Value v : t) out.push_back(Apply(v));
+    return out;
+  }
+
+  const std::map<Value, Value>& entries() const { return map_; }
+
+ private:
+  std::map<Value, Value> map_;
+};
+
+struct HomOptions {
+  uint64_t max_steps = 50'000'000;
+};
+
+/// A homomorphism from `from` to `to`, or nullopt if none exists.
+Result<std::optional<NullMap>> FindHomomorphism(const AnnotatedInstance& from,
+                                                const AnnotatedInstance& to,
+                                                HomOptions options = {});
+
+/// A homomorphism h with h(`from`) = `image` *exactly* (every tuple of
+/// `image` is hit, markers coincide) and h mapping the nulls of `from`
+/// onto the nulls of `image`. This is the paper's "homomorphic image"
+/// (presolution) condition.
+Result<std::optional<NullMap>> FindOntoImage(const AnnotatedInstance& from,
+                                             const AnnotatedInstance& image,
+                                             HomOptions options = {});
+
+/// A homomorphism from `inst` into *an expansion of* `core`: every proper
+/// tuple (t, a) of `inst` must, under h, coincide with some tuple
+/// (t2, a2) of `core`'s same relation on all positions a2 annotates
+/// closed (h maps nulls to nulls, so a closed constant position of t2
+/// requires the same constant in t). Markers of `inst` must occur in
+/// `core`. Returns the partial h (unconstrained nulls unmapped).
+Result<std::optional<NullMap>> FindExpansionHom(const AnnotatedInstance& inst,
+                                                const AnnotatedInstance& core,
+                                                HomOptions options = {});
+
+}  // namespace ocdx
+
+#endif  // OCDX_SEMANTICS_HOMOMORPHISM_H_

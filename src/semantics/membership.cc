@@ -1,0 +1,39 @@
+#include "semantics/membership.h"
+
+#include "chase/canonical.h"
+#include "semantics/solutions.h"
+
+namespace ocdx {
+
+Result<MembershipResult> InSolutionSpace(const Mapping& mapping,
+                                         const Instance& source,
+                                         const Instance& target,
+                                         Universe* universe,
+                                         RepAOptions options) {
+  if (!target.IsGround()) {
+    return Status::InvalidArgument(
+        "solution-space membership is defined for ground targets");
+  }
+  MembershipResult out;
+  if (mapping.IsAllOpen()) {
+    // Theorem 2: with the all-open annotation, T in [[S]] iff (S,T) |= Sigma.
+    out.used_ptime_path = true;
+    OCDX_ASSIGN_OR_RETURN(out.member,
+                          SatisfiesStds(mapping, source, target, *universe));
+    return out;
+  }
+  OCDX_ASSIGN_OR_RETURN(CanonicalSolution csol,
+                        Chase(mapping, source, universe));
+  return InSolutionSpaceGiven(csol.annotated, target, options);
+}
+
+Result<MembershipResult> InSolutionSpaceGiven(const AnnotatedInstance& csola,
+                                              const Instance& target,
+                                              RepAOptions options) {
+  MembershipResult out;
+  OCDX_ASSIGN_OR_RETURN(out.member,
+                        InRepA(csola, target, &out.witness, options));
+  return out;
+}
+
+}  // namespace ocdx

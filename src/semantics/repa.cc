@@ -1,0 +1,182 @@
+#include "semantics/repa.h"
+
+#include <algorithm>
+
+#include "util/str.h"
+
+namespace ocdx {
+
+bool MatchesOnClosed(const Tuple& tuple, const AnnotatedTuple& t0,
+                     const Valuation& v) {
+  if (t0.IsEmptyMarker()) return IsAllOpen(t0.ann);
+  if (tuple.size() != t0.values.size()) return false;
+  for (size_t p = 0; p < t0.values.size(); ++p) {
+    if (t0.ann[p] == Ann::kClosed && tuple[p] != v.Apply(t0.values[p])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool InRepAUnder(const AnnotatedInstance& annotated, const Instance& ground,
+                 const Valuation& v) {
+  // (a) ground contains every valuated proper tuple.
+  for (const auto& [name, rel] : annotated.relations()) {
+    const Relation* grel = ground.Find(name);
+    for (const AnnotatedTuple& t : rel.tuples()) {
+      if (t.IsEmptyMarker()) continue;
+      if (grel == nullptr || !grel->Contains(v.Apply(t.values))) return false;
+    }
+  }
+  // (b) every ground tuple coincides with some annotated tuple on its
+  // closed positions.
+  for (const auto& [name, grel] : ground.relations()) {
+    if (grel.empty()) continue;
+    const AnnotatedRelation* arel = annotated.Find(name);
+    for (const Tuple& r : grel.tuples()) {
+      bool matched = false;
+      if (arel != nullptr) {
+        for (const AnnotatedTuple& t : arel->tuples()) {
+          if (MatchesOnClosed(r, t, v)) {
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (!matched) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Backtracking matcher for condition (a): assigns nulls so that every
+// proper tuple of T lands in `ground`; at each leaf checks condition (b).
+class RepASearch {
+ public:
+  RepASearch(const AnnotatedInstance& annotated, const Instance& ground,
+             RepAOptions options)
+      : annotated_(annotated), ground_(ground), options_(options) {
+    for (const auto& [name, rel] : annotated_.relations()) {
+      for (const AnnotatedTuple& t : rel.tuples()) {
+        if (!t.IsEmptyMarker()) {
+          proper_.push_back(Item{&name, &t, false});
+        }
+      }
+    }
+  }
+
+  Result<bool> Run(Valuation* witness) {
+    OCDX_ASSIGN_OR_RETURN(bool found, Search());
+    if (found && witness != nullptr) *witness = valuation_;
+    return found;
+  }
+
+ private:
+  struct Item {
+    const std::string* rel;
+    const AnnotatedTuple* tuple;
+    bool matched;
+  };
+
+  // Number of distinct unbound nulls in an item (selection heuristic).
+  size_t UnboundNulls(const Item& item) const {
+    size_t n = 0;
+    std::vector<Value> seen;
+    for (Value v : item.tuple->values) {
+      if (v.IsNull() && !valuation_.Defined(v) &&
+          std::find(seen.begin(), seen.end(), v) == seen.end()) {
+        seen.push_back(v);
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  Result<bool> Search() {
+    if (++steps_ > options_.max_steps) {
+      return Status::ResourceExhausted(
+          StrCat("InRepA exceeded ", options_.max_steps,
+                 " backtracking steps"));
+    }
+    // Pick the unmatched item with the fewest unbound nulls.
+    int best = -1;
+    size_t best_unbound = SIZE_MAX;
+    for (size_t i = 0; i < proper_.size(); ++i) {
+      if (proper_[i].matched) continue;
+      size_t u = UnboundNulls(proper_[i]);
+      if (u < best_unbound) {
+        best_unbound = u;
+        best = static_cast<int>(i);
+        if (u == 0) break;
+      }
+    }
+    if (best < 0) {
+      // All proper tuples matched; condition (b) remains.
+      return InRepAUnder(annotated_, ground_, valuation_);
+    }
+
+    Item& item = proper_[best];
+    const Relation* grel = ground_.Find(*item.rel);
+    if (grel == nullptr) return false;
+    item.matched = true;
+
+    const Tuple& pattern = item.tuple->values;
+    for (const Tuple& r : grel->tuples()) {
+      // Try to unify pattern with r, extending the valuation.
+      std::vector<std::pair<Value, Value>> added;
+      bool ok = true;
+      for (size_t p = 0; p < pattern.size() && ok; ++p) {
+        Value pv = pattern[p];
+        if (pv.IsConst()) {
+          ok = pv == r[p];
+        } else {
+          Value bound = valuation_.Apply(pv);
+          if (bound.IsConst()) {
+            ok = bound == r[p];
+          } else {
+            valuation_.Set(pv, r[p]);
+            added.push_back({pv, r[p]});
+          }
+        }
+      }
+      if (ok) {
+        OCDX_ASSIGN_OR_RETURN(bool found, Search());
+        if (found) return true;
+      }
+      // Undo bindings from this candidate.
+      for (auto it = added.rbegin(); it != added.rend(); ++it) {
+        valuation_.Unset(it->first);
+      }
+    }
+    item.matched = false;
+    return false;
+  }
+
+  const AnnotatedInstance& annotated_;
+  const Instance& ground_;
+  RepAOptions options_;
+  std::vector<Item> proper_;
+  Valuation valuation_;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+Result<bool> InRepA(const AnnotatedInstance& annotated, const Instance& ground,
+                    Valuation* witness, RepAOptions options) {
+  if (!ground.IsGround()) {
+    return Status::InvalidArgument(
+        "RepA membership is defined for ground instances (over Const)");
+  }
+  RepASearch search(annotated, ground, options);
+  return search.Run(witness);
+}
+
+Result<bool> InRep(const Instance& table, const Instance& ground,
+                   Valuation* witness, RepAOptions options) {
+  return InRepA(Annotate(table, Ann::kClosed), ground, witness, options);
+}
+
+}  // namespace ocdx

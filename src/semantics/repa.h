@@ -1,0 +1,52 @@
+// Membership in Rep / RepA: the representation semantics of annotated
+// instances (Section 3).
+//
+// A ground instance R belongs to RepA(T) iff for some valuation v of the
+// nulls of T:
+//   (a) R contains every v-image of a proper tuple of T, and
+//   (b) every tuple of R coincides with some annotated tuple (t_i, a_i) of
+//       T on all positions a_i annotates as closed (an all-open empty
+//       marker (_, a) therefore licenses arbitrary tuples in its relation).
+//
+// Checking membership is NP-complete in general (Theorem 2 / Corollary 1);
+// InRepA performs a backtracking search over valuations with
+// most-constrained-tuple-first ordering and a step budget.
+
+#ifndef OCDX_SEMANTICS_REPA_H_
+#define OCDX_SEMANTICS_REPA_H_
+
+#include "base/instance.h"
+#include "semantics/valuation.h"
+#include "util/status.h"
+
+namespace ocdx {
+
+struct RepAOptions {
+  /// Backtracking node budget; exceeding it yields ResourceExhausted.
+  uint64_t max_steps = 50'000'000;
+};
+
+/// Is `ground` in RepA(`annotated`)? On success and if `witness` is
+/// non-null, stores a witnessing valuation.
+/// Fails with InvalidArgument if `ground` contains nulls.
+Result<bool> InRepA(const AnnotatedInstance& annotated, const Instance& ground,
+                    Valuation* witness = nullptr, RepAOptions options = {});
+
+/// Is `ground` in Rep(`table`) = { v(table) } (the closed-world semantics
+/// of naive tables)?
+Result<bool> InRep(const Instance& table, const Instance& ground,
+                   Valuation* witness = nullptr, RepAOptions options = {});
+
+/// Checks conditions (a) and (b) above under a *given* total valuation
+/// (deterministic; used by the enumeration-based engines).
+bool InRepAUnder(const AnnotatedInstance& annotated, const Instance& ground,
+                 const Valuation& v);
+
+/// Does `tuple` coincide with v(t0) on all closed positions of `t0`?
+/// Markers match iff all-open.
+bool MatchesOnClosed(const Tuple& tuple, const AnnotatedTuple& t0,
+                     const Valuation& v);
+
+}  // namespace ocdx
+
+#endif  // OCDX_SEMANTICS_REPA_H_

@@ -1,0 +1,76 @@
+#include "semantics/solutions.h"
+
+#include "logic/evaluator.h"
+#include "semantics/homomorphism.h"
+
+namespace ocdx {
+
+Result<bool> SatisfiesStds(const Mapping& mapping, const Instance& source,
+                           const Instance& target, const Universe& universe) {
+  Evaluator source_eval(source, universe);
+  Evaluator target_eval(target, universe);
+  for (const AnnotatedStd& std_ : mapping.stds()) {
+    const std::vector<std::string> body_vars = std_.BodyVars();
+    // Head requirement: exists z-bar . conjunction of head atoms.
+    std::vector<FormulaPtr> atoms;
+    atoms.reserve(std_.head.size());
+    for (const HeadAtom& atom : std_.head) {
+      atoms.push_back(Formula::Atom(atom.rel, atom.terms));
+    }
+    FormulaPtr requirement =
+        Formula::Exists(std_.ExistentialVars(), Formula::And(std::move(atoms)));
+
+    std::vector<Tuple> witnesses;
+    if (body_vars.empty()) {
+      OCDX_ASSIGN_OR_RETURN(bool holds, source_eval.Holds(std_.body));
+      if (holds) witnesses.push_back(Tuple{});
+    } else {
+      OCDX_ASSIGN_OR_RETURN(Relation answers,
+                            source_eval.Answers(std_.body, body_vars));
+      witnesses = answers.tuples();
+    }
+    for (const Tuple& w : witnesses) {
+      Env env;
+      for (size_t i = 0; i < body_vars.size(); ++i) env[body_vars[i]] = w[i];
+      OCDX_ASSIGN_OR_RETURN(bool ok, target_eval.Holds(requirement, env));
+      if (!ok) return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> IsOwaSolution(const Mapping& mapping, const Instance& source,
+                           const Instance& target, const Universe& universe) {
+  return SatisfiesStds(mapping, source, target, universe);
+}
+
+Result<bool> IsSigmaAlphaSolutionGiven(const AnnotatedInstance& csola,
+                                       const AnnotatedInstance& target) {
+  // Proposition 1: T is a Sigma-alpha-solution iff
+  //   (1) T is a homomorphic image of CSolA(S) (presolution), and
+  //   (2) there is a homomorphism from T into an expansion of CSolA(S).
+  OCDX_ASSIGN_OR_RETURN(std::optional<NullMap> onto,
+                        FindOntoImage(csola, target));
+  if (!onto.has_value()) return false;
+  OCDX_ASSIGN_OR_RETURN(std::optional<NullMap> back,
+                        FindExpansionHom(target, csola));
+  return back.has_value();
+}
+
+Result<bool> IsSigmaAlphaSolution(const Mapping& mapping,
+                                  const Instance& source,
+                                  const AnnotatedInstance& target,
+                                  Universe* universe) {
+  OCDX_ASSIGN_OR_RETURN(CanonicalSolution csol,
+                        Chase(mapping, source, universe));
+  return IsSigmaAlphaSolutionGiven(csol.annotated, target);
+}
+
+Result<bool> IsCwaSolution(const Mapping& mapping, const Instance& source,
+                           const Instance& target, Universe* universe) {
+  Mapping closed = mapping.WithUniformAnnotation(Ann::kClosed);
+  return IsSigmaAlphaSolution(closed, source, Annotate(target, Ann::kClosed),
+                              universe);
+}
+
+}  // namespace ocdx

@@ -1,0 +1,21 @@
+#include "semantics/valuation.h"
+
+#include "util/str.h"
+
+namespace ocdx {
+
+std::string Valuation::ToString(const Universe& u) const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [null, constant] : map_) {
+    if (!first) out += ", ";
+    first = false;
+    out += u.Describe(null);
+    out += " -> ";
+    out += u.Describe(constant);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace ocdx

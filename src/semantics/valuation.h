@@ -1,0 +1,65 @@
+// Valuations: partial maps Null -> Const (Section 2).
+
+#ifndef OCDX_SEMANTICS_VALUATION_H_
+#define OCDX_SEMANTICS_VALUATION_H_
+
+#include <map>
+#include <string>
+
+#include "base/instance.h"
+#include "base/value.h"
+
+namespace ocdx {
+
+/// A valuation v : Null -> Const. Application is total: constants and
+/// unmapped nulls pass through unchanged.
+class Valuation {
+ public:
+  Valuation() = default;
+
+  void Set(Value null, Value constant) { map_[null] = constant; }
+
+  void Unset(Value null) { map_.erase(null); }
+
+  bool Defined(Value null) const { return map_.count(null) > 0; }
+
+  Value Apply(Value v) const {
+    auto it = map_.find(v);
+    return it == map_.end() ? v : it->second;
+  }
+
+  Tuple Apply(const Tuple& t) const {
+    Tuple out;
+    out.reserve(t.size());
+    for (Value v : t) out.push_back(Apply(v));
+    return out;
+  }
+
+  /// v(T) for a plain instance.
+  Instance Apply(const Instance& inst) const {
+    Instance out;
+    for (const auto& [name, rel] : inst.relations()) {
+      Relation& dst = out.GetOrCreate(name, rel.arity());
+      for (const Tuple& t : rel.tuples()) dst.Add(Apply(t));
+    }
+    return out;
+  }
+
+  /// v(rel(T)) for an annotated instance: markers dropped, annotations
+  /// dropped, nulls valuated.
+  Instance ApplyRelPart(const AnnotatedInstance& inst) const {
+    return Apply(inst.RelPart());
+  }
+
+  size_t size() const { return map_.size(); }
+  const std::map<Value, Value>& entries() const { return map_; }
+
+  std::string ToString(const Universe& u) const;
+
+ private:
+  std::map<Value, Value> map_;
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_SEMANTICS_VALUATION_H_

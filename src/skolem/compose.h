@@ -1,0 +1,63 @@
+// Syntactic composition of annotated SkSTD mappings (Lemma 5, Theorem 5).
+//
+// Given mappings Sigma_alpha : sigma -> tau and Delta_alpha' : tau ->
+// omega, the algorithm produces Gamma_alpha' : sigma -> omega with
+// (|Gamma_alpha'|) = (|Sigma_alpha|) o (|Delta_alpha'|), provided either
+//   * Delta is all-open with monotone (in [FKPT05]: CQ) rule bodies, or
+//   * Sigma is all-closed (arbitrary FO bodies) —
+// the two composition-closed classes of Theorem 5.
+//
+// The algorithm (following the proof of Lemma 5, which adapts [FKPT05]):
+//   1. rename function symbols apart,
+//   2. put Sigma in normal form (one head atom per rule),
+//   3. in every Delta rule body, replace each tau-atom R(y-bar) by
+//      beta_R(y-bar) = OR_j exists z-bar_j (phi_j(z-bar_j) AND
+//      y-bar = u-bar_j)
+//      over the normal-form Sigma-rules R(u-bar_j) :- phi_j(z-bar_j),
+//      with the z-bar_j freshly renamed,
+//   4. if both inputs are CQ mappings, flatten the result back to
+//      CQ-SkSTDs (distribute disjunctions, drop the now-redundant
+//      existential quantifiers).
+//
+// Left-hand sides and annotations of Delta are preserved verbatim.
+
+#ifndef OCDX_SKOLEM_COMPOSE_H_
+#define OCDX_SKOLEM_COMPOSE_H_
+
+#include "mapping/mapping.h"
+#include "skolem/skolem.h"
+#include "util/status.h"
+
+namespace ocdx {
+
+struct ComposeSkolemResult {
+  Mapping gamma;
+  /// True iff step 4 ran (both inputs CQ) and every output body is a CQ.
+  bool flattened_to_cq = false;
+};
+
+/// Runs the Lemma 5 algorithm. `sigma.target()` must declare the same
+/// relations as `delta.source()`. The construction itself is performed
+/// for any inputs; it is guaranteed to *capture the composition* only for
+/// the Theorem 5 classes (all-open+monotone Delta, or all-closed Sigma) —
+/// callers can check those predicates on the inputs.
+Result<ComposeSkolemResult> ComposeSkolem(const Mapping& sigma,
+                                          const Mapping& delta,
+                                          Universe* universe);
+
+/// Semantic composition membership for SkSTD mappings restricted to the
+/// Theorem 5 classes: decides (S, W) in (|Sigma|) o (|Delta|) by
+/// enumerating Sigma-interpretations (up to isomorphism) and taking the
+/// intermediate J = rel(Sol_{F'}(S)) — complete when Sigma is all-closed
+/// (RepA is then a singleton), and when Delta is all-open with monotone
+/// bodies (Claim 8: the minimal J suffices).
+Result<SkolemMembership> InSkolemComposition(const Mapping& sigma,
+                                             const Mapping& delta,
+                                             const Instance& source,
+                                             const Instance& target,
+                                             Universe* universe,
+                                             SkolemMembershipOptions options = {});
+
+}  // namespace ocdx
+
+#endif  // OCDX_SKOLEM_COMPOSE_H_

@@ -1,0 +1,56 @@
+// StringInterner: bidirectional string <-> dense-id map.
+//
+// Constants, relation names, variable names and Skolem function symbols are
+// all interned so that the hot paths (tuple hashing, homomorphism search,
+// valuation enumeration) compare 32-bit ids instead of strings.
+
+#ifndef OCDX_UTIL_INTERNER_H_
+#define OCDX_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ocdx {
+
+/// Interns strings into dense uint32 ids, starting from 0.
+///
+/// Ids are stable for the lifetime of the interner and never reused.
+/// Not thread-safe; each Universe owns its interners.
+class StringInterner {
+ public:
+  StringInterner() = default;
+
+  /// Returns the id for `s`, interning it on first sight.
+  uint32_t Intern(std::string_view s) {
+    auto it = ids_.find(std::string(s));
+    if (it != ids_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `s` if already interned, or UINT32_MAX otherwise.
+  uint32_t Find(std::string_view s) const {
+    auto it = ids_.find(std::string(s));
+    return it == ids_.end() ? UINT32_MAX : it->second;
+  }
+
+  bool Contains(std::string_view s) const { return Find(s) != UINT32_MAX; }
+
+  /// The string for a previously interned id.
+  const std::string& Get(uint32_t id) const { return strings_.at(id); }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_UTIL_INTERNER_H_

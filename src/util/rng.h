@@ -1,0 +1,43 @@
+// Deterministic pseudo-random generator for workload generators and
+// property tests. SplitMix64: tiny, fast, and reproducible across
+// platforms (unlike std::mt19937 distributions, whose output is
+// implementation-defined through std::uniform_int_distribution).
+
+#ifndef OCDX_UTIL_RNG_H_
+#define OCDX_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace ocdx {
+
+/// SplitMix64 PRNG. Deterministic for a given seed on all platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t Between(uint64_t lo, uint64_t hi) {
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// Bernoulli trial with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_UTIL_RNG_H_

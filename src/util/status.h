@@ -1,0 +1,150 @@
+// Status and Result<T>: the error model used throughout ocdx.
+//
+// Library code never throws; fallible operations return Status (or
+// Result<T> when they produce a value). This mirrors the convention of
+// production database engines (RocksDB's rocksdb::Status, Arrow's
+// arrow::Status/Result).
+
+#ifndef OCDX_UTIL_STATUS_H_
+#define OCDX_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ocdx {
+
+/// Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< Caller passed something malformed (bad arity, ...).
+  kParseError,       ///< Text could not be parsed (formula / rule syntax).
+  kNotFound,         ///< Named relation / variable / function is missing.
+  kFailedPrecondition,  ///< Operation not valid in the current state.
+  kResourceExhausted,   ///< A configured search bound was exceeded.
+  kUnimplemented,       ///< Feature intentionally out of scope.
+  kInternal,            ///< Invariant violation: a bug in ocdx itself.
+};
+
+/// Returns a short human-readable name ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// The result of a fallible operation that produces no value.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Statuses are cheap to copy (the common OK case allocates
+/// nothing).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error wrapper: holds either a T or a non-OK Status.
+///
+/// Usage:
+///   Result<Formula> f = ParseFormula("E(x,y) & !R(x)");
+///   if (!f.ok()) return f.status();
+///   Use(f.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return some_t;`.
+  Result(T value) : status_(), value_(std::move(value)) {}
+  /// Implicit from error status: allows `return Status::ParseError(...)`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// value() if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define OCDX_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::ocdx::Status _ocdx_status = (expr);      \
+    if (!_ocdx_status.ok()) return _ocdx_status; \
+  } while (false)
+
+#define OCDX_CONCAT_INNER_(a, b) a##b
+#define OCDX_CONCAT_(a, b) OCDX_CONCAT_INNER_(a, b)
+
+#define OCDX_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+/// Evaluates a Result expression; on error returns its status, otherwise
+/// moves the value into `lhs`.
+#define OCDX_ASSIGN_OR_RETURN(lhs, rexpr) \
+  OCDX_ASSIGN_OR_RETURN_IMPL_(OCDX_CONCAT_(_ocdx_result_, __COUNTER__), lhs, \
+                              rexpr)
+
+}  // namespace ocdx
+
+#endif  // OCDX_UTIL_STATUS_H_

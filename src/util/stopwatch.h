@@ -1,0 +1,31 @@
+// Wall-clock stopwatch for coarse timing in examples and EXPERIMENTS
+// tooling (benchmarks proper use google-benchmark's timers).
+
+#ifndef OCDX_UTIL_STOPWATCH_H_
+#define OCDX_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ocdx {
+
+/// Measures elapsed wall time since construction or the last Reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_UTIL_STOPWATCH_H_

@@ -1,0 +1,34 @@
+// Small string helpers shared across modules.
+
+#ifndef OCDX_UTIL_STR_H_
+#define OCDX_UTIL_STR_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ocdx {
+
+/// Concatenates streamable arguments into a string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Joins the elements of `parts` with `sep`.
+inline std::string Join(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace ocdx
+
+#endif  // OCDX_UTIL_STR_H_

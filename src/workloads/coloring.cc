@@ -1,0 +1,63 @@
+#include "workloads/coloring.h"
+
+#include "mapping/rule_parser.h"
+#include "util/str.h"
+
+namespace ocdx {
+
+Result<ColoringReduction> BuildColoringReduction(const Graph& g,
+                                                 Universe* universe,
+                                                 Ann delta_ann) {
+  Schema sigma_src, tau, omega;
+  sigma_src.Add("V", 1).Add("E", 2).Add("D", 2);
+  tau.Add("C", 2).Add("Ep", 2).Add("Dp", 2);
+  omega.Add("Dbar", 2);
+
+  OCDX_ASSIGN_OR_RETURN(
+      Mapping sigma,
+      ParseMapping(R"(
+        C(x^cl, z^cl) :- V(x);
+        Ep(x^cl, y^cl) :- E(x, y);
+        Dp(x^cl, y^cl) :- D(x, y);
+      )",
+                   sigma_src, tau, universe, Ann::kClosed));
+
+  OCDX_ASSIGN_OR_RETURN(
+      Mapping delta,
+      ParseMapping(R"(
+        Dbar(u, v) :- exists x y. Ep(x, y) & C(x, u) & C(y, v);
+        Dbar(u, v) :- Dp(u, v);
+      )",
+                   tau, omega, universe, delta_ann));
+
+  ColoringReduction out{std::move(sigma), std::move(delta), Instance(),
+                        Instance()};
+
+  // Source: the graph plus the distinctness relation over {r, g, b}.
+  Value r = universe->Const("r"), gr = universe->Const("g"),
+        b = universe->Const("b");
+  for (size_t v = 0; v < g.n; ++v) {
+    out.source.Add("V", {universe->Const(StrCat("n", v))});
+  }
+  for (const auto& [a, c] : g.edges) {
+    out.source.Add("E", {universe->Const(StrCat("n", a)),
+                         universe->Const(StrCat("n", c))});
+  }
+  for (Value x : {r, gr, b}) {
+    for (Value y : {r, gr, b}) {
+      if (x != y) out.source.Add("D", {x, y});
+    }
+  }
+  out.source.GetOrCreate("V", 1);
+  out.source.GetOrCreate("E", 2);
+
+  // Target W: Dbar = the distinctness relation.
+  for (Value x : {r, gr, b}) {
+    for (Value y : {r, gr, b}) {
+      if (x != y) out.target.Add("Dbar", {x, y});
+    }
+  }
+  return out;
+}
+
+}  // namespace ocdx

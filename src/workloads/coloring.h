@@ -1,0 +1,41 @@
+// The 3-colorability reduction of Theorem 4: NP-hardness of composition
+// under the CWA (all-closed Sigma), with CQ-STDs only.
+//
+//   Sigma (sigma = {V, E, D} -> tau = {C, E', D'}):
+//     C(x, z)  :- V(x)        (z existential: the vertex's color)
+//     E'(x, y) :- E(x, y)
+//     D'(x, y) :- D(x, y)
+//   Delta (tau -> omega = {Dbar}):
+//     Dbar(u, v) :- E'(x, y) & C(x, u) & C(y, v)
+//     Dbar(u, v) :- D'(u, v)
+//
+// With S encoding a graph G plus D = "distinctness of {r,g,b}" and
+// W = Dbar = D, we get (S, W) in Sigma_cl o Delta_alpha' iff G is
+// 3-colorable.
+
+#ifndef OCDX_WORKLOADS_COLORING_H_
+#define OCDX_WORKLOADS_COLORING_H_
+
+#include "base/instance.h"
+#include "mapping/mapping.h"
+#include "util/status.h"
+#include "workloads/graphs.h"
+
+namespace ocdx {
+
+struct ColoringReduction {
+  Mapping sigma;  ///< All-closed (the CWA reading).
+  Mapping delta;  ///< Annotation of Delta is irrelevant per the proof.
+  Instance source;
+  Instance target;
+};
+
+/// Builds the Theorem 4 NP-hardness reduction for the given graph. The
+/// delta annotation is configurable (the theorem holds for every alpha').
+Result<ColoringReduction> BuildColoringReduction(const Graph& g,
+                                                 Universe* universe,
+                                                 Ann delta_ann = Ann::kClosed);
+
+}  // namespace ocdx
+
+#endif  // OCDX_WORKLOADS_COLORING_H_

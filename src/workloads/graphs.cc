@@ -1,0 +1,79 @@
+#include "workloads/graphs.h"
+
+namespace ocdx {
+
+Graph CycleGraph(size_t n) {
+  Graph g;
+  g.n = n;
+  for (size_t i = 0; i < n; ++i) {
+    g.AddEdge(static_cast<uint32_t>(i), static_cast<uint32_t>((i + 1) % n));
+  }
+  return g;
+}
+
+Graph CompleteGraph(size_t n) {
+  Graph g;
+  g.n = n;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      g.AddEdge(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
+    }
+  }
+  return g;
+}
+
+Graph RandomGraph(size_t n, uint64_t num, uint64_t den, Rng* rng) {
+  Graph g;
+  g.n = n;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (rng->Chance(num, den)) {
+        g.AddEdge(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
+      }
+    }
+  }
+  return g;
+}
+
+Graph RandomThreeColorableGraph(size_t n, uint64_t num, uint64_t den,
+                                Rng* rng) {
+  std::vector<int> color(n);
+  for (size_t i = 0; i < n; ++i) color[i] = static_cast<int>(rng->Below(3));
+  Graph g;
+  g.n = n;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (color[i] != color[j] && rng->Chance(num, den)) {
+        g.AddEdge(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
+      }
+    }
+  }
+  return g;
+}
+
+namespace {
+
+bool ColorRec(const Graph& g, std::vector<int>* color, size_t v) {
+  if (v == g.n) return true;
+  for (int c = 0; c < 3; ++c) {
+    bool ok = true;
+    for (const auto& [a, b] : g.edges) {
+      if (a == v && b < v && (*color)[b] == c) ok = false;
+      if (b == v && a < v && (*color)[a] == c) ok = false;
+    }
+    if (ok) {
+      (*color)[v] = c;
+      if (ColorRec(g, color, v + 1)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsThreeColorable(const Graph& g) {
+  std::vector<int> color(g.n, -1);
+  return ColorRec(g, &color, 0);
+}
+
+}  // namespace ocdx

@@ -1,0 +1,44 @@
+// Graph workloads: generators and a brute-force 3-colorability solver
+// used to validate the Theorem 4 reduction.
+
+#ifndef OCDX_WORKLOADS_GRAPHS_H_
+#define OCDX_WORKLOADS_GRAPHS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ocdx {
+
+/// An undirected graph on vertices 0..n-1 (stored as directed pairs).
+struct Graph {
+  size_t n = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+
+  void AddEdge(uint32_t a, uint32_t b) { edges.push_back({a, b}); }
+};
+
+/// A cycle on n vertices (3-colorable for every n >= 3).
+Graph CycleGraph(size_t n);
+
+/// The complete graph K_n (3-colorable iff n <= 3).
+Graph CompleteGraph(size_t n);
+
+/// A random graph: each edge present with probability num/den. May or may
+/// not be 3-colorable.
+Graph RandomGraph(size_t n, uint64_t num, uint64_t den, Rng* rng);
+
+/// A random graph that is 3-colorable by construction: vertices get a
+/// hidden color; only cross-color edges are added.
+Graph RandomThreeColorableGraph(size_t n, uint64_t num, uint64_t den,
+                                Rng* rng);
+
+/// Exhaustive 3-colorability check (exponential; for validation only).
+bool IsThreeColorable(const Graph& g);
+
+}  // namespace ocdx
+
+#endif  // OCDX_WORKLOADS_GRAPHS_H_

@@ -1,0 +1,178 @@
+#include "workloads/scenarios.h"
+
+#include "logic/parser.h"
+#include "mapping/rule_parser.h"
+#include "util/str.h"
+
+namespace ocdx {
+
+Result<ConferenceScenario> BuildConferenceScenario(size_t papers,
+                                                   size_t assigned,
+                                                   Universe* universe) {
+  if (assigned > papers) {
+    return Status::InvalidArgument("assigned papers exceed total papers");
+  }
+  Schema src, tgt;
+  src.Add("Papers", {"paper", "title"});
+  src.Add("Assignments", {"paper", "reviewer"});
+  tgt.Add("Submissions", {"paper", "author"});
+  tgt.Add("Reviews", {"paper", "review"});
+
+  OCDX_ASSIGN_OR_RETURN(
+      Mapping mapping,
+      ParseMapping(R"(
+        Submissions(x^cl, z^op) :- Papers(x, y);
+        Reviews(x^cl, z^cl) :- Assignments(x, y);
+        Reviews(x^cl, z^op) :- Papers(x, y) & !exists r. Assignments(x, r);
+      )",
+                   src, tgt, universe));
+
+  ConferenceScenario out{std::move(mapping), Instance(), nullptr};
+  for (size_t i = 0; i < papers; ++i) {
+    out.source.Add("Papers", {universe->Const(StrCat("p", i)),
+                              universe->Const(StrCat("title", i))});
+    if (i < assigned) {
+      out.source.Add("Assignments", {universe->Const(StrCat("p", i)),
+                                     universe->Const(StrCat("rev", i % 3))});
+    }
+  }
+  out.source.GetOrCreate("Papers", 2);
+  out.source.GetOrCreate("Assignments", 2);
+
+  OCDX_ASSIGN_OR_RETURN(
+      out.one_author_query,
+      ParseFormula("forall p a1 a2. (Submissions(p, a1) & "
+                   "Submissions(p, a2)) -> a1 = a2",
+                   universe));
+  return out;
+}
+
+Result<EmployeeScenario> BuildEmployeeScenario(size_t employees,
+                                               size_t projects, Rng* rng,
+                                               Universe* universe) {
+  Schema src, tgt;
+  src.Add("S", {"em", "proj"});
+  tgt.Add("T", {"empl_id", "em", "phone"});
+  OCDX_ASSIGN_OR_RETURN(
+      Mapping mapping,
+      ParseMapping("T(f(em)^cl, em^cl, g(em, proj)^op) :- S(em, proj);", src,
+                   tgt, universe, Ann::kClosed, /*allow_functions=*/true));
+  EmployeeScenario out{std::move(mapping), Instance()};
+  for (size_t e = 0; e < employees; ++e) {
+    // Every employee works on at least one project.
+    size_t k = 1 + rng->Below(std::max<size_t>(1, projects));
+    for (size_t j = 0; j < k; ++j) {
+      out.source.Add("S", {universe->Const(StrCat("em", e)),
+                           universe->Const(StrCat("proj", rng->Below(
+                                                              std::max<size_t>(
+                                                                  1, projects))))});
+    }
+  }
+  out.source.GetOrCreate("S", 2);
+  return out;
+}
+
+Result<Prop6Scenario> BuildProp6Scenario(size_t n, Ann sigma_ann,
+                                         Ann delta_ann, Universe* universe) {
+  Schema sigma_src, tau, omega;
+  sigma_src.Add("R", 1).Add("P", 1);
+  tau.Add("N", 1).Add("C", 1);
+  omega.Add("Dr", 2);
+
+  OCDX_ASSIGN_OR_RETURN(Mapping sigma,
+                        ParseMapping(R"(
+                          N(y) :- R(x);
+                          C(x) :- P(x);
+                        )",
+                                     sigma_src, tau, universe, sigma_ann));
+  OCDX_ASSIGN_OR_RETURN(Mapping delta,
+                        ParseMapping("Dr(x, y) :- C(x) & N(y);", tau, omega,
+                                     universe, delta_ann));
+  Prop6Scenario out{std::move(sigma), std::move(delta), Instance()};
+  out.source.Add("R", {universe->IntConst(0)});
+  for (size_t i = 1; i <= n; ++i) {
+    out.source.Add("P", {universe->IntConst(static_cast<int64_t>(i))});
+  }
+  return out;
+}
+
+Result<Mapping> BuildCopyMapping(const Schema& schema, Ann ann,
+                                 Universe* universe) {
+  Schema target;
+  std::string rules;
+  for (const RelationDecl& d : schema.decls()) {
+    target.Add(d.name + "p", d.attrs);
+    std::vector<std::string> vars;
+    for (size_t i = 0; i < d.arity(); ++i) vars.push_back(StrCat("x", i));
+    rules += StrCat(d.name, "p(", Join(vars, ", "), ") :- ", d.name, "(",
+                    Join(vars, ", "), ");\n");
+  }
+  return ParseMapping(rules, schema, target, universe, ann);
+}
+
+Result<MadryScenario> BuildMadryScenario(size_t n, uint64_t num, uint64_t den,
+                                         Rng* rng, Universe* universe) {
+  // LAV setting: each source edge asserts the existence of target facts
+  // with existential annotations on the "colors" of its endpoints.
+  Schema src, tgt;
+  src.Add("E", 2);
+  tgt.Add("Col", 2);  // Col(vertex, color).
+  OCDX_ASSIGN_OR_RETURN(
+      Mapping mapping,
+      ParseMapping("Col(x^cl, u^cl), Col(y^cl, v^cl) :- E(x, y);", src, tgt,
+                   universe));
+  MadryScenario out{std::move(mapping), Instance(), nullptr};
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (rng->Chance(num, den)) {
+        out.source.Add("E", {universe->Const(StrCat("u", i)),
+                             universe->Const(StrCat("u", j))});
+      }
+    }
+  }
+  out.source.GetOrCreate("E", 2);
+  // Boolean CQ with two inequalities: some vertex received two distinct
+  // colors, both distinct from a third vertex's color.
+  OCDX_ASSIGN_OR_RETURN(
+      out.query,
+      ParseFormula("exists x c1 c2. Col(x, c1) & Col(x, c2) & c1 != c2",
+                   universe));
+  return out;
+}
+
+Result<PowersetScenario> BuildPowersetScenario(size_t vertices,
+                                               Universe* universe) {
+  Schema src, tgt;
+  src.Add("V", 1).Add("E", 2);
+  tgt.Add("Ep", 2).Add("P", 2);
+  OCDX_ASSIGN_OR_RETURN(Mapping mapping,
+                        ParseMapping(R"(
+                          Ep(x^cl, y^cl) :- E(x, y);
+                          P(x^cl, z^op) :- V(x);
+                        )",
+                                     src, tgt, universe));
+  PowersetScenario out{std::move(mapping), Instance(), nullptr};
+  for (size_t i = 0; i < vertices; ++i) {
+    out.source.Add("V", {universe->Const(StrCat("a", i))});
+    if (i + 1 < vertices) {
+      out.source.Add("E", {universe->Const(StrCat("a", i)),
+                           universe->Const(StrCat("a", i + 1))});
+    }
+  }
+  out.source.GetOrCreate("E", 2);
+
+  // Phi_p: P codes the powerset of V —
+  //  (singletons) every vertex has a code holding exactly it;
+  //  (unions) any two codes have a code for their union.
+  OCDX_ASSIGN_OR_RETURN(
+      out.powerset_axiom,
+      ParseFormula(
+          "(forall a. (exists z. Ep(a, z) | Ep(z, a) | P(a, z)) -> "
+          "exists c. P(a, c) & forall b. P(b, c) -> b = a) & "
+          "(forall c1 c2. ((exists a. P(a, c1)) & (exists a. P(a, c2))) -> "
+          "exists c. forall a. P(a, c) -> (P(a, c1) | P(a, c2)))",
+          universe));
+  return out;
+}
+
+}  // namespace ocdx

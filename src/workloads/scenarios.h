@@ -1,0 +1,93 @@
+// Scenario builders taken directly from the paper's running examples.
+
+#ifndef OCDX_WORKLOADS_SCENARIOS_H_
+#define OCDX_WORKLOADS_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "base/instance.h"
+#include "logic/formula.h"
+#include "mapping/mapping.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ocdx {
+
+/// The conference scenario of the introduction:
+///   Submissions(x^cl, z^op) :- Papers(x, y)
+///   Reviews(x^cl, z^cl)     :- Assignments(x, y)
+///   Reviews(x^cl, z^op)     :- Papers(x, y) & !exists r. Assignments(x, r)
+struct ConferenceScenario {
+  Mapping mapping;
+  Instance source;
+  /// "Every paper has exactly one author" — the query whose certain
+  /// answer distinguishes CWA from the mixed annotation.
+  FormulaPtr one_author_query;
+};
+
+/// Builds the scenario with `papers` papers of which `assigned` have a
+/// reviewer assignment.
+Result<ConferenceScenario> BuildConferenceScenario(size_t papers,
+                                                   size_t assigned,
+                                                   Universe* universe);
+
+/// The employee SkSTD example of Section 5:
+///   T(f(em)^cl, em^cl, g(em, proj)^op) :- S(em, proj)
+struct EmployeeScenario {
+  Mapping mapping;  ///< Skolemized; ids closed, phones open.
+  Instance source;
+};
+
+Result<EmployeeScenario> BuildEmployeeScenario(size_t employees,
+                                               size_t projects, Rng* rng,
+                                               Universe* universe);
+
+/// The Proposition 6 counterexample family showing that FO STDs are not
+/// closed under composition:
+///   Sigma: N(y) :- R(x);  C(x) :- P(x)      (sigma = {R, P}, tau = {N, C})
+///   Delta: Dr(x, y) :- C(x) & N(y)          (omega = {Dr})
+/// with S0 = { R = {0}, P = {1..n} }.
+struct Prop6Scenario {
+  Mapping sigma;
+  Mapping delta;
+  Instance source;  ///< S0 for the given n.
+};
+
+Result<Prop6Scenario> BuildProp6Scenario(size_t n, Ann sigma_ann,
+                                         Ann delta_ann, Universe* universe);
+
+/// A copying mapping R'(x-bar) :- R(x-bar) for every relation of `schema`
+/// (primed names), with a uniform annotation. The setting of the paper's
+/// OWA-anomaly discussion.
+Result<Mapping> BuildCopyMapping(const Schema& schema, Ann ann,
+                                 Universe* universe);
+
+/// The [Madry05] workload of Proposition 4: a LAV mapping and a boolean
+/// conjunctive query with two inequalities whose certain-answer problem
+/// is coNP-hard. The source holds edges of a graph; the target copies
+/// them with an existential "color" per endpoint occurrence.
+struct MadryScenario {
+  Mapping mapping;
+  Instance source;
+  FormulaPtr query;  ///< Boolean CQ with two inequalities.
+};
+
+Result<MadryScenario> BuildMadryScenario(size_t n, uint64_t num, uint64_t den,
+                                         Rng* rng, Universe* universe);
+
+/// The powerset scenario from the PH-hardness sketch in Section 4:
+///   E'(x^cl, y^cl) :- E(x, y);   P(x^cl, z^op) :- V(x)
+/// plus the FO sentence Phi_p asserting that P encodes the powerset of V.
+struct PowersetScenario {
+  Mapping mapping;
+  Instance source;
+  FormulaPtr powerset_axiom;  ///< Phi_p.
+};
+
+Result<PowersetScenario> BuildPowersetScenario(size_t vertices,
+                                               Universe* universe);
+
+}  // namespace ocdx
+
+#endif  // OCDX_WORKLOADS_SCENARIOS_H_

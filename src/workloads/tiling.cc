@@ -1,0 +1,181 @@
+#include "workloads/tiling.h"
+
+#include "logic/parser.h"
+#include "mapping/rule_parser.h"
+#include "util/str.h"
+
+namespace ocdx {
+
+namespace {
+
+// Pos(y): y codes a grid position (non-empty and assigned some tile).
+std::string Pos(const std::string& y) {
+  return StrCat("(!Empty(", y, ") & (exists ptile. F(ptile, ", y, ")))");
+}
+
+// Bi-implication helper.
+std::string Iff(const std::string& a, const std::string& b) {
+  return StrCat("((", a, " -> ", b, ") & (", b, " -> ", a, "))");
+}
+
+// a-succ(z, y): position y is the a-direction successor of z (the paper's
+// bit-vector successor test). `ga` is the coordinate relation of the
+// direction, `gb` the orthogonal one.
+std::string Succ(const std::string& ga, const std::string& gb,
+                 const std::string& z, const std::string& y) {
+  return StrCat(
+      "((forall oi. ", Iff(StrCat(gb, "(oi, ", z, ")"),
+                           StrCat(gb, "(oi, ", y, ")")),
+      ") & (exists si. ", ga, "(si, ", y, ") & !", ga, "(si, ", z, ")",
+      " & (forall lj. Lt(lj, si) -> (", ga, "(lj, ", z, ") & !", ga,
+      "(lj, ", y, ")))",
+      " & (forall hj. Lt(si, hj) -> ",
+      Iff(StrCat(ga, "(hj, ", z, ")"), StrCat(ga, "(hj, ", y, ")")), ")))");
+}
+
+// exists! y. (cond(y)) via exists y. cond(y) & forall y'. cond(y') -> y'=y.
+std::string ExistsUnique(const std::string& y, const std::string& y2,
+                         const std::string& cond_y,
+                         const std::string& cond_y2) {
+  return StrCat("(exists ", y, ". ", cond_y, " & (forall ", y2, ". ",
+                cond_y2, " -> ", y2, " = ", y, "))");
+}
+
+}  // namespace
+
+Result<TilingReduction> BuildTilingReduction(const TilingInstance& inst,
+                                             Universe* universe) {
+  Schema src, tgt;
+  src.Add("Hs", 2).Add("Vs", 2).Add("Ns", 1).Add("Tiles", 1).Add("Emptys", 1);
+  src.Add("Lts", 2);
+  tgt.Add("H", 2).Add("V", 2).Add("N", 1).Add("Gh", 2).Add("Gv", 2);
+  tgt.Add("F", 2).Add("Empty", 1).Add("Lt", 2);
+
+  OCDX_ASSIGN_OR_RETURN(Mapping mapping, ParseMapping(R"(
+    H(x^cl, y^cl) :- Hs(x, y);
+    V(x^cl, y^cl) :- Vs(x, y);
+    N(x^cl) :- Ns(x);
+    Gh(x^cl, y^op) :- Ns(x);
+    Gv(x^cl, y^op) :- Ns(x);
+    F(x^cl, y^op) :- Tiles(x);
+    Empty(x^cl) :- Emptys(x);
+    Lt(x^cl, y^cl) :- Lts(x, y);
+  )",
+                                                      src, tgt, universe));
+
+  TilingReduction out{std::move(mapping), Instance(), nullptr, nullptr, {}};
+
+  // Source instance.
+  auto tile = [&](uint32_t t) { return universe->Const(StrCat("t", t)); };
+  for (const auto& [a, b] : inst.horizontal) {
+    out.source.Add("Hs", {tile(a), tile(b)});
+  }
+  for (const auto& [a, b] : inst.vertical) {
+    out.source.Add("Vs", {tile(a), tile(b)});
+  }
+  for (size_t i = 1; i <= inst.n; ++i) {
+    out.source.Add("Ns", {universe->IntConst(static_cast<int64_t>(i))});
+    for (size_t j = i + 1; j <= inst.n; ++j) {
+      out.source.Add("Lts", {universe->IntConst(static_cast<int64_t>(i)),
+                             universe->IntConst(static_cast<int64_t>(j))});
+    }
+  }
+  for (uint32_t t = 0; t < inst.num_tiles; ++t) {
+    out.source.Add("Tiles", {tile(t)});
+  }
+  Value empty = universe->Const("empty");
+  out.source.Add("Emptys", {empty});
+  out.source.GetOrCreate("Hs", 2);
+  out.source.GetOrCreate("Vs", 2);
+  out.source.GetOrCreate("Lts", 2);
+
+  // beta1: F maps each tile either only to 'empty' or only to positions.
+  std::string beta1 =
+      "!(exists bt by1 by2. F(bt, by1) & F(bt, by2) & Empty(by1) & "
+      "!Empty(by2))";
+  // beta2: F is a function on non-empty codes.
+  std::string beta2 =
+      "forall bx bt bt2. (!Empty(bx) & F(bt, bx) & F(bt2, bx)) -> bt = bt2";
+  // beta31: exactly one code for position (2^n - 1, 2^n - 1).
+  std::string full_y =
+      StrCat("(", Pos("uy"), " & (forall ni. N(ni) -> (Gh(ni, uy) & "
+                             "Gv(ni, uy))))");
+  std::string full_y2 =
+      StrCat("(", Pos("uy2"), " & (forall ni. N(ni) -> (Gh(ni, uy2) & "
+                              "Gv(ni, uy2))))");
+  std::string beta31 = ExistsUnique("uy", "uy2", full_y, full_y2);
+  // beta32: predecessors of represented positions are represented.
+  auto pred = [&](const std::string& ga, const std::string& gb) {
+    std::string succ_z = StrCat("(", Pos("pz"), " & ",
+                                Succ(ga, gb, "pz", "py"), ")");
+    std::string succ_z2 = StrCat("(", Pos("pz2"), " & ",
+                                 Succ(ga, gb, "pz2", "py"), ")");
+    return StrCat("((exists pi. ", ga, "(pi, py)) -> ",
+                  ExistsUnique("pz", "pz2", succ_z, succ_z2), ")");
+  };
+  std::string beta32 = StrCat("forall py. ", Pos("py"), " -> (",
+                              pred("Gh", "Gv"), " & ", pred("Gv", "Gh"), ")");
+  // beta41: tile t0 sits at the origin.
+  std::string beta41 =
+      "exists oy. F('t0', oy) & !Empty(oy) & !(exists oi. Gh(oi, oy) | "
+      "Gv(oi, oy))";
+  // beta42: adjacent tiles are compatible.
+  std::string beta42 = StrCat(
+      "forall cx cy ct ct2. (F(ct, cx) & F(ct2, cy) & !Empty(cx) & "
+      "!Empty(cy)) -> ((",
+      Succ("Gh", "Gv", "cx", "cy"), " -> H(ct, ct2)) & (",
+      Succ("Gv", "Gh", "cx", "cy"), " -> V(ct, ct2)))");
+
+  std::string beta = StrCat("(", beta1, ") & (", beta2, ") & (", beta31,
+                            ") & (", beta32, ") & (", beta41, ") & (", beta42,
+                            ")");
+  OCDX_ASSIGN_OR_RETURN(out.beta, ParseFormula(beta, universe));
+  OCDX_ASSIGN_OR_RETURN(out.query,
+                        ParseFormula(StrCat("!((", beta, ") & Empty(qx))"),
+                                     universe));
+  out.probe = {empty};
+  return out;
+}
+
+namespace {
+
+bool TileRec(const TilingInstance& inst, size_t side, std::vector<int>* grid,
+             size_t cell) {
+  if (cell == side * side) return true;
+  size_t row = cell / side, col = cell % side;
+  for (uint32_t t = 0; t < inst.num_tiles; ++t) {
+    if (cell == 0 && t != 0) continue;  // f(0,0) = t0.
+    bool ok = true;
+    if (col > 0) {
+      int left = (*grid)[cell - 1];
+      bool compat = false;
+      for (const auto& [a, b] : inst.horizontal) {
+        if (a == static_cast<uint32_t>(left) && b == t) compat = true;
+      }
+      ok = ok && compat;
+    }
+    if (row > 0) {
+      int below = (*grid)[cell - side];
+      bool compat = false;
+      for (const auto& [a, b] : inst.vertical) {
+        if (a == static_cast<uint32_t>(below) && b == t) compat = true;
+      }
+      ok = ok && compat;
+    }
+    if (ok) {
+      (*grid)[cell] = static_cast<int>(t);
+      if (TileRec(inst, side, grid, cell + 1)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool HasTiling(const TilingInstance& inst) {
+  size_t side = size_t{1} << inst.n;
+  std::vector<int> grid(side * side, -1);
+  return TileRec(inst, side, &grid, 0);
+}
+
+}  // namespace ocdx

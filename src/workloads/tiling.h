@@ -1,0 +1,53 @@
+// The 2^n x 2^n tiling reduction of Theorem 3: coNEXPTIME-hardness of
+// DEQA for mappings with #op = 1.
+//
+// An input <T, H, V, n> (tile types, horizontal/vertical compatibility,
+// n in unary) becomes:
+//   - a fixed annotated mapping with #op(Sigma_alpha) = 1 whose open
+//     nulls let each target-domain value encode a pair of n-bit
+//     coordinates (a grid position) via the relations Gh and Gv;
+//   - a source instance encoding the input;
+//   - an FO sentence beta forcing F to describe a correct tiling, and the
+//     query Q(x) = !(beta & Empty(x)) with probe tuple ('empty'), so that
+//     a tiling exists iff 'empty' is NOT a certain answer.
+
+#ifndef OCDX_WORKLOADS_TILING_H_
+#define OCDX_WORKLOADS_TILING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/instance.h"
+#include "logic/formula.h"
+#include "mapping/mapping.h"
+#include "util/status.h"
+
+namespace ocdx {
+
+struct TilingInstance {
+  size_t num_tiles = 0;  ///< Tile types 0 .. num_tiles-1; tile 0 is t0.
+  std::vector<std::pair<uint32_t, uint32_t>> horizontal;  ///< H.
+  std::vector<std::pair<uint32_t, uint32_t>> vertical;    ///< V.
+  size_t n = 1;  ///< The grid is 2^n x 2^n.
+};
+
+struct TilingReduction {
+  Mapping mapping;   ///< The fixed Sigma_alpha of the proof (#op = 1).
+  Instance source;   ///< Encodes the tiling instance.
+  FormulaPtr beta;   ///< "F, Gh, Gv describe a tiling".
+  FormulaPtr query;  ///< Q(x) = !(beta & Empty(x)).
+  Tuple probe;       ///< The 'empty' constant.
+};
+
+/// Builds the Theorem 3 reduction.
+Result<TilingReduction> BuildTilingReduction(const TilingInstance& inst,
+                                             Universe* universe);
+
+/// Exhaustive tiling check (exponential in the grid size; use n <= 2).
+bool HasTiling(const TilingInstance& inst);
+
+}  // namespace ocdx
+
+#endif  // OCDX_WORKLOADS_TILING_H_

@@ -1,0 +1,123 @@
+#include "workloads/tripartite.h"
+
+#include <algorithm>
+
+#include "mapping/rule_parser.h"
+#include "util/str.h"
+
+namespace ocdx {
+
+TripartiteInstance TripartiteWithMatching(size_t n, size_t extra, Rng* rng) {
+  TripartiteInstance inst;
+  inst.n = n;
+  // Planted matching: random permutations of the three parts.
+  std::vector<uint32_t> pb(n), pg(n), ph(n);
+  for (size_t i = 0; i < n; ++i) pb[i] = pg[i] = ph[i] = i;
+  for (size_t i = n; i > 1; --i) {
+    std::swap(pg[i - 1], pg[rng->Below(i)]);
+    std::swap(ph[i - 1], ph[rng->Below(i)]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    inst.triples.push_back({pb[i], pg[i], ph[i]});
+  }
+  for (size_t e = 0; e < extra; ++e) {
+    inst.triples.push_back({static_cast<uint32_t>(rng->Below(n)),
+                            static_cast<uint32_t>(rng->Below(n)),
+                            static_cast<uint32_t>(rng->Below(n))});
+  }
+  // Deduplicate.
+  std::sort(inst.triples.begin(), inst.triples.end());
+  inst.triples.erase(std::unique(inst.triples.begin(), inst.triples.end()),
+                     inst.triples.end());
+  return inst;
+}
+
+TripartiteInstance TripartiteRandom(size_t n, size_t triples, Rng* rng) {
+  TripartiteInstance inst;
+  inst.n = n;
+  for (size_t e = 0; e < triples; ++e) {
+    inst.triples.push_back({static_cast<uint32_t>(rng->Below(n)),
+                            static_cast<uint32_t>(rng->Below(n)),
+                            static_cast<uint32_t>(rng->Below(n))});
+  }
+  std::sort(inst.triples.begin(), inst.triples.end());
+  inst.triples.erase(std::unique(inst.triples.begin(), inst.triples.end()),
+                     inst.triples.end());
+  return inst;
+}
+
+namespace {
+
+bool MatchRec(const TripartiteInstance& inst, size_t next_b, uint32_t used_g,
+              uint32_t used_h) {
+  if (next_b == inst.n) return true;
+  for (const auto& t : inst.triples) {
+    if (t[0] != next_b) continue;
+    if ((used_g >> t[1]) & 1) continue;
+    if ((used_h >> t[2]) & 1) continue;
+    if (MatchRec(inst, next_b + 1, used_g | (1u << t[1]),
+                 used_h | (1u << t[2]))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool HasTripartiteMatching(const TripartiteInstance& inst) {
+  // Each b in B must be matched; iterate B in order (B-values must cover
+  // 0..n-1, which the reduction requires anyway).
+  if (inst.n > 31) return false;  // Guarded by callers.
+  return MatchRec(inst, 0, 0, 0);
+}
+
+Result<TripartiteReduction> BuildTripartiteReduction(
+    const TripartiteInstance& inst, Universe* universe) {
+  // sigma = {N/1, Cs/3}; tau = {B/1, G/1, H/1, C/3}.
+  Schema source_schema, target_schema;
+  source_schema.Add("N", 1).Add("Cs", 3);
+  target_schema.Add("B", 1).Add("G", 1).Add("H", 1).Add("C", 3);
+
+  // Sigma_alpha, with #cl = 1:
+  //   C(x^op, y^op, z^op), B(x^cl), G(y^cl), H(z^cl) :- N(w)
+  //   C(x^op, y^op, z^op) :- Cs(x, y, z)
+  const char kRules[] = R"(
+    C(x^op, y^op, z^op), B(x^cl), G(y^cl), H(z^cl) :- N(w);
+    C(x^op, y^op, z^op) :- Cs(x, y, z);
+  )";
+  OCDX_ASSIGN_OR_RETURN(
+      Mapping mapping,
+      ParseMapping(kRules, source_schema, target_schema, universe));
+
+  TripartiteReduction out{std::move(mapping), Instance(), Instance()};
+
+  // Source: N = {1..n}, Cs = C0.
+  for (size_t i = 1; i <= inst.n; ++i) {
+    out.source.Add("N", {universe->IntConst(static_cast<int64_t>(i))});
+  }
+  auto b = [&](uint32_t i) { return universe->Const(StrCat("b", i)); };
+  auto g = [&](uint32_t i) { return universe->Const(StrCat("g", i)); };
+  auto h = [&](uint32_t i) { return universe->Const(StrCat("h", i)); };
+  for (const auto& t : inst.triples) {
+    out.source.Add("Cs", {b(t[0]), g(t[1]), h(t[2])});
+  }
+
+  // Target: B, G, H are the three parts; C is C0.
+  for (uint32_t i = 0; i < inst.n; ++i) {
+    out.target.Add("B", {b(i)});
+    out.target.Add("G", {g(i)});
+    out.target.Add("H", {h(i)});
+  }
+  for (const auto& t : inst.triples) {
+    out.target.Add("C", {b(t[0]), g(t[1]), h(t[2])});
+  }
+  // Ensure empty relations exist even for degenerate inputs.
+  out.source.GetOrCreate("N", 1);
+  out.source.GetOrCreate("Cs", 3);
+  for (const char* r : {"B", "G", "H"}) out.target.GetOrCreate(r, 1);
+  out.target.GetOrCreate("C", 3);
+  return out;
+}
+
+}  // namespace ocdx

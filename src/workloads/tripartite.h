@@ -1,0 +1,54 @@
+// The tripartite-matching reduction of Theorem 2.
+//
+// From an input <B0, G0, H0, C0> of tripartite matching (three disjoint
+// n-element sets and a compatibility relation C0), the paper builds an
+// annotated mapping with #cl = 1 and a (source, target) pair such that
+// T in [[S]]_{Sigma_alpha} iff a perfect tripartite matching exists —
+// establishing NP-hardness of solution-space recognition.
+
+#ifndef OCDX_WORKLOADS_TRIPARTITE_H_
+#define OCDX_WORKLOADS_TRIPARTITE_H_
+
+#include <array>
+#include <vector>
+
+#include "base/instance.h"
+#include "mapping/mapping.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ocdx {
+
+/// A tripartite-matching instance: elements of each part are 0..n-1;
+/// triples index into the three parts.
+struct TripartiteInstance {
+  size_t n = 0;
+  std::vector<std::array<uint32_t, 3>> triples;
+};
+
+/// An instance that contains a planted perfect matching plus `extra`
+/// random triples.
+TripartiteInstance TripartiteWithMatching(size_t n, size_t extra, Rng* rng);
+
+/// Random triples with no planted matching (may still admit one; pair
+/// with HasTripartiteMatching for ground truth).
+TripartiteInstance TripartiteRandom(size_t n, size_t triples, Rng* rng);
+
+/// Exhaustive matching check (for validation).
+bool HasTripartiteMatching(const TripartiteInstance& inst);
+
+/// The reduction output: mapping + source/target instances.
+struct TripartiteReduction {
+  Mapping mapping;  ///< #cl(Sigma_alpha) = 1 as in the paper's proof.
+  Instance source;
+  Instance target;
+};
+
+/// Builds the Theorem 2 reduction. Element b_i / g_i / h_i of part
+/// B/G/H becomes constant "b<i>" / "g<i>" / "h<i>".
+Result<TripartiteReduction> BuildTripartiteReduction(
+    const TripartiteInstance& inst, Universe* universe);
+
+}  // namespace ocdx
+
+#endif  // OCDX_WORKLOADS_TRIPARTITE_H_

@@ -1,0 +1,216 @@
+// Unit tests for src/base: values, annotations, tuples, relations,
+// instances, schemas.
+
+#include <gtest/gtest.h>
+
+#include "base/annotation.h"
+#include "base/instance.h"
+#include "base/relation.h"
+#include "base/schema.h"
+#include "base/tuple.h"
+#include "base/value.h"
+
+namespace ocdx {
+namespace {
+
+TEST(ValueTest, ConstInterningIsIdempotent) {
+  Universe u;
+  Value a1 = u.Const("a");
+  Value a2 = u.Const("a");
+  Value b = u.Const("b");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_TRUE(a1.IsConst());
+  EXPECT_FALSE(a1.IsNull());
+  EXPECT_EQ(u.Describe(a1), "a");
+}
+
+TEST(ValueTest, NullsAreAlwaysFresh) {
+  Universe u;
+  Value n1 = u.FreshNull();
+  Value n2 = u.FreshNull();
+  EXPECT_NE(n1, n2);
+  EXPECT_TRUE(n1.IsNull());
+}
+
+TEST(ValueTest, NullsAndConstsAreDisjoint) {
+  Universe u;
+  Value c = u.Const("x");
+  Value n = u.FreshNull("x");
+  EXPECT_NE(c, n);
+}
+
+TEST(ValueTest, InvalidValueSentinel) {
+  Value v;
+  EXPECT_FALSE(v.IsValid());
+  EXPECT_FALSE(v.IsConst());
+  EXPECT_FALSE(v.IsNull());
+}
+
+TEST(ValueTest, NullJustificationIsStored) {
+  Universe u;
+  NullInfo info;
+  info.std_index = 3;
+  info.var = "z";
+  Value n = u.MintNull(info);
+  EXPECT_EQ(u.null_info(n).std_index, 3);
+  EXPECT_EQ(u.null_info(n).var, "z");
+}
+
+TEST(AnnotationTest, LatticeOrder) {
+  // AnnLeq(a, b): closed positions of a may become open in b.
+  AnnVec cl2 = AllClosed(2);
+  AnnVec op2 = AllOpen(2);
+  AnnVec mixed = {Ann::kClosed, Ann::kOpen};
+  EXPECT_TRUE(AnnLeq(cl2, cl2));
+  EXPECT_TRUE(AnnLeq(cl2, mixed));
+  EXPECT_TRUE(AnnLeq(cl2, op2));
+  EXPECT_TRUE(AnnLeq(mixed, op2));
+  EXPECT_FALSE(AnnLeq(op2, mixed));
+  EXPECT_FALSE(AnnLeq(mixed, cl2));
+  EXPECT_FALSE(AnnLeq(cl2, AllClosed(3)));  // Arity mismatch.
+}
+
+TEST(AnnotationTest, Counts) {
+  AnnVec mixed = {Ann::kClosed, Ann::kOpen, Ann::kOpen};
+  EXPECT_EQ(CountOpen(mixed), 2u);
+  EXPECT_EQ(CountClosed(mixed), 1u);
+  EXPECT_FALSE(IsAllOpen(mixed));
+  EXPECT_FALSE(IsAllClosed(mixed));
+  EXPECT_EQ(AnnVecToString(mixed), "cl,op,op");
+}
+
+TEST(RelationTest, Dedup) {
+  Universe u;
+  Relation r(2);
+  EXPECT_TRUE(r.Add({u.Const("a"), u.Const("b")}));
+  EXPECT_FALSE(r.Add({u.Const("a"), u.Const("b")}));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains({u.Const("a"), u.Const("b")}));
+}
+
+TEST(RelationTest, SubsetAndEquality) {
+  Universe u;
+  Relation r1(1), r2(1);
+  r1.Add({u.Const("a")});
+  r2.Add({u.Const("a")});
+  r2.Add({u.Const("b")});
+  EXPECT_TRUE(r1.SubsetOf(r2));
+  EXPECT_FALSE(r2.SubsetOf(r1));
+  EXPECT_FALSE(r1 == r2);
+  r1.Add({u.Const("b")});
+  EXPECT_TRUE(r1 == r2);
+}
+
+TEST(AnnotatedTupleTest, EmptyMarker) {
+  AnnotatedTuple m = AnnotatedTuple::EmptyMarker(AllOpen(2));
+  EXPECT_TRUE(m.IsEmptyMarker());
+  EXPECT_EQ(m.arity(), 2u);
+  Universe u;
+  EXPECT_EQ(AnnotatedTupleToString(m, u), "(_, op,op)");
+}
+
+TEST(AnnotatedRelationTest, RelPartDropsMarkersAndAnnotations) {
+  Universe u;
+  AnnotatedRelation r(2);
+  r.Add(AnnotatedTuple({u.Const("a"), u.FreshNull()}, AllOpen(2)));
+  r.Add(AnnotatedTuple::EmptyMarker(AllClosed(2)));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.NumProperTuples(), 1u);
+  Relation plain = r.RelPart();
+  EXPECT_EQ(plain.size(), 1u);
+}
+
+TEST(AnnotatedRelationTest, SameTupleDifferentAnnotationsCoexist) {
+  // The chase can emit the same tuple with different annotations from
+  // different rules; both must be kept (they have different semantics).
+  Universe u;
+  AnnotatedRelation r(2);
+  Tuple t = {u.Const("a"), u.Const("b")};
+  EXPECT_TRUE(r.Add(AnnotatedTuple(t, AllOpen(2))));
+  EXPECT_TRUE(r.Add(AnnotatedTuple(t, AllClosed(2))));
+  EXPECT_FALSE(r.Add(AnnotatedTuple(t, AllOpen(2))));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.RelPart().size(), 1u);
+}
+
+TEST(InstanceTest, ActiveDomainAndNulls) {
+  Universe u;
+  Instance inst;
+  Value n = u.FreshNull();
+  inst.Add("R", {u.Const("a"), n});
+  inst.Add("S", {u.Const("b")});
+  EXPECT_EQ(inst.ActiveDomain().size(), 3u);
+  EXPECT_EQ(inst.Nulls().size(), 1u);
+  EXPECT_EQ(inst.Constants().size(), 2u);
+  EXPECT_FALSE(inst.IsGround());
+  EXPECT_EQ(inst.TotalTuples(), 2u);
+}
+
+TEST(InstanceTest, SubsetAndEquality) {
+  Universe u;
+  Instance a, b;
+  a.Add("R", {u.Const("x")});
+  b.Add("R", {u.Const("x")});
+  b.Add("R", {u.Const("y")});
+  EXPECT_TRUE(a.SubsetOf(b));
+  EXPECT_FALSE(b.SubsetOf(a));
+  EXPECT_FALSE(a == b);
+  a.Add("R", {u.Const("y")});
+  EXPECT_TRUE(a == b);
+  // An absent relation equals an empty one.
+  a.GetOrCreate("Empty", 1);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(AnnotatedInstanceTest, UniformAnnotationHelpers) {
+  Universe u;
+  Instance plain;
+  plain.Add("R", {u.Const("a"), u.Const("b")});
+  AnnotatedInstance open = Annotate(plain, Ann::kOpen);
+  AnnotatedInstance closed = Annotate(plain, Ann::kClosed);
+  EXPECT_TRUE(open.IsAllOpen());
+  EXPECT_FALSE(open.IsAllClosed());
+  EXPECT_TRUE(closed.IsAllClosed());
+  EXPECT_EQ(open.RelPart(), plain);
+  EXPECT_EQ(closed.RelPart(), plain);
+}
+
+TEST(SchemaTest, DeclarationAndValidation) {
+  Schema s;
+  s.Add("Papers", {"paper", "title"});
+  s.Add("Assignments", 2);
+  EXPECT_TRUE(s.Contains("Papers"));
+  EXPECT_EQ(s.Arity("Papers"), 2u);
+  EXPECT_FALSE(s.Contains("Reviews"));
+
+  Universe u;
+  Instance ok;
+  ok.Add("Papers", {u.Const("p1"), u.Const("t1")});
+  EXPECT_TRUE(s.Validate(ok).ok());
+
+  Instance bad_rel;
+  bad_rel.Add("Reviews", {u.Const("p1"), u.Const("r")});
+  EXPECT_EQ(s.Validate(bad_rel).code(), StatusCode::kNotFound);
+
+  Instance bad_arity;
+  bad_arity.Add("Papers", {u.Const("p1")});
+  EXPECT_EQ(s.Validate(bad_arity).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, DisjointUnion) {
+  Schema a, b, c;
+  a.Add("R", 2);
+  b.Add("S", 1);
+  c.Add("R", 3);
+  EXPECT_TRUE(a.DisjointFrom(b));
+  EXPECT_FALSE(a.DisjointFrom(c));
+  Result<Schema> ab = Schema::DisjointUnion(a, b);
+  ASSERT_TRUE(ab.ok());
+  EXPECT_TRUE(ab.value().Contains("R"));
+  EXPECT_TRUE(ab.value().Contains("S"));
+  EXPECT_FALSE(Schema::DisjointUnion(a, c).ok());
+}
+
+}  // namespace
+}  // namespace ocdx

@@ -1,0 +1,211 @@
+// Unit tests for the chase (canonical solutions), built around the
+// paper's own worked examples.
+
+#include <gtest/gtest.h>
+
+#include "chase/canonical.h"
+#include "mapping/rule_parser.h"
+
+namespace ocdx {
+namespace {
+
+class ChaseTest : public ::testing::Test {
+ protected:
+  Mapping MustParse(const std::string& rules, const Schema& src,
+                    const Schema& tgt) {
+    Result<Mapping> m = ParseMapping(rules, src, tgt, &u_);
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return m.ok() ? m.value() : Mapping();
+  }
+  Universe u_;
+};
+
+// Section 2 example: sigma = {E}, tau = {R}, R(x, z) :- E(x, y), with
+// E = {(a,c1), (a,c2), (b,c3)}. The canonical solution has
+// {(a, n1), (a, n2), (b, n3)} in R: one fresh null per *witness*, even
+// when the x-value repeats.
+TEST_F(ChaseTest, Section2Example) {
+  Schema src, tgt;
+  src.Add("E", 2);
+  tgt.Add("R", 2);
+  Mapping m = MustParse("R(x^cl, z^op) :- E(x, y);", src, tgt);
+
+  Instance s;
+  s.Add("E", {u_.Const("a"), u_.Const("c1")});
+  s.Add("E", {u_.Const("a"), u_.Const("c2")});
+  s.Add("E", {u_.Const("b"), u_.Const("c3")});
+
+  Result<CanonicalSolution> r = Chase(m, s, &u_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const AnnotatedRelation* rel = r.value().annotated.Find("R");
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->NumProperTuples(), 3u);
+  // Three distinct nulls, one per witness.
+  EXPECT_EQ(r.value().annotated.Nulls().size(), 3u);
+  EXPECT_EQ(r.value().triggers.size(), 3u);
+  // Annotations follow the STD.
+  for (const AnnotatedTuple& t : rel->tuples()) {
+    ASSERT_FALSE(t.IsEmptyMarker());
+    EXPECT_EQ(t.ann, (AnnVec{Ann::kClosed, Ann::kOpen}));
+    EXPECT_TRUE(t.values[0].IsConst());
+    EXPECT_TRUE(t.values[1].IsNull());
+  }
+  // Plain canonical solution drops annotations.
+  EXPECT_EQ(r.value().Plain().Find("R")->size(), 3u);
+}
+
+// Section 3 example: the same variable can be annotated differently in
+// different atoms. R(x^op, z1^cl), R(x^cl, z2^op) :- E(x, y) with a single
+// source tuple (a, c) gives CSolA = {(a^op, n1^cl), (a^cl, n2^op)}.
+TEST_F(ChaseTest, SameVariableDifferentAnnotations) {
+  Schema src, tgt;
+  src.Add("E", 2);
+  tgt.Add("R", 2);
+  Mapping m =
+      MustParse("R(x^op, z1^cl), R(x^cl, z2^op) :- E(x, y);", src, tgt);
+
+  Instance s;
+  s.Add("E", {u_.Const("a"), u_.Const("c")});
+
+  Result<CanonicalSolution> r = Chase(m, s, &u_);
+  ASSERT_TRUE(r.ok());
+  const AnnotatedRelation* rel = r.value().annotated.Find("R");
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->NumProperTuples(), 2u);
+  EXPECT_EQ(r.value().annotated.Nulls().size(), 2u);
+  bool saw_op_cl = false, saw_cl_op = false;
+  for (const AnnotatedTuple& t : rel->tuples()) {
+    if (t.ann == AnnVec{Ann::kOpen, Ann::kClosed}) saw_op_cl = true;
+    if (t.ann == AnnVec{Ann::kClosed, Ann::kOpen}) saw_cl_op = true;
+  }
+  EXPECT_TRUE(saw_op_cl);
+  EXPECT_TRUE(saw_cl_op);
+}
+
+// Existential variables shared between head atoms reuse the same null
+// within one witness.
+TEST_F(ChaseTest, SharedExistentialNullWithinWitness) {
+  Schema src, tgt;
+  src.Add("P", 1);
+  tgt.Add("A", 2);
+  tgt.Add("B", 2);
+  Mapping m = MustParse("A(x^cl, z^cl), B(x^cl, z^cl) :- P(x);", src, tgt);
+
+  Instance s;
+  s.Add("P", {u_.Const("p")});
+
+  Result<CanonicalSolution> r = Chase(m, s, &u_);
+  ASSERT_TRUE(r.ok());
+  const AnnotatedRelation* a = r.value().annotated.Find("A");
+  const AnnotatedRelation* b = r.value().annotated.Find("B");
+  ASSERT_EQ(a->NumProperTuples(), 1u);
+  ASSERT_EQ(b->NumProperTuples(), 1u);
+  EXPECT_EQ(a->tuples()[0].values[1], b->tuples()[0].values[1])
+      << "same z must produce the same null in both atoms";
+  EXPECT_EQ(r.value().annotated.Nulls().size(), 1u);
+}
+
+// "If phi evaluates to the empty set over S, we add empty tuples for each
+// atom in psi, annotated according to alpha."
+TEST_F(ChaseTest, EmptyBodyYieldsEmptyMarkers) {
+  Schema src, tgt;
+  src.Add("P", 1);
+  tgt.Add("T", 2);
+  Mapping m = MustParse("T(x^cl, z^op) :- P(x);", src, tgt);
+
+  Instance s;  // P empty.
+  Result<CanonicalSolution> r = Chase(m, s, &u_);
+  ASSERT_TRUE(r.ok());
+  const AnnotatedRelation* rel = r.value().annotated.Find("T");
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->size(), 1u);
+  EXPECT_TRUE(rel->tuples()[0].IsEmptyMarker());
+  EXPECT_EQ(rel->tuples()[0].ann, (AnnVec{Ann::kClosed, Ann::kOpen}));
+  EXPECT_EQ(r.value().triggers.size(), 0u);
+}
+
+// FO bodies: the third conference rule fires only for unassigned papers.
+TEST_F(ChaseTest, NegationInBody) {
+  Schema src, tgt;
+  src.Add("Papers", 2);
+  src.Add("Assignments", 2);
+  tgt.Add("Reviews", 2);
+  Mapping m = MustParse(
+      "Reviews(x^cl, z^op) :- Papers(x, y) & !exists r. Assignments(x, r);",
+      src, tgt);
+
+  Instance s;
+  s.Add("Papers", {u_.Const("p1"), u_.Const("t1")});
+  s.Add("Papers", {u_.Const("p2"), u_.Const("t2")});
+  s.Add("Assignments", {u_.Const("p1"), u_.Const("rev")});
+
+  Result<CanonicalSolution> r = Chase(m, s, &u_);
+  ASSERT_TRUE(r.ok());
+  const AnnotatedRelation* rel = r.value().annotated.Find("Reviews");
+  ASSERT_NE(rel, nullptr);
+  ASSERT_EQ(rel->NumProperTuples(), 1u);
+  EXPECT_EQ(rel->tuples()[0].values[0], u_.Const("p2"));
+}
+
+// Justifications: nulls record their STD, witness and variable.
+TEST_F(ChaseTest, NullJustifications) {
+  Schema src, tgt;
+  src.Add("E", 2);
+  tgt.Add("R", 2);
+  Mapping m = MustParse("R(x^cl, z^op) :- E(x, y);", src, tgt);
+
+  Instance s;
+  s.Add("E", {u_.Const("a"), u_.Const("c1")});
+  Result<CanonicalSolution> r = Chase(m, s, &u_);
+  ASSERT_TRUE(r.ok());
+  std::vector<Value> nulls = r.value().annotated.Nulls();
+  ASSERT_EQ(nulls.size(), 1u);
+  const NullInfo& info = u_.null_info(nulls[0]);
+  EXPECT_EQ(info.std_index, 0);
+  EXPECT_EQ(info.var, "z");
+  EXPECT_EQ(info.witness, (Tuple{u_.Const("a"), u_.Const("c1")}));
+}
+
+// Chasing must reject Skolemized mappings and schema violations.
+TEST_F(ChaseTest, RejectsBadInputs) {
+  Schema src, tgt;
+  src.Add("S", 2);
+  tgt.Add("T", 2);
+  Result<Mapping> sk =
+      ParseMapping("T(f(x)^cl, x^cl) :- S(x, y);", src, tgt, &u_,
+                   Ann::kClosed, /*allow_functions=*/true);
+  ASSERT_TRUE(sk.ok());
+  Instance s;
+  s.Add("S", {u_.Const("a"), u_.Const("b")});
+  EXPECT_FALSE(Chase(sk.value(), s, &u_).ok());
+
+  Mapping plain = MustParse("T(x^cl, z^op) :- S(x, y);", src, tgt);
+  Instance bad;
+  bad.Add("S", {u_.Const("a")});  // Wrong arity.
+  EXPECT_FALSE(Chase(plain, bad, &u_).ok());
+}
+
+// Determinism: chasing twice in fresh universes produces isomorphic
+// (here: structurally identical up to null ids) solutions of equal size.
+TEST_F(ChaseTest, DeterministicSize) {
+  Schema src, tgt;
+  src.Add("E", 2);
+  tgt.Add("R", 2);
+  for (int round = 0; round < 2; ++round) {
+    Universe u;
+    Result<Mapping> m = ParseMapping("R(x^cl, z^op) :- E(x, y);", src, tgt,
+                                     &u);
+    ASSERT_TRUE(m.ok());
+    Instance s;
+    for (int i = 0; i < 10; ++i) {
+      s.Add("E", {u.IntConst(i), u.IntConst(i + 1)});
+    }
+    Result<CanonicalSolution> r = Chase(m.value(), s, &u);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().annotated.Find("R")->NumProperTuples(), 10u);
+    EXPECT_EQ(r.value().triggers.size(), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace ocdx

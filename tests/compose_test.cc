@@ -1,0 +1,221 @@
+// Tests for semantic composition (Theorem 4, Table 1): the NP paths, the
+// 3-colorability reduction, Lemma 3 / Corollary 4, and Proposition 6's
+// non-composability witness family.
+
+#include <gtest/gtest.h>
+
+#include "compose/compose.h"
+#include "mapping/rule_parser.h"
+#include "workloads/coloring.h"
+#include "workloads/scenarios.h"
+
+namespace ocdx {
+namespace {
+
+class ComposeTest : public ::testing::Test {
+ protected:
+  ComposeVerdict MustDecide(const Mapping& sigma, const Mapping& delta,
+                            const Instance& s, const Instance& w,
+                            ComposeOptions opts = {}) {
+    Result<ComposeVerdict> r = InComposition(sigma, delta, s, w, &u_, opts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value() : ComposeVerdict{};
+  }
+  Universe u_;
+};
+
+// --- Theorem 4 NP-hardness reduction: 3-colorability -----------------------
+
+TEST_F(ComposeTest, TriangleIsThreeColorable) {
+  Result<ColoringReduction> red =
+      BuildColoringReduction(CompleteGraph(3), &u_);
+  ASSERT_TRUE(red.ok()) << red.status().ToString();
+  ComposeVerdict v = MustDecide(red.value().sigma, red.value().delta,
+                                red.value().source, red.value().target);
+  EXPECT_TRUE(v.member);
+  EXPECT_TRUE(v.exhaustive);
+  EXPECT_NE(v.method.find("all-closed Sigma"), std::string::npos) << v.method;
+}
+
+TEST_F(ComposeTest, K4IsNotThreeColorable) {
+  Result<ColoringReduction> red =
+      BuildColoringReduction(CompleteGraph(4), &u_);
+  ASSERT_TRUE(red.ok());
+  ComposeVerdict v = MustDecide(red.value().sigma, red.value().delta,
+                                red.value().source, red.value().target);
+  EXPECT_FALSE(v.member);
+  EXPECT_TRUE(v.exhaustive) << "all-closed path is a decision procedure";
+}
+
+// Property sweep: the reduction agrees with brute-force 3-colorability,
+// for every annotation of Delta (the theorem's "for every alpha'").
+class ColoringSweep : public ComposeTest,
+                      public ::testing::WithParamInterface<int> {};
+
+TEST_P(ColoringSweep, ReductionMatchesBruteForce) {
+  Rng rng(1234 + GetParam());
+  Graph g = RandomGraph(4, 1, 2, &rng);
+  bool expected = IsThreeColorable(g);
+  for (Ann delta_ann : {Ann::kClosed, Ann::kOpen}) {
+    Result<ColoringReduction> red =
+        BuildColoringReduction(g, &u_, delta_ann);
+    ASSERT_TRUE(red.ok());
+    ComposeVerdict v = MustDecide(red.value().sigma, red.value().delta,
+                                  red.value().source, red.value().target);
+    EXPECT_EQ(v.member, expected)
+        << "graph seed " << GetParam() << " delta_ann "
+        << AnnToString(delta_ann);
+    EXPECT_TRUE(v.exhaustive);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, ColoringSweep,
+                         ::testing::Range(0, 8));
+
+// --- Lemma 3 / Corollary 4: monotone all-open Delta -------------------------
+
+TEST_F(ComposeTest, MonotoneAllOpenDeltaCollapsesSigmaAnnotation) {
+  // Sigma copies E with varying annotation; Delta (monotone CQ, all-open)
+  // asks for a 2-path witness in omega.
+  Schema src, tau, omega;
+  src.Add("E", 2);
+  tau.Add("F", 2);
+  omega.Add("P", 2);
+  Instance s;
+  s.Add("E", {u_.Const("a"), u_.Const("b")});
+  s.Add("E", {u_.Const("b"), u_.Const("c")});
+  Instance w;
+  w.Add("P", {u_.Const("a"), u_.Const("c")});
+
+  Result<Mapping> delta = ParseMapping(
+      "P(x^op, y^op) :- exists z. F(x, z) & F(z, y);", tau, omega, &u_);
+  ASSERT_TRUE(delta.ok());
+
+  std::vector<bool> results;
+  for (const char* rules :
+       {"F(x^cl, y^cl) :- E(x, y);", "F(x^cl, y^op) :- E(x, y);",
+        "F(x^op, y^op) :- E(x, y);"}) {
+    Result<Mapping> sigma = ParseMapping(rules, src, tau, &u_);
+    ASSERT_TRUE(sigma.ok());
+    ComposeVerdict v =
+        MustDecide(sigma.value(), delta.value(), s, w);
+    EXPECT_TRUE(v.exhaustive);
+    EXPECT_NE(v.method.find("NP"), std::string::npos) << v.method;
+    results.push_back(v.member);
+  }
+  // Lemma 3: all annotations of Sigma give the same composition.
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[1], results[2]);
+  EXPECT_TRUE(results[0]) << "copying E then taking 2-paths reaches (a,c)";
+}
+
+// --- Proposition 6: the witness family ---------------------------------------
+
+TEST_F(ComposeTest, Prop6CompositionMembers) {
+  // Claim 6: every uniform instance { (i, c) : i = 1..n } belongs to the
+  // composition, for any single value c.
+  Result<Prop6Scenario> sc =
+      BuildProp6Scenario(3, Ann::kClosed, Ann::kClosed, &u_);
+  ASSERT_TRUE(sc.ok());
+  Instance w;
+  for (int i = 1; i <= 3; ++i) {
+    w.Add("Dr", {u_.IntConst(i), u_.Const("c")});
+  }
+  ComposeVerdict v =
+      MustDecide(sc.value().sigma, sc.value().delta, sc.value().source, w);
+  EXPECT_TRUE(v.member);
+
+  // But dropping a row breaks it: C = {1..n} forces every i to pair with
+  // the (single, closed) N-value.
+  Instance partial;
+  partial.Add("Dr", {u_.IntConst(1), u_.Const("c")});
+  ComposeVerdict v2 = MustDecide(sc.value().sigma, sc.value().delta,
+                                 sc.value().source, partial);
+  EXPECT_FALSE(v2.member);
+  EXPECT_TRUE(v2.exhaustive);
+
+  // Two different second-column values cannot both be present: the
+  // intermediate N holds exactly one (closed) value.
+  Instance two_vals;
+  for (int i = 1; i <= 3; ++i) {
+    two_vals.Add("Dr", {u_.IntConst(i), u_.Const("c")});
+    two_vals.Add("Dr", {u_.IntConst(i), u_.Const("d")});
+  }
+  ComposeVerdict v3 = MustDecide(sc.value().sigma, sc.value().delta,
+                                 sc.value().source, two_vals);
+  EXPECT_FALSE(v3.member);
+}
+
+// --- General path (#op >= 1) --------------------------------------------------
+
+TEST_F(ComposeTest, OpenSigmaGeneralPathFindsWitness) {
+  // Sigma with an open position: the intermediate may replicate, which
+  // the composition needs here.
+  Schema src, tau, omega;
+  src.Add("E", 1);
+  tau.Add("F", 2);
+  omega.Add("P", 2);
+  Result<Mapping> sigma =
+      ParseMapping("F(x^cl, z^op) :- E(x);", src, tau, &u_);
+  Result<Mapping> delta = ParseMapping(
+      "P(y^cl, y2^cl) :- F(x, y) & F(x, y2) & !(y = y2);", tau, omega, &u_);
+  ASSERT_TRUE(sigma.ok());
+  ASSERT_TRUE(delta.ok());
+
+  Instance s;
+  s.Add("E", {u_.Const("a")});
+  // W needs two distinct F-successors of a: only possible by replicating
+  // the open null.
+  Instance w;
+  w.Add("P", {u_.Const("u"), u_.Const("v")});
+  w.Add("P", {u_.Const("v"), u_.Const("u")});
+
+  ComposeOptions opts;
+  opts.enum_options.fresh_pool = 2;
+  ComposeVerdict v =
+      MustDecide(sigma.value(), delta.value(), s, w, opts);
+  EXPECT_TRUE(v.member);
+  EXPECT_TRUE(v.exhaustive) << "positive verdicts carry a concrete witness";
+  EXPECT_NE(v.method.find("Thm 4.2"), std::string::npos) << v.method;
+
+  // With a closed second position the same W is impossible.
+  Result<Mapping> sigma_cl =
+      ParseMapping("F(x^cl, z^cl) :- E(x);", src, tau, &u_);
+  ASSERT_TRUE(sigma_cl.ok());
+  ComposeVerdict v2 = MustDecide(sigma_cl.value(), delta.value(), s, w, opts);
+  EXPECT_FALSE(v2.member);
+  EXPECT_TRUE(v2.exhaustive);
+}
+
+// --- Input validation ---------------------------------------------------------
+
+TEST_F(ComposeTest, RejectsBadInputs) {
+  Schema src, tau, tau2, omega;
+  src.Add("E", 1);
+  tau.Add("F", 2);
+  tau2.Add("F", 3);
+  omega.Add("P", 1);
+  Result<Mapping> sigma = ParseMapping("F(x^cl, z^cl) :- E(x);", src, tau,
+                                       &u_);
+  Result<Mapping> delta2 = ParseMapping(
+      "P(x^cl) :- exists y z. F(x, y, z);", tau2, omega, &u_);
+  ASSERT_TRUE(sigma.ok());
+  ASSERT_TRUE(delta2.ok());
+  Instance s, w;
+  s.Add("E", {u_.Const("a")});
+  w.GetOrCreate("P", 1);
+  EXPECT_FALSE(
+      InComposition(sigma.value(), delta2.value(), s, w, &u_).ok())
+      << "intermediate schema mismatch";
+
+  Instance with_null;
+  with_null.Add("E", {u_.FreshNull()});
+  Result<Mapping> delta = ParseMapping("P(x^cl) :- exists y. F(x, y);", tau,
+                                       omega, &u_);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_FALSE(
+      InComposition(sigma.value(), delta.value(), with_null, w, &u_).ok());
+}
+
+}  // namespace
+}  // namespace ocdx

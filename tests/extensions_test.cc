@@ -1,0 +1,226 @@
+// Tests for the Section 6 extensions and for internal machinery that
+// deserves direct coverage: the 1-to-m limited open nulls, the
+// demanded-slot guard analysis behind the Skolem engines, and search
+// budget handling.
+
+#include <gtest/gtest.h>
+
+#include "certain/certain.h"
+#include "logic/parser.h"
+#include "mapping/rule_parser.h"
+#include "semantics/repa.h"
+#include "skolem/skolem.h"
+
+namespace ocdx {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Section 6: "if we allow 1-to-m relationships in place of 1-to-many
+// relationships and define such limited open nulls (each such null can be
+// replicated at most m times), then all the complexity results about CWA
+// mappings apply."
+// ---------------------------------------------------------------------------
+class LimitedOpenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    src_.Add("Papers", 2);
+    tgt_.Add("Submissions", 2);
+    Result<Mapping> m = ParseMapping(
+        "Submissions(x^cl, z^op) :- Papers(x, y);", src_, tgt_, &u_);
+    ASSERT_TRUE(m.ok());
+    mapping_ = m.value();
+    s_.Add("Papers", {u_.Const("p1"), u_.Const("t1")});
+    Result<CertainAnswerEngine> engine =
+        CertainAnswerEngine::Create(mapping_, s_, &u_);
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::make_unique<CertainAnswerEngine>(std::move(engine).value());
+  }
+
+  CertainVerdict Decide(const char* query, size_t m_limit) {
+    Result<FormulaPtr> q = ParseFormula(query, &u_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    CertainOptions opts;
+    opts.enum_options.fresh_pool = 4;
+    opts.enum_options.max_universe = 30;
+    opts.enum_options.open_replication_limit = m_limit;
+    Result<CertainVerdict> v =
+        engine_->IsCertainBoolean(q.value(), opts);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return v.ok() ? v.value() : CertainVerdict{};
+  }
+
+  Universe u_;
+  Schema src_, tgt_;
+  Mapping mapping_;
+  Instance s_;
+  std::unique_ptr<CertainAnswerEngine> engine_;
+};
+
+const char kAtMostOne[] =
+    "forall a1 a2. (Submissions('p1', a1) & Submissions('p1', a2)) "
+    "-> a1 = a2";
+const char kAtMostTwo[] =
+    "forall a1 a2 a3. (Submissions('p1', a1) & Submissions('p1', a2) & "
+    "Submissions('p1', a3)) -> (a1 = a2 | a1 = a3 | a2 = a3)";
+
+TEST_F(LimitedOpenTest, UnboundedOpenRefutesAllCardinalityBounds) {
+  EXPECT_FALSE(Decide(kAtMostOne, SIZE_MAX).certain);
+  EXPECT_FALSE(Decide(kAtMostTwo, SIZE_MAX).certain);
+}
+
+TEST_F(LimitedOpenTest, OneToTwoBoundsTheAuthorCount) {
+  // m = 2: at most two instantiations of the open author.
+  EXPECT_FALSE(Decide(kAtMostOne, 2).certain);
+  EXPECT_TRUE(Decide(kAtMostTwo, 2).certain);
+}
+
+TEST_F(LimitedOpenTest, OneToOneCollapsesToCwa) {
+  // m = 1: the open null behaves exactly like a CWA null.
+  EXPECT_TRUE(Decide(kAtMostOne, 1).certain);
+  EXPECT_TRUE(Decide(kAtMostTwo, 1).certain);
+}
+
+// ---------------------------------------------------------------------------
+// DemandedBodySlots: the guard analysis that keeps F' enumeration small.
+// ---------------------------------------------------------------------------
+class SlotAnalysisTest : public ::testing::Test {
+ protected:
+  Mapping MustParse(const std::string& rules, const Schema& src,
+                    const Schema& tgt) {
+    Result<Mapping> m =
+        ParseMapping(rules, src, tgt, &u_, Ann::kClosed, true);
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return m.ok() ? m.value() : Mapping();
+  }
+  Universe u_;
+};
+
+TEST_F(SlotAnalysisTest, GuardedArgumentsAreRestricted) {
+  Schema src, tgt;
+  src.Add("S", 2);
+  tgt.Add("T", 2);
+  // f is guarded by S(v0, v1): only first-column values are demanded.
+  Mapping m = MustParse(
+      "T(i^cl, v0^cl) :- exists v1. S(v0, v1) & i = f(v0);", src, tgt);
+  Instance s;
+  s.Add("S", {u_.Const("a"), u_.Const("b")});
+  s.Add("S", {u_.Const("c"), u_.Const("d")});
+  Result<SlotSet> slots = DemandedBodySlots(m, s, &u_);
+  ASSERT_TRUE(slots.ok()) << slots.status().ToString();
+  SlotSet expected = {{"f", {u_.Const("a")}}, {"f", {u_.Const("c")}}};
+  EXPECT_EQ(slots.value(), expected);
+}
+
+TEST_F(SlotAnalysisTest, UnguardedArgumentsFallBackToActiveDomain) {
+  Schema src, tgt;
+  src.Add("S", 2);
+  tgt.Add("T", 1);
+  // x is quantified but appears in no relational atom: all of adom.
+  Mapping m = MustParse("T(w^cl) :- exists x. w = f(x);", src, tgt);
+  Instance s;
+  s.Add("S", {u_.Const("a"), u_.Const("b")});
+  Result<SlotSet> slots = DemandedBodySlots(m, s, &u_);
+  ASSERT_TRUE(slots.ok());
+  EXPECT_EQ(slots.value().size(), 2u) << "one slot per active-domain value";
+}
+
+TEST_F(SlotAnalysisTest, HeadOnlyFunctionsDemandNothing) {
+  Schema src, tgt;
+  src.Add("S", 2);
+  tgt.Add("T", 2);
+  Mapping m = MustParse("T(f(v0)^cl, v0^cl) :- exists v1. S(v0, v1);", src,
+                        tgt);
+  Instance s;
+  s.Add("S", {u_.Const("a"), u_.Const("b")});
+  Result<SlotSet> slots = DemandedBodySlots(m, s, &u_);
+  ASSERT_TRUE(slots.ok());
+  EXPECT_TRUE(slots.value().empty())
+      << "head slots are phase-2 territory, not body demands";
+}
+
+TEST_F(SlotAnalysisTest, NestedBodyFunctionsRejected) {
+  Schema src, tgt;
+  src.Add("S", 1);
+  tgt.Add("T", 1);
+  Mapping m = MustParse("T(w^cl) :- S(x) & w = f(g(x));", src, tgt);
+  Instance s;
+  s.Add("S", {u_.Const("a")});
+  Result<SlotSet> slots = DemandedBodySlots(m, s, &u_);
+  EXPECT_FALSE(slots.ok());
+  EXPECT_EQ(slots.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(SlotAnalysisTest, QuantifierShadowingDropsGuards) {
+  Schema src, tgt;
+  src.Add("S", 2);
+  src.Add("P", 1);
+  tgt.Add("T", 1);
+  // The outer S(v0, v1) guard mentions v0, which is rebound inside the
+  // nested quantifier; the inner site must fall back to P's guard only.
+  Mapping m = MustParse(
+      "T(w^cl) :- exists v0 v1. S(v0, v1) & "
+      "(exists v0. P(v0) & w = f(v0));",
+      src, tgt);
+  Instance s;
+  s.Add("S", {u_.Const("a"), u_.Const("b")});
+  s.Add("P", {u_.Const("p")});
+  Result<SlotSet> slots = DemandedBodySlots(m, s, &u_);
+  ASSERT_TRUE(slots.ok());
+  SlotSet expected = {{"f", {u_.Const("p")}}};
+  EXPECT_EQ(slots.value(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Budget handling.
+// ---------------------------------------------------------------------------
+TEST(BudgetTest, RepASearchReportsExhaustion) {
+  Universe u;
+  AnnotatedInstance t;
+  // Many shared nulls force real backtracking.
+  std::vector<Value> nulls;
+  for (int i = 0; i < 6; ++i) nulls.push_back(u.FreshNull());
+  for (int i = 0; i < 6; ++i) {
+    t.Add("R", {nulls[i], nulls[(i + 1) % 6]}, AllClosed(2));
+  }
+  Instance big;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      if (i != j) big.Add("R", {u.IntConst(i), u.IntConst(j)});
+    }
+  }
+  RepAOptions opts;
+  opts.max_steps = 3;
+  Result<bool> r = InRepA(t, big, nullptr, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetTest, SecondOrderSentenceWithoutFunctions) {
+  Universe u;
+  Schema src, tgt;
+  src.Add("E", 2);
+  tgt.Add("R", 2);
+  Result<Mapping> m = ParseMapping("R(x^cl, y^cl) :- E(x, y);", src, tgt, &u);
+  ASSERT_TRUE(m.ok());
+  std::string sentence = ToSecondOrderSentence(m.value(), u);
+  EXPECT_EQ(sentence.find("exists"), std::string::npos)
+      << "no function prefix for function-free mappings: " << sentence;
+  EXPECT_NE(sentence.find("forall x y"), std::string::npos);
+}
+
+TEST(BudgetTest, EnsureSkolemizedRejectsMixed) {
+  Universe u;
+  Schema src, tgt;
+  src.Add("S", 2);
+  tgt.Add("T", 2);
+  // z existential *and* f(x) Skolem term: ambiguous, rejected.
+  Result<Mapping> m = ParseMapping("T(f(x)^cl, z^cl) :- S(x, y);", src, tgt,
+                                   &u, Ann::kClosed, true);
+  ASSERT_TRUE(m.ok());
+  Result<Mapping> ensured = EnsureSkolemized(m.value());
+  EXPECT_FALSE(ensured.ok());
+  EXPECT_EQ(ensured.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ocdx

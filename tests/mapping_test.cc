@@ -1,0 +1,144 @@
+// Unit tests for src/mapping: rule parsing, metrics, validation.
+
+#include <gtest/gtest.h>
+
+#include "mapping/mapping.h"
+#include "mapping/rule_parser.h"
+
+namespace ocdx {
+namespace {
+
+class MappingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    source_.Add("Papers", {"paper", "title"});
+    source_.Add("Assignments", {"paper", "reviewer"});
+    target_.Add("Submissions", {"paper", "author"});
+    target_.Add("Reviews", {"paper", "review"});
+  }
+  Schema source_, target_;
+  Universe u_;
+};
+
+// The running example from the paper's introduction.
+const char kConferenceRules[] = R"(
+  Submissions(x^cl, z^op) :- Papers(x, y);
+  Reviews(x^cl, z^cl) :- Assignments(x, y);
+  Reviews(x^cl, z^op) :- Papers(x, y) & !exists r. Assignments(x, r);
+)";
+
+TEST_F(MappingTest, ParsesConferenceExample) {
+  Result<Mapping> m =
+      ParseMapping(kConferenceRules, source_, target_, &u_);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m.value().stds().size(), 3u);
+  const AnnotatedStd& first = m.value().stds()[0];
+  EXPECT_EQ(first.head.size(), 1u);
+  EXPECT_EQ(first.head[0].rel, "Submissions");
+  EXPECT_EQ(first.head[0].ann, (AnnVec{Ann::kClosed, Ann::kOpen}));
+  EXPECT_EQ(first.BodyVars(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(first.ExistentialVars(), (std::vector<std::string>{"z"}));
+}
+
+TEST_F(MappingTest, MetricsCountPerAtom) {
+  Result<Mapping> m =
+      ParseMapping(kConferenceRules, source_, target_, &u_);
+  ASSERT_TRUE(m.ok());
+  // Each atom has at most 1 open and at most 2 closed positions.
+  EXPECT_EQ(m.value().MaxOpenPerAtom(), 1u);
+  EXPECT_EQ(m.value().MaxClosedPerAtom(), 2u);
+  EXPECT_FALSE(m.value().IsAllOpen());
+  EXPECT_FALSE(m.value().IsAllClosed());
+}
+
+TEST_F(MappingTest, PerAtomNotPerRule) {
+  // The paper: "for the rule T(x^cl, y^op) & T(x^cl, z^op) :- phi, the
+  // value of #op is 1, even though two variables occur with an open
+  // annotation."
+  Schema tgt;
+  tgt.Add("T", 2);
+  Schema src;
+  src.Add("P", 1);
+  Result<Mapping> m = ParseMapping(
+      "T(x^cl, y^op), T(x^cl, z^op) :- P(x);", src, tgt, &u_);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m.value().MaxOpenPerAtom(), 1u);
+  EXPECT_EQ(m.value().MaxClosedPerAtom(), 1u);
+}
+
+TEST_F(MappingTest, DefaultAnnotation) {
+  Result<Mapping> m = ParseMapping("Submissions(x, z) :- Papers(x, y);",
+                                   source_, target_, &u_, Ann::kOpen);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m.value().IsAllOpen());
+}
+
+TEST_F(MappingTest, UniformAnnotationOverride) {
+  Result<Mapping> m =
+      ParseMapping(kConferenceRules, source_, target_, &u_);
+  ASSERT_TRUE(m.ok());
+  Mapping op = m.value().WithUniformAnnotation(Ann::kOpen);
+  Mapping cl = m.value().WithUniformAnnotation(Ann::kClosed);
+  EXPECT_TRUE(op.IsAllOpen());
+  EXPECT_TRUE(cl.IsAllClosed());
+  EXPECT_EQ(op.stds().size(), 3u);
+}
+
+TEST_F(MappingTest, BodyClassification) {
+  Result<Mapping> m =
+      ParseMapping(kConferenceRules, source_, target_, &u_);
+  ASSERT_TRUE(m.ok());
+  EXPECT_FALSE(m.value().HasCQBodies());  // Third rule has negation.
+  Result<Mapping> cq = ParseMapping(
+      "Submissions(x^cl, z^op) :- Papers(x, y);", source_, target_, &u_);
+  ASSERT_TRUE(cq.ok());
+  EXPECT_TRUE(cq.value().HasCQBodies());
+  EXPECT_TRUE(cq.value().HasMonotoneBodies());
+}
+
+TEST_F(MappingTest, ValidationCatchesUnknownRelations) {
+  EXPECT_FALSE(
+      ParseMapping("Nope(x^cl) :- Papers(x, y);", source_, target_, &u_)
+          .ok());
+  EXPECT_FALSE(
+      ParseMapping("Submissions(x^cl, z^op) :- Nope(x);", source_, target_,
+                   &u_)
+          .ok());
+  // Wrong arity in the head.
+  EXPECT_FALSE(
+      ParseMapping("Submissions(x^cl) :- Papers(x, y);", source_, target_, &u_)
+          .ok());
+}
+
+TEST_F(MappingTest, SkolemizedTermsNeedOptIn) {
+  Schema src, tgt;
+  src.Add("S", {"em", "proj"});
+  tgt.Add("T", {"id", "em", "phone"});
+  const char rule[] =
+      "T(f(em)^cl, em^cl, g(em, proj)^op) :- S(em, proj);";
+  EXPECT_FALSE(ParseMapping(rule, src, tgt, &u_).ok());
+  Result<Mapping> sk = ParseMapping(rule, src, tgt, &u_, Ann::kClosed,
+                                    /*allow_functions=*/true);
+  ASSERT_TRUE(sk.ok()) << sk.status().ToString();
+  EXPECT_TRUE(sk.value().IsSkolemized());
+  EXPECT_EQ(sk.value().stds()[0].ExistentialVars().size(), 0u);
+}
+
+TEST_F(MappingTest, ConstantsInHeads) {
+  Schema src, tgt;
+  src.Add("S", 1);
+  tgt.Add("T", 2);
+  Result<Mapping> m =
+      ParseMapping("T(x^cl, 'fixed'^cl) :- S(x);", src, tgt, &u_);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_TRUE(m.value().stds()[0].head[0].terms[1].IsConst());
+}
+
+TEST_F(MappingTest, ParseErrors) {
+  EXPECT_FALSE(ParseStd("T(x^banana) :- S(x)", &u_).ok());
+  EXPECT_FALSE(ParseStd("T(x^cl)", &u_).ok());
+  EXPECT_FALSE(ParseStd(":- S(x)", &u_).ok());
+}
+
+}  // namespace
+}  // namespace ocdx

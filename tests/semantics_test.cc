@@ -1,0 +1,395 @@
+// Unit tests for src/semantics: Rep/RepA membership, homomorphisms,
+// solution checking, solution-space membership (Theorem 2), and the
+// up-to-isomorphism valuation enumerator.
+
+#include <gtest/gtest.h>
+
+#include "chase/canonical.h"
+#include "mapping/rule_parser.h"
+#include "semantics/homomorphism.h"
+#include "semantics/iso_enum.h"
+#include "semantics/membership.h"
+#include "semantics/repa.h"
+#include "semantics/solutions.h"
+
+namespace ocdx {
+namespace {
+
+class SemanticsTest : public ::testing::Test {
+ protected:
+  Mapping MustParse(const std::string& rules, const Schema& src,
+                    const Schema& tgt, Ann def = Ann::kClosed) {
+    Result<Mapping> m = ParseMapping(rules, src, tgt, &u_, def);
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return m.ok() ? m.value() : Mapping();
+  }
+
+  bool MustInRepA(const AnnotatedInstance& t, const Instance& r) {
+    Result<bool> res = InRepA(t, r);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return res.ok() && res.value();
+  }
+
+  Universe u_;
+};
+
+// Paper, Section 3: "RepA({(a^cl, n^op)}) contains all relations whose
+// projection on the first attribute is {a}".
+TEST_F(SemanticsTest, RepAOpenNullReplicates) {
+  AnnotatedInstance t;
+  Value n = u_.FreshNull();
+  t.Add("R", {u_.Const("a"), n}, {Ann::kClosed, Ann::kOpen});
+
+  Instance r1;  // {(a,b), (a,c)}: first projection {a} -> member.
+  r1.Add("R", {u_.Const("a"), u_.Const("b")});
+  r1.Add("R", {u_.Const("a"), u_.Const("c")});
+  EXPECT_TRUE(MustInRepA(t, r1));
+
+  Instance r2;  // {(a,b), (d,c)}: d breaks the closed first column.
+  r2.Add("R", {u_.Const("a"), u_.Const("b")});
+  r2.Add("R", {u_.Const("d"), u_.Const("c")});
+  EXPECT_FALSE(MustInRepA(t, r2));
+
+  Instance r3;  // Empty: misses the mandatory v-image.
+  r3.GetOrCreate("R", 2);
+  EXPECT_FALSE(MustInRepA(t, r3));
+}
+
+// Paper, Section 3: "RepA({(a^cl, n^cl)}) contains all one-tuple
+// relations {(a, b)}".
+TEST_F(SemanticsTest, RepAClosedNullIsExact) {
+  AnnotatedInstance t;
+  Value n = u_.FreshNull();
+  t.Add("R", {u_.Const("a"), n}, AllClosed(2));
+
+  Instance one;
+  one.Add("R", {u_.Const("a"), u_.Const("b")});
+  EXPECT_TRUE(MustInRepA(t, one));
+
+  Instance two;
+  two.Add("R", {u_.Const("a"), u_.Const("b")});
+  two.Add("R", {u_.Const("a"), u_.Const("c")});
+  EXPECT_FALSE(MustInRepA(t, two));
+}
+
+// Repeated nulls must be valuated consistently (naive-table semantics).
+TEST_F(SemanticsTest, RepRepeatedNullsEquate) {
+  Value n = u_.FreshNull();
+  Instance t;
+  t.Add("R", {n, n});
+  Instance good;
+  good.Add("R", {u_.Const("a"), u_.Const("a")});
+  Instance bad;
+  bad.Add("R", {u_.Const("a"), u_.Const("b")});
+  EXPECT_TRUE(InRep(t, good).value());
+  EXPECT_FALSE(InRep(t, bad).value());
+}
+
+// Two annotated tuples can share a null across relations.
+TEST_F(SemanticsTest, RepASharedNullAcrossRelations) {
+  Value n = u_.FreshNull();
+  AnnotatedInstance t;
+  t.Add("A", {n}, AllClosed(1));
+  t.Add("B", {n}, AllClosed(1));
+  Instance good;
+  good.Add("A", {u_.Const("c")});
+  good.Add("B", {u_.Const("c")});
+  Instance bad;
+  bad.Add("A", {u_.Const("c")});
+  bad.Add("B", {u_.Const("d")});
+  EXPECT_TRUE(MustInRepA(t, good));
+  EXPECT_FALSE(MustInRepA(t, bad));
+}
+
+// All-open empty markers license arbitrary tuples (and the empty table);
+// other markers do not change the semantics.
+TEST_F(SemanticsTest, EmptyMarkers) {
+  AnnotatedInstance all_open;
+  all_open.Add("R", AnnotatedTuple::EmptyMarker(AllOpen(2)));
+  Instance anything;
+  anything.Add("R", {u_.Const("x"), u_.Const("y")});
+  Instance empty;
+  empty.GetOrCreate("R", 2);
+  EXPECT_TRUE(MustInRepA(all_open, anything));
+  EXPECT_TRUE(MustInRepA(all_open, empty));
+
+  AnnotatedInstance closed_marker;
+  closed_marker.Add("R", AnnotatedTuple::EmptyMarker(AllClosed(2)));
+  EXPECT_FALSE(MustInRepA(closed_marker, anything));
+  EXPECT_TRUE(MustInRepA(closed_marker, empty));
+}
+
+TEST_F(SemanticsTest, RepARejectsNonGround) {
+  AnnotatedInstance t;
+  t.Add("R", {u_.Const("a")}, AllClosed(1));
+  Instance with_null;
+  with_null.Add("R", {u_.FreshNull()});
+  EXPECT_FALSE(InRepA(t, with_null).ok());
+}
+
+// --- Homomorphisms ---------------------------------------------------------
+
+TEST_F(SemanticsTest, FindHomomorphismBasic) {
+  Value n1 = u_.FreshNull(), n2 = u_.FreshNull(), m1 = u_.FreshNull();
+  AnnotatedInstance a, b;
+  a.Add("R", {u_.Const("a"), n1}, AllClosed(2));
+  a.Add("R", {u_.Const("a"), n2}, AllClosed(2));
+  b.Add("R", {u_.Const("a"), m1}, AllClosed(2));
+  // n1, n2 -> m1 works.
+  auto h = FindHomomorphism(a, b);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(h.value().has_value());
+  EXPECT_EQ(h.value()->Apply(n1), m1);
+  EXPECT_EQ(h.value()->Apply(n2), m1);
+  // No homomorphism the other way if constants differ.
+  AnnotatedInstance c;
+  c.Add("R", {u_.Const("b"), m1}, AllClosed(2));
+  auto none = FindHomomorphism(a, c);
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none.value().has_value());
+}
+
+TEST_F(SemanticsTest, HomomorphismPreservesAnnotations) {
+  Value n1 = u_.FreshNull(), m1 = u_.FreshNull();
+  AnnotatedInstance a, b;
+  a.Add("R", {u_.Const("a"), n1}, AllClosed(2));
+  b.Add("R", {u_.Const("a"), m1}, AllOpen(2));
+  auto h = FindHomomorphism(a, b);
+  ASSERT_TRUE(h.ok());
+  EXPECT_FALSE(h.value().has_value()) << "annotations differ";
+}
+
+TEST_F(SemanticsTest, HomomorphismMapsNullsToNullsOnly) {
+  Value n1 = u_.FreshNull();
+  AnnotatedInstance a, b;
+  a.Add("R", {n1}, AllClosed(1));
+  b.Add("R", {u_.Const("c")}, AllClosed(1));
+  auto h = FindHomomorphism(a, b);
+  ASSERT_TRUE(h.ok());
+  EXPECT_FALSE(h.value().has_value());
+}
+
+// --- CWA solutions (Section 2 running example) ------------------------------
+
+class CwaTest : public SemanticsTest {
+ protected:
+  void SetUp() override {
+    src_.Add("E", 2);
+    tgt_.Add("R", 2);
+    mapping_ = MustParse("R(x, z) :- E(x, y);", src_, tgt_, Ann::kClosed);
+    s_.Add("E", {u_.Const("a"), u_.Const("c1")});
+    s_.Add("E", {u_.Const("a"), u_.Const("c2")});
+    s_.Add("E", {u_.Const("b"), u_.Const("c3")});
+  }
+  Schema src_, tgt_;
+  Mapping mapping_;
+  Instance s_;
+};
+
+TEST_F(CwaTest, PaperExampleSolutionsAndNonSolutions) {
+  // {(a, n), (b, n')} is a CWA-solution.
+  Value n = u_.FreshNull(), np = u_.FreshNull();
+  Instance good;
+  good.Add("R", {u_.Const("a"), n});
+  good.Add("R", {u_.Const("b"), np});
+  EXPECT_TRUE(IsCwaSolution(mapping_, s_, good, &u_).value());
+
+  // {(a, n), (b, n)} equates unjustified facts: NOT a CWA-solution.
+  Instance bad;
+  bad.Add("R", {u_.Const("a"), n});
+  bad.Add("R", {u_.Const("b"), n});
+  EXPECT_FALSE(IsCwaSolution(mapping_, s_, bad, &u_).value());
+
+  // The canonical solution itself is always a CWA-solution.
+  Result<CanonicalSolution> csol = Chase(mapping_, s_, &u_);
+  ASSERT_TRUE(csol.ok());
+  EXPECT_TRUE(IsCwaSolution(mapping_, s_, csol.value().Plain(), &u_).value());
+
+  // An instance with an extra unjustified tuple is not (not an image).
+  Instance extra = csol.value().Plain();
+  extra.Add("R", {u_.Const("zz"), u_.Const("ww")});
+  EXPECT_FALSE(IsCwaSolution(mapping_, s_, extra, &u_).value());
+}
+
+TEST_F(CwaTest, OwaSolutionsAreOpenToExtension) {
+  Value n = u_.FreshNull();
+  Instance minimal;
+  minimal.Add("R", {u_.Const("a"), n});
+  minimal.Add("R", {u_.Const("b"), n});
+  // Under OWA this *is* a solution: every E-tuple has an R-witness.
+  EXPECT_TRUE(IsOwaSolution(mapping_, s_, minimal, u_).value());
+  Instance extended = minimal;
+  extended.Add("R", {u_.Const("zz"), u_.Const("ww")});
+  EXPECT_TRUE(IsOwaSolution(mapping_, s_, extended, u_).value());
+  Instance not_solution;
+  not_solution.Add("R", {u_.Const("a"), n});
+  EXPECT_FALSE(IsOwaSolution(mapping_, s_, not_solution, u_).value());
+}
+
+// --- Sigma-alpha solutions (Section 3 example) -------------------------------
+
+TEST_F(SemanticsTest, Section3SolutionExample) {
+  // STD: R(x^op, z1^cl), R(y^cl, z2^cl) :- S(x, y); source S = {(a,b)}.
+  Schema src, tgt;
+  src.Add("S", 2);
+  tgt.Add("R", 2);
+  Mapping m =
+      MustParse("R(x^op, z1^cl), R(y^cl, z2^cl) :- S(x, y);", src, tgt);
+  Instance s;
+  s.Add("S", {u_.Const("a"), u_.Const("b")});
+
+  Result<CanonicalSolution> csol = Chase(m, s, &u_);
+  ASSERT_TRUE(csol.ok());
+  ASSERT_EQ(csol.value().annotated.Nulls().size(), 2u);
+
+  // The canonical solution is a solution.
+  EXPECT_TRUE(
+      IsSigmaAlphaSolutionGiven(csol.value().annotated, csol.value().annotated)
+          .value());
+
+  // The paper's example: equating the two nulls still yields a solution
+  // (the open first position of the first atom absorbs the b-tuple).
+  Value n1, n2;
+  for (Value v : csol.value().annotated.Nulls()) {
+    const NullInfo& info = u_.null_info(v);
+    if (info.var == "z1") n1 = v;
+    if (info.var == "z2") n2 = v;
+  }
+  ASSERT_TRUE(n1.IsValid());
+  ASSERT_TRUE(n2.IsValid());
+  AnnotatedInstance equated;
+  equated.Add("R", {u_.Const("a"), n1}, {Ann::kOpen, Ann::kClosed});
+  equated.Add("R", {u_.Const("b"), n1}, {Ann::kClosed, Ann::kClosed});
+  EXPECT_TRUE(
+      IsSigmaAlphaSolutionGiven(csol.value().annotated, equated).value());
+}
+
+// --- Solution-space membership (Theorem 2) ----------------------------------
+
+class MembershipTest : public SemanticsTest {
+ protected:
+  void SetUp() override {
+    src_.Add("E", 2);
+    tgt_.Add("R", 2);
+    s_.Add("E", {u_.Const("a"), u_.Const("c1")});
+    s_.Add("E", {u_.Const("a"), u_.Const("c2")});
+    s_.Add("E", {u_.Const("b"), u_.Const("c3")});
+  }
+  Schema src_, tgt_;
+  Instance s_;
+};
+
+TEST_F(MembershipTest, AllOpenUsesPtimePath) {
+  Mapping m = MustParse("R(x^op, z^op) :- E(x, y);", src_, tgt_);
+  Instance t;
+  t.Add("R", {u_.Const("a"), u_.Const("v")});
+  t.Add("R", {u_.Const("b"), u_.Const("w")});
+  t.Add("R", {u_.Const("extra"), u_.Const("extra")});  // OWA allows junk.
+  Result<MembershipResult> r = InSolutionSpace(m, s_, t, &u_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().member);
+  EXPECT_TRUE(r.value().used_ptime_path);
+
+  Instance missing;  // b has no R-witness.
+  missing.Add("R", {u_.Const("a"), u_.Const("v")});
+  EXPECT_FALSE(InSolutionSpace(m, s_, missing, &u_).value().member);
+}
+
+TEST_F(MembershipTest, ClosedFirstAttributeForbidsJunk) {
+  Mapping m = MustParse("R(x^cl, z^op) :- E(x, y);", src_, tgt_);
+  Instance t;
+  t.Add("R", {u_.Const("a"), u_.Const("v")});
+  t.Add("R", {u_.Const("b"), u_.Const("w")});
+  Result<MembershipResult> ok = InSolutionSpace(m, s_, t, &u_);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.value().member);
+  EXPECT_FALSE(ok.value().used_ptime_path);
+
+  Instance junk = t;
+  junk.Add("R", {u_.Const("zzz"), u_.Const("w")});
+  EXPECT_FALSE(InSolutionSpace(m, s_, junk, &u_).value().member)
+      << "closed first attribute only admits source papers";
+}
+
+TEST_F(MembershipTest, AllClosedIsExactValuationImage) {
+  Mapping m = MustParse("R(x^cl, z^cl) :- E(x, y);", src_, tgt_);
+  // v(n1)=v1, v(n2)=v2, v(n3)=w : member.
+  Instance t;
+  t.Add("R", {u_.Const("a"), u_.Const("v1")});
+  t.Add("R", {u_.Const("a"), u_.Const("v2")});
+  t.Add("R", {u_.Const("b"), u_.Const("w")});
+  EXPECT_TRUE(InSolutionSpace(m, s_, t, &u_).value().member);
+  // Collapsing both a-tuples is fine (v(n1)=v(n2)=v1).
+  Instance collapsed;
+  collapsed.Add("R", {u_.Const("a"), u_.Const("v1")});
+  collapsed.Add("R", {u_.Const("b"), u_.Const("w")});
+  EXPECT_TRUE(InSolutionSpace(m, s_, collapsed, &u_).value().member);
+  // Extra second value for 'a' is NOT allowed when z is closed.
+  Instance extra = collapsed;
+  extra.Add("R", {u_.Const("a"), u_.Const("v2")});
+  extra.Add("R", {u_.Const("a"), u_.Const("v3")});
+  EXPECT_FALSE(InSolutionSpace(m, s_, extra, &u_).value().member);
+}
+
+// --- Valuation enumeration ---------------------------------------------------
+
+TEST_F(SemanticsTest, ValuationEnumeratorCountsAndCoverage) {
+  std::vector<Value> nulls = {u_.FreshNull(), u_.FreshNull()};
+  std::vector<Value> fixed = {u_.Const("a")};
+  ValuationEnumerator en(nulls, fixed, &u_);
+  // Partitions of 2 nulls: {{0,1}}, {{0},{1}}.
+  //  - one block: assign a or fresh           -> 2
+  //  - two blocks: (a,fresh),(fresh,a),(fresh,fresh) -> 3  [no (a,a)]
+  int count = 0;
+  Valuation v;
+  std::set<std::pair<uint64_t, uint64_t>> images;
+  while (en.Next(&v)) {
+    ++count;
+    images.insert({v.Apply(nulls[0]).raw(), v.Apply(nulls[1]).raw()});
+  }
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(images.size(), 5u) << "representatives must be pairwise distinct";
+}
+
+TEST_F(SemanticsTest, ValuationEnumeratorEmptyNulls) {
+  ValuationEnumerator en({}, {u_.Const("a")}, &u_);
+  Valuation v;
+  EXPECT_TRUE(en.Next(&v));
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_FALSE(en.Next(&v));
+}
+
+TEST_F(SemanticsTest, ValuationEnumeratorRepresentsAllIsoClasses) {
+  // With 3 nulls and fixed {a}, every concrete valuation into {a, x, y}
+  // must be isomorphic (fixing a) to some enumerated representative.
+  std::vector<Value> nulls = {u_.FreshNull(), u_.FreshNull(), u_.FreshNull()};
+  Value a = u_.Const("a");
+  std::vector<Value> pool = {a, u_.Const("x"), u_.Const("y")};
+  // Collect representative equality-patterns: (i~j equalities, =a flags).
+  auto pattern = [&](const Valuation& v) {
+    std::string p;
+    for (size_t i = 0; i < nulls.size(); ++i) {
+      for (size_t j = i + 1; j < nulls.size(); ++j) {
+        p += v.Apply(nulls[i]) == v.Apply(nulls[j]) ? '1' : '0';
+      }
+      p += v.Apply(nulls[i]) == a ? 'A' : '.';
+    }
+    return p;
+  };
+  std::set<std::string> rep_patterns;
+  ValuationEnumerator en(nulls, {a}, &u_);
+  Valuation v;
+  while (en.Next(&v)) rep_patterns.insert(pattern(v));
+
+  // Enumerate all 27 concrete valuations into the pool.
+  AssignmentEnumerator ae(3, pool.size());
+  while (ae.Next()) {
+    Valuation w;
+    for (size_t i = 0; i < 3; ++i) w.Set(nulls[i], pool[ae.digits()[i]]);
+    EXPECT_TRUE(rep_patterns.count(pattern(w)))
+        << "missing isomorphism class " << pattern(w);
+  }
+}
+
+}  // namespace
+}  // namespace ocdx

@@ -1,0 +1,194 @@
+// Theorem 1.4 cross-validation: [[S]]_{Sigma_alpha} = RepA(CSolA(S)).
+//
+// The library has two independent routes to the semantics:
+//   (1) Proposition 1's characterization of Sigma-alpha-solutions
+//       (homomorphic image of CSolA + homomorphism into an expansion),
+//       whose RepA members are the semantics by definition;
+//   (2) direct RepA membership against CSolA (Theorem 1.4).
+// These tests build candidate solutions as homomorphic images of CSolA
+// with controlled null merges, check them with (1), and then verify that
+// every sampled ground member of an accepted solution is accepted by (2)
+// — and that rejected candidates are exactly the ones whose merges
+// invent unjustified facts on closed positions.
+
+#include <gtest/gtest.h>
+
+#include "chase/canonical.h"
+#include "mapping/rule_parser.h"
+#include "semantics/homomorphism.h"
+#include "semantics/iso_enum.h"
+#include "semantics/membership.h"
+#include "semantics/repa.h"
+#include "semantics/solutions.h"
+
+namespace ocdx {
+namespace {
+
+// Applies a null merge to an annotated instance.
+AnnotatedInstance ApplyMerge(const AnnotatedInstance& t, const NullMap& h) {
+  AnnotatedInstance out;
+  for (const auto& [name, rel] : t.relations()) {
+    AnnotatedRelation& dst = out.GetOrCreate(name, rel.arity());
+    for (const AnnotatedTuple& at : rel.tuples()) {
+      if (at.IsEmptyMarker()) {
+        dst.Add(at);
+      } else {
+        dst.Add(AnnotatedTuple(h.Apply(at.values), at.ann));
+      }
+    }
+  }
+  return out;
+}
+
+class Theorem1Test : public ::testing::Test {
+ protected:
+  // sigma = {E}, source E = {(a,c1), (a,c2), (b,c3)} (the Section 2
+  // running example).
+  void Init(const char* rules) {
+    Schema src, tgt;
+    src.Add("E", 2);
+    tgt.Add("R", 2);
+    Result<Mapping> m = ParseMapping(rules, src, tgt, &u_);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    mapping_ = m.value();
+    s_ = Instance();
+    s_.Add("E", {u_.Const("a"), u_.Const("c1")});
+    s_.Add("E", {u_.Const("a"), u_.Const("c2")});
+    s_.Add("E", {u_.Const("b"), u_.Const("c3")});
+    Result<CanonicalSolution> csol = Chase(mapping_, s_, &u_);
+    ASSERT_TRUE(csol.ok());
+    csola_ = csol.value().annotated;
+    nulls_ = csola_.Nulls();
+    ASSERT_EQ(nulls_.size(), 3u);
+    // Order nulls by the x-value of their witness: nulls_[0], nulls_[1]
+    // belong to x = a, nulls_[2] to x = b.
+    std::sort(nulls_.begin(), nulls_.end(), [&](Value p, Value q) {
+      return u_.null_info(p).witness < u_.null_info(q).witness;
+    });
+  }
+
+  bool IsSolution(const AnnotatedInstance& t) {
+    Result<bool> r = IsSigmaAlphaSolutionGiven(csola_, t);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() && r.value();
+  }
+
+  // Theorem 1.4 inclusion: every sampled ground member of `t` (a
+  // solution) must be a member of RepA(CSolA(S)).
+  void CheckMembersIncluded(const AnnotatedInstance& t) {
+    ValuationEnumerator en(t.Nulls(), t.ActiveDomain(), &u_);
+    Valuation v;
+    int sampled = 0;
+    while (en.Next(&v) && sampled < 25) {
+      ++sampled;
+      Instance member = v.ApplyRelPart(t);
+      Result<bool> in_t = InRepA(t, member);
+      ASSERT_TRUE(in_t.ok());
+      if (!in_t.value()) continue;  // v(t) may violate t's own closed rows.
+      Result<MembershipResult> in_semantics =
+          InSolutionSpaceGiven(csola_, member);
+      ASSERT_TRUE(in_semantics.ok());
+      EXPECT_TRUE(in_semantics.value().member)
+          << "Theorem 1.4 inclusion violated for "
+          << member.ToString(u_);
+    }
+    EXPECT_GT(sampled, 0);
+  }
+
+  Universe u_;
+  Mapping mapping_;
+  Instance s_;
+  AnnotatedInstance csola_;
+  std::vector<Value> nulls_;
+};
+
+TEST_F(Theorem1Test, AllClosedMergesWithinSameKey) {
+  Init("R(x^cl, z^cl) :- E(x, y);");
+  // Merging the two a-nulls is justified (both rows say "a relates to
+  // something"): a CWA-solution.
+  NullMap same_key;
+  same_key.Set(nulls_[1], nulls_[0]);
+  AnnotatedInstance merged = ApplyMerge(csola_, same_key);
+  EXPECT_TRUE(IsSolution(merged));
+  CheckMembersIncluded(merged);
+
+  // Merging across keys invents the fact "a and b relate to the same
+  // value": rejected under all-closed (the paper's Section 2 example).
+  NullMap cross;
+  cross.Set(nulls_[2], nulls_[0]);
+  AnnotatedInstance bad = ApplyMerge(csola_, cross);
+  EXPECT_FALSE(IsSolution(bad));
+}
+
+TEST_F(Theorem1Test, OpenSecondPositionAbsorbsCrossMerges) {
+  Init("R(x^cl, z^op) :- E(x, y);");
+  // With z open, the cross-key merge is absorbed: the merged tuple
+  // coincides with a canonical tuple on the (only) closed position.
+  NullMap cross;
+  cross.Set(nulls_[2], nulls_[0]);
+  AnnotatedInstance merged = ApplyMerge(csola_, cross);
+  EXPECT_TRUE(IsSolution(merged));
+  CheckMembersIncluded(merged);
+}
+
+TEST_F(Theorem1Test, UnjustifiedTuplesAreNeverSolutions) {
+  for (const char* rules : {"R(x^cl, z^cl) :- E(x, y);",
+                            "R(x^cl, z^op) :- E(x, y);"}) {
+    Init(rules);
+    AnnotatedInstance extra = csola_;
+    extra.Add("R", {u_.Const("zz"), u_.FreshNull()},
+              {Ann::kClosed, Ann::kClosed});
+    EXPECT_FALSE(IsSolution(extra)) << rules
+        << ": a tuple with an unjustified closed constant is not the "
+           "image of any canonical tuple";
+  }
+}
+
+TEST_F(Theorem1Test, CanonicalSolutionIsAlwaysASolution) {
+  for (const char* rules : {"R(x^cl, z^cl) :- E(x, y);",
+                            "R(x^cl, z^op) :- E(x, y);",
+                            "R(x^op, z^op) :- E(x, y);"}) {
+    Init(rules);
+    EXPECT_TRUE(IsSolution(csola_)) << rules;
+    CheckMembersIncluded(csola_);
+  }
+}
+
+// Full-sweep cross-validation: enumerate *all* null merges (set
+// partitions of the three nulls) under both annotations and compare the
+// Proposition 1 checker against first principles.
+class MergeSweep : public Theorem1Test,
+                   public ::testing::WithParamInterface<int> {};
+
+TEST_P(MergeSweep, Proposition1MatchesExpectation) {
+  bool open_z = GetParam() != 0;
+  Init(open_z ? "R(x^cl, z^op) :- E(x, y);" : "R(x^cl, z^cl) :- E(x, y);");
+  PartitionEnumerator pe(3);
+  while (pe.Next()) {
+    const auto& blocks = pe.blocks();
+    NullMap h;
+    // Map each null to the first null of its block.
+    for (size_t i = 0; i < 3; ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        if (blocks[j] == blocks[i]) {
+          h.Set(nulls_[i], h.Apply(nulls_[j]));
+          break;
+        }
+      }
+    }
+    AnnotatedInstance merged = ApplyMerge(csola_, h);
+    // Expected: under cl,cl a merge is a solution iff it never merges
+    // across the two x-keys (nulls 0,1 belong to a; null 2 to b). Under
+    // cl,op every merge is a solution (the open position absorbs it).
+    bool merges_across = blocks[2] == blocks[0] || blocks[2] == blocks[1];
+    bool expected = open_z || !merges_across;
+    EXPECT_EQ(IsSolution(merged), expected)
+        << "partition " << blocks[0] << blocks[1] << blocks[2]
+        << " open_z=" << open_z;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothAnnotations, MergeSweep, ::testing::Range(0, 2));
+
+}  // namespace
+}  // namespace ocdx

@@ -1,0 +1,174 @@
+// Tests for the workload generators and the paper's reductions
+// (Theorem 2: tripartite matching; Theorem 3: tiling; scenarios).
+
+#include <gtest/gtest.h>
+
+#include "chase/canonical.h"
+#include "logic/classify.h"
+#include "semantics/membership.h"
+#include "workloads/coloring.h"
+#include "workloads/graphs.h"
+#include "workloads/scenarios.h"
+#include "workloads/tiling.h"
+#include "workloads/tripartite.h"
+
+namespace ocdx {
+namespace {
+
+TEST(GraphsTest, GeneratorsAndBruteForce) {
+  EXPECT_EQ(CycleGraph(5).edges.size(), 5u);
+  EXPECT_EQ(CompleteGraph(4).edges.size(), 6u);
+  EXPECT_TRUE(IsThreeColorable(CompleteGraph(3)));
+  EXPECT_FALSE(IsThreeColorable(CompleteGraph(4)));
+  EXPECT_TRUE(IsThreeColorable(CycleGraph(5)));  // Odd cycles need 3.
+  EXPECT_TRUE(IsThreeColorable(CycleGraph(4)));
+  Rng rng(99);
+  Graph g = RandomThreeColorableGraph(8, 2, 3, &rng);
+  EXPECT_TRUE(IsThreeColorable(g));
+}
+
+TEST(TripartiteTest, PlantedMatchingIsFound) {
+  Rng rng(7);
+  TripartiteInstance inst = TripartiteWithMatching(4, 3, &rng);
+  EXPECT_TRUE(HasTripartiteMatching(inst));
+  // An instance missing part B entirely has no matching.
+  TripartiteInstance empty;
+  empty.n = 2;
+  EXPECT_FALSE(HasTripartiteMatching(empty));
+}
+
+// Theorem 2's reduction: T in [[S]] iff a perfect matching exists.
+class TripartiteSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TripartiteSweep, ReductionMatchesBruteForce) {
+  Universe u;
+  Rng rng(500 + GetParam());
+  TripartiteInstance inst =
+      GetParam() % 2 == 0 ? TripartiteWithMatching(3, 2, &rng)
+                          : TripartiteRandom(3, 4, &rng);
+  bool expected = HasTripartiteMatching(inst);
+  Result<TripartiteReduction> red = BuildTripartiteReduction(inst, &u);
+  ASSERT_TRUE(red.ok()) << red.status().ToString();
+  EXPECT_EQ(red.value().mapping.MaxClosedPerAtom(), 1u)
+      << "the reduction uses #cl = 1";
+  Result<MembershipResult> r = InSolutionSpace(
+      red.value().mapping, red.value().source, red.value().target, &u);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().member, expected) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TripartiteSweep, ::testing::Range(0, 10));
+
+TEST(TilingTest, BruteForceOnTinyInstances) {
+  // One tile compatible with itself: trivially tileable.
+  TilingInstance yes;
+  yes.num_tiles = 1;
+  yes.horizontal = {{0, 0}};
+  yes.vertical = {{0, 0}};
+  yes.n = 1;
+  EXPECT_TRUE(HasTiling(yes));
+
+  // No horizontal compatibility at all: a 2x2 grid cannot be tiled.
+  TilingInstance no = yes;
+  no.horizontal = {};
+  EXPECT_FALSE(HasTiling(no));
+
+  // Two alternating tiles.
+  TilingInstance alt;
+  alt.num_tiles = 2;
+  alt.horizontal = {{0, 1}, {1, 0}};
+  alt.vertical = {{0, 1}, {1, 0}};
+  alt.n = 1;
+  EXPECT_TRUE(HasTiling(alt));
+}
+
+TEST(TilingTest, ReductionConstruction) {
+  Universe u;
+  TilingInstance inst;
+  inst.num_tiles = 2;
+  inst.horizontal = {{0, 1}, {1, 0}};
+  inst.vertical = {{0, 0}, {1, 1}};
+  inst.n = 2;
+  Result<TilingReduction> red = BuildTilingReduction(inst, &u);
+  ASSERT_TRUE(red.ok()) << red.status().ToString();
+
+  // The fixed mapping of the proof has #op = 1.
+  EXPECT_EQ(red.value().mapping.MaxOpenPerAtom(), 1u);
+  // The query is genuinely first-order (negations, universals).
+  EXPECT_EQ(Classify(red.value().query), QueryClass::kFirstOrder);
+  EXPECT_EQ(FreeVars(red.value().query), (std::vector<std::string>{"qx"}));
+
+  // Chasing the source yields the expected open-null structure:
+  // Gh and Gv each hold one open null per bit, F one per tile.
+  Result<CanonicalSolution> csol =
+      Chase(red.value().mapping, red.value().source, &u);
+  ASSERT_TRUE(csol.ok());
+  EXPECT_EQ(csol.value().annotated.Find("Gh")->NumProperTuples(), 2u);
+  EXPECT_EQ(csol.value().annotated.Find("Gv")->NumProperTuples(), 2u);
+  EXPECT_EQ(csol.value().annotated.Find("F")->NumProperTuples(), 2u);
+  EXPECT_EQ(csol.value().annotated.Nulls().size(), 6u);
+  // Copies are closed; the coordinate/tiling relations carry open nulls.
+  for (const AnnotatedTuple& t :
+       csol.value().annotated.Find("Gh")->tuples()) {
+    EXPECT_EQ(t.ann, (AnnVec{Ann::kClosed, Ann::kOpen}));
+  }
+}
+
+TEST(ScenariosTest, ConferenceScenario) {
+  Universe u;
+  Result<ConferenceScenario> sc = BuildConferenceScenario(4, 2, &u);
+  ASSERT_TRUE(sc.ok()) << sc.status().ToString();
+  EXPECT_EQ(sc.value().mapping.stds().size(), 3u);
+  EXPECT_EQ(sc.value().source.Find("Papers")->size(), 4u);
+  EXPECT_EQ(sc.value().source.Find("Assignments")->size(), 2u);
+  EXPECT_FALSE(IsPositive(sc.value().one_author_query));
+  EXPECT_FALSE(BuildConferenceScenario(2, 5, &u).ok());
+}
+
+TEST(ScenariosTest, EmployeeScenario) {
+  Universe u;
+  Rng rng(3);
+  Result<EmployeeScenario> sc = BuildEmployeeScenario(3, 2, &rng, &u);
+  ASSERT_TRUE(sc.ok());
+  EXPECT_TRUE(sc.value().mapping.IsSkolemized());
+  EXPECT_GE(sc.value().source.Find("S")->size(), 3u);
+}
+
+TEST(ScenariosTest, CopyMapping) {
+  Universe u;
+  Schema src;
+  src.Add("R", 2).Add("S", 1);
+  Result<Mapping> copy = BuildCopyMapping(src, Ann::kOpen, &u);
+  ASSERT_TRUE(copy.ok()) << copy.status().ToString();
+  EXPECT_EQ(copy.value().stds().size(), 2u);
+  EXPECT_TRUE(copy.value().IsAllOpen());
+  EXPECT_TRUE(copy.value().target().Contains("Rp"));
+  EXPECT_TRUE(copy.value().HasCQBodies());
+}
+
+TEST(ScenariosTest, MadryScenario) {
+  Universe u;
+  Rng rng(11);
+  Result<MadryScenario> sc = BuildMadryScenario(5, 1, 2, &rng, &u);
+  ASSERT_TRUE(sc.ok());
+  EXPECT_FALSE(IsPositive(sc.value().query));
+  EXPECT_TRUE(IsMonotoneSyntactic(sc.value().query))
+      << "CQ with inequalities is the Prop 4 class";
+}
+
+TEST(ScenariosTest, Prop6AndPowerset) {
+  Universe u;
+  Result<Prop6Scenario> p6 =
+      BuildProp6Scenario(4, Ann::kOpen, Ann::kClosed, &u);
+  ASSERT_TRUE(p6.ok());
+  EXPECT_EQ(p6.value().source.Find("P")->size(), 4u);
+  EXPECT_EQ(p6.value().source.Find("R")->size(), 1u);
+
+  Result<PowersetScenario> ps = BuildPowersetScenario(3, &u);
+  ASSERT_TRUE(ps.ok()) << ps.status().ToString();
+  EXPECT_EQ(ps.value().mapping.MaxOpenPerAtom(), 1u);
+  EXPECT_TRUE(FreeVars(ps.value().powerset_axiom).empty());
+}
+
+}  // namespace
+}  // namespace ocdx

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "chase/canonical.h"
+#include "logic/engine_config.h"
 #include "mapping/rule_parser.h"
 #include "util/rng.h"
 #include "workloads/scenarios.h"
@@ -13,7 +14,8 @@
 namespace ocdx {
 namespace {
 
-void BM_ChaseConference(benchmark::State& state) {
+void RunChaseConference(benchmark::State& state, JoinEngineMode mode) {
+  ScopedJoinEngineMode scoped(mode);
   const size_t papers = static_cast<size_t>(state.range(0));
   Universe u;
   Result<ConferenceScenario> sc =
@@ -35,12 +37,25 @@ void BM_ChaseConference(benchmark::State& state) {
   }
   state.counters["target_tuples"] = static_cast<double>(tuples);
   state.counters["papers"] = static_cast<double>(papers);
+}
+
+void BM_ChaseConference(benchmark::State& state) {
+  RunChaseConference(state, JoinEngineMode::kIndexed);
   state.SetLabel("E12 chase: conference scenario (PTIME, Thm 1.4)");
 }
 BENCHMARK(BM_ChaseConference)->Arg(10)->Arg(50)->Arg(250)->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
-void BM_ChaseCopy(benchmark::State& state) {
+// Naive-path baseline (original nested-loop scans), benched side-by-side
+// at the largest arg so the indexed speedup is tracked in BENCH_*.json.
+void BM_ChaseConferenceNaive(benchmark::State& state) {
+  RunChaseConference(state, JoinEngineMode::kNaive);
+  state.SetLabel("E12 chase baseline: naive nested-loop joins");
+}
+BENCHMARK(BM_ChaseConferenceNaive)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void RunChaseCopy(benchmark::State& state, JoinEngineMode mode) {
+  ScopedJoinEngineMode scoped(mode);
   const size_t edges = static_cast<size_t>(state.range(0));
   Universe u;
   Schema src;
@@ -61,14 +76,25 @@ void BM_ChaseCopy(benchmark::State& state) {
     benchmark::DoNotOptimize(csol);
   }
   state.counters["edges"] = static_cast<double>(edges);
+}
+
+void BM_ChaseCopy(benchmark::State& state) {
+  RunChaseCopy(state, JoinEngineMode::kIndexed);
   state.SetLabel("E12 chase: copying mapping");
 }
 BENCHMARK(BM_ChaseCopy)->Arg(10)->Arg(100)->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
+void BM_ChaseCopyNaive(benchmark::State& state) {
+  RunChaseCopy(state, JoinEngineMode::kNaive);
+  state.SetLabel("E12 chase baseline: naive copying mapping");
+}
+BENCHMARK(BM_ChaseCopyNaive)->Arg(1000)->Unit(benchmark::kMillisecond);
+
 // Chase with an FO body (negation): the third conference rule needs a
 // subquery per paper.
-void BM_ChaseNegatedBody(benchmark::State& state) {
+void RunChaseNegatedBody(benchmark::State& state, JoinEngineMode mode) {
+  ScopedJoinEngineMode scoped(mode);
   const size_t n = static_cast<size_t>(state.range(0));
   Universe u;
   Schema src, tgt;
@@ -94,9 +120,22 @@ void BM_ChaseNegatedBody(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(csol);
   }
-  state.SetLabel("E12 chase: FO body with negation");
+}
+
+void BM_ChaseNegatedBody(benchmark::State& state) {
+  RunChaseNegatedBody(state, JoinEngineMode::kIndexed);
+  state.SetLabel("E12 chase: FO body with negation (anti-join guard)");
 }
 BENCHMARK(BM_ChaseNegatedBody)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+// The negated body is not a pure CQ, so the pre-index engine fell back to
+// active-domain enumeration; bench that path side-by-side too.
+void BM_ChaseNegatedBodyGeneric(benchmark::State& state) {
+  RunChaseNegatedBody(state, JoinEngineMode::kGeneric);
+  state.SetLabel("E12 chase baseline: negated body via generic evaluator");
+}
+BENCHMARK(BM_ChaseNegatedBodyGeneric)->Arg(128)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

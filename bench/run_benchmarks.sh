@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Builds the benchmarks in Release mode, runs every bench_* binary with
+# --benchmark_format=json, and merges the results into BENCH_<tag>.json at
+# the repo root so the perf trajectory is tracked PR over PR.
+#
+# Usage: bench/run_benchmarks.sh [tag] [benchmark-filter]
+#   tag     suffix of the output file (default: pr1 -> BENCH_pr1.json)
+#   filter  optional --benchmark_filter regex forwarded to every binary
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+TAG="${1:-pr1}"
+FILTER="${2:-}"
+BUILD_DIR="$REPO_ROOT/build-release"
+OUT="$REPO_ROOT/BENCH_${TAG}.json"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" >/dev/null
+
+RESULTS_DIR="$BUILD_DIR/bench-results"
+mkdir -p "$RESULTS_DIR"
+
+for bin in "$BUILD_DIR"/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "== $name"
+  args=(--benchmark_format=json --benchmark_out="$RESULTS_DIR/$name.json"
+        --benchmark_out_format=json)
+  if [ -n "$FILTER" ]; then
+    args+=(--benchmark_filter="$FILTER")
+  fi
+  "$bin" "${args[@]}" >/dev/null
+done
+
+python3 - "$OUT" "$RESULTS_DIR" <<'EOF'
+import json, os, sys
+
+out_path, results_dir = sys.argv[1], sys.argv[2]
+merged = {"benchmarks": {}, "context": None}
+for fname in sorted(os.listdir(results_dir)):
+    if not fname.endswith(".json"):
+        continue
+    with open(os.path.join(results_dir, fname)) as f:
+        data = json.load(f)
+    if merged["context"] is None:
+        merged["context"] = data.get("context")
+    merged["benchmarks"][fname[: -len(".json")]] = data.get("benchmarks", [])
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+print(f"wrote {out_path}")
+EOF

@@ -5,11 +5,47 @@
 
 namespace ocdx {
 
+namespace {
+
+// Shared dedup probe for the tuple-hash -> id multimaps: is `t` (with
+// hash `h`) already among `tuples`?
+template <typename T>
+bool DedupContains(const std::unordered_multimap<size_t, uint32_t>& set,
+                   const std::vector<T>& tuples, size_t h, const T& t) {
+  for (auto [it, end] = set.equal_range(h); it != end; ++it) {
+    if (tuples[it->second] == t) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Relation::Contains(const Tuple& t) const {
+  return DedupContains(set_, tuples_, TupleHash{}(t), t);
+}
+
 bool Relation::Add(Tuple t) {
   assert(t.size() == arity_ && "tuple arity mismatch");
-  auto [it, inserted] = set_.insert(t);
-  if (inserted) tuples_.push_back(std::move(t));
-  return inserted;
+  size_t h = TupleHash{}(t);
+  if (DedupContains(set_, tuples_, h, t)) return false;
+  set_.emplace(h, static_cast<uint32_t>(tuples_.size()));
+  tuples_.push_back(std::move(t));
+  indexes_.clear();
+  return true;
+}
+
+const std::vector<uint32_t>* Relation::Probe(uint64_t mask,
+                                             std::span<const Value> key) const {
+  assert(mask != 0 && "use tuples() for unkeyed iteration");
+  auto it = indexes_.find(mask);
+  if (it == indexes_.end()) {
+    PositionIndex index(mask);
+    for (uint32_t id = 0; id < tuples_.size(); ++id) {
+      index.Insert(tuples_[id], id);
+    }
+    it = indexes_.emplace(mask, std::move(index)).first;
+  }
+  return it->second.Probe(key);
 }
 
 std::vector<Tuple> Relation::SortedTuples() const {
@@ -25,13 +61,62 @@ bool Relation::SubsetOf(const Relation& other) const {
   return true;
 }
 
+bool AnnotatedRelation::Contains(const AnnotatedTuple& t) const {
+  return DedupContains(set_, tuples_, AnnotatedTupleHash{}(t), t);
+}
+
 bool AnnotatedRelation::Add(AnnotatedTuple t) {
   assert(t.ann.size() == arity_ && "annotation arity mismatch");
   assert((t.values.empty() || t.values.size() == arity_) &&
          "tuple arity mismatch");
-  auto [it, inserted] = set_.insert(t);
-  if (inserted) tuples_.push_back(std::move(t));
-  return inserted;
+  size_t h = AnnotatedTupleHash{}(t);
+  if (DedupContains(set_, tuples_, h, t)) return false;
+  set_.emplace(h, static_cast<uint32_t>(tuples_.size()));
+  tuples_.push_back(std::move(t));
+  indexes_.clear();
+  return true;
+}
+
+namespace {
+
+// Packs an annotation vector into the low 32 bits (bit p set = closed).
+// Carried as a leading pseudo-constant in index keys so that one
+// PositionIndex per mask serves all annotation signatures.
+Value AnnKeyValue(const AnnVec& ann) {
+  uint32_t bits = 0;
+  for (size_t p = 0; p < ann.size(); ++p) {
+    if (ann[p] == Ann::kClosed) bits |= uint32_t{1} << p;
+  }
+  return Value::MakeConst(bits);
+}
+
+}  // namespace
+
+const std::vector<uint32_t>* AnnotatedRelation::ProbeProper(
+    uint64_t mask, std::span<const Value> key, const AnnVec& ann) const {
+  assert(arity_ <= 32 && "annotation signatures are packed into 32 bits");
+  auto it = indexes_.find(mask);
+  if (it == indexes_.end()) {
+    PositionIndex index(mask);
+    Tuple k;
+    for (uint32_t id = 0; id < tuples_.size(); ++id) {
+      const AnnotatedTuple& t = tuples_[id];
+      if (t.IsEmptyMarker()) continue;
+      k.clear();
+      k.push_back(AnnKeyValue(t.ann));
+      for (uint64_t m = mask; m != 0; m &= m - 1) {
+        k.push_back(t.values[static_cast<size_t>(__builtin_ctzll(m))]);
+      }
+      index.InsertKey(k, id);
+    }
+    it = indexes_.emplace(mask, std::move(index)).first;
+  }
+  // Scratch buffer so probes stay allocation-free after warm-up.
+  thread_local Tuple probe;
+  probe.clear();
+  probe.push_back(AnnKeyValue(ann));
+  probe.insert(probe.end(), key.begin(), key.end());
+  return it->second.Probe(probe);
 }
 
 Relation AnnotatedRelation::RelPart() const {

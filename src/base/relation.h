@@ -3,11 +3,14 @@
 #ifndef OCDX_BASE_RELATION_H_
 #define OCDX_BASE_RELATION_H_
 
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "base/tuple.h"
+#include "base/tuple_index.h"
 
 namespace ocdx {
 
@@ -24,12 +27,21 @@ class Relation {
   bool empty() const { return tuples_.empty(); }
 
   /// Inserts `t`; returns true iff it was not already present.
-  /// The tuple's size must equal arity().
+  /// The tuple's size must equal arity(). Invalidates all indexes (and any
+  /// bucket pointers previously returned by Probe).
   bool Add(Tuple t);
 
-  bool Contains(const Tuple& t) const { return set_.count(t) > 0; }
+  bool Contains(const Tuple& t) const;
 
   const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Index probe: ids (ascending) of the tuples whose values at the
+  /// positions of `mask` (bit p = position p) equal `key`, where `key`
+  /// lists those values in ascending position order. nullptr means no
+  /// match. `mask` must be non-zero and within the arity. The underlying
+  /// index is built lazily on first probe of each mask and dropped on Add.
+  const std::vector<uint32_t>* Probe(uint64_t mask,
+                                     std::span<const Value> key) const;
 
   /// Tuples in lexicographic Value order (canonical form for comparison
   /// and printing).
@@ -46,7 +58,12 @@ class Relation {
  private:
   size_t arity_;
   std::vector<Tuple> tuples_;
-  std::unordered_set<Tuple, TupleHash> set_;
+  /// Dedup set as tuple-hash -> tuple ids: tuples are stored once (in
+  /// tuples_), not copied into the set, so Add costs one allocation.
+  std::unordered_multimap<size_t, uint32_t> set_;
+  /// Lazy per-bound-signature indexes; mutable because probing a logically
+  /// const relation materializes them on demand.
+  mutable std::unordered_map<uint64_t, PositionIndex> indexes_;
 };
 
 /// An annotated relation: a set of annotated tuples, possibly including
@@ -59,11 +76,22 @@ class AnnotatedRelation {
   size_t size() const { return tuples_.size(); }
   bool empty() const { return tuples_.empty(); }
 
+  /// Inserts `t`; invalidates all indexes, as with Relation::Add.
   bool Add(AnnotatedTuple t);
 
-  bool Contains(const AnnotatedTuple& t) const { return set_.count(t) > 0; }
+  bool Contains(const AnnotatedTuple& t) const;
 
   const std::vector<AnnotatedTuple>& tuples() const { return tuples_; }
+
+  /// Index probe over *proper* (non-marker) tuples: ids (ascending) of the
+  /// tuples whose annotation equals `ann` and whose values at the positions
+  /// of `mask` equal `key` (ascending position order). Unlike
+  /// Relation::Probe, `mask` may be zero (an annotation-signature-only
+  /// probe). Only available for arity <= 32 (annotation signatures are
+  /// packed into 32 bits); callers must fall back to scanning above that.
+  const std::vector<uint32_t>* ProbeProper(uint64_t mask,
+                                           std::span<const Value> key,
+                                           const AnnVec& ann) const;
 
   /// The pure relational part rel(T): non-empty tuples, annotations
   /// dropped (Section 3).
@@ -84,7 +112,8 @@ class AnnotatedRelation {
  private:
   size_t arity_;
   std::vector<AnnotatedTuple> tuples_;
-  std::unordered_set<AnnotatedTuple, AnnotatedTupleHash> set_;
+  std::unordered_multimap<size_t, uint32_t> set_;
+  mutable std::unordered_map<uint64_t, PositionIndex> indexes_;
 };
 
 }  // namespace ocdx

@@ -1,0 +1,105 @@
+// Hash indexes over tuple projections: the lookup substrate of the join
+// engine.
+//
+// A PositionIndex maps the projection of a tuple onto a set of *key
+// positions* (given as a bitmask) to the ids of all tuples sharing that
+// projection. Relations build these lazily, one per bound-position
+// signature that the join planner actually probes, and drop them whenever
+// the relation changes. Probes are allocation-free: callers pass a
+// std::span over a scratch buffer and the map is searched through
+// heterogeneous (is_transparent) hashing.
+
+#ifndef OCDX_BASE_TUPLE_INDEX_H_
+#define OCDX_BASE_TUPLE_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "base/tuple.h"
+
+namespace ocdx {
+
+/// Hashes a projection key, whether materialized (Tuple) or borrowed
+/// (span over a scratch buffer). Must agree with TupleHash on Tuples.
+struct ProjKeyHash {
+  using is_transparent = void;
+
+  size_t operator()(std::span<const Value> s) const {
+    uint64_t h = 0x243f6a8885a308d3ULL ^ (s.size() * 0x9e3779b97f4a7c15ULL);
+    for (Value v : s) {
+      h ^= ValueHash{}(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+  size_t operator()(const Tuple& t) const {
+    return operator()(std::span<const Value>(t.data(), t.size()));
+  }
+};
+
+struct ProjKeyEq {
+  using is_transparent = void;
+
+  static bool Equal(std::span<const Value> a, std::span<const Value> b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+  bool operator()(const Tuple& a, const Tuple& b) const { return a == b; }
+  bool operator()(std::span<const Value> a, const Tuple& b) const {
+    return Equal(a, std::span<const Value>(b.data(), b.size()));
+  }
+  bool operator()(const Tuple& a, std::span<const Value> b) const {
+    return Equal(std::span<const Value>(a.data(), a.size()), b);
+  }
+  bool operator()(std::span<const Value> a, std::span<const Value> b) const {
+    return Equal(a, b);
+  }
+};
+
+/// One hash index over a fixed set of key positions.
+///
+/// Keys are materialized projections; buckets hold tuple ids in ascending
+/// insertion order, so index-driven iteration visits tuples in the same
+/// order a scan would.
+class PositionIndex {
+ public:
+  /// `mask` bit p set means position p is part of the key. Key values are
+  /// always laid out in ascending position order.
+  explicit PositionIndex(uint64_t mask) : mask_(mask) {}
+
+  uint64_t mask() const { return mask_; }
+
+  /// Adds `id` under the projection of `t` (a full-width tuple).
+  void Insert(const Tuple& t, uint32_t id) {
+    Tuple key;
+    key.reserve(static_cast<size_t>(__builtin_popcountll(mask_)));
+    for (uint64_t m = mask_; m != 0; m &= m - 1) {
+      key.push_back(t[static_cast<size_t>(__builtin_ctzll(m))]);
+    }
+    buckets_[std::move(key)].push_back(id);
+  }
+
+  /// Adds `id` under an explicit, pre-built key.
+  void InsertKey(Tuple key, uint32_t id) {
+    buckets_[std::move(key)].push_back(id);
+  }
+
+  /// The bucket for `key`, or nullptr if empty.
+  const std::vector<uint32_t>* Probe(std::span<const Value> key) const {
+    auto it = buckets_.find(key);
+    return it == buckets_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  uint64_t mask_;
+  std::unordered_map<Tuple, std::vector<uint32_t>, ProjKeyHash, ProjKeyEq>
+      buckets_;
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_BASE_TUPLE_INDEX_H_

@@ -9,6 +9,9 @@ std::string Universe::Describe(Value v) const {
   if (v.IsConst()) return consts_.Get(v.id());
   const NullInfo& info = nulls_.at(v.id());
   if (!info.label.empty()) return StrCat("_", info.label);
+  // Chase nulls skip eager label materialization (it is measurable chase
+  // time); synthesize a readable, unique name from the justification.
+  if (!info.var.empty()) return StrCat("_", info.var, "_n", v.id());
   return StrCat("_N", v.id());
 }
 

@@ -1,5 +1,8 @@
 #include "chase/canonical.h"
 
+#include <algorithm>
+
+#include "logic/engine_config.h"
 #include "logic/evaluator.h"
 #include "util/str.h"
 
@@ -29,6 +32,145 @@ Result<Value> EvalHeadTerm(const Term& t, const Env& env) {
   return Status::Internal("unknown term kind");
 }
 
+// A head term resolved at compile time: a constant, a witness position, or
+// a fresh-null position. The per-witness loop then touches no strings.
+struct HeadSlot {
+  enum class Kind : uint8_t { kConst, kWitness, kFresh };
+  Kind kind = Kind::kConst;
+  Value constant;
+  size_t index = 0;
+};
+
+// Original string-keyed witness loop, preserved as the naive baseline
+// (see logic/engine_config.h).
+Status FireNaive(const AnnotatedStd& std_, size_t std_index,
+                 const std::shared_ptr<const std::vector<std::string>>& vars,
+                 const std::vector<std::string>& exist_vars,
+                 const std::vector<const Tuple*>& witnesses,
+                 Universe* universe, CanonicalSolution* out) {
+  const std::vector<std::string>& body_vars = *vars;
+  for (const Tuple* wp : witnesses) {
+    const Tuple& w = *wp;
+    ChaseTrigger trigger;
+    trigger.std_index = static_cast<int>(std_index);
+    trigger.var_order = vars;
+    trigger.witness = w;
+
+    Env env;
+    for (size_t v = 0; v < body_vars.size(); ++v) env[body_vars[v]] = w[v];
+    // One fresh null per existential variable per witness: the paper's
+    // bottom-bar_(phi, psi, a-bar, b-bar).
+    for (const std::string& z : exist_vars) {
+      NullInfo info;
+      info.std_index = static_cast<int>(std_index);
+      info.witness = w;
+      info.var = z;
+      info.label = StrCat(z, "_s", std_index, "w", out->triggers.size());
+      Value null = universe->MintNull(std::move(info));
+      env[z] = null;
+      trigger.fresh_nulls.push_back(null);
+    }
+
+    for (const HeadAtom& atom : std_.head) {
+      Tuple t;
+      t.reserve(atom.terms.size());
+      for (const Term& term : atom.terms) {
+        OCDX_ASSIGN_OR_RETURN(Value v, EvalHeadTerm(term, env));
+        t.push_back(v);
+      }
+      out->annotated.Add(atom.rel, AnnotatedTuple(std::move(t), atom.ann));
+    }
+    out->triggers.push_back(std::move(trigger));
+  }
+  return Status::OK();
+}
+
+// Slot-compiled witness loop: head terms are resolved to witness / fresh-
+// null positions once per STD, so firing a witness is a handful of vector
+// reads instead of string-map traffic.
+Status FireCompiled(const AnnotatedStd& std_, size_t std_index,
+                    const std::shared_ptr<const std::vector<std::string>>& vars,
+                    const std::vector<std::string>& exist_vars,
+                    const std::vector<const Tuple*>& witnesses,
+                    Universe* universe, CanonicalSolution* out) {
+  const std::vector<std::string>& body_vars = *vars;
+  std::vector<std::vector<HeadSlot>> head_plans(std_.head.size());
+  for (size_t a = 0; a < std_.head.size(); ++a) {
+    head_plans[a].reserve(std_.head[a].terms.size());
+    for (const Term& term : std_.head[a].terms) {
+      HeadSlot slot;
+      if (term.IsConst()) {
+        slot.kind = HeadSlot::Kind::kConst;
+        slot.constant = term.constant;
+      } else if (term.IsVar()) {
+        auto wit = std::find(body_vars.begin(), body_vars.end(), term.name);
+        if (wit != body_vars.end()) {
+          slot.kind = HeadSlot::Kind::kWitness;
+          slot.index = static_cast<size_t>(wit - body_vars.begin());
+        } else {
+          auto ex = std::find(exist_vars.begin(), exist_vars.end(), term.name);
+          if (ex == exist_vars.end()) {
+            return Status::Internal(StrCat("head variable '", term.name,
+                                           "' has no binding"));
+          }
+          slot.kind = HeadSlot::Kind::kFresh;
+          slot.index = static_cast<size_t>(ex - exist_vars.begin());
+        }
+      } else {
+        return Status::InvalidArgument(
+            StrCat("function term '", term.name,
+                   "' in a plain chase; Skolemized mappings must go through "
+                   "skolem::SolveSkolem"));
+      }
+      head_plans[a].push_back(slot);
+    }
+  }
+
+  out->triggers.reserve(out->triggers.size() + witnesses.size());
+  for (const Tuple* wp : witnesses) {
+    const Tuple& w = *wp;
+    ChaseTrigger trigger;
+    trigger.std_index = static_cast<int>(std_index);
+    trigger.var_order = vars;
+    trigger.witness = w;
+
+    trigger.fresh_nulls.reserve(exist_vars.size());
+    for (size_t j = 0; j < exist_vars.size(); ++j) {
+      NullInfo info;
+      info.std_index = static_cast<int>(std_index);
+      info.witness = w;
+      info.var = exist_vars[j];
+      // No pretty-print label: Universe::Describe falls back to the
+      // unique "_N<id>" form, and materializing a label per null is a
+      // measurable fraction of chase time on large sources.
+      trigger.fresh_nulls.push_back(universe->MintNull(std::move(info)));
+    }
+    const std::vector<Value>& fresh = trigger.fresh_nulls;
+
+    for (size_t a = 0; a < std_.head.size(); ++a) {
+      Tuple t;
+      t.reserve(head_plans[a].size());
+      for (const HeadSlot& slot : head_plans[a]) {
+        switch (slot.kind) {
+          case HeadSlot::Kind::kConst:
+            t.push_back(slot.constant);
+            break;
+          case HeadSlot::Kind::kWitness:
+            t.push_back(w[slot.index]);
+            break;
+          case HeadSlot::Kind::kFresh:
+            t.push_back(fresh[slot.index]);
+            break;
+        }
+      }
+      out->annotated.Add(std_.head[a].rel,
+                         AnnotatedTuple(std::move(t), std_.head[a].ann));
+    }
+    out->triggers.push_back(std::move(trigger));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<CanonicalSolution> Chase(const Mapping& mapping, const Instance& source,
@@ -50,15 +192,20 @@ Result<CanonicalSolution> Chase(const Mapping& mapping, const Instance& source,
     const std::vector<std::string> body_vars = std_.BodyVars();
     const std::vector<std::string> exist_vars = std_.ExistentialVars();
 
-    // Collect the witnesses of the body over S.
-    std::vector<Tuple> witnesses;
+    // Collect the witnesses of the body over S: pointers into the answer
+    // relation, sorted by Value order for deterministic firing.
+    static const Tuple kEmptyWitness;
+    Relation answers(body_vars.size());
+    std::vector<const Tuple*> witnesses;
     if (body_vars.empty()) {
       OCDX_ASSIGN_OR_RETURN(bool holds, eval.Holds(std_.body));
-      if (holds) witnesses.push_back(Tuple{});
+      if (holds) witnesses.push_back(&kEmptyWitness);
     } else {
-      OCDX_ASSIGN_OR_RETURN(Relation answers,
-                            eval.Answers(std_.body, body_vars));
-      witnesses = answers.SortedTuples();
+      OCDX_ASSIGN_OR_RETURN(answers, eval.Answers(std_.body, body_vars));
+      witnesses.reserve(answers.size());
+      for (const Tuple& t : answers.tuples()) witnesses.push_back(&t);
+      std::sort(witnesses.begin(), witnesses.end(),
+                [](const Tuple* a, const Tuple* b) { return *a < *b; });
     }
 
     if (witnesses.empty()) {
@@ -70,37 +217,16 @@ Result<CanonicalSolution> Chase(const Mapping& mapping, const Instance& source,
       continue;
     }
 
-    for (const Tuple& w : witnesses) {
-      ChaseTrigger trigger;
-      trigger.std_index = static_cast<int>(i);
-      trigger.var_order = body_vars;
-      trigger.witness = w;
-
-      Env env;
-      for (size_t v = 0; v < body_vars.size(); ++v) env[body_vars[v]] = w[v];
-      // One fresh null per existential variable per witness: the paper's
-      // bottom-bar_(phi, psi, a-bar, b-bar).
-      for (const std::string& z : exist_vars) {
-        NullInfo info;
-        info.std_index = static_cast<int>(i);
-        info.witness = w;
-        info.var = z;
-        info.label = StrCat(z, "_s", i, "w", out.triggers.size());
-        Value null = universe->MintNull(std::move(info));
-        env[z] = null;
-        trigger.fresh_nulls[z] = null;
-      }
-
-      for (const HeadAtom& atom : std_.head) {
-        Tuple t;
-        t.reserve(atom.terms.size());
-        for (const Term& term : atom.terms) {
-          OCDX_ASSIGN_OR_RETURN(Value v, EvalHeadTerm(term, env));
-          t.push_back(v);
-        }
-        out.annotated.Add(atom.rel, AnnotatedTuple(std::move(t), atom.ann));
-      }
-      out.triggers.push_back(std::move(trigger));
+    auto shared_vars =
+        std::make_shared<const std::vector<std::string>>(body_vars);
+    if (join_engine_mode() == JoinEngineMode::kIndexed) {
+      OCDX_RETURN_IF_ERROR(
+          FireCompiled(std_, i, shared_vars, exist_vars, witnesses, universe,
+                       &out));
+    } else {
+      OCDX_RETURN_IF_ERROR(
+          FireNaive(std_, i, shared_vars, exist_vars, witnesses, universe,
+                    &out));
     }
   }
   return out;

@@ -17,7 +17,7 @@
 #ifndef OCDX_CHASE_CANONICAL_H_
 #define OCDX_CHASE_CANONICAL_H_
 
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,12 +30,15 @@ namespace ocdx {
 /// One firing of one STD: the justification shared by the nulls it minted.
 struct ChaseTrigger {
   int std_index = -1;
-  /// Order of the body's free variables for `witness`.
-  std::vector<std::string> var_order;
+  /// Order of the body's free variables for `witness`; shared across all
+  /// firings of one STD (the chase mints thousands of triggers, so each
+  /// one must not copy the variable names).
+  std::shared_ptr<const std::vector<std::string>> var_order;
   /// The satisfying assignment (a-bar, b-bar) of the body.
   Tuple witness;
-  /// Fresh nulls minted for the existential variables of the STD.
-  std::map<std::string, Value> fresh_nulls;
+  /// Fresh nulls minted for the STD's existential variables, in
+  /// AnnotatedStd::ExistentialVars() order.
+  std::vector<Value> fresh_nulls;
 };
 
 /// The result of chasing a source instance with a mapping.

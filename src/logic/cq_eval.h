@@ -1,15 +1,30 @@
-// Join-based evaluation of safe conjunctive queries.
+// Slot-compiled, hash-indexed evaluation of safe conjunctive queries.
 //
 // The generic active-domain evaluator enumerates |domain|^k bindings; for
 // the CQ-shaped formulas that dominate data exchange (rule bodies, OWA
-// checks, guard conjunctions) a backtracking join over the atoms is
-// exponentially cheaper. TryEvalCQ recognizes the safe-CQ shape and
-// evaluates it; on any other shape it declines and the caller falls back
-// to the generic evaluator, so using it is always sound.
+// checks, guard conjunctions) a join over the atoms is exponentially
+// cheaper. TryEvalCQ recognizes the safe-CQ shape — an exists-prefix over
+// a conjunction of relational atoms, equalities, and *negated sub-CQ
+// guards* (anti-joins, e.g. "& !exists r. A(x, r)") — and evaluates it; on
+// any other shape it declines and the caller falls back to the generic
+// evaluator, so using it is always sound.
+//
+// The indexed engine compiles the query once: variable names are interned
+// to dense slot ids, so the join inner loop touches only a flat
+// std::vector<Value> frame; atoms are greedily ordered by estimated
+// selectivity and bound-variable connectivity, and each atom fetches its
+// candidate tuples from the relation's lazy hash index on the positions
+// bound at that point in the plan (see base/tuple_index.h) instead of
+// scanning the whole relation.
+//
+// TryEvalCQNaive preserves the original string-keyed nested-loop-scan
+// implementation; it is the reference baseline for parity tests and
+// side-by-side benchmarks (see logic/engine_config.h).
 
 #ifndef OCDX_LOGIC_CQ_EVAL_H_
 #define OCDX_LOGIC_CQ_EVAL_H_
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -20,10 +35,10 @@
 
 namespace ocdx {
 
-/// Attempts to evaluate `f` over `inst` as a safe conjunctive query:
-/// an exists-prefix over a conjunction of relational atoms (variable or
-/// constant arguments) and equalities, where every output variable and
-/// every equality variable occurs in some relational atom.
+/// Attempts to evaluate `f` over `inst` as a safe conjunctive query with
+/// optional negated-CQ guards, using compiled, index-driven join plans.
+/// Safety: every output variable and every equality/guard variable must
+/// occur in some positive relational atom.
 ///
 /// Returns the answer relation over `order`, or std::nullopt if the
 /// formula does not have the supported shape (never an error for shape
@@ -31,6 +46,21 @@ namespace ocdx {
 std::optional<Relation> TryEvalCQ(const FormulaPtr& f,
                                   const std::vector<std::string>& order,
                                   const Instance& inst);
+
+/// The original backtracking nested-loop implementation, preserved as the
+/// naive baseline. Accepts exactly the same shapes as TryEvalCQ and
+/// returns identical relations, just slower.
+std::optional<Relation> TryEvalCQNaive(const FormulaPtr& f,
+                                       const std::vector<std::string>& order,
+                                       const Instance& inst);
+
+/// Boolean variant for sentence/guard checks: is `f` satisfied when its
+/// free variables are pre-bound by `binding`? Declines (nullopt) when the
+/// shape is unsupported or some free variable of `f` is missing from
+/// `binding`. Runs the compiled plan with early exit on the first match.
+std::optional<bool> TryHoldsCQ(const FormulaPtr& f,
+                               const std::map<std::string, Value>& binding,
+                               const Instance& inst);
 
 }  // namespace ocdx
 

@@ -1,0 +1,13 @@
+#include "logic/engine_config.h"
+
+namespace ocdx {
+
+namespace {
+JoinEngineMode g_mode = JoinEngineMode::kIndexed;
+}  // namespace
+
+JoinEngineMode join_engine_mode() { return g_mode; }
+
+void set_join_engine_mode(JoinEngineMode mode) { g_mode = mode; }
+
+}  // namespace ocdx

@@ -1,0 +1,43 @@
+// Process-wide selection of the query/homomorphism evaluation engine.
+//
+// The indexed engine (slot-compiled join plans probing per-relation hash
+// indexes) is the default. The naive engine preserves the original
+// backtracking-scan implementations so they can be benchmarked
+// side-by-side against the indexed paths; the generic mode disables the
+// CQ fast path entirely, forcing active-domain enumeration — parity tests
+// use it as the semantic ground truth.
+
+#ifndef OCDX_LOGIC_ENGINE_CONFIG_H_
+#define OCDX_LOGIC_ENGINE_CONFIG_H_
+
+namespace ocdx {
+
+enum class JoinEngineMode {
+  kIndexed,  ///< Slot-compiled plans over lazy hash indexes (default).
+  kNaive,    ///< Original nested-loop scans (reference baseline).
+  kGeneric,  ///< No CQ fast path at all: active-domain enumeration.
+};
+
+/// The current engine mode. Not thread-safe (like the rest of ocdx).
+JoinEngineMode join_engine_mode();
+void set_join_engine_mode(JoinEngineMode mode);
+
+/// RAII engine-mode override for benchmarks and tests.
+class ScopedJoinEngineMode {
+ public:
+  explicit ScopedJoinEngineMode(JoinEngineMode mode)
+      : prev_(join_engine_mode()) {
+    set_join_engine_mode(mode);
+  }
+  ~ScopedJoinEngineMode() { set_join_engine_mode(prev_); }
+
+  ScopedJoinEngineMode(const ScopedJoinEngineMode&) = delete;
+  ScopedJoinEngineMode& operator=(const ScopedJoinEngineMode&) = delete;
+
+ private:
+  JoinEngineMode prev_;
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_LOGIC_ENGINE_CONFIG_H_

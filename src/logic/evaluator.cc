@@ -1,6 +1,7 @@
 #include "logic/evaluator.h"
 
 #include "logic/cq_eval.h"
+#include "logic/engine_config.h"
 
 #include <algorithm>
 #include <set>
@@ -158,6 +159,13 @@ Result<bool> Evaluator::Eval(const Formula& f, Env* env,
 }
 
 Result<bool> Evaluator::Holds(const FormulaPtr& f, const Env& binding) {
+  // Fast path: CQ-shaped sentences under a full binding run as compiled
+  // boolean joins with early exit (positive-CQ truth is independent of the
+  // quantification domain, so extra domain values cannot change it).
+  if (oracle_ == nullptr && join_engine_mode() == JoinEngineMode::kIndexed) {
+    std::optional<bool> fast = TryHoldsCQ(f, binding, inst_);
+    if (fast.has_value()) return *fast;
+  }
   std::vector<Value> domain = Domain(f);
   Env env = binding;
   return Eval(*f, &env, domain);
@@ -173,10 +181,22 @@ Result<Relation> Evaluator::Answers(const FormulaPtr& f,
           StrCat("free variable '", v, "' missing from output order"));
     }
   }
-  // Fast path: safe conjunctive queries evaluate by backtracking joins
-  // instead of domain^k enumeration (rule bodies are usually CQs).
+  // Fast path: safe conjunctive queries evaluate by index-driven joins
+  // instead of domain^k enumeration (rule bodies are usually CQs). The
+  // engine mode selects the compiled/indexed plan, the preserved naive
+  // scan baseline, or no fast path at all (see logic/engine_config.h).
   if (oracle_ == nullptr) {
-    std::optional<Relation> fast = TryEvalCQ(f, order, inst_);
+    std::optional<Relation> fast;
+    switch (join_engine_mode()) {
+      case JoinEngineMode::kIndexed:
+        fast = TryEvalCQ(f, order, inst_);
+        break;
+      case JoinEngineMode::kNaive:
+        fast = TryEvalCQNaive(f, order, inst_);
+        break;
+      case JoinEngineMode::kGeneric:
+        break;
+    }
     if (fast.has_value()) return std::move(*fast);
   }
   std::vector<Value> domain = Domain(f);

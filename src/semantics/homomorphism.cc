@@ -3,6 +3,7 @@
 #include <set>
 #include <vector>
 
+#include "logic/engine_config.h"
 #include "util/str.h"
 
 namespace ocdx {
@@ -15,12 +16,18 @@ class HomSearch {
  public:
   HomSearch(const AnnotatedInstance& a, const AnnotatedInstance& b, Mode mode,
             HomOptions options)
-      : a_(a), b_(b), mode_(mode), options_(options) {
+      : a_(a),
+        b_(b),
+        mode_(mode),
+        options_(options),
+        indexed_(join_engine_mode() == JoinEngineMode::kIndexed) {
     for (const auto& [name, rel] : a_.relations()) {
+      const AnnotatedRelation* brel = b_.Find(name);
       for (const AnnotatedTuple& t : rel.tuples()) {
-        if (!t.IsEmptyMarker()) items_.push_back(Item{&name, &t});
+        if (!t.IsEmptyMarker()) items_.push_back(Item{&name, &t, brel});
       }
     }
+    matched_.assign(items_.size(), false);
   }
 
   Result<std::optional<NullMap>> Run() {
@@ -56,17 +63,63 @@ class HomSearch {
   struct Item {
     const std::string* rel;
     const AnnotatedTuple* tuple;
+    const AnnotatedRelation* brel;
   };
 
-  Result<bool> Search(size_t idx) {
-    if (++steps_ > options_.max_steps) {
+  /// The step budget covers every unit of search work: backtracking nodes,
+  /// index probes, and probed candidates — so an index-driven run can
+  /// never do unbounded work under a finite max_steps.
+  Status Charge(uint64_t n) {
+    steps_ += n;
+    if (steps_ > options_.max_steps) {
       return Status::ResourceExhausted(StrCat(
           "homomorphism search exceeded ", options_.max_steps, " steps"));
     }
-    if (idx == items_.size()) return CheckLeaf();
-    const Item& item = items_[idx];
-    const AnnotatedRelation* brel = b_.Find(*item.rel);
-    if (brel == nullptr) return false;
+    return Status::OK();
+  }
+
+  /// Number of positions of `item` already forced (constants or h-bound
+  /// nulls): the most-constrained-first selection heuristic.
+  size_t DeterminedPositions(const Item& item) const {
+    size_t n = 0;
+    for (Value v : item.tuple->values) {
+      if (v.IsConst() || h_.Defined(v)) ++n;
+    }
+    return n;
+  }
+
+  size_t PickItem() const {
+    if (!indexed_) {
+      // Naive engine: static insertion order, as in the original code.
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (!matched_[i]) return i;
+      }
+      return items_.size();
+    }
+    size_t best = items_.size();
+    size_t best_det = 0, best_n = 0;
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (matched_[i]) continue;
+      size_t det = DeterminedPositions(items_[i]);
+      size_t n = items_[i].brel == nullptr ? 0 : items_[i].brel->size();
+      if (best == items_.size() || det > best_det ||
+          (det == best_det && n < best_n)) {
+        best = i;
+        best_det = det;
+        best_n = n;
+      }
+    }
+    return best;
+  }
+
+  Result<bool> Search(size_t num_matched) {
+    OCDX_RETURN_IF_ERROR(Charge(1));
+    if (num_matched == items_.size()) return CheckLeaf();
+    const size_t pick = PickItem();
+    const Item& item = items_[pick];
+    if (item.brel == nullptr) return false;
+    const AnnotatedRelation* brel = item.brel;
+    matched_[pick] = true;
 
     // An all-open marker in `b` licenses any expansion tuple, so in
     // expansion mode the item is unconstrained if one is present.
@@ -74,17 +127,67 @@ class HomSearch {
       AnnotatedTuple marker =
           AnnotatedTuple::EmptyMarker(AllOpen(brel->arity()));
       if (brel->Contains(marker)) {
-        OCDX_ASSIGN_OR_RETURN(bool found, Search(idx + 1));
-        if (found) return true;
+        Result<bool> found = Search(num_matched + 1);
+        if (!found.ok() || found.value()) {
+          matched_[pick] = false;
+          return found;
+        }
       }
     }
 
+    Result<bool> result = false;
+    if (mode_ != Mode::kExpansion && indexed_ && brel->arity() <= 32 &&
+        item.tuple->values.size() == brel->arity()) {
+      result = ProbeCandidates(item, brel, num_matched);
+    } else {
+      result = ScanCandidates(item, brel, num_matched);
+    }
+    matched_[pick] = false;
+    return result;
+  }
+
+  /// Indexed candidate fetch: probe `brel`'s position index on the item's
+  /// determined positions, filtered by annotation signature.
+  Result<bool> ProbeCandidates(const Item& item, const AnnotatedRelation* brel,
+                               size_t num_matched) {
+    const Tuple& src = item.tuple->values;
+    uint64_t mask = 0;
+    key_scratch_.clear();
+    for (size_t p = 0; p < src.size(); ++p) {
+      Value sv = src[p];
+      if (sv.IsConst()) {
+        mask |= uint64_t{1} << p;
+        key_scratch_.push_back(sv);
+      } else if (h_.Defined(sv)) {
+        mask |= uint64_t{1} << p;
+        key_scratch_.push_back(h_.Apply(sv));
+      }
+    }
+    OCDX_RETURN_IF_ERROR(Charge(1));  // The probe itself.
+    const std::vector<uint32_t>* ids =
+        brel->ProbeProper(mask, key_scratch_, item.tuple->ann);
+    if (ids == nullptr) return false;
+    for (uint32_t id : *ids) {
+      OCDX_RETURN_IF_ERROR(Charge(1));
+      const AnnotatedTuple& cand = brel->tuples()[id];
+      std::vector<Value> added;
+      if (TryUnify(*item.tuple, cand, &added)) {
+        OCDX_ASSIGN_OR_RETURN(bool found, Search(num_matched + 1));
+        if (found) return true;
+      }
+      for (auto it = added.rbegin(); it != added.rend(); ++it) h_.Unset(*it);
+    }
+    return false;
+  }
+
+  Result<bool> ScanCandidates(const Item& item, const AnnotatedRelation* brel,
+                              size_t num_matched) {
     for (const AnnotatedTuple& cand : brel->tuples()) {
       if (cand.IsEmptyMarker()) continue;
       if (mode_ != Mode::kExpansion && cand.ann != item.tuple->ann) continue;
       std::vector<Value> added;
       if (TryUnify(*item.tuple, cand, &added)) {
-        OCDX_ASSIGN_OR_RETURN(bool found, Search(idx + 1));
+        OCDX_ASSIGN_OR_RETURN(bool found, Search(num_matched + 1));
         if (found) return true;
       }
       for (auto it = added.rbegin(); it != added.rend(); ++it) h_.Unset(*it);
@@ -164,7 +267,10 @@ class HomSearch {
   const AnnotatedInstance& b_;
   Mode mode_;
   HomOptions options_;
+  bool indexed_;
   std::vector<Item> items_;
+  std::vector<bool> matched_;
+  std::vector<Value> key_scratch_;
   NullMap h_;
   uint64_t steps_ = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "logic/engine_config.h"
 #include "util/str.h"
 
 namespace ocdx {
@@ -57,13 +58,22 @@ class RepASearch {
  public:
   RepASearch(const AnnotatedInstance& annotated, const Instance& ground,
              RepAOptions options)
-      : annotated_(annotated), ground_(ground), options_(options) {
+      : annotated_(annotated),
+        ground_(ground),
+        options_(options),
+        indexed_(join_engine_mode() == JoinEngineMode::kIndexed) {
     for (const auto& [name, rel] : annotated_.relations()) {
+      const Relation* grel = ground_.Find(name);
       for (const AnnotatedTuple& t : rel.tuples()) {
         if (!t.IsEmptyMarker()) {
-          proper_.push_back(Item{&name, &t, false});
+          proper_.push_back(Item{&name, &t, grel, false});
         }
       }
+    }
+    // Relation pairs for the condition-(b) leaf check, resolved once.
+    for (const auto& [name, grel] : ground_.relations()) {
+      if (grel.empty()) continue;
+      cover_.push_back({&grel, annotated_.Find(name)});
     }
   }
 
@@ -77,8 +87,70 @@ class RepASearch {
   struct Item {
     const std::string* rel;
     const AnnotatedTuple* tuple;
+    const Relation* grel;
     bool matched;
   };
+
+  /// Condition (b) alone: every ground tuple coincides with some annotated
+  /// tuple on its closed positions. At a search leaf condition (a) holds
+  /// by construction — every proper tuple was unified with an actual
+  /// ground tuple — so re-verifying it (as the naive engine does via
+  /// InRepAUnder) is pure overhead.
+  bool GroundCovered() const {
+    for (const auto& [grel, arel] : cover_) {
+      for (const Tuple& r : grel->tuples()) {
+        bool matched = false;
+        if (arel != nullptr) {
+          for (const AnnotatedTuple& t : arel->tuples()) {
+            if (MatchesOnClosed(r, t, valuation_)) {
+              matched = true;
+              break;
+            }
+          }
+        }
+        if (!matched) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Could `t0` still cover `r` on its closed positions in *some*
+  /// extension of the current valuation? Closed positions holding unbound
+  /// nulls are wildcards; bound/constant closed positions must already
+  /// agree.
+  static bool PotentiallyCovers(const Tuple& r, const AnnotatedTuple& t0,
+                                const Valuation& v) {
+    if (t0.IsEmptyMarker()) return IsAllOpen(t0.ann);
+    if (r.size() != t0.values.size()) return false;
+    for (size_t p = 0; p < t0.values.size(); ++p) {
+      if (t0.ann[p] != Ann::kClosed) continue;
+      Value b = v.Apply(t0.values[p]);
+      if (b.IsConst() && b != r[p]) return false;
+    }
+    return true;
+  }
+
+  /// Forward check on condition (b): binding nulls only ever shrinks the
+  /// set of annotated tuples that can cover a ground tuple, so a ground
+  /// tuple with no potential cover left kills the whole branch. This is
+  /// what collapses the exponential leaf count of the naive search.
+  bool GroundCoverStillPossible() const {
+    for (const auto& [grel, arel] : cover_) {
+      for (const Tuple& r : grel->tuples()) {
+        bool possible = false;
+        if (arel != nullptr) {
+          for (const AnnotatedTuple& t : arel->tuples()) {
+            if (PotentiallyCovers(r, t, valuation_)) {
+              possible = true;
+              break;
+            }
+          }
+        }
+        if (!possible) return false;
+      }
+    }
+    return true;
+  }
 
   // Number of distinct unbound nulls in an item (selection heuristic).
   size_t UnboundNulls(const Item& item) const {
@@ -114,16 +186,52 @@ class RepASearch {
     }
     if (best < 0) {
       // All proper tuples matched; condition (b) remains.
+      if (indexed_) return GroundCovered();
       return InRepAUnder(annotated_, ground_, valuation_);
     }
 
     Item& item = proper_[best];
-    const Relation* grel = ground_.Find(*item.rel);
+    const Relation* grel = item.grel;
     if (grel == nullptr) return false;
     item.matched = true;
 
     const Tuple& pattern = item.tuple->values;
-    for (const Tuple& r : grel->tuples()) {
+
+    // Candidate fetch. The indexed engine probes the ground relation's
+    // hash index on the pattern's determined positions (constants and
+    // already-valuated nulls); the probe counts against max_steps. The
+    // naive engine — and patterns with no determined position — scan.
+    const std::vector<uint32_t>* ids = nullptr;
+    if (indexed_ && grel->arity() <= 64 && grel->arity() > 0 &&
+        pattern.size() == grel->arity()) {
+      uint64_t mask = 0;
+      key_scratch_.clear();
+      for (size_t p = 0; p < pattern.size(); ++p) {
+        Value pv = pattern[p];
+        Value bound = pv.IsConst() ? pv : valuation_.Apply(pv);
+        if (bound.IsConst()) {
+          mask |= uint64_t{1} << p;
+          key_scratch_.push_back(bound);
+        }
+      }
+      if (mask != 0) {
+        if (++steps_ > options_.max_steps) {
+          return Status::ResourceExhausted(
+              StrCat("InRepA exceeded ", options_.max_steps,
+                     " backtracking steps"));
+        }
+        ids = grel->Probe(mask, key_scratch_);
+        if (ids == nullptr) {
+          item.matched = false;
+          return false;
+        }
+      }
+    }
+    const size_t num_candidates =
+        ids != nullptr ? ids->size() : grel->tuples().size();
+    for (size_t c = 0; c < num_candidates; ++c) {
+      const Tuple& r =
+          ids != nullptr ? grel->tuples()[(*ids)[c]] : grel->tuples()[c];
       // Try to unify pattern with r, extending the valuation.
       std::vector<std::pair<Value, Value>> added;
       bool ok = true;
@@ -141,7 +249,7 @@ class RepASearch {
           }
         }
       }
-      if (ok) {
+      if (ok && (!indexed_ || added.empty() || GroundCoverStillPossible())) {
         OCDX_ASSIGN_OR_RETURN(bool found, Search());
         if (found) return true;
       }
@@ -157,7 +265,10 @@ class RepASearch {
   const AnnotatedInstance& annotated_;
   const Instance& ground_;
   RepAOptions options_;
+  bool indexed_;
   std::vector<Item> proper_;
+  std::vector<std::pair<const Relation*, const AnnotatedRelation*>> cover_;
+  std::vector<Value> key_scratch_;
   Valuation valuation_;
   uint64_t steps_ = 0;
 };

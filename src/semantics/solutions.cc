@@ -1,5 +1,9 @@
 #include "semantics/solutions.h"
 
+#include <algorithm>
+
+#include "logic/cq_eval.h"
+#include "logic/engine_config.h"
 #include "logic/evaluator.h"
 #include "semantics/homomorphism.h"
 
@@ -29,6 +33,45 @@ Result<bool> SatisfiesStds(const Mapping& mapping, const Instance& source,
                             source_eval.Answers(std_.body, body_vars));
       witnesses = answers.tuples();
     }
+    if (witnesses.empty()) continue;
+
+    // Semijoin form: forall w . T |= psi(w)  iff  the projection of the
+    // witnesses onto the requirement's free variables is contained in the
+    // requirement's answer set over T — one compiled join plus hashed
+    // containment instead of a (re-compiled) Holds call per witness. The
+    // naive engine keeps the per-witness loop as the benchable baseline.
+    const std::vector<std::string> req_vars = FreeVars(requirement);
+    if (join_engine_mode() == JoinEngineMode::kIndexed && !body_vars.empty() &&
+        !req_vars.empty()) {
+      std::optional<Relation> req_answers =
+          TryEvalCQ(requirement, req_vars, target);
+      if (req_answers.has_value()) {
+        std::vector<size_t> proj(req_vars.size());
+        bool proj_ok = true;
+        for (size_t i = 0; i < req_vars.size(); ++i) {
+          auto it = std::find(body_vars.begin(), body_vars.end(), req_vars[i]);
+          if (it == body_vars.end()) {
+            proj_ok = false;  // Unreachable: head free vars are body vars.
+            break;
+          }
+          proj[i] = static_cast<size_t>(it - body_vars.begin());
+        }
+        if (proj_ok) {
+          Tuple key(req_vars.size());
+          bool all_in = true;
+          for (const Tuple& w : witnesses) {
+            for (size_t i = 0; i < proj.size(); ++i) key[i] = w[proj[i]];
+            if (!req_answers->Contains(key)) {
+              all_in = false;
+              break;
+            }
+          }
+          if (!all_in) return false;
+          continue;
+        }
+      }
+    }
+
     for (const Tuple& w : witnesses) {
       Env env;
       for (size_t i = 0; i < body_vars.size(); ++i) env[body_vars[i]] = w[i];

@@ -15,6 +15,18 @@
 
 namespace ocdx {
 
+/// Heterogeneous string hashing so lookups by string_view need not
+/// materialize a std::string (hot paths intern on every constant).
+struct StringViewHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const {
+    return operator()(std::string_view(s));
+  }
+};
+
 /// Interns strings into dense uint32 ids, starting from 0.
 ///
 /// Ids are stable for the lifetime of the interner and never reused.
@@ -23,9 +35,10 @@ class StringInterner {
  public:
   StringInterner() = default;
 
-  /// Returns the id for `s`, interning it on first sight.
+  /// Returns the id for `s`, interning it on first sight. Lookup is
+  /// allocation-free; only a first sight copies the string.
   uint32_t Intern(std::string_view s) {
-    auto it = ids_.find(std::string(s));
+    auto it = ids_.find(s);
     if (it != ids_.end()) return it->second;
     uint32_t id = static_cast<uint32_t>(strings_.size());
     strings_.emplace_back(s);
@@ -34,8 +47,9 @@ class StringInterner {
   }
 
   /// Returns the id for `s` if already interned, or UINT32_MAX otherwise.
+  /// Allocation-free.
   uint32_t Find(std::string_view s) const {
-    auto it = ids_.find(std::string(s));
+    auto it = ids_.find(s);
     return it == ids_.end() ? UINT32_MAX : it->second;
   }
 
@@ -48,7 +62,8 @@ class StringInterner {
 
  private:
   std::vector<std::string> strings_;
-  std::unordered_map<std::string, uint32_t> ids_;
+  std::unordered_map<std::string, uint32_t, StringViewHash, std::equal_to<>>
+      ids_;
 };
 
 }  // namespace ocdx

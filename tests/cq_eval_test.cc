@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "logic/cq_eval.h"
+#include "logic/engine_config.h"
 #include "logic/evaluator.h"
 #include "logic/parser.h"
 #include "util/rng.h"
@@ -35,12 +36,10 @@ TEST_F(CqEvalTest, SimpleJoin) {
 TEST_F(CqEvalTest, DeclinesNonCqShapes) {
   Instance inst;
   inst.Add("E", {u_.Const("a"), u_.Const("b")});
-  // Negation, disjunction, universals, inequalities: not this path.
+  // Bare negation (unsafe), disjunction, universals: not this path.
   EXPECT_FALSE(TryEvalCQ(Parse("!E(x, y)"), {"x", "y"}, inst).has_value());
   EXPECT_FALSE(
       TryEvalCQ(Parse("E(x, y) | E(y, x)"), {"x", "y"}, inst).has_value());
-  EXPECT_FALSE(
-      TryEvalCQ(Parse("E(x, y) & x != y"), {"x", "y"}, inst).has_value());
   // Unsafe: output variable not bound by an atom.
   EXPECT_FALSE(TryEvalCQ(Parse("E(x, x) & y = y"), {"x", "y"}, inst)
                    .has_value());
@@ -48,6 +47,43 @@ TEST_F(CqEvalTest, DeclinesNonCqShapes) {
   EXPECT_FALSE(
       TryEvalCQ(Parse("E(x, y) & exists x. E(x, x)"), {"x", "y"}, inst)
           .has_value());
+}
+
+TEST_F(CqEvalTest, NegatedGuards) {
+  Instance inst;
+  inst.Add("E", {u_.Const("a"), u_.Const("b")});
+  inst.Add("E", {u_.Const("b"), u_.Const("c")});
+  inst.Add("E", {u_.Const("c"), u_.Const("c")});
+  // Inequalities are negated (atom-free) sub-CQ guards.
+  std::optional<Relation> neq =
+      TryEvalCQ(Parse("E(x, y) & x != y"), {"x", "y"}, inst);
+  ASSERT_TRUE(neq.has_value());
+  EXPECT_EQ(neq->size(), 2u);
+  EXPECT_FALSE(neq->Contains({u_.Const("c"), u_.Const("c")}));
+  // Anti-join: edges whose target is not a self-loop node.
+  std::optional<Relation> anti =
+      TryEvalCQ(Parse("E(x, y) & !E(y, y)"), {"x", "y"}, inst);
+  ASSERT_TRUE(anti.has_value());
+  EXPECT_EQ(anti->size(), 1u);
+  EXPECT_TRUE(anti->Contains({u_.Const("a"), u_.Const("b")}));
+  // Guards may carry their own existentials.
+  std::optional<Relation> sources =
+      TryEvalCQ(Parse("E(x, y) & !exists z. E(z, x)"), {"x", "y"}, inst);
+  ASSERT_TRUE(sources.has_value());
+  EXPECT_EQ(sources->size(), 1u);
+  EXPECT_TRUE(sources->Contains({u_.Const("a"), u_.Const("b")}));
+  // A guard whose free variable is bound by no positive atom declines, as
+  // does a nested negation inside a guard body.
+  EXPECT_FALSE(
+      TryEvalCQ(Parse("E(x, x) & !E(x, y)"), {"x"}, inst).has_value());
+  EXPECT_FALSE(TryEvalCQ(Parse("E(x, y) & !exists z. E(y, z) & y != z"),
+                         {"x", "y"}, inst)
+                   .has_value());
+  // The naive engine accepts exactly the same shapes and agrees.
+  std::optional<Relation> naive =
+      TryEvalCQNaive(Parse("E(x, y) & !exists z. E(z, x)"), {"x", "y"}, inst);
+  ASSERT_TRUE(naive.has_value());
+  EXPECT_TRUE(*naive == *sources);
 }
 
 TEST_F(CqEvalTest, ConstantsAndEqualities) {
@@ -86,14 +122,20 @@ TEST_P(CqAgreementSweep, AgreesWithGenericEvaluator) {
       "exists z w. E(x, z) & E(z, w) & E(w, y)",
       "E(x, x) & E(x, y)",
       "E(x, y) & x = y",
+      "E(x, y) & x != y",
+      "E(x, y) & !E(y, x)",
+      "E(x, y) & !exists z. E(y, z)",
   };
   for (const char* text : queries) {
     Result<FormulaPtr> q = ParseFormula(text, &u);
     ASSERT_TRUE(q.ok());
     std::optional<Relation> fast = TryEvalCQ(q.value(), {"x", "y"}, inst);
     ASSERT_TRUE(fast.has_value()) << text;
-    // Generic evaluation, bypassing the fast path by evaluating the
+    std::optional<Relation> naive = TryEvalCQNaive(q.value(), {"x", "y"}, inst);
+    ASSERT_TRUE(naive.has_value()) << text;
+    // Generic evaluation, bypassing every fast path by evaluating the
     // formula under the full domain enumeration.
+    ScopedJoinEngineMode generic(JoinEngineMode::kGeneric);
     Evaluator ev(inst, u);
     std::vector<Value> domain = ev.Domain(q.value());
     Relation slow(2);
@@ -108,6 +150,7 @@ TEST_P(CqAgreementSweep, AgreesWithGenericEvaluator) {
       }
     }
     EXPECT_TRUE(*fast == slow) << text << " seed " << GetParam();
+    EXPECT_TRUE(*naive == slow) << text << " seed " << GetParam();
   }
 }
 

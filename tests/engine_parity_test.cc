@@ -1,0 +1,397 @@
+// Randomized parity tests for the indexed evaluation engine: the
+// slot-compiled, hash-indexed join plans (TryEvalCQ), the indexed
+// homomorphism search, and the indexed RepA search must be
+// observationally identical to the preserved naive implementations and —
+// for CQ evaluation — to the generic active-domain evaluator. Also pins
+// the HomSearch step-accounting contract: max_steps counts index probes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chase/canonical.h"
+#include "logic/cq_eval.h"
+#include "logic/engine_config.h"
+#include "logic/evaluator.h"
+#include "semantics/homomorphism.h"
+#include "semantics/membership.h"
+#include "semantics/repa.h"
+#include "util/rng.h"
+#include "workloads/scenarios.h"
+#include "workloads/tripartite.h"
+
+namespace ocdx {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Generated-CQ parity over the conference / tripartite workload instances.
+// ---------------------------------------------------------------------------
+
+// Builds a random conjunction of atoms (plus an occasional equality) over
+// the instance's schema. All variables are free, so the query is safe.
+FormulaPtr RandomCq(const Instance& inst, Rng* rng,
+                    std::vector<std::string>* order) {
+  static const std::vector<std::string> kPool = {"x", "y", "z", "w"};
+  std::vector<std::pair<std::string, size_t>> rels;
+  for (const auto& [name, rel] : inst.relations()) {
+    rels.push_back({name, rel.arity()});
+  }
+  std::vector<FormulaPtr> conj;
+  std::set<std::string> used;
+  size_t natoms = 1 + rng->Below(3);
+  for (size_t i = 0; i < natoms; ++i) {
+    const auto& [name, arity] = rels[rng->Below(rels.size())];
+    std::vector<Term> terms;
+    for (size_t p = 0; p < arity; ++p) {
+      const std::string& v = kPool[rng->Below(kPool.size())];
+      used.insert(v);
+      terms.push_back(Term::Var(v));
+    }
+    conj.push_back(Formula::Atom(name, std::move(terms)));
+  }
+  if (used.size() >= 2 && rng->Below(3) == 0) {
+    auto it = used.begin();
+    const std::string a = *it++;
+    const std::string b = *it;
+    conj.push_back(Formula::Eq(Term::Var(a), Term::Var(b)));
+  }
+  order->assign(used.begin(), used.end());
+  return Formula::And(std::move(conj));
+}
+
+class CqEngineParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(CqEngineParity, IndexedNaiveAndGenericAgree) {
+  Rng rng(911 + GetParam());
+  Universe u;
+  // Two workload instances: a small conference source and a tripartite
+  // reduction target (which mixes several relations and constants).
+  Result<ConferenceScenario> conf = BuildConferenceScenario(5, 2, &u);
+  ASSERT_TRUE(conf.ok());
+  TripartiteInstance tri = TripartiteWithMatching(3, 2, &rng);
+  Result<TripartiteReduction> red = BuildTripartiteReduction(tri, &u);
+  ASSERT_TRUE(red.ok());
+
+  for (const Instance* inst :
+       {&conf.value().source, &red.value().source, &red.value().target}) {
+    for (int q = 0; q < 8; ++q) {
+      std::vector<std::string> order;
+      FormulaPtr f = RandomCq(*inst, &rng, &order);
+      if (order.empty()) continue;
+
+      std::optional<Relation> fast = TryEvalCQ(f, order, *inst);
+      ASSERT_TRUE(fast.has_value());
+      std::optional<Relation> naive = TryEvalCQNaive(f, order, *inst);
+      ASSERT_TRUE(naive.has_value());
+      EXPECT_TRUE(*fast == *naive) << "seed " << GetParam() << " query " << q;
+
+      ScopedJoinEngineMode generic(JoinEngineMode::kGeneric);
+      Evaluator ev(*inst, u);
+      Result<Relation> slow = ev.Answers(f, order);
+      ASSERT_TRUE(slow.ok());
+      EXPECT_TRUE(*fast == slow.value())
+          << "seed " << GetParam() << " query " << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, CqEngineParity, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Homomorphism parity: indexed vs naive vs brute force.
+// ---------------------------------------------------------------------------
+
+// Exhaustive reference: does any map Null(a) -> Null(b) send every proper
+// tuple of `a` (annotation preserved) into `b`, with a's markers in b?
+bool BruteForceHomExists(const AnnotatedInstance& a,
+                         const AnnotatedInstance& b) {
+  std::vector<Value> a_nulls = a.Nulls();
+  std::vector<Value> b_nulls = b.Nulls();
+  for (const auto& [name, rel] : a.relations()) {
+    for (const AnnotatedTuple& t : rel.tuples()) {
+      if (!t.IsEmptyMarker()) continue;
+      const AnnotatedRelation* brel = b.Find(name);
+      if (brel == nullptr || !brel->Contains(t)) return false;
+    }
+  }
+  if (a_nulls.empty()) {
+    NullMap id;
+    for (const auto& [name, rel] : a.relations()) {
+      for (const AnnotatedTuple& t : rel.tuples()) {
+        if (t.IsEmptyMarker()) continue;
+        const AnnotatedRelation* brel = b.Find(name);
+        if (brel == nullptr ||
+            !brel->Contains(AnnotatedTuple(id.Apply(t.values), t.ann))) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+  if (b_nulls.empty()) b_nulls.push_back(a_nulls[0]);  // Doomed but total.
+  std::vector<size_t> choice(a_nulls.size(), 0);
+  while (true) {
+    NullMap h;
+    for (size_t i = 0; i < a_nulls.size(); ++i) {
+      h.Set(a_nulls[i], b_nulls[choice[i]]);
+    }
+    bool ok = true;
+    for (const auto& [name, rel] : a.relations()) {
+      for (const AnnotatedTuple& t : rel.tuples()) {
+        if (t.IsEmptyMarker() || !ok) continue;
+        const AnnotatedRelation* brel = b.Find(name);
+        if (brel == nullptr ||
+            !brel->Contains(AnnotatedTuple(h.Apply(t.values), t.ann))) {
+          ok = false;
+        }
+      }
+    }
+    if (ok) return true;
+    size_t p = 0;
+    while (p < choice.size() && ++choice[p] == b_nulls.size()) {
+      choice[p++] = 0;
+    }
+    if (p == choice.size()) return false;
+  }
+}
+
+AnnotatedInstance RandomAnnotated(Universe* u, Rng* rng,
+                                  const std::vector<Value>& nulls,
+                                  size_t tuples) {
+  AnnotatedInstance out;
+  for (size_t i = 0; i < tuples; ++i) {
+    Tuple t;
+    for (int p = 0; p < 2; ++p) {
+      if (rng->Below(3) == 0) {
+        t.push_back(u->Const(std::string(1, 'a' + (char)rng->Below(3))));
+      } else {
+        t.push_back(nulls[rng->Below(nulls.size())]);
+      }
+    }
+    AnnVec ann = rng->Below(2) == 0 ? AllOpen(2) : AllClosed(2);
+    out.Add("R", std::move(t), std::move(ann));
+  }
+  return out;
+}
+
+class HomEngineParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(HomEngineParity, IndexedAgreesWithNaiveAndBruteForce) {
+  Universe u;
+  Rng rng(1234 + GetParam());
+  std::vector<Value> a_nulls, b_nulls;
+  for (int i = 0; i < 3; ++i) a_nulls.push_back(u.FreshNull());
+  for (int i = 0; i < 3; ++i) b_nulls.push_back(u.FreshNull());
+  AnnotatedInstance a = RandomAnnotated(&u, &rng, a_nulls, 2 + rng.Below(3));
+  AnnotatedInstance b = RandomAnnotated(&u, &rng, b_nulls, 2 + rng.Below(4));
+
+  Result<std::optional<NullMap>> indexed = FindHomomorphism(a, b);
+  ASSERT_TRUE(indexed.ok());
+  Result<std::optional<NullMap>> naive = [&] {
+    ScopedJoinEngineMode scoped(JoinEngineMode::kNaive);
+    return FindHomomorphism(a, b);
+  }();
+  ASSERT_TRUE(naive.ok());
+  bool brute = BruteForceHomExists(a, b);
+
+  EXPECT_EQ(indexed.value().has_value(), brute) << "seed " << GetParam();
+  EXPECT_EQ(naive.value().has_value(), brute) << "seed " << GetParam();
+  // A returned witness must actually be a homomorphism.
+  if (indexed.value().has_value()) {
+    const NullMap& h = *indexed.value();
+    for (const auto& [name, rel] : a.relations()) {
+      for (const AnnotatedTuple& t : rel.tuples()) {
+        if (t.IsEmptyMarker()) continue;
+        const AnnotatedRelation* brel = b.Find(name);
+        ASSERT_NE(brel, nullptr);
+        EXPECT_TRUE(brel->Contains(AnnotatedTuple(h.Apply(t.values), t.ann)));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, HomEngineParity, ::testing::Range(0, 30));
+
+// ---------------------------------------------------------------------------
+// End-to-end parity: chase and solution-space membership across engines.
+// ---------------------------------------------------------------------------
+
+TEST(EndToEndParity, ChaseAgreesAcrossEngines) {
+  for (JoinEngineMode mode :
+       {JoinEngineMode::kNaive, JoinEngineMode::kGeneric}) {
+    Universe u1, u2;
+    Result<ConferenceScenario> sc1 = BuildConferenceScenario(13, 6, &u1);
+    Result<ConferenceScenario> sc2 = BuildConferenceScenario(13, 6, &u2);
+    ASSERT_TRUE(sc1.ok() && sc2.ok());
+    Result<CanonicalSolution> indexed =
+        Chase(sc1.value().mapping, sc1.value().source, &u1);
+    ASSERT_TRUE(indexed.ok());
+    ScopedJoinEngineMode scoped(mode);
+    Result<CanonicalSolution> other =
+        Chase(sc2.value().mapping, sc2.value().source, &u2);
+    ASSERT_TRUE(other.ok());
+    // Same deterministic firing order in both engines: identical null ids,
+    // hence identical annotated instances and trigger counts.
+    EXPECT_TRUE(indexed.value().annotated == other.value().annotated);
+    EXPECT_EQ(indexed.value().triggers.size(), other.value().triggers.size());
+  }
+}
+
+TEST(EndToEndParity, MembershipAgreesAcrossEngines) {
+  for (int seed = 0; seed < 4; ++seed) {
+    Rng rng(77 + seed);
+    TripartiteInstance yes = TripartiteWithMatching(3, 2, &rng);
+    TripartiteInstance no;
+    no.n = 3;
+    for (uint32_t i = 0; i < 3; ++i) {
+      no.triples.push_back({0, i, i});
+      no.triples.push_back({0, i, (i + 1) % 3});
+    }
+    for (const TripartiteInstance* tri : {&yes, &no}) {
+      for (bool all_open : {true, false}) {
+        std::vector<bool> members;
+        for (JoinEngineMode mode :
+             {JoinEngineMode::kIndexed, JoinEngineMode::kNaive,
+              JoinEngineMode::kGeneric}) {
+          ScopedJoinEngineMode scoped(mode);
+          Universe u;
+          Result<TripartiteReduction> red =
+              BuildTripartiteReduction(*tri, &u);
+          ASSERT_TRUE(red.ok());
+          Mapping mapping =
+              all_open
+                  ? red.value().mapping.WithUniformAnnotation(Ann::kOpen)
+                  : red.value().mapping;
+          Result<MembershipResult> r = InSolutionSpace(
+              mapping, red.value().source, red.value().target, &u);
+          ASSERT_TRUE(r.ok());
+          members.push_back(r.value().member);
+        }
+        EXPECT_EQ(members[0], members[1]) << "seed " << seed;
+        EXPECT_EQ(members[0], members[2]) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(EndToEndParity, InRepAAgreesAcrossEngines) {
+  for (int seed = 0; seed < 20; ++seed) {
+    Universe u;
+    Rng rng(4321 + seed);
+    std::vector<Value> nulls;
+    for (int i = 0; i < 3; ++i) nulls.push_back(u.FreshNull());
+    AnnotatedInstance t = RandomAnnotated(&u, &rng, nulls, 2 + rng.Below(3));
+    Instance ground;
+    for (int i = 0; i < 6; ++i) {
+      ground.Add("R", {u.Const(std::string(1, 'a' + (char)rng.Below(3))),
+                       u.Const(std::string(1, 'a' + (char)rng.Below(3)))});
+    }
+    Result<bool> indexed = InRepA(t, ground);
+    ASSERT_TRUE(indexed.ok());
+    ScopedJoinEngineMode scoped(JoinEngineMode::kNaive);
+    Result<bool> naive = InRepA(t, ground);
+    ASSERT_TRUE(naive.ok());
+    EXPECT_EQ(indexed.value(), naive.value()) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Step accounting: max_steps covers index probes, not just search nodes.
+// ---------------------------------------------------------------------------
+
+TEST(HomBudget, MaxStepsCountsIndexProbes) {
+  Universe u;
+  AnnotatedInstance a, b;
+  a.Add("R", {u.FreshNull(), u.FreshNull()}, AllClosed(2));
+  b.Add("R", {u.FreshNull(), u.FreshNull()}, AllClosed(2));
+
+  // Two search nodes suffice for the naive engine (root + leaf)...
+  HomOptions tight;
+  tight.max_steps = 2;
+  {
+    ScopedJoinEngineMode scoped(JoinEngineMode::kNaive);
+    Result<std::optional<NullMap>> r = FindHomomorphism(a, b, tight);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().has_value());
+  }
+  // ...but the indexed engine additionally charges its probe and the
+  // probed candidate, so the same budget is exhausted: index work cannot
+  // hide from the ResourceExhausted contract.
+  {
+    Result<std::optional<NullMap>> r = FindHomomorphism(a, b, tight);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  }
+  // With an adequate budget the indexed engine finds the same answer.
+  HomOptions roomy;
+  roomy.max_steps = 100;
+  Result<std::optional<NullMap>> r = FindHomomorphism(a, b, roomy);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Index layer: lazy build and invalidation on Add.
+// ---------------------------------------------------------------------------
+
+TEST(PositionIndexTest, ProbeReflectsLaterAdds) {
+  Universe u;
+  Relation rel(2);
+  rel.Add({u.Const("a"), u.Const("b")});
+  rel.Add({u.Const("a"), u.Const("c")});
+
+  std::vector<Value> key = {u.Const("a")};
+  const std::vector<uint32_t>* ids = rel.Probe(0b01, key);
+  ASSERT_NE(ids, nullptr);
+  EXPECT_EQ(ids->size(), 2u);
+
+  // Adding invalidates and rebuilds lazily; the new tuple is visible.
+  rel.Add({u.Const("a"), u.Const("d")});
+  ids = rel.Probe(0b01, key);
+  ASSERT_NE(ids, nullptr);
+  EXPECT_EQ(ids->size(), 3u);
+
+  // A probe on the second position sees exactly the matching tuple.
+  std::vector<Value> key2 = {u.Const("d")};
+  ids = rel.Probe(0b10, key2);
+  ASSERT_NE(ids, nullptr);
+  ASSERT_EQ(ids->size(), 1u);
+  EXPECT_EQ(rel.tuples()[(*ids)[0]][1], u.Const("d"));
+
+  // Missing key: null bucket.
+  std::vector<Value> key3 = {u.Const("zzz")};
+  EXPECT_EQ(rel.Probe(0b01, key3), nullptr);
+}
+
+TEST(PositionIndexTest, AnnotatedProbeFiltersBySignature) {
+  Universe u;
+  AnnotatedRelation rel(2);
+  rel.Add(AnnotatedTuple({u.Const("a"), u.Const("b")}, AllOpen(2)));
+  rel.Add(AnnotatedTuple({u.Const("a"), u.Const("b")}, AllClosed(2)));
+  rel.Add(AnnotatedTuple::EmptyMarker(AllOpen(2)));
+
+  std::vector<Value> key = {u.Const("a")};
+  const std::vector<uint32_t>* open_ids =
+      rel.ProbeProper(0b01, key, AllOpen(2));
+  ASSERT_NE(open_ids, nullptr);
+  ASSERT_EQ(open_ids->size(), 1u);
+  EXPECT_TRUE(IsAllOpen(rel.tuples()[(*open_ids)[0]].ann));
+
+  const std::vector<uint32_t>* closed_ids =
+      rel.ProbeProper(0b01, key, AllClosed(2));
+  ASSERT_NE(closed_ids, nullptr);
+  ASSERT_EQ(closed_ids->size(), 1u);
+  EXPECT_TRUE(IsAllClosed(rel.tuples()[(*closed_ids)[0]].ann));
+
+  // Annotation-only probe (mask 0) never returns markers.
+  const std::vector<uint32_t>* all_open =
+      rel.ProbeProper(0, {}, AllOpen(2));
+  ASSERT_NE(all_open, nullptr);
+  EXPECT_EQ(all_open->size(), 1u);
+}
+
+}  // namespace
+}  // namespace ocdx

@@ -2,7 +2,7 @@
 
 namespace ocdx {
 
-std::string AnnVecToString(const AnnVec& a) {
+std::string AnnVecToString(AnnRef a) {
   std::string out;
   for (size_t i = 0; i < a.size(); ++i) {
     if (i > 0) out += ",";

@@ -10,6 +10,7 @@
 #define OCDX_BASE_ANNOTATION_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,8 +22,22 @@ enum class Ann : uint8_t {
   kClosed = 1, ///< `cl`: one-to-one; exactly the valuated value.
 };
 
-/// Per-position annotation of a tuple or atom.
+/// Per-position annotation of a tuple or atom (owning form).
 using AnnVec = std::vector<Ann>;
+
+/// A borrowed annotation: relations intern annotation vectors and hand
+/// out spans into the pool. AnnVec converts implicitly.
+using AnnRef = std::span<const Ann>;
+
+/// Element-wise comparison (std::span itself has no operator==; found by
+/// ADL through Ann).
+inline bool operator==(AnnRef a, AnnRef b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
 
 /// All-open annotation of the given arity (the OWA extreme, [FKMP05]).
 inline AnnVec AllOpen(size_t arity) { return AnnVec(arity, Ann::kOpen); }
@@ -30,31 +45,31 @@ inline AnnVec AllOpen(size_t arity) { return AnnVec(arity, Ann::kOpen); }
 /// All-closed annotation of the given arity (the CWA extreme, [Lib06]).
 inline AnnVec AllClosed(size_t arity) { return AnnVec(arity, Ann::kClosed); }
 
-inline bool IsAllOpen(const AnnVec& a) {
+inline bool IsAllOpen(AnnRef a) {
   for (Ann x : a)
     if (x == Ann::kClosed) return false;
   return true;
 }
 
-inline bool IsAllClosed(const AnnVec& a) {
+inline bool IsAllClosed(AnnRef a) {
   for (Ann x : a)
     if (x == Ann::kOpen) return false;
   return true;
 }
 
-inline size_t CountOpen(const AnnVec& a) {
+inline size_t CountOpen(AnnRef a) {
   size_t n = 0;
   for (Ann x : a)
     if (x == Ann::kOpen) ++n;
   return n;
 }
 
-inline size_t CountClosed(const AnnVec& a) { return a.size() - CountOpen(a); }
+inline size_t CountClosed(AnnRef a) { return a.size() - CountOpen(a); }
 
 /// The annotation order of Theorem 1.3: a <= b iff wherever a is open,
 /// b is open too (closed annotations may be *relaxed* to open going from
 /// a to b). Returns true iff a "is at most as open as" b.
-inline bool AnnLeq(const AnnVec& a, const AnnVec& b) {
+inline bool AnnLeq(AnnRef a, AnnRef b) {
   if (a.size() != b.size()) return false;
   for (size_t i = 0; i < a.size(); ++i) {
     if (a[i] == Ann::kOpen && b[i] == Ann::kClosed) return false;
@@ -67,7 +82,7 @@ inline const char* AnnToString(Ann a) {
 }
 
 /// "cl,op,cl" style rendering.
-std::string AnnVecToString(const AnnVec& a);
+std::string AnnVecToString(AnnRef a);
 
 }  // namespace ocdx
 

@@ -1,0 +1,109 @@
+// Bump arena for tuple values: the backing store of relation storage.
+//
+// Relations used to heap-allocate one std::vector<Value> per tuple; on
+// chase-shaped workloads (millions of short tuples) the allocator, not the
+// join engine, dominated. A ValueArena packs tuple payloads back-to-back
+// into large chunks: interning a tuple is a bounds check plus a memcpy,
+// and a batch of n tuples costs at most one chunk allocation after a
+// Reserve. Chunks are never reallocated or freed before the arena dies,
+// so every span handed out stays valid for the arena's lifetime — this is
+// what lets relations expose span-backed tuples (TupleRef) whose pointers
+// survive later Adds.
+
+#ifndef OCDX_BASE_ARENA_H_
+#define OCDX_BASE_ARENA_H_
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "base/value.h"
+
+namespace ocdx {
+
+/// Append-only chunked storage for Value sequences. Not thread-safe.
+/// Movable but not copyable (owners re-intern on copy).
+class ValueArena {
+ public:
+  ValueArena() = default;
+  ValueArena(ValueArena&&) = default;
+  ValueArena& operator=(ValueArena&&) = default;
+  ValueArena(const ValueArena&) = delete;
+  ValueArena& operator=(const ValueArena&) = delete;
+
+  /// Copies `src` into the arena; the returned span is stable until the
+  /// arena is destroyed (appends never move existing chunks).
+  std::span<const Value> Intern(std::span<const Value> src) {
+    std::span<Value> dst = Allocate(src.size());
+    if (!src.empty()) {
+      std::memcpy(dst.data(), src.data(), src.size() * sizeof(Value));
+    }
+    return dst;
+  }
+
+  /// Uninitialized space for `n` values (the caller fills it in place).
+  std::span<Value> Allocate(size_t n) {
+    if (n > left_) NewChunk(n);
+    Value* out = cur_;
+    cur_ += n;
+    left_ -= n;
+    size_ += n;
+    return {out, n};
+  }
+
+  /// Ensures the next `n` values fit without a further chunk allocation:
+  /// the single-allocation guarantee behind the batch AddAll paths.
+  void Reserve(size_t n) {
+    if (n > left_) NewChunk(n);
+  }
+
+  /// Total values stored.
+  size_t size() const { return size_; }
+
+  /// Forgets the contents but keeps (and coalesces) the allocated
+  /// capacity, so a scratch arena filled and cleared in a loop stops
+  /// allocating after the first lap. Invalidates every span handed out.
+  void Clear() {
+    size_ = 0;
+    if (chunks_.empty()) return;
+    if (chunks_.size() > 1) {
+      size_t total = 0;
+      for (const Chunk& c : chunks_) total += c.size;
+      chunks_.clear();
+      chunks_.push_back(Chunk{std::make_unique<Value[]>(total), total});
+    }
+    cur_ = chunks_[0].data.get();
+    left_ = chunks_[0].size;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<Value[]> data;
+    size_t size;
+  };
+
+  // Big enough that per-chunk overhead vanishes, small enough that tiny
+  // relations don't waste kilobytes: chunks double up to a cap.
+  static constexpr size_t kMinChunk = 64;
+  static constexpr size_t kMaxChunk = size_t{1} << 16;
+
+  void NewChunk(size_t at_least) {
+    size_t want = std::max(at_least, std::min(next_chunk_, kMaxChunk));
+    next_chunk_ = std::min(next_chunk_ * 2, kMaxChunk);
+    chunks_.push_back(Chunk{std::make_unique<Value[]>(want), want});
+    cur_ = chunks_.back().data.get();
+    left_ = want;
+  }
+
+  std::vector<Chunk> chunks_;
+  Value* cur_ = nullptr;
+  size_t left_ = 0;
+  size_t size_ = 0;
+  size_t next_chunk_ = kMinChunk;
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_BASE_ARENA_H_

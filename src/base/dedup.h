@@ -1,0 +1,80 @@
+// Open-addressed (hash, id) table: the dedup set behind Relation::Add.
+//
+// Replaces the node-based std::unordered_multimap<size_t, uint32_t> the
+// relations used for dedup — one heap allocation per inserted tuple — with
+// a flat power-of-two table probed linearly. Collisions on the 64-bit
+// hash are resolved by the caller-supplied equality (which compares the
+// actual tuples), so the table itself never needs to see tuple payloads.
+
+#ifndef OCDX_BASE_DEDUP_H_
+#define OCDX_BASE_DEDUP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ocdx {
+
+/// A set of uint32 ids keyed by precomputed 64-bit hashes. Ids must be
+/// dense (they index the owner's row vector); `eq(id)` decides whether a
+/// stored id's row equals the probe row.
+class DedupIndex {
+ public:
+  static constexpr uint32_t kNone = 0xffffffffu;
+
+  /// The id of a stored row with this hash for which `eq` holds, or kNone.
+  template <typename Eq>
+  uint32_t Find(size_t hash, Eq&& eq) const {
+    if (slots_.empty()) return kNone;
+    size_t mask = slots_.size() - 1;
+    for (size_t i = hash & mask;; i = (i + 1) & mask) {
+      const Slot& s = slots_[i];
+      if (s.id == kNone) return kNone;
+      if (s.hash == hash && eq(s.id)) return s.id;
+    }
+  }
+
+  /// Records `id` under `hash`. The caller has already established (via
+  /// Find) that no equal row is present; duplicates of the *hash* are fine.
+  void Insert(size_t hash, uint32_t id) {
+    if ((used_ + 1) * 4 > slots_.size() * 3) Grow();
+    InsertNoGrow(hash, id);
+    ++used_;
+  }
+
+  size_t size() const { return used_; }
+
+  /// Empties the table but keeps its capacity (scratch-reuse pattern).
+  void Clear() {
+    std::fill(slots_.begin(), slots_.end(), Slot{});
+    used_ = 0;
+  }
+
+ private:
+  struct Slot {
+    size_t hash = 0;
+    uint32_t id = kNone;
+  };
+
+  void InsertNoGrow(size_t hash, uint32_t id) {
+    size_t mask = slots_.size() - 1;
+    size_t i = hash & mask;
+    while (slots_[i].id != kNone) i = (i + 1) & mask;
+    slots_[i] = Slot{hash, id};
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    for (const Slot& s : old) {
+      if (s.id != kNone) InsertNoGrow(s.hash, s.id);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t used_ = 0;
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_BASE_DEDUP_H_

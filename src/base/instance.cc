@@ -10,7 +10,7 @@ namespace ocdx {
 namespace {
 
 // Inserts the values of `t` into `dst` (a sorted unique accumulator).
-void CollectValues(const Tuple& t, std::set<Value>* dst) {
+void CollectValues(TupleRef t, std::set<Value>* dst) {
   for (Value v : t) dst->insert(v);
 }
 
@@ -34,8 +34,8 @@ Relation* Instance::FindMutable(const std::string& name) {
   return it == relations_.end() ? nullptr : &it->second;
 }
 
-bool Instance::Add(const std::string& name, Tuple t) {
-  return GetOrCreate(name, t.size()).Add(std::move(t));
+bool Instance::Add(const std::string& name, TupleRef t) {
+  return GetOrCreate(name, t.size()).Add(t);
 }
 
 size_t Instance::TotalTuples() const {
@@ -47,7 +47,7 @@ size_t Instance::TotalTuples() const {
 std::vector<Value> Instance::ActiveDomain() const {
   std::set<Value> acc;
   for (const auto& [name, rel] : relations_) {
-    for (const Tuple& t : rel.tuples()) CollectValues(t, &acc);
+    for (TupleRef t : rel.tuples()) CollectValues(t, &acc);
   }
   return std::vector<Value>(acc.begin(), acc.end());
 }
@@ -113,19 +113,20 @@ const AnnotatedRelation* AnnotatedInstance::Find(
   return it == relations_.end() ? nullptr : &it->second;
 }
 
-bool AnnotatedInstance::Add(const std::string& name, AnnotatedTuple t) {
-  return GetOrCreate(name, t.arity()).Add(std::move(t));
+bool AnnotatedInstance::Add(const std::string& name,
+                            const AnnotatedTupleRef& t) {
+  return GetOrCreate(name, t.arity()).Add(t);
 }
 
-bool AnnotatedInstance::Add(const std::string& name, Tuple t, AnnVec ann) {
-  return Add(name, AnnotatedTuple(std::move(t), std::move(ann)));
+bool AnnotatedInstance::Add(const std::string& name, TupleRef t, AnnRef ann) {
+  return GetOrCreate(name, ann.size()).Add(AnnotatedTupleRef{t, ann});
 }
 
 Instance AnnotatedInstance::RelPart() const {
   Instance out;
   for (const auto& [name, rel] : relations_) {
     Relation& dst = out.GetOrCreate(name, rel.arity());
-    for (const AnnotatedTuple& t : rel.tuples()) {
+    for (const AnnotatedTupleRef& t : rel.tuples()) {
       if (!t.IsEmptyMarker()) dst.Add(t.values);
     }
   }
@@ -141,7 +142,7 @@ size_t AnnotatedInstance::TotalTuples() const {
 std::vector<Value> AnnotatedInstance::Nulls() const {
   std::set<Value> acc;
   for (const auto& [name, rel] : relations_) {
-    for (const AnnotatedTuple& t : rel.tuples()) {
+    for (const AnnotatedTupleRef& t : rel.tuples()) {
       for (Value v : t.values) {
         if (v.IsNull()) acc.insert(v);
       }
@@ -153,14 +154,14 @@ std::vector<Value> AnnotatedInstance::Nulls() const {
 std::vector<Value> AnnotatedInstance::ActiveDomain() const {
   std::set<Value> acc;
   for (const auto& [name, rel] : relations_) {
-    for (const AnnotatedTuple& t : rel.tuples()) CollectValues(t.values, &acc);
+    for (const AnnotatedTupleRef& t : rel.tuples()) CollectValues(t.values, &acc);
   }
   return std::vector<Value>(acc.begin(), acc.end());
 }
 
 bool AnnotatedInstance::IsAllOpen() const {
   for (const auto& [name, rel] : relations_) {
-    for (const AnnotatedTuple& t : rel.tuples()) {
+    for (const AnnotatedTupleRef& t : rel.tuples()) {
       if (!ocdx::IsAllOpen(t.ann)) return false;
     }
   }
@@ -169,7 +170,7 @@ bool AnnotatedInstance::IsAllOpen() const {
 
 bool AnnotatedInstance::IsAllClosed() const {
   for (const auto& [name, rel] : relations_) {
-    for (const AnnotatedTuple& t : rel.tuples()) {
+    for (const AnnotatedTupleRef& t : rel.tuples()) {
       if (!ocdx::IsAllClosed(t.ann)) return false;
     }
   }
@@ -182,7 +183,7 @@ bool operator==(const AnnotatedInstance& a, const AnnotatedInstance& b) {
       if (rel.empty()) continue;
       const AnnotatedRelation* other = y.Find(name);
       if (other == nullptr) return false;
-      for (const AnnotatedTuple& t : rel.tuples()) {
+      for (const AnnotatedTupleRef& t : rel.tuples()) {
         if (!other->Contains(t)) return false;
       }
     }
@@ -209,8 +210,9 @@ AnnotatedInstance Annotate(const Instance& inst, Ann uniform) {
   AnnotatedInstance out;
   for (const auto& [name, rel] : inst.relations()) {
     AnnotatedRelation& dst = out.GetOrCreate(name, rel.arity());
-    for (const Tuple& t : rel.tuples()) {
-      dst.Add(AnnotatedTuple(t, AnnVec(rel.arity(), uniform)));
+    const AnnVec ann(rel.arity(), uniform);
+    for (TupleRef t : rel.tuples()) {
+      dst.Add(AnnotatedTupleRef{t, ann});
     }
   }
   return out;

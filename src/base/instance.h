@@ -3,6 +3,7 @@
 #ifndef OCDX_BASE_INSTANCE_H_
 #define OCDX_BASE_INSTANCE_H_
 
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
@@ -30,7 +31,10 @@ class Instance {
 
   /// Adds a tuple, creating the relation with the tuple's arity if needed.
   /// Returns true iff newly inserted.
-  bool Add(const std::string& name, Tuple t);
+  bool Add(const std::string& name, TupleRef t);
+  bool Add(const std::string& name, std::initializer_list<Value> t) {
+    return Add(name, TupleRef(t.begin(), t.size()));
+  }
 
   const std::map<std::string, Relation>& relations() const {
     return relations_;
@@ -74,10 +78,23 @@ class AnnotatedInstance {
   AnnotatedRelation& GetOrCreate(const std::string& name, size_t arity);
   const AnnotatedRelation* Find(const std::string& name) const;
 
-  bool Add(const std::string& name, AnnotatedTuple t);
+  bool Add(const std::string& name, const AnnotatedTupleRef& t);
 
   /// Convenience: add a proper tuple with its annotation.
-  bool Add(const std::string& name, Tuple t, AnnVec ann);
+  bool Add(const std::string& name, TupleRef t, AnnRef ann);
+  bool Add(const std::string& name, std::initializer_list<Value> t,
+           AnnRef ann) {
+    return Add(name, TupleRef(t.begin(), t.size()), ann);
+  }
+  bool Add(const std::string& name, std::initializer_list<Value> t,
+           std::initializer_list<Ann> ann) {
+    return Add(name, TupleRef(t.begin(), t.size()),
+               AnnRef(ann.begin(), ann.size()));
+  }
+  bool Add(const std::string& name, TupleRef t,
+           std::initializer_list<Ann> ann) {
+    return Add(name, t, AnnRef(ann.begin(), ann.size()));
+  }
 
   const std::map<std::string, AnnotatedRelation>& relations() const {
     return relations_;

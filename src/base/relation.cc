@@ -7,41 +7,99 @@ namespace ocdx {
 
 namespace {
 
-// Shared dedup probe for the tuple-hash -> id multimaps: is `t` (with
-// hash `h`) already among `tuples`?
-template <typename T>
-bool DedupContains(const std::unordered_multimap<size_t, uint32_t>& set,
-                   const std::vector<T>& tuples, size_t h, const T& t) {
-  for (auto [it, end] = set.equal_range(h); it != end; ++it) {
-    if (tuples[it->second] == t) return true;
-  }
-  return false;
+// Debug-build arity checks for probe arguments: a malformed mask or a key
+// of the wrong width would silently probe the wrong index.
+inline void AssertProbeArgs(uint64_t mask, std::span<const Value> key,
+                            size_t arity) {
+#ifndef NDEBUG
+  assert((arity >= 64 || mask < (uint64_t{1} << arity)) &&
+         "probe mask names positions beyond the relation's arity");
+  assert(key.size() == static_cast<size_t>(__builtin_popcountll(mask)) &&
+         "probe key width must equal the mask's popcount");
+#else
+  (void)mask;
+  (void)key;
+  (void)arity;
+#endif
 }
 
 }  // namespace
 
-bool Relation::Contains(const Tuple& t) const {
-  return DedupContains(set_, tuples_, TupleHash{}(t), t);
+// ---------------------------------------------------------------------------
+// Relation
+// ---------------------------------------------------------------------------
+
+Relation::Relation(const Relation& o) : arity_(o.arity_) {
+  arena_.Reserve(o.arena_.size());
+  rows_.reserve(o.rows_.size());
+  for (TupleRef t : o.rows_) Add(t);
 }
 
-bool Relation::Add(Tuple t) {
+Relation& Relation::operator=(const Relation& o) {
+  if (this != &o) *this = Relation(o);
+  return *this;
+}
+
+bool Relation::Contains(TupleRef t) const {
+  size_t h = TupleHash{}(t);
+  return set_.Find(h, [&](uint32_t id) { return rows_[id] == t; }) !=
+         DedupIndex::kNone;
+}
+
+bool Relation::Add(TupleRef t) {
   assert(t.size() == arity_ && "tuple arity mismatch");
   size_t h = TupleHash{}(t);
-  if (DedupContains(set_, tuples_, h, t)) return false;
-  set_.emplace(h, static_cast<uint32_t>(tuples_.size()));
-  tuples_.push_back(std::move(t));
-  indexes_.clear();
+  if (set_.Find(h, [&](uint32_t id) { return rows_[id] == t; }) !=
+      DedupIndex::kNone) {
+    return false;
+  }
+  TupleRef stored = arena_.Intern(t);
+  uint32_t id = static_cast<uint32_t>(rows_.size());
+  rows_.push_back(stored);
+  set_.Insert(h, id);
+  // Incremental index maintenance: live indexes absorb the new id in
+  // place instead of being dropped and rebuilt on the next probe.
+  for (auto& [mask, index] : indexes_) {
+    index.Insert(stored, id);
+    ++index_maintenance_stats().incremental_inserts;
+  }
   return true;
+}
+
+size_t Relation::AddAll(std::span<const Value> flat) {
+  assert(arity_ > 0 && "AddAll needs a positive arity");
+  assert(flat.size() % arity_ == 0 && "flat batch size not a row multiple");
+  size_t n = flat.size() / arity_;
+  Reserve(n);
+  size_t added = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (Add(flat.subspan(i * arity_, arity_))) ++added;
+  }
+  return added;
+}
+
+void Relation::Reserve(size_t rows) {
+  arena_.Reserve(rows * arity_);
+  rows_.reserve(rows_.size() + rows);
+}
+
+void Relation::Clear() {
+  arena_.Clear();
+  rows_.clear();
+  set_.Clear();
+  indexes_.clear();
 }
 
 const std::vector<uint32_t>* Relation::Probe(uint64_t mask,
                                              std::span<const Value> key) const {
   assert(mask != 0 && "use tuples() for unkeyed iteration");
+  AssertProbeArgs(mask, key, arity_);
   auto it = indexes_.find(mask);
   if (it == indexes_.end()) {
+    ++index_maintenance_stats().full_builds;
     PositionIndex index(mask);
-    for (uint32_t id = 0; id < tuples_.size(); ++id) {
-      index.Insert(tuples_[id], id);
+    for (uint32_t id = 0; id < rows_.size(); ++id) {
+      index.Insert(rows_[id], id);
     }
     it = indexes_.emplace(mask, std::move(index)).first;
   }
@@ -49,40 +107,30 @@ const std::vector<uint32_t>* Relation::Probe(uint64_t mask,
 }
 
 std::vector<Tuple> Relation::SortedTuples() const {
-  std::vector<Tuple> out = tuples_;
+  std::vector<Tuple> out;
+  out.reserve(rows_.size());
+  for (TupleRef t : rows_) out.push_back(ToTuple(t));
   std::sort(out.begin(), out.end());
   return out;
 }
 
 bool Relation::SubsetOf(const Relation& other) const {
-  for (const Tuple& t : tuples_) {
+  for (TupleRef t : rows_) {
     if (!other.Contains(t)) return false;
   }
   return true;
 }
 
-bool AnnotatedRelation::Contains(const AnnotatedTuple& t) const {
-  return DedupContains(set_, tuples_, AnnotatedTupleHash{}(t), t);
-}
-
-bool AnnotatedRelation::Add(AnnotatedTuple t) {
-  assert(t.ann.size() == arity_ && "annotation arity mismatch");
-  assert((t.values.empty() || t.values.size() == arity_) &&
-         "tuple arity mismatch");
-  size_t h = AnnotatedTupleHash{}(t);
-  if (DedupContains(set_, tuples_, h, t)) return false;
-  set_.emplace(h, static_cast<uint32_t>(tuples_.size()));
-  tuples_.push_back(std::move(t));
-  indexes_.clear();
-  return true;
-}
+// ---------------------------------------------------------------------------
+// AnnotatedRelation
+// ---------------------------------------------------------------------------
 
 namespace {
 
 // Packs an annotation vector into the low 32 bits (bit p set = closed).
 // Carried as a leading pseudo-constant in index keys so that one
 // PositionIndex per mask serves all annotation signatures.
-Value AnnKeyValue(const AnnVec& ann) {
+Value AnnKeyValue(AnnRef ann) {
   uint32_t bits = 0;
   for (size_t p = 0; p < ann.size(); ++p) {
     if (ann[p] == Ann::kClosed) bits |= uint32_t{1} << p;
@@ -90,23 +138,111 @@ Value AnnKeyValue(const AnnVec& ann) {
   return Value::MakeConst(bits);
 }
 
+// Builds the [ann-pseudo-value, masked values...] index key for a proper
+// row into `key`.
+void BuildProperKey(const AnnotatedTupleRef& t, uint64_t mask, Tuple* key) {
+  key->clear();
+  key->push_back(AnnKeyValue(t.ann));
+  for (uint64_t m = mask; m != 0; m &= m - 1) {
+    key->push_back(t.values[static_cast<size_t>(__builtin_ctzll(m))]);
+  }
+}
+
 }  // namespace
 
+AnnotatedRelation::AnnotatedRelation(const AnnotatedRelation& o)
+    : arity_(o.arity_) {
+  arena_.Reserve(o.arena_.size());
+  rows_.reserve(o.rows_.size());
+  for (const AnnotatedTupleRef& t : o.rows_) Add(t);
+}
+
+AnnotatedRelation& AnnotatedRelation::operator=(const AnnotatedRelation& o) {
+  if (this != &o) *this = AnnotatedRelation(o);
+  return *this;
+}
+
+AnnRef AnnotatedRelation::InternAnn(AnnRef ann) {
+  for (const AnnVec& a : ann_pool_) {
+    if (AnnRef(a) == ann) return a;
+  }
+  ann_pool_.emplace_back(ann.begin(), ann.end());
+  return ann_pool_.back();
+}
+
+bool AnnotatedRelation::Contains(const AnnotatedTupleRef& t) const {
+  size_t h = AnnotatedTupleHash{}(t);
+  return set_.Find(h, [&](uint32_t id) { return rows_[id] == t; }) !=
+         DedupIndex::kNone;
+}
+
+bool AnnotatedRelation::Add(const AnnotatedTupleRef& t) {
+  assert(t.ann.size() == arity_ && "annotation arity mismatch");
+  assert((t.values.empty() || t.values.size() == arity_) &&
+         "tuple arity mismatch");
+  size_t h = AnnotatedTupleHash{}(t);
+  if (set_.Find(h, [&](uint32_t id) { return rows_[id] == t; }) !=
+      DedupIndex::kNone) {
+    return false;
+  }
+  AnnotatedTupleRef stored{arena_.Intern(t.values), InternAnn(t.ann)};
+  uint32_t id = static_cast<uint32_t>(rows_.size());
+  rows_.push_back(stored);
+  set_.Insert(h, id);
+  if (!stored.IsEmptyMarker()) {
+    // Incremental maintenance of the proper-tuple indexes (markers are
+    // never indexed).
+    thread_local Tuple key;
+    for (auto& [mask, index] : indexes_) {
+      BuildProperKey(stored, mask, &key);
+      index.InsertKey(key, id);
+      ++index_maintenance_stats().incremental_inserts;
+    }
+  }
+  return true;
+}
+
+size_t AnnotatedRelation::AddAll(std::span<const Value> flat, AnnRef ann) {
+  assert(arity_ > 0 && "AddAll needs a positive arity");
+  assert(flat.size() % arity_ == 0 && "flat batch size not a row multiple");
+  size_t n = flat.size() / arity_;
+  Reserve(n);
+  size_t added = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (Add(AnnotatedTupleRef{flat.subspan(i * arity_, arity_), ann})) {
+      ++added;
+    }
+  }
+  return added;
+}
+
+void AnnotatedRelation::Reserve(size_t rows) {
+  arena_.Reserve(rows * arity_);
+  rows_.reserve(rows_.size() + rows);
+}
+
+void AnnotatedRelation::Clear() {
+  arena_.Clear();
+  rows_.clear();
+  set_.Clear();
+  indexes_.clear();
+  // ann_pool_ is deliberately kept: pooled spans are still handed out to
+  // future rows, and the pool is tiny.
+}
+
 const std::vector<uint32_t>* AnnotatedRelation::ProbeProper(
-    uint64_t mask, std::span<const Value> key, const AnnVec& ann) const {
+    uint64_t mask, std::span<const Value> key, AnnRef ann) const {
   assert(arity_ <= 32 && "annotation signatures are packed into 32 bits");
+  AssertProbeArgs(mask, key, arity_);
   auto it = indexes_.find(mask);
   if (it == indexes_.end()) {
+    ++index_maintenance_stats().full_builds;
     PositionIndex index(mask);
     Tuple k;
-    for (uint32_t id = 0; id < tuples_.size(); ++id) {
-      const AnnotatedTuple& t = tuples_[id];
+    for (uint32_t id = 0; id < rows_.size(); ++id) {
+      const AnnotatedTupleRef& t = rows_[id];
       if (t.IsEmptyMarker()) continue;
-      k.clear();
-      k.push_back(AnnKeyValue(t.ann));
-      for (uint64_t m = mask; m != 0; m &= m - 1) {
-        k.push_back(t.values[static_cast<size_t>(__builtin_ctzll(m))]);
-      }
+      BuildProperKey(t, mask, &k);
       index.InsertKey(k, id);
     }
     it = indexes_.emplace(mask, std::move(index)).first;
@@ -116,12 +252,12 @@ const std::vector<uint32_t>* AnnotatedRelation::ProbeProper(
   probe.clear();
   probe.push_back(AnnKeyValue(ann));
   probe.insert(probe.end(), key.begin(), key.end());
-  return it->second.Probe(probe);
+  return it->second.ProbeRaw(probe);
 }
 
 Relation AnnotatedRelation::RelPart() const {
   Relation out(arity_);
-  for (const AnnotatedTuple& t : tuples_) {
+  for (const AnnotatedTupleRef& t : rows_) {
     if (!t.IsEmptyMarker()) out.Add(t.values);
   }
   return out;
@@ -129,7 +265,7 @@ Relation AnnotatedRelation::RelPart() const {
 
 size_t AnnotatedRelation::NumProperTuples() const {
   size_t n = 0;
-  for (const AnnotatedTuple& t : tuples_) {
+  for (const AnnotatedTupleRef& t : rows_) {
     if (!t.IsEmptyMarker()) ++n;
   }
   return n;

@@ -1,14 +1,32 @@
 // Relations: deduplicated sets of (annotated) tuples of a fixed arity.
+//
+// Storage layout (PR 2): tuple payloads live in a per-relation bump arena
+// (base/arena.h) and rows are spans into it — adding a tuple is a hash,
+// a dedup probe against a flat open-addressed id table (base/dedup.h),
+// and a memcpy. Arena chunks never move, so every TupleRef handed out
+// stays valid for the relation's lifetime, across any number of later
+// Adds.
+//
+// Index maintenance contract: lazy per-mask hash indexes are built on the
+// first probe of a mask and then maintained *incrementally* — Add appends
+// the new tuple id into the affected bucket of every live index. Bucket
+// pointers returned by Probe therefore remain valid across Adds; the
+// bucket a pointer designates may grow (never shrink or reorder), so a
+// caller iterating a bucket while inserting into the *same* relation must
+// take a snapshot of the bucket size first. Ids are ascending insertion
+// order in every bucket.
 
 #ifndef OCDX_BASE_RELATION_H_
 #define OCDX_BASE_RELATION_H_
 
+#include <initializer_list>
 #include <span>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "base/arena.h"
+#include "base/dedup.h"
 #include "base/tuple.h"
 #include "base/tuple_index.h"
 
@@ -16,35 +34,64 @@ namespace ocdx {
 
 /// A plain (unannotated) relation: a set of tuples over Const u Null.
 ///
-/// Tuples are kept in insertion order for reproducible iteration; a hash
-/// set provides O(1) dedup and membership.
+/// Tuples are kept in insertion order for reproducible iteration; the
+/// dedup table provides O(1) membership.
 class Relation {
  public:
   explicit Relation(size_t arity) : arity_(arity) {}
 
+  // Rows are spans into the arena, so copying re-interns them into the
+  // copy's own arena (indexes are rebuilt lazily on demand).
+  Relation(const Relation& o);
+  Relation& operator=(const Relation& o);
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
   size_t arity() const { return arity_; }
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
 
-  /// Inserts `t`; returns true iff it was not already present.
-  /// The tuple's size must equal arity(). Invalidates all indexes (and any
-  /// bucket pointers previously returned by Probe).
-  bool Add(Tuple t);
+  /// Inserts a copy of `t`; returns true iff it was not already present.
+  /// The tuple's size must equal arity(). Live indexes absorb the new
+  /// tuple in place (previously returned bucket pointers stay valid).
+  bool Add(TupleRef t);
+  bool Add(std::initializer_list<Value> t) {
+    return Add(TupleRef(t.begin(), t.size()));
+  }
 
-  bool Contains(const Tuple& t) const;
+  /// Batch insert of `flat.size() / arity()` consecutive rows with a
+  /// single arena reservation. Returns the number of rows newly inserted
+  /// (duplicates, including within the batch, are dropped).
+  size_t AddAll(std::span<const Value> flat);
 
-  const std::vector<Tuple>& tuples() const { return tuples_; }
+  /// Pre-sizes the arena and row vector for `rows` further tuples.
+  void Reserve(size_t rows);
+
+  /// Empties the relation but keeps arena/table capacity — for scratch
+  /// relations filled and cleared in a loop (e.g. per search leaf).
+  /// Invalidates all previously returned spans and bucket pointers.
+  void Clear();
+
+  bool Contains(TupleRef t) const;
+  bool Contains(std::initializer_list<Value> t) const {
+    return Contains(TupleRef(t.begin(), t.size()));
+  }
+
+  /// All rows in insertion order. Spans stay valid across later Adds.
+  std::span<const TupleRef> tuples() const { return rows_; }
 
   /// Index probe: ids (ascending) of the tuples whose values at the
   /// positions of `mask` (bit p = position p) equal `key`, where `key`
   /// lists those values in ascending position order. nullptr means no
-  /// match. `mask` must be non-zero and within the arity. The underlying
-  /// index is built lazily on first probe of each mask and dropped on Add.
+  /// match (a bucket for the key may appear after a later Add). `mask`
+  /// must be non-zero and within the arity. The underlying index is built
+  /// lazily on the first probe of each mask and maintained incrementally
+  /// from then on.
   const std::vector<uint32_t>* Probe(uint64_t mask,
                                      std::span<const Value> key) const;
 
   /// Tuples in lexicographic Value order (canonical form for comparison
-  /// and printing).
+  /// and printing), materialized.
   std::vector<Tuple> SortedTuples() const;
 
   /// True iff every tuple of this relation is in `other`.
@@ -57,31 +104,52 @@ class Relation {
 
  private:
   size_t arity_;
-  std::vector<Tuple> tuples_;
-  /// Dedup set as tuple-hash -> tuple ids: tuples are stored once (in
-  /// tuples_), not copied into the set, so Add costs one allocation.
-  std::unordered_multimap<size_t, uint32_t> set_;
+  ValueArena arena_;
+  std::vector<TupleRef> rows_;
+  /// Flat (hash -> id) dedup table; rows are stored once, in the arena.
+  DedupIndex set_;
   /// Lazy per-bound-signature indexes; mutable because probing a logically
   /// const relation materializes them on demand.
   mutable std::unordered_map<uint64_t, PositionIndex> indexes_;
 };
 
 /// An annotated relation: a set of annotated tuples, possibly including
-/// empty markers (_, alpha).
+/// empty markers (_, alpha). Same storage scheme as Relation, with
+/// annotation vectors interned into a per-relation pool (a chase emits
+/// thousands of tuples sharing a handful of annotations).
 class AnnotatedRelation {
  public:
   explicit AnnotatedRelation(size_t arity) : arity_(arity) {}
 
+  AnnotatedRelation(const AnnotatedRelation& o);
+  AnnotatedRelation& operator=(const AnnotatedRelation& o);
+  AnnotatedRelation(AnnotatedRelation&&) = default;
+  AnnotatedRelation& operator=(AnnotatedRelation&&) = default;
+
   size_t arity() const { return arity_; }
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
 
-  /// Inserts `t`; invalidates all indexes, as with Relation::Add.
-  bool Add(AnnotatedTuple t);
+  /// Inserts a copy of `t`; live indexes are maintained incrementally, as
+  /// with Relation::Add. AnnotatedTuple converts implicitly.
+  bool Add(const AnnotatedTupleRef& t);
 
-  bool Contains(const AnnotatedTuple& t) const;
+  /// Batch insert of proper rows sharing one annotation (the shape of a
+  /// chase head atom's delta): `flat` holds `flat.size() / arity()`
+  /// consecutive rows. Returns the number newly inserted.
+  size_t AddAll(std::span<const Value> flat, AnnRef ann);
 
-  const std::vector<AnnotatedTuple>& tuples() const { return tuples_; }
+  void Reserve(size_t rows);
+
+  /// As Relation::Clear; the annotation pool is retained (its spans stay
+  /// valid, and scratch reuse is exactly the case that re-adds the same
+  /// few annotations).
+  void Clear();
+
+  bool Contains(const AnnotatedTupleRef& t) const;
+
+  /// All rows in insertion order. Refs stay valid across later Adds.
+  std::span<const AnnotatedTupleRef> tuples() const { return rows_; }
 
   /// Index probe over *proper* (non-marker) tuples: ids (ascending) of the
   /// tuples whose annotation equals `ann` and whose values at the positions
@@ -91,7 +159,7 @@ class AnnotatedRelation {
   /// packed into 32 bits); callers must fall back to scanning above that.
   const std::vector<uint32_t>* ProbeProper(uint64_t mask,
                                            std::span<const Value> key,
-                                           const AnnVec& ann) const;
+                                           AnnRef ann) const;
 
   /// The pure relational part rel(T): non-empty tuples, annotations
   /// dropped (Section 3).
@@ -103,16 +171,23 @@ class AnnotatedRelation {
   friend bool operator==(const AnnotatedRelation& a,
                          const AnnotatedRelation& b) {
     if (a.arity_ != b.arity_ || a.size() != b.size()) return false;
-    for (const auto& t : a.tuples_) {
+    for (const AnnotatedTupleRef& t : a.rows_) {
       if (!b.Contains(t)) return false;
     }
     return true;
   }
 
  private:
+  /// Returns the pooled copy of `ann`. Linear scan: a relation sees a
+  /// handful of distinct annotations in practice (the chase emits one per
+  /// head atom), and the pool is consulted only on Add of a new row.
+  AnnRef InternAnn(AnnRef ann);
+
   size_t arity_;
-  std::vector<AnnotatedTuple> tuples_;
-  std::unordered_multimap<size_t, uint32_t> set_;
+  ValueArena arena_;
+  std::vector<AnnVec> ann_pool_;
+  std::vector<AnnotatedTupleRef> rows_;
+  DedupIndex set_;
   mutable std::unordered_map<uint64_t, PositionIndex> indexes_;
 };
 

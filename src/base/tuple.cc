@@ -4,7 +4,7 @@
 
 namespace ocdx {
 
-std::string TupleToString(const Tuple& t, const Universe& u) {
+std::string TupleToString(TupleRef t, const Universe& u) {
   std::string out = "(";
   for (size_t i = 0; i < t.size(); ++i) {
     if (i > 0) out += ", ";
@@ -14,7 +14,7 @@ std::string TupleToString(const Tuple& t, const Universe& u) {
   return out;
 }
 
-std::string AnnotatedTupleToString(const AnnotatedTuple& t,
+std::string AnnotatedTupleToString(const AnnotatedTupleRef& t,
                                    const Universe& u) {
   if (t.IsEmptyMarker()) {
     return StrCat("(_, ", AnnVecToString(t.ann), ")");

@@ -1,9 +1,22 @@
 // Tuples and annotated tuples.
+//
+// Two representations coexist:
+//
+//   - the *owning* forms `Tuple` / `AnnotatedTuple` (vectors), used to
+//     build tuples at API boundaries and in tests;
+//   - the *borrowed* forms `TupleRef` / `AnnotatedTupleRef` (spans into a
+//     relation's value arena and annotation pool), which is what relations
+//     store and hand out. Refs stay valid for the owning relation's
+//     lifetime — appends never move arena chunks.
+//
+// Owning forms convert implicitly to refs, so most code is written
+// against the ref types.
 
 #ifndef OCDX_BASE_TUPLE_H_
 #define OCDX_BASE_TUPLE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -12,11 +25,38 @@
 
 namespace ocdx {
 
-/// A database tuple: a fixed-arity sequence of values.
+/// An owning database tuple: a fixed-arity sequence of values.
 using Tuple = std::vector<Value>;
 
+/// A borrowed tuple: a span over arena-resident values.
+using TupleRef = std::span<const Value>;
+
+/// Element-wise comparisons for borrowed tuples (std::span has none of
+/// its own; these are found by ADL through Value, and vectors convert).
+inline bool operator==(TupleRef a, TupleRef b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+/// Lexicographic Value order (the canonical tuple order used for sorting
+/// and deterministic iteration).
+inline bool operator<(TupleRef a, TupleRef b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < b[i]) return true;
+    if (b[i] < a[i]) return false;
+  }
+  return a.size() < b.size();
+}
+
+/// Materializes a borrowed tuple (API boundaries that must own).
+inline Tuple ToTuple(TupleRef t) { return Tuple(t.begin(), t.end()); }
+
 struct TupleHash {
-  size_t operator()(const Tuple& t) const {
+  size_t operator()(TupleRef t) const {
     uint64_t h = 0x243f6a8885a308d3ULL ^ (t.size() * 0x9e3779b97f4a7c15ULL);
     for (Value v : t) {
       h ^= ValueHash{}(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
@@ -25,9 +65,25 @@ struct TupleHash {
   }
 };
 
-/// An annotated tuple (t, alpha) of Section 3, including the *empty*
-/// annotated tuples (_, alpha) the paper introduces "for purely technical
-/// reasons (to deal with empty tables)".
+/// A borrowed annotated tuple (t, alpha), the row type of
+/// AnnotatedRelation. `values` is empty iff this is an empty marker
+/// (_, alpha); `ann` is always sized to the relation's arity.
+struct AnnotatedTupleRef {
+  TupleRef values;
+  AnnRef ann;
+
+  bool IsEmptyMarker() const { return values.empty() && !ann.empty(); }
+  size_t arity() const { return ann.size(); }
+
+  friend bool operator==(const AnnotatedTupleRef& a,
+                         const AnnotatedTupleRef& b) {
+    return a.values == b.values && a.ann == b.ann;
+  }
+};
+
+/// An owning annotated tuple (t, alpha) of Section 3, including the
+/// *empty* annotated tuples (_, alpha) the paper introduces "for purely
+/// technical reasons (to deal with empty tables)".
 ///
 /// An empty marker has no values but still carries a full annotation
 /// vector; its only semantic effect is that an all-open empty marker
@@ -39,6 +95,9 @@ struct AnnotatedTuple {
 
   AnnotatedTuple() = default;
   AnnotatedTuple(Tuple v, AnnVec a) : values(std::move(v)), ann(std::move(a)) {}
+  /// Materializing constructor from borrowed parts.
+  AnnotatedTuple(Tuple v, AnnRef a)
+      : values(std::move(v)), ann(a.begin(), a.end()) {}
 
   /// Creates the empty marker (_, alpha).
   static AnnotatedTuple EmptyMarker(AnnVec a) {
@@ -49,13 +108,18 @@ struct AnnotatedTuple {
 
   size_t arity() const { return ann.size(); }
 
+  /// Borrowed view (valid while this object lives).
+  operator AnnotatedTupleRef() const {  // NOLINT(google-explicit-constructor)
+    return AnnotatedTupleRef{values, ann};
+  }
+
   friend bool operator==(const AnnotatedTuple& a, const AnnotatedTuple& b) {
     return a.values == b.values && a.ann == b.ann;
   }
 };
 
 struct AnnotatedTupleHash {
-  size_t operator()(const AnnotatedTuple& t) const {
+  size_t operator()(const AnnotatedTupleRef& t) const {
     size_t h = TupleHash{}(t.values);
     for (Ann a : t.ann) h = h * 1099511628211ULL + static_cast<size_t>(a) + 7;
     return h;
@@ -63,10 +127,11 @@ struct AnnotatedTupleHash {
 };
 
 /// Renders "(a, _N0)" using the universe's names.
-std::string TupleToString(const Tuple& t, const Universe& u);
+std::string TupleToString(TupleRef t, const Universe& u);
 
 /// Renders "(a^cl, _N0^op)" or "(_, op,cl)" for empty markers.
-std::string AnnotatedTupleToString(const AnnotatedTuple& t, const Universe& u);
+std::string AnnotatedTupleToString(const AnnotatedTupleRef& t,
+                                   const Universe& u);
 
 }  // namespace ocdx
 

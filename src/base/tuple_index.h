@@ -4,14 +4,19 @@
 // A PositionIndex maps the projection of a tuple onto a set of *key
 // positions* (given as a bitmask) to the ids of all tuples sharing that
 // projection. Relations build these lazily, one per bound-position
-// signature that the join planner actually probes, and drop them whenever
-// the relation changes. Probes are allocation-free: callers pass a
-// std::span over a scratch buffer and the map is searched through
-// heterogeneous (is_transparent) hashing.
+// signature that the join planner actually probes, and then maintain them
+// *incrementally*: an Add appends the new tuple id into the affected
+// bucket of every live index instead of dropping the indexes. Buckets are
+// node-stable — pointers returned by Probe stay valid across later Adds
+// (the bucket may grow underneath them; see relation.h for the exact
+// contract). Probes are allocation-free: callers pass a std::span over a
+// scratch buffer and the map is searched through heterogeneous
+// (is_transparent) hashing.
 
 #ifndef OCDX_BASE_TUPLE_INDEX_H_
 #define OCDX_BASE_TUPLE_INDEX_H_
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
@@ -22,20 +27,12 @@
 namespace ocdx {
 
 /// Hashes a projection key, whether materialized (Tuple) or borrowed
-/// (span over a scratch buffer). Must agree with TupleHash on Tuples.
+/// (span over a scratch buffer). Must agree with TupleHash.
 struct ProjKeyHash {
   using is_transparent = void;
 
-  size_t operator()(std::span<const Value> s) const {
-    uint64_t h = 0x243f6a8885a308d3ULL ^ (s.size() * 0x9e3779b97f4a7c15ULL);
-    for (Value v : s) {
-      h ^= ValueHash{}(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-    return static_cast<size_t>(h);
-  }
-  size_t operator()(const Tuple& t) const {
-    return operator()(std::span<const Value>(t.data(), t.size()));
-  }
+  size_t operator()(std::span<const Value> s) const { return TupleHash{}(s); }
+  size_t operator()(const Tuple& t) const { return TupleHash{}(t); }
 };
 
 struct ProjKeyEq {
@@ -60,11 +57,29 @@ struct ProjKeyEq {
   }
 };
 
+/// Process-wide maintenance counters: how often an index was built by a
+/// full scan vs. extended in place. The differential tests pin the "zero
+/// full rebuilds" invariant with these (a mask's first probe builds its
+/// index exactly once; every later Add extends it incrementally).
+struct IndexMaintenanceStats {
+  uint64_t full_builds = 0;         ///< Index constructed by scanning.
+  uint64_t incremental_inserts = 0; ///< Tuple appended into live indexes.
+
+  void Reset() { *this = IndexMaintenanceStats{}; }
+};
+
+inline IndexMaintenanceStats& index_maintenance_stats() {
+  static IndexMaintenanceStats stats;
+  return stats;
+}
+
 /// One hash index over a fixed set of key positions.
 ///
 /// Keys are materialized projections; buckets hold tuple ids in ascending
 /// insertion order, so index-driven iteration visits tuples in the same
-/// order a scan would.
+/// order a scan would. Buckets live in an unordered_map, whose mapped
+/// values are reference-stable across inserts: a bucket pointer survives
+/// any number of later Insert calls.
 class PositionIndex {
  public:
   /// `mask` bit p set means position p is part of the key. Key values are
@@ -74,22 +89,41 @@ class PositionIndex {
   uint64_t mask() const { return mask_; }
 
   /// Adds `id` under the projection of `t` (a full-width tuple).
-  void Insert(const Tuple& t, uint32_t id) {
-    Tuple key;
-    key.reserve(static_cast<size_t>(__builtin_popcountll(mask_)));
+  void Insert(TupleRef t, uint32_t id) {
+    thread_local Tuple key;
+    key.clear();
     for (uint64_t m = mask_; m != 0; m &= m - 1) {
       key.push_back(t[static_cast<size_t>(__builtin_ctzll(m))]);
     }
-    buckets_[std::move(key)].push_back(id);
+    InsertKey(key, id);
   }
 
-  /// Adds `id` under an explicit, pre-built key.
-  void InsertKey(Tuple key, uint32_t id) {
-    buckets_[std::move(key)].push_back(id);
+  /// Adds `id` under an explicit, pre-built (borrowed) key. The key is
+  /// only materialized when it opens a new bucket — appending to an
+  /// existing bucket is allocation-free, which keeps incremental
+  /// maintenance cheap on the Add-heavy paths.
+  void InsertKey(std::span<const Value> key, uint32_t id) {
+    auto it = buckets_.find(key);
+    if (it != buckets_.end()) {
+      it->second.push_back(id);
+      return;
+    }
+    buckets_.emplace(Tuple(key.begin(), key.end()),
+                     std::vector<uint32_t>{id});
   }
 
   /// The bucket for `key`, or nullptr if empty.
   const std::vector<uint32_t>* Probe(std::span<const Value> key) const {
+    assert(key.size() ==
+               static_cast<size_t>(__builtin_popcountll(mask_)) &&
+           "probe key width must match the index's bound positions");
+    auto it = buckets_.find(key);
+    return it == buckets_.end() ? nullptr : &it->second;
+  }
+
+  /// Probe with an explicit key layout (AnnotatedRelation prepends an
+  /// annotation pseudo-value, so the key is one wider than the mask).
+  const std::vector<uint32_t>* ProbeRaw(std::span<const Value> key) const {
     auto it = buckets_.find(key);
     return it == buckets_.end() ? nullptr : &it->second;
   }

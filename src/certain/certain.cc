@@ -25,7 +25,7 @@ uint64_t SatShift(uint64_t base, size_t k) {
 size_t MaxOpenPerTuple(const AnnotatedInstance& t) {
   size_t m = 0;
   for (const auto& [name, rel] : t.relations()) {
-    for (const AnnotatedTuple& at : rel.tuples()) {
+    for (const AnnotatedTupleRef& at : rel.tuples()) {
       if (at.IsEmptyMarker()) {
         if (IsAllOpen(at.ann)) m = std::max(m, at.ann.size());
       } else {
@@ -41,7 +41,7 @@ size_t MaxOpenPerTuple(const AnnotatedInstance& t) {
 size_t CountOpenTemplates(const AnnotatedInstance& t) {
   size_t k = 0;
   for (const auto& [name, rel] : t.relations()) {
-    for (const AnnotatedTuple& at : rel.tuples()) {
+    for (const AnnotatedTupleRef& at : rel.tuples()) {
       if (at.IsEmptyMarker()) {
         if (IsAllOpen(at.ann)) ++k;
       } else if (CountOpen(at.ann) > 0) {
@@ -268,14 +268,14 @@ Result<Relation> CertainAnswerEngine::CertainAnswers(
     }
     if (first) {
       first = false;
-      for (const Tuple& t : ans.value().tuples()) {
+      for (TupleRef t : ans.value().tuples()) {
         bool ok = true;
         for (Value v : t) ok = ok && allowed.count(v) > 0;
         if (ok) candidates.Add(t);
       }
     } else {
       Relation next(order.size());
-      for (const Tuple& t : candidates.tuples()) {
+      for (TupleRef t : candidates.tuples()) {
         if (ans.value().Contains(t)) next.Add(t);
       }
       candidates = std::move(next);

@@ -74,7 +74,7 @@ Status RepAMemberEnumerator::ForEachMember(
     };
 
     for (const auto& [name, rel] : t_.relations()) {
-      for (const AnnotatedTuple& at : rel.tuples()) {
+      for (const AnnotatedTupleRef& at : rel.tuples()) {
         if (at.IsEmptyMarker()) {
           if (!IsAllOpen(at.ann)) continue;
           // All-open marker: any tuple over the pool; the marker itself

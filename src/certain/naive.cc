@@ -8,7 +8,7 @@ Result<Relation> NaiveEval(const FormulaPtr& q,
   Evaluator ev(inst, universe);
   OCDX_ASSIGN_OR_RETURN(Relation all, ev.Answers(q, order));
   Relation out(all.arity());
-  for (const Tuple& t : all.tuples()) {
+  for (TupleRef t : all.tuples()) {
     bool has_null = false;
     for (Value v : t) {
       if (v.IsNull()) {

@@ -46,15 +46,14 @@ struct HeadSlot {
 Status FireNaive(const AnnotatedStd& std_, size_t std_index,
                  const std::shared_ptr<const std::vector<std::string>>& vars,
                  const std::vector<std::string>& exist_vars,
-                 const std::vector<const Tuple*>& witnesses,
+                 const std::vector<TupleRef>& witnesses,
                  Universe* universe, CanonicalSolution* out) {
   const std::vector<std::string>& body_vars = *vars;
-  for (const Tuple* wp : witnesses) {
-    const Tuple& w = *wp;
+  for (TupleRef w : witnesses) {
     ChaseTrigger trigger;
     trigger.std_index = static_cast<int>(std_index);
     trigger.var_order = vars;
-    trigger.witness = w;
+    trigger.witness = ToTuple(w);
 
     Env env;
     for (size_t v = 0; v < body_vars.size(); ++v) env[body_vars[v]] = w[v];
@@ -63,7 +62,7 @@ Status FireNaive(const AnnotatedStd& std_, size_t std_index,
     for (const std::string& z : exist_vars) {
       NullInfo info;
       info.std_index = static_cast<int>(std_index);
-      info.witness = w;
+      info.witness = trigger.witness;
       info.var = z;
       info.label = StrCat(z, "_s", std_index, "w", out->triggers.size());
       Value null = universe->MintNull(std::move(info));
@@ -87,11 +86,15 @@ Status FireNaive(const AnnotatedStd& std_, size_t std_index,
 
 // Slot-compiled witness loop: head terms are resolved to witness / fresh-
 // null positions once per STD, so firing a witness is a handful of vector
-// reads instead of string-map traffic.
+// reads instead of string-map traffic. The instantiated head tuples are
+// accumulated into one flat buffer per head atom and appended through the
+// relations' batch AddAll — the whole delta of an STD costs at most one
+// arena chunk allocation per target relation instead of per-tuple
+// vector/annotation churn.
 Status FireCompiled(const AnnotatedStd& std_, size_t std_index,
                     const std::shared_ptr<const std::vector<std::string>>& vars,
                     const std::vector<std::string>& exist_vars,
-                    const std::vector<const Tuple*>& witnesses,
+                    const std::vector<TupleRef>& witnesses,
                     Universe* universe, CanonicalSolution* out) {
   const std::vector<std::string>& body_vars = *vars;
   std::vector<std::vector<HeadSlot>> head_plans(std_.head.size());
@@ -126,19 +129,24 @@ Status FireCompiled(const AnnotatedStd& std_, size_t std_index,
     }
   }
 
+  // One flat delta buffer per head atom; row i belongs to witness i.
+  std::vector<Tuple> deltas(std_.head.size());
+  for (size_t a = 0; a < std_.head.size(); ++a) {
+    deltas[a].reserve(witnesses.size() * head_plans[a].size());
+  }
+
   out->triggers.reserve(out->triggers.size() + witnesses.size());
-  for (const Tuple* wp : witnesses) {
-    const Tuple& w = *wp;
+  for (TupleRef w : witnesses) {
     ChaseTrigger trigger;
     trigger.std_index = static_cast<int>(std_index);
     trigger.var_order = vars;
-    trigger.witness = w;
+    trigger.witness = ToTuple(w);
 
     trigger.fresh_nulls.reserve(exist_vars.size());
     for (size_t j = 0; j < exist_vars.size(); ++j) {
       NullInfo info;
       info.std_index = static_cast<int>(std_index);
-      info.witness = w;
+      info.witness = trigger.witness;
       info.var = exist_vars[j];
       // No pretty-print label: Universe::Describe falls back to the
       // unique "_N<id>" form, and materializing a label per null is a
@@ -148,25 +156,33 @@ Status FireCompiled(const AnnotatedStd& std_, size_t std_index,
     const std::vector<Value>& fresh = trigger.fresh_nulls;
 
     for (size_t a = 0; a < std_.head.size(); ++a) {
-      Tuple t;
-      t.reserve(head_plans[a].size());
       for (const HeadSlot& slot : head_plans[a]) {
         switch (slot.kind) {
           case HeadSlot::Kind::kConst:
-            t.push_back(slot.constant);
+            deltas[a].push_back(slot.constant);
             break;
           case HeadSlot::Kind::kWitness:
-            t.push_back(w[slot.index]);
+            deltas[a].push_back(w[slot.index]);
             break;
           case HeadSlot::Kind::kFresh:
-            t.push_back(fresh[slot.index]);
+            deltas[a].push_back(fresh[slot.index]);
             break;
         }
       }
-      out->annotated.Add(std_.head[a].rel,
-                         AnnotatedTuple(std::move(t), std_.head[a].ann));
     }
     out->triggers.push_back(std::move(trigger));
+  }
+
+  for (size_t a = 0; a < std_.head.size(); ++a) {
+    const HeadAtom& atom = std_.head[a];
+    AnnotatedRelation& rel =
+        out->annotated.GetOrCreate(atom.rel, atom.ann.size());
+    if (atom.ann.empty()) {
+      // Propositional (0-ary) head atom: one proper row, not a batch.
+      rel.Add(AnnotatedTupleRef{});
+    } else {
+      rel.AddAll(deltas[a], atom.ann);
+    }
   }
   return Status::OK();
 }
@@ -194,18 +210,16 @@ Result<CanonicalSolution> Chase(const Mapping& mapping, const Instance& source,
 
     // Collect the witnesses of the body over S: pointers into the answer
     // relation, sorted by Value order for deterministic firing.
-    static const Tuple kEmptyWitness;
     Relation answers(body_vars.size());
-    std::vector<const Tuple*> witnesses;
+    std::vector<TupleRef> witnesses;
     if (body_vars.empty()) {
       OCDX_ASSIGN_OR_RETURN(bool holds, eval.Holds(std_.body));
-      if (holds) witnesses.push_back(&kEmptyWitness);
+      if (holds) witnesses.push_back(TupleRef{});
     } else {
       OCDX_ASSIGN_OR_RETURN(answers, eval.Answers(std_.body, body_vars));
-      witnesses.reserve(answers.size());
-      for (const Tuple& t : answers.tuples()) witnesses.push_back(&t);
+      witnesses.assign(answers.tuples().begin(), answers.tuples().end());
       std::sort(witnesses.begin(), witnesses.end(),
-                [](const Tuple* a, const Tuple* b) { return *a < *b; });
+                [](TupleRef a, TupleRef b) { return a < b; });
     }
 
     if (witnesses.empty()) {

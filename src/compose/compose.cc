@@ -43,7 +43,7 @@ uint64_t SatShift(uint64_t base, size_t k) {
 size_t CountOpenTemplates(const AnnotatedInstance& t) {
   size_t k = 0;
   for (const auto& [name, rel] : t.relations()) {
-    for (const AnnotatedTuple& at : rel.tuples()) {
+    for (const AnnotatedTupleRef& at : rel.tuples()) {
       if (at.IsEmptyMarker()) {
         if (IsAllOpen(at.ann)) ++k;
       } else if (CountOpen(at.ann) > 0) {

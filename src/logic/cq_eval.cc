@@ -491,7 +491,8 @@ class PlanRunner {
       : plan_(plan),
         out_(out),
         frame_(plan.num_slots),
-        key_scratch_(plan.atoms.size()) {}
+        key_scratch_(plan.atoms.size()),
+        out_scratch_(plan.out_slots.size()) {}
 
   /// Returns true iff at least one match was found.
   bool Run() {
@@ -521,10 +522,10 @@ class PlanRunner {
   bool Descend(size_t step) {
     if (step == plan_.atoms.size()) {
       if (out_ == nullptr) return true;  // Boolean mode: witness found.
-      Tuple t;
-      t.reserve(plan_.out_slots.size());
-      for (int s : plan_.out_slots) t.push_back(frame_[s]);
-      out_->Add(std::move(t));
+      for (size_t i = 0; i < plan_.out_slots.size(); ++i) {
+        out_scratch_[i] = frame_[plan_.out_slots[i]];
+      }
+      out_->Add(out_scratch_);  // Copies into the relation's arena.
       return false;  // Keep enumerating.
     }
     const AtomPlan& ap = plan_.atoms[step];
@@ -540,14 +541,14 @@ class PlanRunner {
         if (TryTuple(ap, ap.rel->tuples()[id], step)) return true;
       }
     } else {
-      for (const Tuple& t : ap.rel->tuples()) {
+      for (TupleRef t : ap.rel->tuples()) {
         if (TryTuple(ap, t, step)) return true;
       }
     }
     return false;
   }
 
-  bool TryTuple(const AtomPlan& ap, const Tuple& t, size_t step) {
+  bool TryTuple(const AtomPlan& ap, TupleRef t, size_t step) {
     for (const auto& [pos, slot] : ap.binds) frame_[slot] = t[pos];
     bool ok = true;
     for (const auto& [pos, slot] : ap.checks) {
@@ -574,7 +575,7 @@ class PlanRunner {
     // Guards share the frame; their bindings are undone on exit, so the
     // scratch keys can be local.
     std::vector<Value> key;
-    auto try_tuple = [&](const Tuple& t) {
+    auto try_tuple = [&](TupleRef t) {
       for (const auto& [pos, slot] : ap.binds) frame_[slot] = t[pos];
       bool ok = true;
       for (const auto& [pos, slot] : ap.checks) {
@@ -606,7 +607,7 @@ class PlanRunner {
         if (try_tuple(ap.rel->tuples()[id])) return true;
       }
     } else {
-      for (const Tuple& t : ap.rel->tuples()) {
+      for (TupleRef t : ap.rel->tuples()) {
         if (try_tuple(t)) return true;
       }
     }
@@ -617,6 +618,7 @@ class PlanRunner {
   Relation* out_;
   std::vector<Value> frame_;
   std::vector<std::vector<Value>> key_scratch_;
+  Tuple out_scratch_;
 };
 
 // ---------------------------------------------------------------------------
@@ -657,7 +659,7 @@ bool NaiveGuardMatches(const CqGuard& guard, const Instance& inst,
   const CqAtom& atom = guard.atoms[idx];
   const Relation* rel = inst.Find(*atom.rel);
   if (rel == nullptr) return false;
-  for (const Tuple& tuple : rel->tuples()) {
+  for (TupleRef tuple : rel->tuples()) {
     std::vector<std::string> added;
     bool ok = true;
     for (size_t p = 0; p < atom.terms->size() && ok; ++p) {
@@ -714,7 +716,7 @@ void NaiveJoin(const CqShape& shape, const std::vector<std::string>& order,
     const CqAtom& atom = atoms[idx];
     const Relation* rel = inst.Find(*atom.rel);
     if (rel == nullptr) return;
-    for (const Tuple& tuple : rel->tuples()) {
+    for (TupleRef tuple : rel->tuples()) {
       std::vector<std::string> added;
       bool ok = true;
       for (size_t p = 0; p < atom.terms->size() && ok; ++p) {

@@ -5,10 +5,321 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 
 #include "util/str.h"
 
 namespace ocdx {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Slot compilation of the generic evaluator.
+//
+// The generic active-domain path used to thread a string-keyed Env (a
+// std::map<std::string, Value>) through the recursion: every term lookup
+// hashed/compared a variable name and every quantifier step mutated the
+// map. The formula is now compiled once per evaluation onto the same
+// dense-slot frames TryEvalCQ uses: variable names are interned to slot
+// ids, the binding is a flat std::vector<Value> (invalid Value = unbound),
+// and the inner loop touches no strings. Shadowed names share a slot;
+// quantifiers save and restore the previous slot contents, which is
+// exactly the shadowing semantics the Env gave.
+// ---------------------------------------------------------------------------
+
+struct CompiledTerm {
+  Term::Kind kind = Term::Kind::kConst;
+  Value constant;              ///< kConst payload.
+  int slot = -1;               ///< kVar slot id.
+  const Term* src = nullptr;   ///< Name source for kVar / kFunc.
+  std::vector<CompiledTerm> args;  ///< kFunc arguments.
+};
+
+struct CompiledNode {
+  Formula::Kind kind = Formula::Kind::kTrue;
+  const Formula* src = nullptr;       ///< Atom name + error messages.
+  const Relation* rel = nullptr;      ///< Re-resolved per evaluation.
+  std::vector<CompiledTerm> terms;
+  std::vector<CompiledNode> children;
+  std::vector<int> bound_slots;       ///< Quantifier slots.
+  // Evaluation scratch, reused across visits of this node.
+  Tuple atom_scratch;
+  std::vector<Value> saved_scratch;
+  std::vector<size_t> idx_scratch;
+};
+
+// Binds the skeleton's atoms to one instance's relations (the skeleton
+// itself is instance-independent, which is what makes it cacheable: the
+// member-enumeration loops evaluate one query over thousands of short-
+// lived instances).
+void ResolveRelations(CompiledNode* n, const Instance& inst) {
+  if (n->kind == Formula::Kind::kAtom) n->rel = inst.Find(n->src->rel());
+  for (CompiledNode& c : n->children) ResolveRelations(&c, inst);
+}
+
+class SlotCompiler {
+ public:
+  int GetOrAdd(const std::string& v) {
+    auto [it, inserted] = slots_.emplace(v, static_cast<int>(slots_.size()));
+    return it->second;
+  }
+
+  size_t size() const { return slots_.size(); }
+
+  CompiledTerm CompileTerm(const Term& t) {
+    CompiledTerm out;
+    out.kind = t.kind;
+    out.src = &t;
+    switch (t.kind) {
+      case Term::Kind::kConst:
+        out.constant = t.constant;
+        break;
+      case Term::Kind::kVar:
+        out.slot = GetOrAdd(t.name);
+        break;
+      case Term::Kind::kFunc:
+        out.args.reserve(t.args.size());
+        for (const Term& a : t.args) out.args.push_back(CompileTerm(a));
+        break;
+    }
+    return out;
+  }
+
+  CompiledNode Compile(const Formula& f) {
+    CompiledNode n;
+    n.kind = f.kind();
+    n.src = &f;
+    switch (f.kind()) {
+      case Formula::Kind::kAtom:
+        n.terms.reserve(f.terms().size());
+        for (const Term& t : f.terms()) n.terms.push_back(CompileTerm(t));
+        n.atom_scratch.resize(f.terms().size());
+        break;
+      case Formula::Kind::kEquals:
+        n.terms.push_back(CompileTerm(f.terms()[0]));
+        n.terms.push_back(CompileTerm(f.terms()[1]));
+        break;
+      case Formula::Kind::kExists:
+      case Formula::Kind::kForall:
+        n.bound_slots.reserve(f.bound().size());
+        for (const std::string& v : f.bound()) {
+          n.bound_slots.push_back(GetOrAdd(v));
+        }
+        n.saved_scratch.resize(f.bound().size());
+        n.idx_scratch.resize(f.bound().size());
+        [[fallthrough]];
+      default:
+        n.children.reserve(f.children().size());
+        for (const FormulaPtr& c : f.children()) {
+          n.children.push_back(Compile(*c));
+        }
+        break;
+    }
+    return n;
+  }
+
+  std::unordered_map<std::string, int>&& TakeSlots() {
+    return std::move(slots_);
+  }
+
+ private:
+  std::unordered_map<std::string, int> slots_;
+};
+
+/// A compiled sentence: the slot skeleton plus the name -> slot map used
+/// to seed bindings. Cached per formula identity; `in_use` guards the
+/// node-local scratch against (rare) reentrant evaluation of the same
+/// formula, in which case the caller compiles a private copy.
+struct CompiledSentence {
+  CompiledNode root;
+  std::unordered_map<std::string, int> slots;
+  size_t num_slots = 0;
+  bool in_use = false;
+};
+
+std::shared_ptr<CompiledSentence> CompileSentence(const Formula& f) {
+  auto out = std::make_shared<CompiledSentence>();
+  SlotCompiler compiler;
+  out->root = compiler.Compile(f);
+  out->num_slots = compiler.size();
+  out->slots = compiler.TakeSlots();
+  return out;
+}
+
+/// Tiny LRU of compiled sentences keyed by formula *identity* (shared_ptr
+/// control block, so a recycled address can never alias a dead entry).
+/// Holds weak refs only: the cache never extends a formula's lifetime.
+std::shared_ptr<CompiledSentence> GetCompiledSentence(const FormulaPtr& f) {
+  struct Entry {
+    std::weak_ptr<const Formula> key;
+    std::shared_ptr<CompiledSentence> compiled;
+  };
+  constexpr size_t kCapacity = 8;
+  thread_local std::vector<Entry> cache;
+  for (size_t i = 0; i < cache.size(); ++i) {
+    const std::weak_ptr<const Formula>& k = cache[i].key;
+    if (!k.owner_before(f) && !f.owner_before(k) && k.lock() != nullptr) {
+      std::shared_ptr<CompiledSentence> hit = cache[i].compiled;
+      if (hit->in_use) return CompileSentence(*f);  // Reentrant: private copy.
+      if (i != 0) std::rotate(cache.begin(), cache.begin() + i,
+                              cache.begin() + i + 1);
+      return hit;
+    }
+  }
+  std::shared_ptr<CompiledSentence> fresh = CompileSentence(*f);
+  cache.insert(cache.begin(), Entry{f, fresh});
+  if (cache.size() > kCapacity) cache.pop_back();
+  return fresh;
+}
+
+/// Runs a compiled formula over a dense frame. The frame outlives the
+/// runner; unbound slots hold the invalid Value sentinel.
+class SlotEval {
+ public:
+  SlotEval(std::vector<Value>* frame, FunctionOracle* oracle)
+      : frame_(*frame), oracle_(oracle) {}
+
+  Result<Value> EvalTerm(const CompiledTerm& t) {
+    switch (t.kind) {
+      case Term::Kind::kVar: {
+        Value v = frame_[t.slot];
+        if (!v.IsValid()) {
+          return Status::InvalidArgument(
+              StrCat("unbound variable '", t.src->name,
+                     "' during evaluation"));
+        }
+        return v;
+      }
+      case Term::Kind::kConst:
+        return t.constant;
+      case Term::Kind::kFunc: {
+        if (oracle_ == nullptr) {
+          return Status::FailedPrecondition(
+              StrCat("function term '", t.src->name,
+                     "' evaluated without a function oracle"));
+        }
+        Tuple args;
+        args.reserve(t.args.size());
+        for (const CompiledTerm& a : t.args) {
+          OCDX_ASSIGN_OR_RETURN(Value v, EvalTerm(a));
+          args.push_back(v);
+        }
+        return oracle_->Apply(t.src->name, args);
+      }
+    }
+    return Status::Internal("unknown term kind");
+  }
+
+  Result<bool> Eval(CompiledNode& n, const std::vector<Value>& domain) {
+    switch (n.kind) {
+      case Formula::Kind::kTrue:
+        return true;
+      case Formula::Kind::kFalse:
+        return false;
+      case Formula::Kind::kAtom: {
+        for (size_t i = 0; i < n.terms.size(); ++i) {
+          OCDX_ASSIGN_OR_RETURN(Value v, EvalTerm(n.terms[i]));
+          n.atom_scratch[i] = v;
+        }
+        if (n.rel == nullptr) return false;
+        if (n.rel->arity() != n.atom_scratch.size()) {
+          return Status::InvalidArgument(
+              StrCat("atom ", n.src->rel(), "/", n.atom_scratch.size(),
+                     " does not match relation arity ", n.rel->arity()));
+        }
+        return n.rel->Contains(n.atom_scratch);
+      }
+      case Formula::Kind::kEquals: {
+        OCDX_ASSIGN_OR_RETURN(Value a, EvalTerm(n.terms[0]));
+        OCDX_ASSIGN_OR_RETURN(Value b, EvalTerm(n.terms[1]));
+        return a == b;
+      }
+      case Formula::Kind::kNot: {
+        OCDX_ASSIGN_OR_RETURN(bool v, Eval(n.children[0], domain));
+        return !v;
+      }
+      case Formula::Kind::kAnd: {
+        for (CompiledNode& c : n.children) {
+          OCDX_ASSIGN_OR_RETURN(bool v, Eval(c, domain));
+          if (!v) return false;
+        }
+        return true;
+      }
+      case Formula::Kind::kOr: {
+        for (CompiledNode& c : n.children) {
+          OCDX_ASSIGN_OR_RETURN(bool v, Eval(c, domain));
+          if (v) return true;
+        }
+        return false;
+      }
+      case Formula::Kind::kImplies: {
+        OCDX_ASSIGN_OR_RETURN(bool a, Eval(n.children[0], domain));
+        if (!a) return true;
+        return Eval(n.children[1], domain);
+      }
+      case Formula::Kind::kExists:
+      case Formula::Kind::kForall: {
+        bool is_exists = n.kind == Formula::Kind::kExists;
+        const size_t k = n.bound_slots.size();
+        // Shadowing: remember the outer bindings of the bound slots.
+        for (size_t i = 0; i < k; ++i) {
+          n.saved_scratch[i] = frame_[n.bound_slots[i]];
+        }
+        // Odometer over domain^k.
+        bool result = !is_exists;  // exists: false until witness.
+        if (!(domain.empty() && k > 0)) {
+          std::fill(n.idx_scratch.begin(), n.idx_scratch.end(), 0);
+          std::vector<size_t>& idx = n.idx_scratch;
+          while (true) {
+            for (size_t i = 0; i < k; ++i) {
+              frame_[n.bound_slots[i]] = domain[idx[i]];
+            }
+            Result<bool> v = Eval(n.children[0], domain);
+            if (!v.ok()) {
+              Restore(n);
+              return v;
+            }
+            if (is_exists && v.value()) {
+              result = true;
+              break;
+            }
+            if (!is_exists && !v.value()) {
+              result = false;
+              break;
+            }
+            // Advance odometer.
+            size_t p = k;
+            while (p > 0) {
+              --p;
+              if (++idx[p] < domain.size()) break;
+              idx[p] = 0;
+              if (p == 0) {
+                p = SIZE_MAX;
+                break;
+              }
+            }
+            if (p == SIZE_MAX || k == 0) break;
+          }
+        }
+        Restore(n);
+        return result;
+      }
+    }
+    return Status::Internal("unknown formula kind");
+  }
+
+ private:
+  void Restore(const CompiledNode& n) {
+    for (size_t i = 0; i < n.bound_slots.size(); ++i) {
+      frame_[n.bound_slots[i]] = n.saved_scratch[i];
+    }
+  }
+
+  std::vector<Value>& frame_;
+  FunctionOracle* oracle_;
+};
+
+}  // namespace
 
 std::vector<Value> Evaluator::Domain(const FormulaPtr& f) const {
   std::set<Value> acc;
@@ -16,146 +327,6 @@ std::vector<Value> Evaluator::Domain(const FormulaPtr& f) const {
   for (Value v : ConstantsIn(f)) acc.insert(v);
   for (Value v : extra_domain_) acc.insert(v);
   return std::vector<Value>(acc.begin(), acc.end());
-}
-
-Result<Value> Evaluator::EvalTerm(const Term& t, const Env& env) {
-  switch (t.kind) {
-    case Term::Kind::kVar: {
-      auto it = env.find(t.name);
-      if (it == env.end()) {
-        return Status::InvalidArgument(
-            StrCat("unbound variable '", t.name, "' during evaluation"));
-      }
-      return it->second;
-    }
-    case Term::Kind::kConst:
-      return t.constant;
-    case Term::Kind::kFunc: {
-      if (oracle_ == nullptr) {
-        return Status::FailedPrecondition(
-            StrCat("function term '", t.name,
-                   "' evaluated without a function oracle"));
-      }
-      Tuple args;
-      args.reserve(t.args.size());
-      for (const Term& a : t.args) {
-        OCDX_ASSIGN_OR_RETURN(Value v, EvalTerm(a, env));
-        args.push_back(v);
-      }
-      return oracle_->Apply(t.name, args);
-    }
-  }
-  return Status::Internal("unknown term kind");
-}
-
-Result<bool> Evaluator::Eval(const Formula& f, Env* env,
-                             const std::vector<Value>& domain) {
-  switch (f.kind()) {
-    case Formula::Kind::kTrue:
-      return true;
-    case Formula::Kind::kFalse:
-      return false;
-    case Formula::Kind::kAtom: {
-      const Relation* rel = inst_.Find(f.rel());
-      Tuple t;
-      t.reserve(f.terms().size());
-      for (const Term& term : f.terms()) {
-        OCDX_ASSIGN_OR_RETURN(Value v, EvalTerm(term, *env));
-        t.push_back(v);
-      }
-      if (rel == nullptr) return false;
-      if (rel->arity() != t.size()) {
-        return Status::InvalidArgument(
-            StrCat("atom ", f.rel(), "/", t.size(),
-                   " does not match relation arity ", rel->arity()));
-      }
-      return rel->Contains(t);
-    }
-    case Formula::Kind::kEquals: {
-      OCDX_ASSIGN_OR_RETURN(Value a, EvalTerm(f.terms()[0], *env));
-      OCDX_ASSIGN_OR_RETURN(Value b, EvalTerm(f.terms()[1], *env));
-      return a == b;
-    }
-    case Formula::Kind::kNot: {
-      OCDX_ASSIGN_OR_RETURN(bool v, Eval(*f.children()[0], env, domain));
-      return !v;
-    }
-    case Formula::Kind::kAnd: {
-      for (const FormulaPtr& c : f.children()) {
-        OCDX_ASSIGN_OR_RETURN(bool v, Eval(*c, env, domain));
-        if (!v) return false;
-      }
-      return true;
-    }
-    case Formula::Kind::kOr: {
-      for (const FormulaPtr& c : f.children()) {
-        OCDX_ASSIGN_OR_RETURN(bool v, Eval(*c, env, domain));
-        if (v) return true;
-      }
-      return false;
-    }
-    case Formula::Kind::kImplies: {
-      OCDX_ASSIGN_OR_RETURN(bool a, Eval(*f.children()[0], env, domain));
-      if (!a) return true;
-      return Eval(*f.children()[1], env, domain);
-    }
-    case Formula::Kind::kExists:
-    case Formula::Kind::kForall: {
-      bool is_exists = f.kind() == Formula::Kind::kExists;
-      // Recursive enumeration over the bound variables.
-      const std::vector<std::string>& vars = f.bound();
-      std::vector<Value> saved(vars.size());
-      std::vector<bool> had(vars.size());
-      for (size_t i = 0; i < vars.size(); ++i) {
-        auto it = env->find(vars[i]);
-        had[i] = it != env->end();
-        if (had[i]) saved[i] = it->second;
-      }
-      // Odometer over domain^k.
-      size_t k = vars.size();
-      std::vector<size_t> idx(k, 0);
-      bool result = !is_exists;  // exists: false until witness; forall: true.
-      if (domain.empty() && k > 0) {
-        // Empty domain: exists is false, forall is vacuously true.
-        result = !is_exists;
-      } else {
-        while (true) {
-          for (size_t i = 0; i < k; ++i) (*env)[vars[i]] = domain[idx[i]];
-          OCDX_ASSIGN_OR_RETURN(bool v, Eval(*f.children()[0], env, domain));
-          if (is_exists && v) {
-            result = true;
-            break;
-          }
-          if (!is_exists && !v) {
-            result = false;
-            break;
-          }
-          // Advance odometer.
-          size_t p = k;
-          while (p > 0) {
-            --p;
-            if (++idx[p] < domain.size()) break;
-            idx[p] = 0;
-            if (p == 0) {
-              p = SIZE_MAX;
-              break;
-            }
-          }
-          if (p == SIZE_MAX || k == 0) break;
-        }
-      }
-      // Restore shadowed bindings.
-      for (size_t i = 0; i < k; ++i) {
-        if (had[i]) {
-          (*env)[vars[i]] = saved[i];
-        } else {
-          env->erase(vars[i]);
-        }
-      }
-      return result;
-    }
-  }
-  return Status::Internal("unknown formula kind");
 }
 
 Result<bool> Evaluator::Holds(const FormulaPtr& f, const Env& binding) {
@@ -167,8 +338,18 @@ Result<bool> Evaluator::Holds(const FormulaPtr& f, const Env& binding) {
     if (fast.has_value()) return *fast;
   }
   std::vector<Value> domain = Domain(f);
-  Env env = binding;
-  return Eval(*f, &env, domain);
+  std::shared_ptr<CompiledSentence> compiled = GetCompiledSentence(f);
+  compiled->in_use = true;
+  ResolveRelations(&compiled->root, inst_);
+  std::vector<Value> frame(compiled->num_slots);
+  for (const auto& [name, value] : binding) {
+    auto it = compiled->slots.find(name);
+    if (it != compiled->slots.end()) frame[it->second] = value;
+  }
+  SlotEval eval(&frame, oracle_);
+  Result<bool> result = eval.Eval(compiled->root, domain);
+  compiled->in_use = false;
+  return result;
 }
 
 Result<Relation> Evaluator::Answers(const FormulaPtr& f,
@@ -207,17 +388,29 @@ Result<Relation> Evaluator::Answers(const FormulaPtr& f,
         "Answers() needs at least one output variable; use Holds() for "
         "sentences");
   }
-  std::vector<size_t> idx(k, 0);
   if (domain.empty()) return out;
-  Env env;
+
+  SlotCompiler compiler;
+  // Output variables get slots first (they may not even occur in f, in
+  // which case they simply range over the domain). The slot numbering
+  // differs from the sentence cache's, so Answers compiles privately.
+  std::vector<int> out_slots(k);
+  for (size_t i = 0; i < k; ++i) out_slots[i] = compiler.GetOrAdd(order[i]);
+  CompiledNode root = compiler.Compile(*f);
+  ResolveRelations(&root, inst_);
+  std::vector<Value> frame(compiler.size());
+  SlotEval eval(&frame, oracle_);
+
+  out.Reserve(16);
+  std::vector<size_t> idx(k, 0);
+  Tuple t(k);
   while (true) {
-    Tuple t(k);
     for (size_t i = 0; i < k; ++i) {
-      env[order[i]] = domain[idx[i]];
+      frame[out_slots[i]] = domain[idx[i]];
       t[i] = domain[idx[i]];
     }
-    OCDX_ASSIGN_OR_RETURN(bool v, Eval(*f, &env, domain));
-    if (v) out.Add(std::move(t));
+    OCDX_ASSIGN_OR_RETURN(bool v, eval.Eval(root, domain));
+    if (v) out.Add(t);
     size_t p = k;
     bool done = false;
     while (p > 0) {

@@ -22,7 +22,9 @@
 
 namespace ocdx {
 
-/// Variable binding environment.
+/// Variable binding environment (API boundary only: callers hand Holds a
+/// named binding, which is compiled onto dense slots before evaluation —
+/// the evaluation loop itself never touches variable names).
 using Env = std::map<std::string, Value>;
 
 /// Interprets Skolem function symbols during evaluation of SkSTD bodies.
@@ -68,10 +70,6 @@ class Evaluator {
   std::vector<Value> Domain(const FormulaPtr& f) const;
 
  private:
-  Result<bool> Eval(const Formula& f, Env* env,
-                    const std::vector<Value>& domain);
-  Result<Value> EvalTerm(const Term& t, const Env& env);
-
   const Instance& inst_;
   const Universe& universe_;
   std::vector<Value> extra_domain_;

@@ -23,8 +23,8 @@ class HomSearch {
         indexed_(join_engine_mode() == JoinEngineMode::kIndexed) {
     for (const auto& [name, rel] : a_.relations()) {
       const AnnotatedRelation* brel = b_.Find(name);
-      for (const AnnotatedTuple& t : rel.tuples()) {
-        if (!t.IsEmptyMarker()) items_.push_back(Item{&name, &t, brel});
+      for (const AnnotatedTupleRef& t : rel.tuples()) {
+        if (!t.IsEmptyMarker()) items_.push_back(Item{&name, t, brel});
       }
     }
     matched_.assign(items_.size(), false);
@@ -35,7 +35,7 @@ class HomSearch {
     // of `a` must occur in `b`; the exact-image mode also needs the
     // converse.
     for (const auto& [name, rel] : a_.relations()) {
-      for (const AnnotatedTuple& t : rel.tuples()) {
+      for (const AnnotatedTupleRef& t : rel.tuples()) {
         if (!t.IsEmptyMarker()) continue;
         const AnnotatedRelation* brel = b_.Find(name);
         if (brel == nullptr || !brel->Contains(t)) {
@@ -45,7 +45,7 @@ class HomSearch {
     }
     if (mode_ == Mode::kOntoImage) {
       for (const auto& [name, rel] : b_.relations()) {
-        for (const AnnotatedTuple& t : rel.tuples()) {
+        for (const AnnotatedTupleRef& t : rel.tuples()) {
           if (!t.IsEmptyMarker()) continue;
           const AnnotatedRelation* arel = a_.Find(name);
           if (arel == nullptr || !arel->Contains(t)) {
@@ -62,7 +62,7 @@ class HomSearch {
  private:
   struct Item {
     const std::string* rel;
-    const AnnotatedTuple* tuple;
+    AnnotatedTupleRef tuple;  ///< Spans stay valid: relations are arena-backed.
     const AnnotatedRelation* brel;
   };
 
@@ -82,7 +82,7 @@ class HomSearch {
   /// nulls): the most-constrained-first selection heuristic.
   size_t DeterminedPositions(const Item& item) const {
     size_t n = 0;
-    for (Value v : item.tuple->values) {
+    for (Value v : item.tuple.values) {
       if (v.IsConst() || h_.Defined(v)) ++n;
     }
     return n;
@@ -124,9 +124,7 @@ class HomSearch {
     // An all-open marker in `b` licenses any expansion tuple, so in
     // expansion mode the item is unconstrained if one is present.
     if (mode_ == Mode::kExpansion) {
-      AnnotatedTuple marker =
-          AnnotatedTuple::EmptyMarker(AllOpen(brel->arity()));
-      if (brel->Contains(marker)) {
+      if (brel->Contains(AllOpenMarker(brel->arity()))) {
         Result<bool> found = Search(num_matched + 1);
         if (!found.ok() || found.value()) {
           matched_[pick] = false;
@@ -137,7 +135,7 @@ class HomSearch {
 
     Result<bool> result = false;
     if (mode_ != Mode::kExpansion && indexed_ && brel->arity() <= 32 &&
-        item.tuple->values.size() == brel->arity()) {
+        item.tuple.values.size() == brel->arity()) {
       result = ProbeCandidates(item, brel, num_matched);
     } else {
       result = ScanCandidates(item, brel, num_matched);
@@ -150,7 +148,7 @@ class HomSearch {
   /// determined positions, filtered by annotation signature.
   Result<bool> ProbeCandidates(const Item& item, const AnnotatedRelation* brel,
                                size_t num_matched) {
-    const Tuple& src = item.tuple->values;
+    TupleRef src = item.tuple.values;
     uint64_t mask = 0;
     key_scratch_.clear();
     for (size_t p = 0; p < src.size(); ++p) {
@@ -165,13 +163,13 @@ class HomSearch {
     }
     OCDX_RETURN_IF_ERROR(Charge(1));  // The probe itself.
     const std::vector<uint32_t>* ids =
-        brel->ProbeProper(mask, key_scratch_, item.tuple->ann);
+        brel->ProbeProper(mask, key_scratch_, item.tuple.ann);
     if (ids == nullptr) return false;
     for (uint32_t id : *ids) {
       OCDX_RETURN_IF_ERROR(Charge(1));
-      const AnnotatedTuple& cand = brel->tuples()[id];
+      const AnnotatedTupleRef& cand = brel->tuples()[id];
       std::vector<Value> added;
-      if (TryUnify(*item.tuple, cand, &added)) {
+      if (TryUnify(item.tuple, cand, &added)) {
         OCDX_ASSIGN_OR_RETURN(bool found, Search(num_matched + 1));
         if (found) return true;
       }
@@ -182,11 +180,11 @@ class HomSearch {
 
   Result<bool> ScanCandidates(const Item& item, const AnnotatedRelation* brel,
                               size_t num_matched) {
-    for (const AnnotatedTuple& cand : brel->tuples()) {
+    for (const AnnotatedTupleRef& cand : brel->tuples()) {
       if (cand.IsEmptyMarker()) continue;
-      if (mode_ != Mode::kExpansion && cand.ann != item.tuple->ann) continue;
+      if (mode_ != Mode::kExpansion && !(cand.ann == item.tuple.ann)) continue;
       std::vector<Value> added;
-      if (TryUnify(*item.tuple, cand, &added)) {
+      if (TryUnify(item.tuple, cand, &added)) {
         OCDX_ASSIGN_OR_RETURN(bool found, Search(num_matched + 1));
         if (found) return true;
       }
@@ -199,7 +197,7 @@ class HomSearch {
   // recording newly bound nulls in `added`. In kHom/kOntoImage mode every
   // position must agree; in kExpansion mode only the positions `cand`
   // annotates closed constrain h.
-  bool TryUnify(const AnnotatedTuple& src, const AnnotatedTuple& cand,
+  bool TryUnify(const AnnotatedTupleRef& src, const AnnotatedTupleRef& cand,
                 std::vector<Value>* added) {
     for (size_t p = 0; p < src.values.size(); ++p) {
       if (mode_ == Mode::kExpansion && cand.ann[p] == Ann::kOpen) continue;
@@ -227,33 +225,53 @@ class HomSearch {
     return false;
   }
 
+  /// Cached (_, all-open) markers, one per arity (the expansion search
+  /// asks at every node; building an AnnVec per node is pure churn).
+  const AnnotatedTuple& AllOpenMarker(size_t arity) {
+    auto it = marker_cache_.find(arity);
+    if (it == marker_cache_.end()) {
+      it = marker_cache_
+               .emplace(arity, AnnotatedTuple::EmptyMarker(AllOpen(arity)))
+               .first;
+    }
+    return it->second;
+  }
+
   Result<bool> CheckLeaf() {
     if (mode_ != Mode::kOntoImage) return true;
     // Exact image: every proper tuple of b must be the h-image of some
-    // proper tuple of a, with the same annotation.
-    std::map<std::string, AnnotatedRelation> image;
+    // proper tuple of a, with the same annotation. The image relations
+    // are leaf-local scratch — Clear keeps their arena/table capacity, so
+    // leaves after the first allocate (almost) nothing.
+    for (auto& [name, rel] : image_scratch_) rel.Clear();
     for (const Item& item : items_) {
-      auto it = image.find(*item.rel);
-      if (it == image.end()) {
-        it = image.emplace(*item.rel, AnnotatedRelation(item.tuple->arity()))
+      auto it = image_scratch_.find(*item.rel);
+      if (it == image_scratch_.end()) {
+        it = image_scratch_
+                 .emplace(*item.rel, AnnotatedRelation(item.tuple.arity()))
                  .first;
       }
-      it->second.Add(AnnotatedTuple(h_.Apply(item.tuple->values),
-                                    item.tuple->ann));
+      mapped_scratch_.resize(item.tuple.values.size());
+      for (size_t p = 0; p < item.tuple.values.size(); ++p) {
+        mapped_scratch_[p] = h_.Apply(item.tuple.values[p]);
+      }
+      it->second.Add(AnnotatedTupleRef{mapped_scratch_, item.tuple.ann});
     }
     std::set<Value> image_nulls;
-    for (const auto& [name, rel] : image) {
-      for (const AnnotatedTuple& t : rel.tuples()) {
+    for (const auto& [name, rel] : image_scratch_) {
+      for (const AnnotatedTupleRef& t : rel.tuples()) {
         for (Value v : t.values) {
           if (v.IsNull()) image_nulls.insert(v);
         }
       }
     }
     for (const auto& [name, brel] : b_.relations()) {
-      for (const AnnotatedTuple& t : brel.tuples()) {
+      for (const AnnotatedTupleRef& t : brel.tuples()) {
         if (t.IsEmptyMarker()) continue;
-        auto it = image.find(name);
-        if (it == image.end() || !it->second.Contains(t)) return false;
+        auto it = image_scratch_.find(name);
+        if (it == image_scratch_.end() || !it->second.Contains(t)) {
+          return false;
+        }
       }
     }
     // Onto the nulls of b.
@@ -271,6 +289,9 @@ class HomSearch {
   std::vector<Item> items_;
   std::vector<bool> matched_;
   std::vector<Value> key_scratch_;
+  std::map<std::string, AnnotatedRelation> image_scratch_;
+  Tuple mapped_scratch_;
+  std::map<size_t, AnnotatedTuple> marker_cache_;
   NullMap h_;
   uint64_t steps_ = 0;
 };

@@ -40,7 +40,7 @@ class NullMap {
     return it == map_.end() ? v : it->second;
   }
 
-  Tuple Apply(const Tuple& t) const {
+  Tuple Apply(TupleRef t) const {
     Tuple out;
     out.reserve(t.size());
     for (Value v : t) out.push_back(Apply(v));

@@ -7,7 +7,7 @@
 
 namespace ocdx {
 
-bool MatchesOnClosed(const Tuple& tuple, const AnnotatedTuple& t0,
+bool MatchesOnClosed(TupleRef tuple, const AnnotatedTupleRef& t0,
                      const Valuation& v) {
   if (t0.IsEmptyMarker()) return IsAllOpen(t0.ann);
   if (tuple.size() != t0.values.size()) return false;
@@ -24,7 +24,7 @@ bool InRepAUnder(const AnnotatedInstance& annotated, const Instance& ground,
   // (a) ground contains every valuated proper tuple.
   for (const auto& [name, rel] : annotated.relations()) {
     const Relation* grel = ground.Find(name);
-    for (const AnnotatedTuple& t : rel.tuples()) {
+    for (const AnnotatedTupleRef& t : rel.tuples()) {
       if (t.IsEmptyMarker()) continue;
       if (grel == nullptr || !grel->Contains(v.Apply(t.values))) return false;
     }
@@ -34,10 +34,10 @@ bool InRepAUnder(const AnnotatedInstance& annotated, const Instance& ground,
   for (const auto& [name, grel] : ground.relations()) {
     if (grel.empty()) continue;
     const AnnotatedRelation* arel = annotated.Find(name);
-    for (const Tuple& r : grel.tuples()) {
+    for (TupleRef r : grel.tuples()) {
       bool matched = false;
       if (arel != nullptr) {
-        for (const AnnotatedTuple& t : arel->tuples()) {
+        for (const AnnotatedTupleRef& t : arel->tuples()) {
           if (MatchesOnClosed(r, t, v)) {
             matched = true;
             break;
@@ -64,9 +64,9 @@ class RepASearch {
         indexed_(join_engine_mode() == JoinEngineMode::kIndexed) {
     for (const auto& [name, rel] : annotated_.relations()) {
       const Relation* grel = ground_.Find(name);
-      for (const AnnotatedTuple& t : rel.tuples()) {
+      for (const AnnotatedTupleRef& t : rel.tuples()) {
         if (!t.IsEmptyMarker()) {
-          proper_.push_back(Item{&name, &t, grel, false});
+          proper_.push_back(Item{&name, t, grel, false});
         }
       }
     }
@@ -86,7 +86,7 @@ class RepASearch {
  private:
   struct Item {
     const std::string* rel;
-    const AnnotatedTuple* tuple;
+    AnnotatedTupleRef tuple;  ///< Spans stay valid: relations are arena-backed.
     const Relation* grel;
     bool matched;
   };
@@ -98,10 +98,10 @@ class RepASearch {
   /// InRepAUnder) is pure overhead.
   bool GroundCovered() const {
     for (const auto& [grel, arel] : cover_) {
-      for (const Tuple& r : grel->tuples()) {
+      for (TupleRef r : grel->tuples()) {
         bool matched = false;
         if (arel != nullptr) {
-          for (const AnnotatedTuple& t : arel->tuples()) {
+          for (const AnnotatedTupleRef& t : arel->tuples()) {
             if (MatchesOnClosed(r, t, valuation_)) {
               matched = true;
               break;
@@ -118,7 +118,7 @@ class RepASearch {
   /// extension of the current valuation? Closed positions holding unbound
   /// nulls are wildcards; bound/constant closed positions must already
   /// agree.
-  static bool PotentiallyCovers(const Tuple& r, const AnnotatedTuple& t0,
+  static bool PotentiallyCovers(TupleRef r, const AnnotatedTupleRef& t0,
                                 const Valuation& v) {
     if (t0.IsEmptyMarker()) return IsAllOpen(t0.ann);
     if (r.size() != t0.values.size()) return false;
@@ -136,10 +136,10 @@ class RepASearch {
   /// what collapses the exponential leaf count of the naive search.
   bool GroundCoverStillPossible() const {
     for (const auto& [grel, arel] : cover_) {
-      for (const Tuple& r : grel->tuples()) {
+      for (TupleRef r : grel->tuples()) {
         bool possible = false;
         if (arel != nullptr) {
-          for (const AnnotatedTuple& t : arel->tuples()) {
+          for (const AnnotatedTupleRef& t : arel->tuples()) {
             if (PotentiallyCovers(r, t, valuation_)) {
               possible = true;
               break;
@@ -153,17 +153,18 @@ class RepASearch {
   }
 
   // Number of distinct unbound nulls in an item (selection heuristic).
-  size_t UnboundNulls(const Item& item) const {
-    size_t n = 0;
-    std::vector<Value> seen;
-    for (Value v : item.tuple->values) {
+  // `seen_scratch_` is reused across calls: this runs once per item per
+  // search node, so a fresh vector here was an allocation per visit.
+  size_t UnboundNulls(const Item& item) {
+    seen_scratch_.clear();
+    for (Value v : item.tuple.values) {
       if (v.IsNull() && !valuation_.Defined(v) &&
-          std::find(seen.begin(), seen.end(), v) == seen.end()) {
-        seen.push_back(v);
-        ++n;
+          std::find(seen_scratch_.begin(), seen_scratch_.end(), v) ==
+              seen_scratch_.end()) {
+        seen_scratch_.push_back(v);
       }
     }
-    return n;
+    return seen_scratch_.size();
   }
 
   Result<bool> Search() {
@@ -195,7 +196,7 @@ class RepASearch {
     if (grel == nullptr) return false;
     item.matched = true;
 
-    const Tuple& pattern = item.tuple->values;
+    TupleRef pattern = item.tuple.values;
 
     // Candidate fetch. The indexed engine probes the ground relation's
     // hash index on the pattern's determined positions (constants and
@@ -229,11 +230,14 @@ class RepASearch {
     }
     const size_t num_candidates =
         ids != nullptr ? ids->size() : grel->tuples().size();
+    // Bindings added by the current candidate live on a shared trail
+    // (allocation-free across candidates and recursion levels); each
+    // candidate unwinds back to its own mark.
+    const size_t trail_mark = trail_.size();
     for (size_t c = 0; c < num_candidates; ++c) {
-      const Tuple& r =
+      TupleRef r =
           ids != nullptr ? grel->tuples()[(*ids)[c]] : grel->tuples()[c];
       // Try to unify pattern with r, extending the valuation.
-      std::vector<std::pair<Value, Value>> added;
       bool ok = true;
       for (size_t p = 0; p < pattern.size() && ok; ++p) {
         Value pv = pattern[p];
@@ -245,17 +249,19 @@ class RepASearch {
             ok = bound == r[p];
           } else {
             valuation_.Set(pv, r[p]);
-            added.push_back({pv, r[p]});
+            trail_.push_back(pv);
           }
         }
       }
-      if (ok && (!indexed_ || added.empty() || GroundCoverStillPossible())) {
+      if (ok && (!indexed_ || trail_.size() == trail_mark ||
+                 GroundCoverStillPossible())) {
         OCDX_ASSIGN_OR_RETURN(bool found, Search());
         if (found) return true;
       }
       // Undo bindings from this candidate.
-      for (auto it = added.rbegin(); it != added.rend(); ++it) {
-        valuation_.Unset(it->first);
+      while (trail_.size() > trail_mark) {
+        valuation_.Unset(trail_.back());
+        trail_.pop_back();
       }
     }
     item.matched = false;
@@ -269,6 +275,8 @@ class RepASearch {
   std::vector<Item> proper_;
   std::vector<std::pair<const Relation*, const AnnotatedRelation*>> cover_;
   std::vector<Value> key_scratch_;
+  std::vector<Value> seen_scratch_;
+  std::vector<Value> trail_;
   Valuation valuation_;
   uint64_t steps_ = 0;
 };

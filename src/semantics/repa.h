@@ -44,7 +44,7 @@ bool InRepAUnder(const AnnotatedInstance& annotated, const Instance& ground,
 
 /// Does `tuple` coincide with v(t0) on all closed positions of `t0`?
 /// Markers match iff all-open.
-bool MatchesOnClosed(const Tuple& tuple, const AnnotatedTuple& t0,
+bool MatchesOnClosed(TupleRef tuple, const AnnotatedTupleRef& t0,
                      const Valuation& v);
 
 }  // namespace ocdx

@@ -24,14 +24,14 @@ Result<bool> SatisfiesStds(const Mapping& mapping, const Instance& source,
     FormulaPtr requirement =
         Formula::Exists(std_.ExistentialVars(), Formula::And(std::move(atoms)));
 
-    std::vector<Tuple> witnesses;
+    Relation answers(body_vars.size());
+    std::vector<TupleRef> witnesses;
     if (body_vars.empty()) {
       OCDX_ASSIGN_OR_RETURN(bool holds, source_eval.Holds(std_.body));
-      if (holds) witnesses.push_back(Tuple{});
+      if (holds) witnesses.push_back(TupleRef{});
     } else {
-      OCDX_ASSIGN_OR_RETURN(Relation answers,
-                            source_eval.Answers(std_.body, body_vars));
-      witnesses = answers.tuples();
+      OCDX_ASSIGN_OR_RETURN(answers, source_eval.Answers(std_.body, body_vars));
+      witnesses.assign(answers.tuples().begin(), answers.tuples().end());
     }
     if (witnesses.empty()) continue;
 
@@ -59,7 +59,7 @@ Result<bool> SatisfiesStds(const Mapping& mapping, const Instance& source,
         if (proj_ok) {
           Tuple key(req_vars.size());
           bool all_in = true;
-          for (const Tuple& w : witnesses) {
+          for (TupleRef w : witnesses) {
             for (size_t i = 0; i < proj.size(); ++i) key[i] = w[proj[i]];
             if (!req_answers->Contains(key)) {
               all_in = false;
@@ -72,7 +72,7 @@ Result<bool> SatisfiesStds(const Mapping& mapping, const Instance& source,
       }
     }
 
-    for (const Tuple& w : witnesses) {
+    for (TupleRef w : witnesses) {
       Env env;
       for (size_t i = 0; i < body_vars.size(); ++i) env[body_vars[i]] = w[i];
       OCDX_ASSIGN_OR_RETURN(bool ok, target_eval.Holds(requirement, env));

@@ -28,7 +28,7 @@ class Valuation {
     return it == map_.end() ? v : it->second;
   }
 
-  Tuple Apply(const Tuple& t) const {
+  Tuple Apply(TupleRef t) const {
     Tuple out;
     out.reserve(t.size());
     for (Value v : t) out.push_back(Apply(v));
@@ -40,7 +40,7 @@ class Valuation {
     Instance out;
     for (const auto& [name, rel] : inst.relations()) {
       Relation& dst = out.GetOrCreate(name, rel.arity());
-      for (const Tuple& t : rel.tuples()) dst.Add(Apply(t));
+      for (TupleRef t : rel.tuples()) dst.Add(Apply(t));
     }
     return out;
   }

@@ -435,11 +435,12 @@ AnnotatedInstance ApplyValuationAnnotated(const AnnotatedInstance& t,
   AnnotatedInstance out;
   for (const auto& [name, rel] : t.relations()) {
     AnnotatedRelation& dst = out.GetOrCreate(name, rel.arity());
-    for (const AnnotatedTuple& at : rel.tuples()) {
+    for (const AnnotatedTupleRef& at : rel.tuples()) {
       if (at.IsEmptyMarker()) {
         dst.Add(at);
       } else {
-        dst.Add(AnnotatedTuple(v.Apply(at.values), at.ann));
+        Tuple mapped = v.Apply(at.values);
+        dst.Add(AnnotatedTupleRef{mapped, at.ann});
       }
     }
   }

@@ -44,7 +44,7 @@ TEST_F(ChaseTest, Section2Example) {
   EXPECT_EQ(r.value().annotated.Nulls().size(), 3u);
   EXPECT_EQ(r.value().triggers.size(), 3u);
   // Annotations follow the STD.
-  for (const AnnotatedTuple& t : rel->tuples()) {
+  for (const AnnotatedTupleRef& t : rel->tuples()) {
     ASSERT_FALSE(t.IsEmptyMarker());
     EXPECT_EQ(t.ann, (AnnVec{Ann::kClosed, Ann::kOpen}));
     EXPECT_TRUE(t.values[0].IsConst());
@@ -74,7 +74,7 @@ TEST_F(ChaseTest, SameVariableDifferentAnnotations) {
   EXPECT_EQ(rel->NumProperTuples(), 2u);
   EXPECT_EQ(r.value().annotated.Nulls().size(), 2u);
   bool saw_op_cl = false, saw_cl_op = false;
-  for (const AnnotatedTuple& t : rel->tuples()) {
+  for (const AnnotatedTupleRef& t : rel->tuples()) {
     if (t.ann == AnnVec{Ann::kOpen, Ann::kClosed}) saw_op_cl = true;
     if (t.ann == AnnVec{Ann::kClosed, Ann::kOpen}) saw_cl_op = true;
   }

@@ -1,0 +1,335 @@
+// Randomized differential stress tests for incremental index maintenance
+// and the arena tuple store: interleave Add / AddAll / Probe / ProbeProper
+// on both relation types and assert, at every step, that the maintained
+// indexes answer exactly like an index rebuilt from scratch over a shadow
+// copy of the data. This is the oracle that pins the PR-2 storage
+// overhaul: index buckets absorbing appends in place, bucket-pointer
+// stability, dedup through the flat hash table, and span validity across
+// arena growth.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/instance.h"
+#include "base/relation.h"
+#include "base/tuple_index.h"
+#include "util/rng.h"
+
+namespace ocdx {
+namespace {
+
+// A small value pool keeps key collisions frequent (buckets with many
+// ids, duplicate Adds) without blowing up the reference rebuilds.
+std::vector<Value> MakePool(Universe* u, size_t consts, size_t nulls) {
+  std::vector<Value> pool;
+  for (size_t i = 0; i < consts; ++i) {
+    pool.push_back(u->Const(std::string(1, 'a' + static_cast<char>(i))));
+  }
+  for (size_t i = 0; i < nulls; ++i) pool.push_back(u->FreshNull());
+  return pool;
+}
+
+Tuple RandomTuple(const std::vector<Value>& pool, size_t arity, Rng* rng) {
+  Tuple t(arity);
+  for (size_t p = 0; p < arity; ++p) t[p] = pool[rng->Below(pool.size())];
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Relation: Add / AddAll / Probe vs a from-scratch rebuild.
+// ---------------------------------------------------------------------------
+
+class RelationMaintenance : public ::testing::TestWithParam<int> {};
+
+TEST_P(RelationMaintenance, ProbesMatchScratchRebuildAtEveryStep) {
+  const size_t kArity = 3;
+  const size_t kOps = 2500;  // x4 instantiations > 10k randomized ops.
+  Universe u;
+  Rng rng(52100 + GetParam());
+  std::vector<Value> pool = MakePool(&u, 4, 3);
+
+  Relation rel(kArity);
+  std::vector<Tuple> shadow;          // Insertion-order reference rows.
+  std::set<Tuple> shadow_set;         // Reference dedup.
+  const uint64_t all_masks = (uint64_t{1} << kArity) - 1;
+
+  index_maintenance_stats().Reset();
+  std::set<uint64_t> probed_masks;
+
+  for (size_t op = 0; op < kOps; ++op) {
+    switch (rng.Below(4)) {
+      case 0: {  // Single Add (often a duplicate).
+        Tuple t = RandomTuple(pool, kArity, &rng);
+        bool fresh = shadow_set.insert(t).second;
+        if (fresh) shadow.push_back(t);
+        EXPECT_EQ(rel.Add(t), fresh);
+        break;
+      }
+      case 1: {  // Batch AddAll.
+        size_t n = 1 + rng.Below(6);
+        Tuple flat;
+        size_t expect_added = 0;
+        for (size_t i = 0; i < n; ++i) {
+          Tuple t = RandomTuple(pool, kArity, &rng);
+          if (shadow_set.insert(t).second) {
+            shadow.push_back(t);
+            ++expect_added;
+          }
+          flat.insert(flat.end(), t.begin(), t.end());
+        }
+        EXPECT_EQ(rel.AddAll(flat), expect_added);
+        break;
+      }
+      default: {  // Probe on a random mask/key.
+        uint64_t mask = 1 + rng.Below(all_masks);
+        probed_masks.insert(mask);
+        Tuple key;
+        for (uint64_t m = mask; m != 0; m &= m - 1) {
+          key.push_back(pool[rng.Below(pool.size())]);
+        }
+        const std::vector<uint32_t>* ids = rel.Probe(mask, key);
+
+        // Differential oracle: ids of shadow rows matching the key, in
+        // insertion order (the rebuild-from-scratch answer).
+        std::vector<uint32_t> expect;
+        for (uint32_t id = 0; id < shadow.size(); ++id) {
+          bool match = true;
+          size_t ki = 0;
+          for (uint64_t m = mask; m != 0; m &= m - 1) {
+            size_t p = static_cast<size_t>(__builtin_ctzll(m));
+            if (shadow[id][p] != key[ki++]) match = false;
+          }
+          if (match) expect.push_back(id);
+        }
+        if (expect.empty()) {
+          // nullptr or an empty bucket are both "no match"; buckets are
+          // never created empty, but this keeps the contract honest.
+          EXPECT_TRUE(ids == nullptr || ids->empty());
+        } else {
+          ASSERT_NE(ids, nullptr);
+          EXPECT_EQ(*ids, expect);
+        }
+        break;
+      }
+    }
+    // Invariants at every step: size, dedup, row payloads.
+    ASSERT_EQ(rel.size(), shadow.size());
+  }
+
+  // Full payload check once at the end (ids are insertion order).
+  for (uint32_t id = 0; id < shadow.size(); ++id) {
+    EXPECT_TRUE(rel.tuples()[id] == TupleRef(shadow[id]));
+    EXPECT_TRUE(rel.Contains(shadow[id]));
+  }
+
+  // Zero full rebuilds: each probed mask built its index exactly once,
+  // no matter how many Adds were interleaved.
+  EXPECT_EQ(index_maintenance_stats().full_builds, probed_masks.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, RelationMaintenance, ::testing::Range(0, 4));
+
+// ---------------------------------------------------------------------------
+// Bucket-pointer stability across Adds (the contract relation.h states).
+// ---------------------------------------------------------------------------
+
+TEST(RelationMaintenance, BucketPointersSurviveAdds) {
+  Universe u;
+  Relation rel(2);
+  Value a = u.Const("a");
+  rel.Add({a, u.Const("b")});
+
+  std::vector<Value> key = {a};
+  const std::vector<uint32_t>* bucket = rel.Probe(0b01, key);
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(bucket->size(), 1u);
+
+  // Grow the relation enough to force arena chunk growth and dedup-table
+  // rehashes; the old bucket pointer must stay valid and absorb the new
+  // matching ids in place.
+  for (int i = 0; i < 1000; ++i) {
+    rel.Add({a, u.IntConst(i)});
+  }
+  EXPECT_EQ(bucket->size(), 1001u);
+  EXPECT_EQ(rel.Probe(0b01, key), bucket);
+
+  // Spans handed out before the growth are still intact.
+  EXPECT_EQ(rel.tuples()[0][0], a);
+  EXPECT_EQ(rel.tuples()[0][1], u.Const("b"));
+}
+
+// ---------------------------------------------------------------------------
+// AnnotatedRelation: Add / AddAll / ProbeProper vs scratch rebuild.
+// ---------------------------------------------------------------------------
+
+struct ShadowAnnRow {
+  Tuple values;  // Empty = marker.
+  AnnVec ann;
+
+  bool operator<(const ShadowAnnRow& o) const {
+    if (values != o.values) return values < o.values;
+    return ann < o.ann;
+  }
+};
+
+class AnnotatedMaintenance : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnnotatedMaintenance, ProbesMatchScratchRebuildAtEveryStep) {
+  const size_t kArity = 2;
+  const size_t kOps = 1500;
+  Universe u;
+  Rng rng(97000 + GetParam());
+  std::vector<Value> pool = MakePool(&u, 3, 3);
+  const std::vector<AnnVec> anns = {
+      AllOpen(kArity), AllClosed(kArity), {Ann::kOpen, Ann::kClosed}};
+
+  AnnotatedRelation rel(kArity);
+  std::vector<ShadowAnnRow> shadow;
+  std::set<ShadowAnnRow> shadow_set;
+  const uint64_t all_masks = (uint64_t{1} << kArity) - 1;
+
+  auto shadow_add = [&](ShadowAnnRow row) {
+    if (shadow_set.insert(row).second) {
+      shadow.push_back(std::move(row));
+      return true;
+    }
+    return false;
+  };
+
+  for (size_t op = 0; op < kOps; ++op) {
+    switch (rng.Below(5)) {
+      case 0: {  // Proper Add.
+        ShadowAnnRow row{RandomTuple(pool, kArity, &rng),
+                         anns[rng.Below(anns.size())]};
+        bool fresh = shadow_add(row);
+        EXPECT_EQ(rel.Add(AnnotatedTuple(row.values, row.ann)), fresh);
+        break;
+      }
+      case 1: {  // Marker Add.
+        ShadowAnnRow row{Tuple{}, anns[rng.Below(anns.size())]};
+        bool fresh = shadow_add(row);
+        EXPECT_EQ(rel.Add(AnnotatedTuple::EmptyMarker(row.ann)), fresh);
+        break;
+      }
+      case 2: {  // Batch AddAll under one annotation (the chase shape).
+        const AnnVec& ann = anns[rng.Below(anns.size())];
+        size_t n = 1 + rng.Below(5);
+        Tuple flat;
+        size_t expect_added = 0;
+        for (size_t i = 0; i < n; ++i) {
+          ShadowAnnRow row{RandomTuple(pool, kArity, &rng), ann};
+          Tuple vals = row.values;
+          if (shadow_add(std::move(row))) ++expect_added;
+          flat.insert(flat.end(), vals.begin(), vals.end());
+        }
+        EXPECT_EQ(rel.AddAll(flat, ann), expect_added);
+        break;
+      }
+      default: {  // ProbeProper on a random (mask, key, ann); mask may be 0.
+        uint64_t mask = rng.Below(all_masks + 1);
+        const AnnVec& ann = anns[rng.Below(anns.size())];
+        Tuple key;
+        for (uint64_t m = mask; m != 0; m &= m - 1) {
+          key.push_back(pool[rng.Below(pool.size())]);
+        }
+        const std::vector<uint32_t>* ids = rel.ProbeProper(mask, key, ann);
+
+        std::vector<uint32_t> expect;
+        for (uint32_t id = 0; id < shadow.size(); ++id) {
+          const ShadowAnnRow& row = shadow[id];
+          if (row.values.empty()) continue;  // Markers are never indexed.
+          if (row.ann != ann) continue;
+          bool match = true;
+          size_t ki = 0;
+          for (uint64_t m = mask; m != 0; m &= m - 1) {
+            size_t p = static_cast<size_t>(__builtin_ctzll(m));
+            if (row.values[p] != key[ki++]) match = false;
+          }
+          if (match) expect.push_back(id);
+        }
+        if (expect.empty()) {
+          EXPECT_TRUE(ids == nullptr || ids->empty());
+        } else {
+          ASSERT_NE(ids, nullptr);
+          EXPECT_EQ(*ids, expect);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(rel.size(), shadow.size());
+  }
+
+  for (uint32_t id = 0; id < shadow.size(); ++id) {
+    const AnnotatedTupleRef& row = rel.tuples()[id];
+    EXPECT_TRUE(row.values == TupleRef(shadow[id].values));
+    EXPECT_TRUE(row.ann == AnnRef(shadow[id].ann));
+    EXPECT_TRUE(rel.Contains(AnnotatedTuple(shadow[id].values,
+                                            shadow[id].ann)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, AnnotatedMaintenance,
+                         ::testing::Range(0, 4));
+
+// ---------------------------------------------------------------------------
+// Copy semantics: arena-backed rows must be re-interned, not aliased.
+// ---------------------------------------------------------------------------
+
+TEST(RelationMaintenance, CopiesAreIndependent) {
+  Universe u;
+  Relation a(2);
+  a.Add({u.Const("a"), u.Const("b")});
+
+  Relation b = a;
+  b.Add({u.Const("c"), u.Const("d")});
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_TRUE(b.Contains({u.Const("a"), u.Const("b")}));
+
+  // Destroying the original must leave the copy's spans intact.
+  {
+    Relation c(2);
+    {
+      Relation tmp(2);
+      tmp.Add({u.Const("x"), u.Const("y")});
+      c = tmp;
+    }
+    EXPECT_EQ(c.tuples()[0][0], u.Const("x"));
+    EXPECT_TRUE(c.Contains({u.Const("x"), u.Const("y")}));
+  }
+
+  AnnotatedRelation ar(2);
+  ar.Add(AnnotatedTuple({u.Const("a"), u.Const("b")}, AllOpen(2)));
+  ar.Add(AnnotatedTuple::EmptyMarker(AllClosed(2)));
+  AnnotatedRelation br = ar;
+  EXPECT_EQ(br.size(), 2u);
+  EXPECT_TRUE(br.Contains(AnnotatedTuple({u.Const("a"), u.Const("b")},
+                                         AllOpen(2))));
+  EXPECT_TRUE(br.tuples()[1].IsEmptyMarker());
+}
+
+// The chase hot path never rebuilds an index: chasing a growing source
+// relation that is probed between Adds performs exactly one full build
+// per (relation, mask) signature.
+TEST(RelationMaintenance, InterleavedAddProbeDoesOneBuildPerMask) {
+  Universe u;
+  Relation rel(2);
+  index_maintenance_stats().Reset();
+
+  std::vector<Value> key = {u.Const("k")};
+  for (int i = 0; i < 200; ++i) {
+    rel.Add({u.Const("k"), u.IntConst(i)});
+    const std::vector<uint32_t>* ids = rel.Probe(0b01, key);
+    ASSERT_NE(ids, nullptr);
+    EXPECT_EQ(ids->size(), static_cast<size_t>(i + 1));
+  }
+  EXPECT_EQ(index_maintenance_stats().full_builds, 1u);
+  EXPECT_GE(index_maintenance_stats().incremental_inserts, 199u);
+}
+
+}  // namespace
+}  // namespace ocdx

@@ -156,7 +156,7 @@ TEST_P(LatticeSweep, OpeningAnnotationsEnlargesSemantics) {
     }
     Instance base = v.Apply(csol.value().Plain());
     for (const auto& [name, rel] : base.relations()) {
-      for (const Tuple& tuple : rel.tuples()) t.Add(name, tuple);
+      for (TupleRef tuple : rel.tuples()) t.Add(name, tuple);
     }
     if (rng.Chance(1, 2)) {
       t.Add("R", {pool[rng.Below(pool.size())],

@@ -110,7 +110,7 @@ TEST_F(SkolemTest, EmployeeExampleSolve) {
   ASSERT_NE(rel, nullptr);
   // Both project rows share the id f(John) = 001.
   EXPECT_EQ(rel->NumProperTuples(), 2u);
-  for (const AnnotatedTuple& t : rel->tuples()) {
+  for (const AnnotatedTupleRef& t : rel->tuples()) {
     EXPECT_EQ(t.values[0], u_.Const("001"));
     EXPECT_EQ(t.values[1], u_.Const("John"));
   }

@@ -29,7 +29,7 @@ AnnotatedInstance ApplyMerge(const AnnotatedInstance& t, const NullMap& h) {
   AnnotatedInstance out;
   for (const auto& [name, rel] : t.relations()) {
     AnnotatedRelation& dst = out.GetOrCreate(name, rel.arity());
-    for (const AnnotatedTuple& at : rel.tuples()) {
+    for (const AnnotatedTupleRef& at : rel.tuples()) {
       if (at.IsEmptyMarker()) {
         dst.Add(at);
       } else {

@@ -108,9 +108,9 @@ TEST(TilingTest, ReductionConstruction) {
   EXPECT_EQ(csol.value().annotated.Find("F")->NumProperTuples(), 2u);
   EXPECT_EQ(csol.value().annotated.Nulls().size(), 6u);
   // Copies are closed; the coordinate/tiling relations carry open nulls.
-  for (const AnnotatedTuple& t :
+  for (const AnnotatedTupleRef& t :
        csol.value().annotated.Find("Gh")->tuples()) {
-    EXPECT_EQ(t.ann, (AnnVec{Ann::kClosed, Ann::kOpen}));
+    EXPECT_TRUE(t.ann == AnnRef(AnnVec{Ann::kClosed, Ann::kOpen}));
   }
 }
 

@@ -5,10 +5,16 @@
 // join engine, dominated. A ValueArena packs tuple payloads back-to-back
 // into large chunks: interning a tuple is a bounds check plus a memcpy,
 // and a batch of n tuples costs at most one chunk allocation after a
-// Reserve. Chunks are never reallocated or freed before the arena dies,
-// so every span handed out stays valid for the arena's lifetime — this is
-// what lets relations expose span-backed tuples (TupleRef) whose pointers
-// survive later Adds.
+// Reserve.
+//
+// \invariant Span stability (the TupleRef lifetime rule): chunks are
+//   never reallocated, moved, or freed before the arena dies, so every
+//   span handed out by Intern / Allocate stays valid for the arena's
+//   lifetime, across any number of later appends — this is what lets
+//   relations expose span-backed tuples (TupleRef / AnnotatedTupleRef)
+//   whose pointers survive later Adds. Clear() is the sole exception: it
+//   recycles capacity and invalidates every previously returned span
+//   (relations that Clear are scratch by contract; see Relation::Clear).
 
 #ifndef OCDX_BASE_ARENA_H_
 #define OCDX_BASE_ARENA_H_

@@ -5,6 +5,45 @@
 
 namespace ocdx {
 
+#ifndef NDEBUG
+namespace internal {
+
+// Live BucketIterationGuard registry (debug builds only). A plain vector:
+// the engines nest at most a handful of guards, and ocdx is single-
+// threaded per the library contract (thread_local keeps the tripwire
+// honest if tests ever shard across threads).
+namespace {
+thread_local std::vector<const void*> live_bucket_iterations;
+}  // namespace
+
+void PushBucketIteration(const void* rel) {
+  live_bucket_iterations.push_back(rel);
+}
+
+void PopBucketIteration(const void* rel) {
+  assert(!live_bucket_iterations.empty() &&
+         live_bucket_iterations.back() == rel &&
+         "BucketIterationGuard scopes must nest");
+  live_bucket_iterations.pop_back();
+}
+
+bool BucketIterationLive(const void* rel) {
+  for (const void* r : live_bucket_iterations) {
+    if (r == rel) return true;
+  }
+  return false;
+}
+
+}  // namespace internal
+
+#define OCDX_ASSERT_NO_LIVE_BUCKET_ITERATION(rel)                           \
+  assert(!internal::BucketIterationLive(rel) &&                             \
+         "mutating a relation while one of its probe buckets is being "     \
+         "iterated (snapshot the bucket size first; see relation.h)")
+#else
+#define OCDX_ASSERT_NO_LIVE_BUCKET_ITERATION(rel) ((void)0)
+#endif
+
 namespace {
 
 // Debug-build arity checks for probe arguments: a malformed mask or a key
@@ -48,6 +87,7 @@ bool Relation::Contains(TupleRef t) const {
 
 bool Relation::Add(TupleRef t) {
   assert(t.size() == arity_ && "tuple arity mismatch");
+  OCDX_ASSERT_NO_LIVE_BUCKET_ITERATION(this);
   size_t h = TupleHash{}(t);
   if (set_.Find(h, [&](uint32_t id) { return rows_[id] == t; }) !=
       DedupIndex::kNone) {
@@ -84,6 +124,7 @@ void Relation::Reserve(size_t rows) {
 }
 
 void Relation::Clear() {
+  OCDX_ASSERT_NO_LIVE_BUCKET_ITERATION(this);
   arena_.Clear();
   rows_.clear();
   set_.Clear();
@@ -178,6 +219,7 @@ bool AnnotatedRelation::Contains(const AnnotatedTupleRef& t) const {
 
 bool AnnotatedRelation::Add(const AnnotatedTupleRef& t) {
   assert(t.ann.size() == arity_ && "annotation arity mismatch");
+  OCDX_ASSERT_NO_LIVE_BUCKET_ITERATION(this);
   assert((t.values.empty() || t.values.size() == arity_) &&
          "tuple arity mismatch");
   size_t h = AnnotatedTupleHash{}(t);
@@ -222,6 +264,7 @@ void AnnotatedRelation::Reserve(size_t rows) {
 }
 
 void AnnotatedRelation::Clear() {
+  OCDX_ASSERT_NO_LIVE_BUCKET_ITERATION(this);
   arena_.Clear();
   rows_.clear();
   set_.Clear();

@@ -1,20 +1,39 @@
 // Relations: deduplicated sets of (annotated) tuples of a fixed arity.
 //
-// Storage layout (PR 2): tuple payloads live in a per-relation bump arena
+// Storage layout: tuple payloads live in a per-relation bump arena
 // (base/arena.h) and rows are spans into it — adding a tuple is a hash,
 // a dedup probe against a flat open-addressed id table (base/dedup.h),
-// and a memcpy. Arena chunks never move, so every TupleRef handed out
-// stays valid for the relation's lifetime, across any number of later
-// Adds.
+// and a memcpy; annotation vectors are interned into a per-relation pool
+// (a chase emits thousands of tuples under a handful of annotations).
+// Batch AddAll reserves the arena once for a whole delta, so firing n
+// chase witnesses costs O(head atoms) allocations, not O(n). Copying a
+// relation re-interns rows into the copy's own arena (indexes rebuild
+// lazily on demand).
 //
-// Index maintenance contract: lazy per-mask hash indexes are built on the
-// first probe of a mask and then maintained *incrementally* — Add appends
-// the new tuple id into the affected bucket of every live index. Bucket
-// pointers returned by Probe therefore remain valid across Adds; the
-// bucket a pointer designates may grow (never shrink or reorder), so a
-// caller iterating a bucket while inserting into the *same* relation must
-// take a snapshot of the bucket size first. Ids are ascending insertion
-// order in every bucket.
+// \invariant TupleRef lifetime: arena chunks never move or shrink before
+//   the relation dies, so every TupleRef / AnnotatedTupleRef handed out
+//   by tuples() stays valid for the relation's lifetime, across any
+//   number of later Adds. Clear() is the one exception: it recycles the
+//   arena and invalidates every previously returned span and bucket
+//   pointer.
+//
+// \invariant Index-append contract: lazy per-mask hash indexes are built
+//   by a full scan on the first probe of their mask and maintained
+//   *incrementally* from then on — Add appends the new tuple id into the
+//   affected bucket of every live index (counted by
+//   index_maintenance_stats(); the differential tests pin builds ==
+//   distinct probed masks). Bucket pointers returned by Probe /
+//   ProbeProper stay valid across later Adds (buckets live in a
+//   node-stable unordered_map): a bucket only ever *grows*, append-only,
+//   in ascending id order — never shrinks, reorders, or moves. A nullptr
+//   probe result is NOT a stable answer: the key's bucket can appear
+//   with a later Add.
+//
+// \invariant The one sharp edge: iterating a bucket while inserting into
+//   the *same* relation can grow the bucket mid-iteration — snapshot the
+//   bucket size first. Cross-relation interleaving (the chase probes
+//   sources, appends targets) needs no care. Debug builds enforce the
+//   discipline through BucketIterationGuard below.
 
 #ifndef OCDX_BASE_RELATION_H_
 #define OCDX_BASE_RELATION_H_
@@ -31,6 +50,43 @@
 #include "base/tuple_index.h"
 
 namespace ocdx {
+
+namespace internal {
+#ifndef NDEBUG
+/// Debug registry behind BucketIterationGuard (relation.cc).
+void PushBucketIteration(const void* rel);
+void PopBucketIteration(const void* rel);
+bool BucketIterationLive(const void* rel);
+#endif
+}  // namespace internal
+
+/// RAII tripwire for the one sharp edge of the index-append contract
+/// (see the \invariant blocks below): iterating a probe bucket while
+/// inserting into the *same* relation can grow the bucket mid-iteration,
+/// so such a caller must snapshot the bucket size first. Engine loops
+/// that walk a bucket hold a guard on the relation they are reading; in
+/// debug builds, `Add` / `AddAll` / `Clear` assert that no guard is live
+/// on that relation. Cross-relation interleaving (the chase probes
+/// sources while appending targets) never trips it. Release builds
+/// compile the guard to nothing.
+class BucketIterationGuard {
+ public:
+#ifndef NDEBUG
+  explicit BucketIterationGuard(const void* rel) : rel_(rel) {
+    internal::PushBucketIteration(rel_);
+  }
+  ~BucketIterationGuard() { internal::PopBucketIteration(rel_); }
+#else
+  explicit BucketIterationGuard(const void*) {}
+#endif
+  BucketIterationGuard(const BucketIterationGuard&) = delete;
+  BucketIterationGuard& operator=(const BucketIterationGuard&) = delete;
+
+ private:
+#ifndef NDEBUG
+  const void* rel_;
+#endif
+};
 
 /// A plain (unannotated) relation: a set of tuples over Const u Null.
 ///

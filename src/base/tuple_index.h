@@ -6,12 +6,21 @@
 // projection. Relations build these lazily, one per bound-position
 // signature that the join planner actually probes, and then maintain them
 // *incrementally*: an Add appends the new tuple id into the affected
-// bucket of every live index instead of dropping the indexes. Buckets are
-// node-stable — pointers returned by Probe stay valid across later Adds
-// (the bucket may grow underneath them; see relation.h for the exact
-// contract). Probes are allocation-free: callers pass a std::span over a
-// scratch buffer and the map is searched through heterogeneous
-// (is_transparent) hashing.
+// bucket of every live index instead of dropping the indexes. Probes are
+// allocation-free: callers pass a std::span over a scratch buffer and the
+// map is searched through heterogeneous (is_transparent) hashing.
+//
+// \invariant Buckets are node-stable: they live in an unordered_map whose
+//   mapped values never move, so a pointer returned by Probe stays valid
+//   across any number of later Insert calls. A bucket only ever *grows*,
+//   append-only, with ids in ascending insertion order — never shrinks,
+//   reorders, or moves. A nullptr probe result is not stable: the key's
+//   bucket can appear with a later Insert.
+//
+// \invariant Iterating a bucket while inserting into the same relation
+//   can grow it mid-iteration — snapshot the size first. Debug builds
+//   police this through BucketIterationGuard (relation.h); see the full
+//   contract there.
 
 #ifndef OCDX_BASE_TUPLE_INDEX_H_
 #define OCDX_BASE_TUPLE_INDEX_H_

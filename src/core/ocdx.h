@@ -34,6 +34,10 @@
 #include "semantics/valuation.h"
 #include "skolem/compose.h"
 #include "skolem/skolem.h"
+#include "text/dx_driver.h"
+#include "text/dx_parser.h"
+#include "text/dx_printer.h"
+#include "text/dx_scenario.h"
 #include "util/status.h"
 
 #endif  // OCDX_CORE_OCDX_H_

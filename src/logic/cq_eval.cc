@@ -537,6 +537,10 @@ class PlanRunner {
       }
       const std::vector<uint32_t>* ids = ap.rel->Probe(ap.mask, key);
       if (ids == nullptr) return false;
+      // Plans never insert into the relations they scan (answers go to
+      // out_), which is what makes iterating the live bucket safe; the
+      // guard turns any future violation into a debug assertion.
+      BucketIterationGuard guard(ap.rel);
       for (uint32_t id : *ids) {
         if (TryTuple(ap, ap.rel->tuples()[id], step)) return true;
       }
@@ -603,6 +607,7 @@ class PlanRunner {
       }
       const std::vector<uint32_t>* ids = ap.rel->Probe(ap.mask, key);
       if (ids == nullptr) return false;
+      BucketIterationGuard guard(ap.rel);
       for (uint32_t id : *ids) {
         if (try_tuple(ap.rel->tuples()[id])) return true;
       }

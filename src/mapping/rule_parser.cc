@@ -36,8 +36,10 @@ Result<HeadAtom> ParseHeadAtom(FormulaParser* p, Ann default_ann) {
   return atom;
 }
 
+}  // namespace
+
 // Parses "head1, head2, ... :- body" at the cursor; stops after the body.
-Result<AnnotatedStd> ParseOneRule(FormulaParser* p, Ann default_ann) {
+Result<AnnotatedStd> ParseStdAt(FormulaParser* p, Ann default_ann) {
   AnnotatedStd std_;
   while (true) {
     OCDX_ASSIGN_OR_RETURN(HeadAtom atom, ParseHeadAtom(p, default_ann));
@@ -50,13 +52,11 @@ Result<AnnotatedStd> ParseOneRule(FormulaParser* p, Ann default_ann) {
   return std_;
 }
 
-}  // namespace
-
 Result<AnnotatedStd> ParseStd(std::string_view rule, Universe* universe,
                               Ann default_ann) {
   OCDX_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(rule));
   FormulaParser parser(std::move(tokens), universe);
-  OCDX_ASSIGN_OR_RETURN(AnnotatedStd std_, ParseOneRule(&parser, default_ann));
+  OCDX_ASSIGN_OR_RETURN(AnnotatedStd std_, ParseStdAt(&parser, default_ann));
   parser.Accept(TokKind::kSemicolon);
   if (!parser.AtEnd()) {
     return parser.MakeError("trailing input after rule");
@@ -72,7 +72,7 @@ Result<Mapping> ParseMapping(std::string_view rules, const Schema& source,
   Mapping mapping(source, target);
   while (!parser.AtEnd()) {
     OCDX_ASSIGN_OR_RETURN(AnnotatedStd std_,
-                          ParseOneRule(&parser, default_ann));
+                          ParseStdAt(&parser, default_ann));
     mapping.AddStd(std::move(std_));
     if (!parser.Accept(TokKind::kSemicolon) && !parser.AtEnd()) {
       return parser.MakeError("expected ';' between rules");

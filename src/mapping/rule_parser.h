@@ -19,6 +19,8 @@
 
 namespace ocdx {
 
+class FormulaParser;  // logic/parser.h
+
 /// Parses a semicolon-separated list of rules into a Mapping over the
 /// given schemas. Validates against the schemas (allowing function terms
 /// iff `allow_functions`).
@@ -30,6 +32,12 @@ Result<Mapping> ParseMapping(std::string_view rules, const Schema& source,
 /// Parses a single rule "head1, head2 :- body" (no trailing ';').
 Result<AnnotatedStd> ParseStd(std::string_view rule, Universe* universe,
                               Ann default_ann = Ann::kClosed);
+
+/// Parses one rule at the parser's cursor ("head1, head2 :- body"),
+/// leaving the cursor after the body. Exposed so embedding parsers (the
+/// `.dx` scenario parser in src/text) can reuse the rule grammar
+/// mid-stream with their own token positions.
+Result<AnnotatedStd> ParseStdAt(FormulaParser* parser, Ann default_ann);
 
 }  // namespace ocdx
 

@@ -165,6 +165,9 @@ class HomSearch {
     const std::vector<uint32_t>* ids =
         brel->ProbeProper(mask, key_scratch_, item.tuple.ann);
     if (ids == nullptr) return false;
+    // The search only reads brel (bindings live in h_), so iterating the
+    // live bucket is safe; the guard asserts that stays true.
+    BucketIterationGuard guard(brel);
     for (uint32_t id : *ids) {
       OCDX_RETURN_IF_ERROR(Charge(1));
       const AnnotatedTupleRef& cand = brel->tuples()[id];

@@ -228,8 +228,12 @@ class RepASearch {
         }
       }
     }
+    // num_candidates snapshots the bucket size up front (the documented
+    // same-relation discipline); the guard asserts nothing grows grel
+    // underneath the loop in the first place.
     const size_t num_candidates =
         ids != nullptr ? ids->size() : grel->tuples().size();
+    BucketIterationGuard bucket_guard(grel);
     // Bindings added by the current candidate live on a shared trail
     // (allocation-free across candidates and recursion levels); each
     // candidate unwinds back to its own mark.

@@ -1,0 +1,484 @@
+#include "text/dx_driver.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "certain/certain.h"
+#include "chase/canonical.h"
+#include "compose/compose.h"
+#include "logic/classify.h"
+#include "skolem/compose.h"
+#include "skolem/skolem.h"
+#include "util/str.h"
+
+namespace ocdx {
+
+namespace {
+
+const char* YesNo(bool b) { return b ? "yes" : "no"; }
+
+// ---------------------------------------------------------------------------
+// Canonical null naming
+// ---------------------------------------------------------------------------
+
+// Chase-minted nulls get canonical names `@1, @2, ...` ordered by their
+// justification (STD index, witness tuple, existential variable) — a key
+// that both engine modes agree on — so golden output never depends on the
+// order in which nulls happened to be minted. Hand-declared nulls (from
+// `.dx` instance literals) keep their `_name` form.
+std::map<Value, std::string> CanonicalNullNames(const AnnotatedInstance& inst,
+                                                const Universe& u) {
+  std::set<Value> nulls;
+  for (const auto& [name, rel] : inst.relations()) {
+    for (const AnnotatedTupleRef& t : rel.tuples()) {
+      for (Value v : t.values) {
+        if (v.IsNull()) nulls.insert(v);
+      }
+    }
+  }
+  std::map<Value, std::string> names;
+  // Structured key, not a concatenated string: constants may contain any
+  // separator character, and a key collision would make the sort fall
+  // through to minting order — the engine-dependence this renaming
+  // exists to remove.
+  using JustKey = std::tuple<int32_t, std::vector<std::string>, std::string>;
+  std::vector<std::pair<JustKey, Value>> justified;
+  for (Value v : nulls) {
+    const NullInfo& info = u.null_info(v);
+    if (info.std_index < 0) {
+      names[v] = u.Describe(v);
+      continue;
+    }
+    std::vector<std::string> witness;
+    witness.reserve(info.witness.size());
+    for (Value w : info.witness) witness.push_back(u.Describe(w));
+    justified.emplace_back(
+        JustKey{info.std_index, std::move(witness), info.var}, v);
+  }
+  std::sort(justified.begin(), justified.end());
+  for (size_t i = 0; i < justified.size(); ++i) {
+    names[justified[i].second] = StrCat("@", i + 1);
+  }
+  return names;
+}
+
+std::string RenderValue(Value v, const Universe& u,
+                        const std::map<Value, std::string>& null_names) {
+  if (v.IsConst()) return StrCat("'", u.Describe(v), "'");
+  auto it = null_names.find(v);
+  return it != null_names.end() ? it->second : u.Describe(v);
+}
+
+std::string RenderAnnotatedTuple(const AnnotatedTupleRef& t, const Universe& u,
+                                 const std::map<Value, std::string>& names) {
+  std::vector<std::string> anns;
+  for (Ann a : t.ann) anns.push_back(AnnToString(a));
+  if (t.IsEmptyMarker()) {
+    return StrCat("(_)^(", Join(anns, ","), ")");
+  }
+  std::vector<std::string> vals;
+  for (Value v : t.values) vals.push_back(RenderValue(v, u, names));
+  return StrCat("(", Join(vals, ", "), ")^(", Join(anns, ","), ")");
+}
+
+std::string RenderAnnotatedInstance(const AnnotatedInstance& inst,
+                                    const Universe& u,
+                                    const std::map<Value, std::string>& names,
+                                    std::string_view indent) {
+  std::string out;
+  for (const auto& [name, rel] : inst.relations()) {
+    std::vector<std::string> lines;
+    for (const AnnotatedTupleRef& t : rel.tuples()) {
+      lines.push_back(RenderAnnotatedTuple(t, u, names));
+    }
+    std::sort(lines.begin(), lines.end());
+    out += lines.empty()
+               ? StrCat(indent, name, " = { }\n")
+               : StrCat(indent, name, " = { ", Join(lines, ", "), " }\n");
+  }
+  return out;
+}
+
+std::string RenderRelation(const Relation& rel, const Universe& u) {
+  std::map<Value, std::string> no_names;
+  std::vector<std::string> lines;
+  for (TupleRef t : rel.tuples()) {
+    std::vector<std::string> vals;
+    for (Value v : t) vals.push_back(RenderValue(v, u, no_names));
+    lines.push_back(StrCat("(", Join(vals, ", "), ")"));
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines.empty() ? "{ }" : StrCat("{ ", Join(lines, ", "), " }");
+}
+
+// ---------------------------------------------------------------------------
+// Input enumeration
+// ---------------------------------------------------------------------------
+
+bool ChasePairOk(const DxMappingDecl& m, const DxInstanceDecl& i) {
+  return !m.mapping.IsSkolemized() && !i.annotated && i.over == m.from;
+}
+
+bool QueryOverTarget(const DxQuery& q, const Mapping& m) {
+  for (const std::string& rel : RelationsIn(q.formula)) {
+    if (!m.target().Contains(rel)) return false;
+  }
+  return true;
+}
+
+struct ComposeInputs {
+  const DxMappingDecl* sigma = nullptr;
+  const DxMappingDecl* delta = nullptr;
+  const DxInstanceDecl* source = nullptr;
+  const DxInstanceDecl* target = nullptr;
+};
+
+// Structural selection only; semantic requirements (groundness etc.) are
+// reported by the composition engines themselves.
+Result<ComposeInputs> SelectComposeInputs(const DxScenario& sc,
+                                          const DxDriverOptions& options) {
+  ComposeInputs in;
+  auto named_mapping = [&](const std::string& name,
+                           const char* what) -> Result<const DxMappingDecl*> {
+    const DxMappingDecl* m = sc.FindMapping(name);
+    if (m == nullptr) {
+      return Status::NotFound(StrCat(what, " mapping '", name, "' not found"));
+    }
+    return m;
+  };
+  if (!options.sigma.empty()) {
+    OCDX_ASSIGN_OR_RETURN(in.sigma, named_mapping(options.sigma, "sigma"));
+  }
+  if (!options.delta.empty()) {
+    OCDX_ASSIGN_OR_RETURN(in.delta, named_mapping(options.delta, "delta"));
+  }
+  if (in.sigma == nullptr || in.delta == nullptr) {
+    const DxMappingDecl* sigma = nullptr;
+    const DxMappingDecl* delta = nullptr;
+    for (const DxMappingDecl& s : sc.mappings) {
+      if (in.sigma != nullptr && &s != in.sigma) continue;
+      for (const DxMappingDecl& d : sc.mappings) {
+        if (&s == &d) continue;
+        if (in.delta != nullptr && &d != in.delta) continue;
+        if (s.to != d.from) continue;
+        sigma = &s;
+        delta = &d;
+        break;
+      }
+      if (sigma != nullptr) break;
+    }
+    if (sigma == nullptr) {
+      return Status::NotFound(
+          "no composable mapping pair (need sigma: s -> t and delta: t -> w)");
+    }
+    in.sigma = sigma;
+    in.delta = delta;
+  }
+  if (in.sigma->to != in.delta->from) {
+    return Status::InvalidArgument(
+        StrCat("mappings '", in.sigma->name, "' and '", in.delta->name,
+               "' do not compose (target schema '", in.sigma->to,
+               "' vs source schema '", in.delta->from, "')"));
+  }
+  auto pick_instance =
+      [&](const std::string& name, const std::string& over,
+          const char* what) -> Result<const DxInstanceDecl*> {
+    if (!name.empty()) {
+      const DxInstanceDecl* i = sc.FindInstance(name);
+      if (i == nullptr) {
+        return Status::NotFound(
+            StrCat(what, " instance '", name, "' not found"));
+      }
+      return i;
+    }
+    for (const DxInstanceDecl& i : sc.instances) {
+      if (!i.annotated && i.over == over) return &i;
+    }
+    return Status::NotFound(
+        StrCat("no plain instance over schema '", over, "' for the ", what,
+               " of the composition"));
+  };
+  OCDX_ASSIGN_OR_RETURN(
+      in.source, pick_instance(options.source, in.sigma->from, "source"));
+  OCDX_ASSIGN_OR_RETURN(
+      in.target, pick_instance(options.target, in.delta->to, "target"));
+  return in;
+}
+
+bool HasComposePair(const DxScenario& sc) {
+  return SelectComposeInputs(sc, DxDriverOptions{}).ok();
+}
+
+// ---------------------------------------------------------------------------
+// classify
+// ---------------------------------------------------------------------------
+
+const char* DeqaCell(size_t num_open) {
+  if (num_open == 0) return "coNP-complete (Thm 3.1)";
+  if (num_open == 1) return "coNEXPTIME-complete (Thm 3.2)";
+  return "undecidable (Thm 3.3)";
+}
+
+const char* ComposeCell(size_t num_open) {
+  if (num_open == 0) return "NP-complete (Table 1)";
+  if (num_open == 1) return "NEXPTIME-complete (Table 1)";
+  return "undecidable (Table 1)";
+}
+
+std::string ClassifyText(const DxScenario& sc) {
+  std::string out = StrCat("schemas=", sc.schemas.size(), ", mappings=",
+                           sc.mappings.size(), ", instances=",
+                           sc.instances.size(), ", queries=",
+                           sc.queries.size(), "\n");
+  for (const DxMappingDecl& decl : sc.mappings) {
+    const Mapping& m = decl.mapping;
+    const char* ann = m.IsAllOpen()    ? "all-open"
+                      : m.IsAllClosed() ? "all-closed"
+                                        : "mixed";
+    out += StrCat("mapping ", decl.name, " (", decl.from, " -> ", decl.to,
+                  "): stds=", m.stds().size(), ", #op=", m.MaxOpenPerAtom(),
+                  ", #cl=", m.MaxClosedPerAtom(), ", annotation=", ann, "\n");
+    out += StrCat("  bodies: CQ=", YesNo(m.HasCQBodies()), ", monotone=",
+                  YesNo(m.HasMonotoneBodies()), ", skolemized=",
+                  YesNo(m.IsSkolemized()), "\n");
+    out += StrCat("  DEQA for FO queries (Thm 3): ",
+                  DeqaCell(m.MaxOpenPerAtom()), "\n");
+    out += StrCat("  composition membership as sigma (Thm 4): ",
+                  ComposeCell(m.MaxOpenPerAtom()), "\n");
+  }
+  for (const DxQuery& q : sc.queries) {
+    out += StrCat("query ", q.name, "(", Join(q.vars, ", "), "): class=",
+                  QueryClassToString(Classify(q.formula)),
+                  ", quantifier rank=", QuantifierRank(q.formula),
+                  q.vars.empty() ? ", boolean" : "", "\n");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// chase
+// ---------------------------------------------------------------------------
+
+Status CheckMappingSelection(const DxScenario& sc,
+                             const DxDriverOptions& options) {
+  if (!options.mapping.empty() &&
+      sc.FindMapping(options.mapping) == nullptr) {
+    return Status::NotFound(
+        StrCat("mapping '", options.mapping, "' not found"));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ChaseText(const DxScenario& sc, Universe* u,
+                              const DxDriverOptions& options) {
+  OCDX_RETURN_IF_ERROR(CheckMappingSelection(sc, options));
+  std::string out;
+  for (const DxMappingDecl& m : sc.mappings) {
+    if (!options.mapping.empty() && m.name != options.mapping) continue;
+    for (const DxInstanceDecl& inst : sc.instances) {
+      if (!ChasePairOk(m, inst)) continue;
+      OCDX_ASSIGN_OR_RETURN(CanonicalSolution csol,
+                            Chase(m.mapping, inst.plain, u));
+      std::map<Value, std::string> names =
+          CanonicalNullNames(csol.annotated, *u);
+      size_t markers = 0;
+      for (const auto& [rel_name, rel] : csol.annotated.relations()) {
+        markers += rel.size() - rel.NumProperTuples();
+      }
+      size_t fresh = 0;
+      for (const ChaseTrigger& t : csol.triggers) {
+        fresh += t.fresh_nulls.size();
+      }
+      out += StrCat("chase ", m.name, " / ", inst.name, ":\n");
+      out += RenderAnnotatedInstance(csol.annotated, *u, names, "  ");
+      out += StrCat("  triggers=", csol.triggers.size(), ", fresh nulls=",
+                    fresh, ", empty markers=", markers, "\n");
+    }
+  }
+  if (out.empty()) {
+    return Status::NotFound(
+        "no applicable (plain mapping, plain instance over its source "
+        "schema) pair for chase");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// certain
+// ---------------------------------------------------------------------------
+
+Result<std::string> CertainText(const DxScenario& sc, Universe* u,
+                                const DxDriverOptions& options) {
+  OCDX_RETURN_IF_ERROR(CheckMappingSelection(sc, options));
+  std::string out;
+  for (const DxMappingDecl& m : sc.mappings) {
+    if (!options.mapping.empty() && m.name != options.mapping) continue;
+    for (const DxInstanceDecl& inst : sc.instances) {
+      if (!ChasePairOk(m, inst)) continue;
+      std::vector<const DxQuery*> applicable;
+      for (const DxQuery& q : sc.queries) {
+        if (QueryOverTarget(q, m.mapping)) applicable.push_back(&q);
+      }
+      if (applicable.empty()) continue;
+      OCDX_ASSIGN_OR_RETURN(
+          CertainAnswerEngine engine,
+          CertainAnswerEngine::Create(m.mapping, inst.plain, u));
+      out += StrCat("certain ", m.name, " / ", inst.name, ":\n");
+      for (const DxQuery* q : applicable) {
+        std::string head = StrCat("  ", q->name, "(", Join(q->vars, ", "),
+                                  ")");
+        if (q->vars.empty()) {
+          OCDX_ASSIGN_OR_RETURN(CertainVerdict verdict,
+                                engine.IsCertainBoolean(q->formula));
+          out += StrCat(head, " = ", YesNo(verdict.certain), "  [",
+                        verdict.method, "; exhaustive=",
+                        YesNo(verdict.exhaustive), "]\n");
+        } else {
+          CertainVerdict verdict;
+          OCDX_ASSIGN_OR_RETURN(
+              Relation answers,
+              engine.CertainAnswers(q->formula, q->vars, &verdict));
+          out += StrCat(head, " = ", RenderRelation(answers, *u), "  [",
+                        verdict.method, "; exhaustive=",
+                        YesNo(verdict.exhaustive), "]\n");
+        }
+      }
+    }
+  }
+  if (out.empty()) {
+    return Status::NotFound(
+        "no applicable (mapping, instance, query) triple for certain");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// compose
+// ---------------------------------------------------------------------------
+
+Result<std::string> ComposeText(const DxScenario& sc, Universe* u,
+                                const DxDriverOptions& options) {
+  OCDX_ASSIGN_OR_RETURN(ComposeInputs in, SelectComposeInputs(sc, options));
+  std::string out =
+      StrCat("compose ", in.sigma->name, " o ", in.delta->name, " on (",
+             in.source->name, ", ", in.target->name, "):\n");
+
+  bool skolemized =
+      in.sigma->mapping.IsSkolemized() || in.delta->mapping.IsSkolemized();
+  if (skolemized) {
+    Result<SkolemMembership> verdict = InSkolemComposition(
+        in.sigma->mapping, in.delta->mapping, in.source->plain,
+        in.target->plain, u);
+    if (!verdict.ok()) {
+      out += StrCat("  membership: error: ", verdict.status().message(),
+                    "\n");
+    } else {
+      out += StrCat("  membership: member=", YesNo(verdict.value().member),
+                    ", exhaustive=", YesNo(verdict.value().exhaustive), "  [",
+                    verdict.value().method, "]\n");
+    }
+  } else {
+    Result<ComposeVerdict> verdict =
+        InComposition(in.sigma->mapping, in.delta->mapping, in.source->plain,
+                      in.target->plain, u);
+    if (!verdict.ok()) {
+      out += StrCat("  membership: error: ", verdict.status().message(),
+                    "\n");
+    } else {
+      out += StrCat("  membership: member=", YesNo(verdict.value().member),
+                    ", exhaustive=", YesNo(verdict.value().exhaustive), "  [",
+                    verdict.value().method, "]\n");
+    }
+  }
+
+  // Lemma 5 syntactic composition: Skolemize plain inputs (Lemma 4), run
+  // the rewriting, and show the resulting gamma : sigma-source -> omega.
+  auto syntactic = [&]() -> Result<std::string> {
+    OCDX_ASSIGN_OR_RETURN(Mapping sk_sigma,
+                          EnsureSkolemized(in.sigma->mapping));
+    OCDX_ASSIGN_OR_RETURN(Mapping sk_delta,
+                          EnsureSkolemized(in.delta->mapping));
+    OCDX_ASSIGN_OR_RETURN(ComposeSkolemResult gamma,
+                          ComposeSkolem(sk_sigma, sk_delta, u));
+    std::string text = StrCat("  syntactic composition (Lemma 5): ",
+                              gamma.gamma.stds().size(), " SkSTDs, "
+                              "flattened to CQ=",
+                              YesNo(gamma.flattened_to_cq), "\n");
+    for (const AnnotatedStd& std_ : gamma.gamma.stds()) {
+      text += StrCat("    ", std_.ToString(*u), ";\n");
+    }
+    return text;
+  };
+  Result<std::string> gamma_text = syntactic();
+  if (gamma_text.ok()) {
+    out += gamma_text.value();
+  } else {
+    out += StrCat("  syntactic composition (Lemma 5): not available: ",
+                  gamma_text.status().message(), "\n");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+bool HasChasePair(const DxScenario& sc) {
+  for (const DxMappingDecl& m : sc.mappings) {
+    for (const DxInstanceDecl& i : sc.instances) {
+      if (ChasePairOk(m, i)) return true;
+    }
+  }
+  return false;
+}
+
+bool HasCertainTriple(const DxScenario& sc) {
+  for (const DxMappingDecl& m : sc.mappings) {
+    for (const DxInstanceDecl& i : sc.instances) {
+      if (!ChasePairOk(m, i)) continue;
+      for (const DxQuery& q : sc.queries) {
+        if (QueryOverTarget(q, m.mapping)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+Result<std::string> RunAll(const DxScenario& sc, Universe* u,
+                           const DxDriverOptions& options) {
+  std::string out;
+  if (!sc.name.empty()) out += StrCat("scenario '", sc.name, "'\n");
+  for (const std::string& cmd : ApplicableDxCommands(sc)) {
+    out += StrCat("== ", cmd, " ==\n");
+    OCDX_ASSIGN_OR_RETURN(std::string text,
+                          RunDxCommand(sc, cmd, u, options));
+    out += text;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> ApplicableDxCommands(const DxScenario& scenario) {
+  std::vector<std::string> out = {"classify"};
+  if (HasChasePair(scenario)) out.push_back("chase");
+  if (HasCertainTriple(scenario)) out.push_back("certain");
+  if (HasComposePair(scenario)) out.push_back("compose");
+  return out;
+}
+
+Result<std::string> RunDxCommand(const DxScenario& scenario,
+                                 const std::string& command,
+                                 Universe* universe,
+                                 const DxDriverOptions& options) {
+  if (command == "classify") return ClassifyText(scenario);
+  if (command == "chase") return ChaseText(scenario, universe, options);
+  if (command == "certain") return CertainText(scenario, universe, options);
+  if (command == "compose") return ComposeText(scenario, universe, options);
+  if (command == "all") return RunAll(scenario, universe, options);
+  return Status::InvalidArgument(
+      StrCat("unknown command '", command,
+             "' (expected chase, certain, classify, compose or all)"));
+}
+
+}  // namespace ocdx

@@ -1,0 +1,63 @@
+// Subcommand driver over parsed `.dx` scenarios: the engine behind the
+// `ocdx` CLI (tools/ocdx_cli.cc) and the golden-file corpus runner
+// (tests/dx_golden_test.cc).
+//
+// Each command renders *canonical, diff-stable* text:
+//   - relations print sorted by name, tuples sorted by rendered form;
+//   - chase nulls are renamed canonically by their justification
+//     (std index, witness, existential variable) — names are `@1, @2, ...`
+//     in justification order, independent of minting order, so kIndexed
+//     and kNaive engine runs produce byte-identical output;
+//   - engine-dependent counters (members visited, probe counts) are
+//     never printed.
+//
+// Commands:
+//   classify  annotation/body/query classification and the paper's
+//             complexity cells (always applicable);
+//   chase     CSolA(S) for every (plain mapping, plain instance over its
+//             source schema) pair;
+//   certain   certain answers / boolean verdicts for every applicable
+//             (mapping, instance, query) triple;
+//   compose   semantic composition membership for the first (or selected)
+//             sigma/delta pair, plus the Lemma 5 syntactic composition;
+//   all       every applicable command, concatenated under `== cmd ==`
+//             headers (the golden-file format).
+
+#ifndef OCDX_TEXT_DX_DRIVER_H_
+#define OCDX_TEXT_DX_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "text/dx_scenario.h"
+#include "util/status.h"
+
+namespace ocdx {
+
+/// Optional by-name input selection; empty strings mean "use every
+/// applicable combination" (chase/certain) or "pick the first structural
+/// match" (compose).
+struct DxDriverOptions {
+  std::string mapping;  ///< chase/certain: restrict to this mapping.
+  std::string sigma;    ///< compose: the first mapping.
+  std::string delta;    ///< compose: the second mapping.
+  std::string source;   ///< compose: source instance name.
+  std::string target;   ///< compose: candidate target instance name.
+};
+
+/// Runs one command ("chase", "certain", "classify", "compose" or "all")
+/// and returns its canonical text. Fails on unknown commands, on
+/// selection names that do not resolve, and on commands with no
+/// applicable inputs.
+Result<std::string> RunDxCommand(const DxScenario& scenario,
+                                 const std::string& command,
+                                 Universe* universe,
+                                 const DxDriverOptions& options = {});
+
+/// The commands (other than "all") that have at least one applicable
+/// input combination in this scenario, in canonical order.
+std::vector<std::string> ApplicableDxCommands(const DxScenario& scenario);
+
+}  // namespace ocdx
+
+#endif  // OCDX_TEXT_DX_DRIVER_H_

@@ -1,0 +1,130 @@
+#include "text/dx_lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/str.h"
+
+namespace ocdx {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+DxLineIndex::DxLineIndex(std::string_view src) {
+  line_starts_.push_back(0);
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (src[i] == '\n') line_starts_.push_back(i + 1);
+  }
+}
+
+uint32_t DxLineIndex::LineOf(size_t offset) const {
+  auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(), offset);
+  return static_cast<uint32_t>(it - line_starts_.begin());
+}
+
+uint32_t DxLineIndex::ColOf(size_t offset) const {
+  uint32_t line = LineOf(offset);
+  return static_cast<uint32_t>(offset - line_starts_[line - 1] + 1);
+}
+
+std::string DxLineIndex::Describe(size_t offset) const {
+  return StrCat("line ", LineOf(offset), ", col ", ColOf(offset));
+}
+
+Result<std::vector<DxToken>> DxLex(std::string_view src) {
+  DxLineIndex lines(src);
+  std::vector<DxToken> out;
+  size_t i = 0;
+  auto push = [&](DxTokKind k, std::string text, size_t pos) {
+    out.push_back(DxToken{k, std::move(text), pos});
+  };
+  auto error = [&](size_t pos, std::string_view what) {
+    return Status::ParseError(StrCat(what, " at ", lines.Describe(pos)));
+  };
+  while (i < src.size()) {
+    char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' || (c == '/' && i + 1 < src.size() && src[i + 1] == '/')) {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    size_t pos = i;
+    switch (c) {
+      case '{': push(DxTokKind::kLBrace, "{", pos); ++i; continue;
+      case '}': push(DxTokKind::kRBrace, "}", pos); ++i; continue;
+      case '[': push(DxTokKind::kLBracket, "[", pos); ++i; continue;
+      case ']': push(DxTokKind::kRBracket, "]", pos); ++i; continue;
+      case '(': push(DxTokKind::kLParen, "(", pos); ++i; continue;
+      case ')': push(DxTokKind::kRParen, ")", pos); ++i; continue;
+      case ',': push(DxTokKind::kComma, ",", pos); ++i; continue;
+      case ';': push(DxTokKind::kSemicolon, ";", pos); ++i; continue;
+      case '^': push(DxTokKind::kCaret, "^", pos); ++i; continue;
+      case '.': push(DxTokKind::kDot, ".", pos); ++i; continue;
+      case '=': push(DxTokKind::kEq, "=", pos); ++i; continue;
+      case '&': push(DxTokKind::kAmp, "&", pos); ++i; continue;
+      case '|': push(DxTokKind::kPipe, "|", pos); ++i; continue;
+      default: break;
+    }
+    if (c == '!') {
+      if (i + 1 < src.size() && src[i + 1] == '=') {
+        push(DxTokKind::kNeq, "!=", pos);
+        i += 2;
+      } else {
+        push(DxTokKind::kBang, "!", pos);
+        ++i;
+      }
+    } else if (c == '-') {
+      if (i + 1 < src.size() && src[i + 1] == '>') {
+        push(DxTokKind::kArrow, "->", pos);
+        i += 2;
+      } else {
+        return error(pos, "unexpected '-' (did you mean '->')");
+      }
+    } else if (c == ':') {
+      if (i + 1 < src.size() && src[i + 1] == '-') {
+        push(DxTokKind::kColonDash, ":-", pos);
+        i += 2;
+      } else {
+        return error(pos, "unexpected ':' (did you mean ':-')");
+      }
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      while (j < src.size() && src[j] != '\'' && src[j] != '\n') ++j;
+      if (j >= src.size() || src[j] != '\'') {
+        return error(pos, "unterminated quoted string");
+      }
+      push(DxTokKind::kQuoted, std::string(src.substr(i + 1, j - i - 1)), pos);
+      i = j + 1;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j])))
+        ++j;
+      push(DxTokKind::kInt, std::string(src.substr(i, j - i)), pos);
+      i = j;
+    } else if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < src.size() && IsIdentChar(src[j])) ++j;
+      push(DxTokKind::kIdent, std::string(src.substr(i, j - i)), pos);
+      i = j;
+    } else {
+      return error(pos, StrCat("unexpected character '", std::string(1, c),
+                               "'"));
+    }
+  }
+  push(DxTokKind::kEnd, "", src.size());
+  return out;
+}
+
+}  // namespace ocdx

@@ -1,0 +1,79 @@
+// Lexer for the `.dx` scenario format (see docs/format.md).
+//
+// A `.dx` file is the textual substrate for whole data-exchange
+// scenarios: schema declarations, annotated mappings (the rule grammar of
+// src/mapping/rule_parser.h), source-instance literals and query blocks.
+// The lexer produces a flat token stream with line/column positions;
+// `#` and `//` start comments that run to the end of the line.
+//
+// The token set is a superset of the formula/rule token set
+// (logic/parser.h): everything a rule or formula uses, plus the braces
+// and brackets that delimit scenario blocks. The `.dx` parser converts
+// block-interior tokens back into logic tokens (preserving absolute
+// offsets) so the existing recursive-descent rule/formula parsers can be
+// reused mid-stream with correctly positioned errors.
+
+#ifndef OCDX_TEXT_DX_LEXER_H_
+#define OCDX_TEXT_DX_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ocdx {
+
+enum class DxTokKind : uint8_t {
+  kIdent,     ///< Identifiers and keywords; also null literals (`_n1`).
+  kQuoted,    ///< 'single-quoted' constant or description string.
+  kInt,       ///< Bare integer constant.
+  kLBrace,    ///< `{`
+  kRBrace,    ///< `}`
+  kLBracket,  ///< `[`
+  kRBracket,  ///< `]`
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kCaret,      ///< `^` annotation marker.
+  kDot,
+  kEq,
+  kNeq,
+  kBang,
+  kAmp,
+  kPipe,
+  kArrow,      ///< `->`
+  kColonDash,  ///< `:-`
+  kEnd,
+};
+
+struct DxToken {
+  DxTokKind kind;
+  std::string text;
+  size_t offset;  ///< Byte offset in the source; the parser turns offsets
+                  ///< into "line L, col C" through DxLineIndex on demand.
+};
+
+/// Splits a `.dx` source into tokens. Fails with a positioned ParseError
+/// ("line L, col C") on unknown characters or unterminated quotes.
+Result<std::vector<DxToken>> DxLex(std::string_view src);
+
+/// Maps a byte offset back to "line L, col C" (both 1-based). Used to
+/// position errors reported by the embedded formula/rule parsers, which
+/// speak absolute offsets.
+struct DxLineIndex {
+  explicit DxLineIndex(std::string_view src);
+
+  uint32_t LineOf(size_t offset) const;
+  uint32_t ColOf(size_t offset) const;
+  std::string Describe(size_t offset) const;  ///< "line L, col C"
+
+ private:
+  std::vector<size_t> line_starts_;  ///< Offset of the start of each line.
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_TEXT_DX_LEXER_H_

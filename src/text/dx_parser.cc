@@ -1,0 +1,512 @@
+#include "text/dx_parser.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "logic/parser.h"
+#include "mapping/rule_parser.h"
+#include "text/dx_lexer.h"
+#include "util/str.h"
+
+namespace ocdx {
+
+namespace {
+
+// Rewrites "... at offset N ..." (the embedded formula/rule parsers'
+// error form; N is an absolute file offset by construction) into the
+// "line L, col C" form the scenario parser uses everywhere else.
+Status TranslatePositions(const Status& status, const DxLineIndex& lines) {
+  if (status.ok()) return status;
+  const std::string& msg = status.message();
+  static constexpr std::string_view kNeedle = " at offset ";
+  size_t at = msg.rfind(kNeedle);
+  if (at == std::string::npos) return status;
+  size_t digits = at + kNeedle.size();
+  size_t end = digits;
+  size_t offset = 0;
+  while (end < msg.size() && msg[end] >= '0' && msg[end] <= '9') {
+    offset = offset * 10 + static_cast<size_t>(msg[end] - '0');
+    ++end;
+  }
+  if (end == digits) return status;
+  return Status(status.code(), StrCat(msg.substr(0, at), " at ",
+                                      lines.Describe(offset),
+                                      msg.substr(end)));
+}
+
+// One parsed instance fact, held until the whole block is read so the
+// plain-vs-annotated decision can consider every fact.
+struct ParsedFact {
+  std::string rel;
+  Tuple values;                 ///< Empty for an empty marker.
+  std::optional<AnnVec> ann;    ///< Set iff any position was annotated.
+  size_t offset = 0;
+};
+
+class DxParser {
+ public:
+  DxParser(std::string_view src, std::vector<DxToken> tokens,
+           Universe* universe)
+      : lines_(src), tokens_(std::move(tokens)), universe_(universe) {}
+
+  Result<DxScenario> ParseFile();
+
+ private:
+  const DxToken& Peek() const { return tokens_[cursor_]; }
+  DxToken Advance() {
+    return tokens_[cursor_ < tokens_.size() - 1 ? cursor_++ : cursor_];
+  }
+  bool AtEnd() const { return Peek().kind == DxTokKind::kEnd; }
+  bool Accept(DxTokKind kind) {
+    if (Peek().kind != kind) return false;
+    Advance();
+    return true;
+  }
+  bool AcceptKeyword(std::string_view kw) {
+    if (Peek().kind != DxTokKind::kIdent || Peek().text != kw) return false;
+    Advance();
+    return true;
+  }
+
+  Status Error(std::string_view message) const {
+    return ErrorAt(Peek().offset,
+                   Peek().kind == DxTokKind::kEnd
+                       ? StrCat(message, " (end of input)")
+                       : StrCat(message, " near '", Peek().text, "'"));
+  }
+  Status ErrorAt(size_t offset, std::string_view message) const {
+    return Status::ParseError(
+        StrCat(message, " at ", lines_.Describe(offset)));
+  }
+  Status Expect(DxTokKind kind, std::string_view what) {
+    if (Peek().kind != kind) return Error(StrCat("expected ", what));
+    Advance();
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent(std::string_view what) {
+    if (Peek().kind != DxTokKind::kIdent) {
+      return Error(StrCat("expected ", what));
+    }
+    return Advance().text;
+  }
+
+  Status ParseScenarioDecl(DxScenario* out);
+  Status ParseSchemaDecl(DxScenario* out);
+  Status ParseMappingDecl(DxScenario* out);
+  Status ParseInstanceDecl(DxScenario* out);
+  Status ParseQueryDecl(DxScenario* out);
+
+  Result<ParsedFact> ParseFact(const Schema& schema);
+  Result<Value> ParseValue();
+  Result<Ann> ParseAnnName();
+
+  /// Converts the tokens between the cursor and the next `}` into logic
+  /// tokens (absolute offsets preserved) and advances past the `}`.
+  /// `block_what` names the block for error messages.
+  Result<std::vector<Token>> TakeBlockTokens(std::string_view block_what);
+
+  DxLineIndex lines_;
+  std::vector<DxToken> tokens_;
+  size_t cursor_ = 0;
+  Universe* universe_;
+  bool saw_scenario_decl_ = false;
+  /// Null literals are interned per file: `_n1` denotes the same null
+  /// everywhere it appears.
+  std::map<std::string, Value> nulls_;
+};
+
+Result<std::vector<Token>> DxParser::TakeBlockTokens(
+    std::string_view block_what) {
+  std::vector<Token> out;
+  while (true) {
+    const DxToken& t = Peek();
+    TokKind kind;
+    switch (t.kind) {
+      case DxTokKind::kRBrace:
+        Advance();
+        out.push_back(Token{TokKind::kEnd, "", t.offset});
+        return out;
+      case DxTokKind::kEnd:
+        return Error(StrCat("unterminated ", block_what, " (missing '}')"));
+      case DxTokKind::kLBrace:
+      case DxTokKind::kLBracket:
+      case DxTokKind::kRBracket:
+        return Error(StrCat("unexpected '", t.text, "' inside ", block_what));
+      case DxTokKind::kIdent: kind = TokKind::kIdent; break;
+      case DxTokKind::kQuoted: kind = TokKind::kQuoted; break;
+      case DxTokKind::kInt: kind = TokKind::kInt; break;
+      case DxTokKind::kLParen: kind = TokKind::kLParen; break;
+      case DxTokKind::kRParen: kind = TokKind::kRParen; break;
+      case DxTokKind::kComma: kind = TokKind::kComma; break;
+      case DxTokKind::kSemicolon: kind = TokKind::kSemicolon; break;
+      case DxTokKind::kCaret: kind = TokKind::kCaret; break;
+      case DxTokKind::kDot: kind = TokKind::kDot; break;
+      case DxTokKind::kEq: kind = TokKind::kEq; break;
+      case DxTokKind::kNeq: kind = TokKind::kNeq; break;
+      case DxTokKind::kBang: kind = TokKind::kBang; break;
+      case DxTokKind::kAmp: kind = TokKind::kAmp; break;
+      case DxTokKind::kPipe: kind = TokKind::kPipe; break;
+      case DxTokKind::kArrow: kind = TokKind::kArrow; break;
+      case DxTokKind::kColonDash: kind = TokKind::kColonDash; break;
+      default:
+        return Error(StrCat("unexpected token inside ", block_what));
+    }
+    out.push_back(Token{kind, t.text, t.offset});
+    Advance();
+  }
+}
+
+Status DxParser::ParseScenarioDecl(DxScenario* out) {
+  if (saw_scenario_decl_) {
+    return Error("duplicate 'scenario' declaration");
+  }
+  saw_scenario_decl_ = true;
+  if (Peek().kind != DxTokKind::kQuoted && Peek().kind != DxTokKind::kIdent) {
+    return Error("expected a scenario name");
+  }
+  out->name = Advance().text;
+  return Expect(DxTokKind::kSemicolon, "';' after scenario declaration");
+}
+
+Status DxParser::ParseSchemaDecl(DxScenario* out) {
+  size_t name_offset = Peek().offset;
+  OCDX_ASSIGN_OR_RETURN(std::string name, ExpectIdent("a schema name"));
+  if (out->FindSchema(name) != nullptr) {
+    return ErrorAt(name_offset, StrCat("duplicate schema '", name, "'"));
+  }
+  OCDX_RETURN_IF_ERROR(Expect(DxTokKind::kLBrace, "'{' after schema name"));
+  Schema schema;
+  while (!Accept(DxTokKind::kRBrace)) {
+    size_t rel_offset = Peek().offset;
+    OCDX_ASSIGN_OR_RETURN(std::string rel, ExpectIdent("a relation name"));
+    if (schema.Contains(rel)) {
+      return ErrorAt(rel_offset, StrCat("duplicate relation '", rel,
+                                        "' in schema '", name, "'"));
+    }
+    OCDX_RETURN_IF_ERROR(
+        Expect(DxTokKind::kLParen, "'(' after relation name"));
+    std::vector<std::string> attrs;
+    if (!Accept(DxTokKind::kRParen)) {
+      while (true) {
+        OCDX_ASSIGN_OR_RETURN(std::string attr,
+                              ExpectIdent("an attribute name"));
+        attrs.push_back(std::move(attr));
+        if (Accept(DxTokKind::kComma)) continue;
+        OCDX_RETURN_IF_ERROR(Expect(DxTokKind::kRParen, "')' or ','"));
+        break;
+      }
+    }
+    OCDX_RETURN_IF_ERROR(
+        Expect(DxTokKind::kSemicolon, "';' after relation declaration"));
+    schema.Add(std::move(rel), std::move(attrs));
+  }
+  out->schemas.push_back(DxSchemaDecl{std::move(name), std::move(schema)});
+  return Status::OK();
+}
+
+Status DxParser::ParseMappingDecl(DxScenario* out) {
+  size_t name_offset = Peek().offset;
+  OCDX_ASSIGN_OR_RETURN(std::string name, ExpectIdent("a mapping name"));
+  if (out->FindMapping(name) != nullptr) {
+    return ErrorAt(name_offset, StrCat("duplicate mapping '", name, "'"));
+  }
+  if (!AcceptKeyword("from")) return Error("expected 'from'");
+  OCDX_ASSIGN_OR_RETURN(std::string from, ExpectIdent("a source schema name"));
+  if (!AcceptKeyword("to")) return Error("expected 'to'");
+  OCDX_ASSIGN_OR_RETURN(std::string to, ExpectIdent("a target schema name"));
+
+  const DxSchemaDecl* source = out->FindSchema(from);
+  if (source == nullptr) {
+    return ErrorAt(name_offset, StrCat("mapping '", name,
+                                       "' refers to undeclared schema '",
+                                       from, "'"));
+  }
+  const DxSchemaDecl* target = out->FindSchema(to);
+  if (target == nullptr) {
+    return ErrorAt(name_offset, StrCat("mapping '", name,
+                                       "' refers to undeclared schema '", to,
+                                       "'"));
+  }
+
+  DxMappingDecl decl;
+  decl.name = std::move(name);
+  decl.from = std::move(from);
+  decl.to = std::move(to);
+  if (Accept(DxTokKind::kLBracket)) {
+    while (true) {
+      if (AcceptKeyword("default")) {
+        if (AcceptKeyword("op")) {
+          decl.default_ann = Ann::kOpen;
+        } else if (AcceptKeyword("cl")) {
+          decl.default_ann = Ann::kClosed;
+        } else {
+          return Error("expected 'op' or 'cl' after 'default'");
+        }
+      } else if (AcceptKeyword("skolem")) {
+        decl.skolem = true;
+      } else {
+        return Error("expected a mapping attribute ('default op|cl' or "
+                     "'skolem')");
+      }
+      if (Accept(DxTokKind::kComma)) continue;
+      OCDX_RETURN_IF_ERROR(Expect(DxTokKind::kRBracket, "']' or ','"));
+      break;
+    }
+  }
+  OCDX_RETURN_IF_ERROR(Expect(DxTokKind::kLBrace, "'{' before mapping rules"));
+
+  OCDX_ASSIGN_OR_RETURN(std::vector<Token> block,
+                        TakeBlockTokens("mapping block"));
+  FormulaParser rules(std::move(block), universe_);
+  Mapping mapping(source->schema, target->schema);
+  while (!rules.AtEnd()) {
+    Result<AnnotatedStd> std_ = ParseStdAt(&rules, decl.default_ann);
+    if (!std_.ok()) return TranslatePositions(std_.status(), lines_);
+    mapping.AddStd(std::move(std_).value());
+    if (!rules.Accept(TokKind::kSemicolon) && !rules.AtEnd()) {
+      return TranslatePositions(rules.MakeError("expected ';' between rules"),
+                                lines_);
+    }
+  }
+  Status valid = mapping.Validate(/*allow_functions=*/decl.skolem);
+  if (!valid.ok()) {
+    return Status(valid.code(), StrCat("in mapping '", decl.name, "' (",
+                                       lines_.Describe(name_offset), "): ",
+                                       valid.message()));
+  }
+  decl.mapping = std::move(mapping);
+  out->mappings.push_back(std::move(decl));
+  return Status::OK();
+}
+
+Result<Ann> DxParser::ParseAnnName() {
+  if (Peek().kind == DxTokKind::kIdent &&
+      (Peek().text == "op" || Peek().text == "cl")) {
+    return Advance().text == "op" ? Ann::kOpen : Ann::kClosed;
+  }
+  return Error("expected 'op' or 'cl' after '^'");
+}
+
+Result<Value> DxParser::ParseValue() {
+  const DxToken& t = Peek();
+  if (t.kind == DxTokKind::kQuoted || t.kind == DxTokKind::kInt) {
+    return universe_->Const(Advance().text);
+  }
+  if (t.kind == DxTokKind::kIdent && t.text[0] == '_') {
+    if (t.text.size() == 1) {
+      return Error("a null literal needs a name after '_'");
+    }
+    std::string name = Advance().text;
+    auto it = nulls_.find(name);
+    if (it != nulls_.end()) return it->second;
+    // Label without the '_': Universe::Describe prepends it back.
+    Value null = universe_->FreshNull(name.substr(1));
+    nulls_.emplace(std::move(name), null);
+    return null;
+  }
+  return Error("expected a value ('const', integer, or _null)");
+}
+
+Result<ParsedFact> DxParser::ParseFact(const Schema& schema) {
+  ParsedFact fact;
+  fact.offset = Peek().offset;
+  OCDX_ASSIGN_OR_RETURN(fact.rel, ExpectIdent("a relation name"));
+  const RelationDecl* decl = schema.Find(fact.rel);
+  if (decl == nullptr) {
+    return ErrorAt(fact.offset,
+                   StrCat("relation '", fact.rel,
+                          "' is not declared in the instance's schema"));
+  }
+  OCDX_RETURN_IF_ERROR(Expect(DxTokKind::kLParen, "'(' after relation name"));
+  AnnVec ann;
+  size_t marker_positions = 0;
+  bool any_annotated = false;
+  if (!Accept(DxTokKind::kRParen)) {
+    while (true) {
+      if (Accept(DxTokKind::kCaret)) {
+        // Bare annotation: an empty-marker position.
+        OCDX_ASSIGN_OR_RETURN(Ann a, ParseAnnName());
+        ann.push_back(a);
+        ++marker_positions;
+        any_annotated = true;
+      } else {
+        OCDX_ASSIGN_OR_RETURN(Value v, ParseValue());
+        fact.values.push_back(v);
+        if (Accept(DxTokKind::kCaret)) {
+          OCDX_ASSIGN_OR_RETURN(Ann a, ParseAnnName());
+          ann.push_back(a);
+          any_annotated = true;
+        } else {
+          ann.push_back(Ann::kClosed);  // Placeholder; checked below.
+        }
+      }
+      if (Accept(DxTokKind::kComma)) continue;
+      OCDX_RETURN_IF_ERROR(Expect(DxTokKind::kRParen, "')' or ','"));
+      break;
+    }
+  }
+  OCDX_RETURN_IF_ERROR(Expect(DxTokKind::kSemicolon, "';' after fact"));
+
+  if (marker_positions > 0 && marker_positions != ann.size()) {
+    return ErrorAt(fact.offset,
+                   StrCat("fact for '", fact.rel,
+                          "' mixes empty-marker positions with values"));
+  }
+  // Positions without an explicit annotation default to `cl` (matching
+  // the rule parser's default); the fact counts as annotated as soon as
+  // any position carries one.
+  if (any_annotated) fact.ann = std::move(ann);
+  size_t arity = marker_positions > 0 ? marker_positions : fact.values.size();
+  if (arity != decl->arity()) {
+    return ErrorAt(fact.offset,
+                   StrCat("fact for '", fact.rel, "' has arity ", arity,
+                          " but the schema declares arity ", decl->arity()));
+  }
+  return fact;
+}
+
+Status DxParser::ParseInstanceDecl(DxScenario* out) {
+  size_t name_offset = Peek().offset;
+  OCDX_ASSIGN_OR_RETURN(std::string name, ExpectIdent("an instance name"));
+  if (out->FindInstance(name) != nullptr) {
+    return ErrorAt(name_offset, StrCat("duplicate instance '", name, "'"));
+  }
+  if (!AcceptKeyword("over")) return Error("expected 'over'");
+  OCDX_ASSIGN_OR_RETURN(std::string over, ExpectIdent("a schema name"));
+  const DxSchemaDecl* schema = out->FindSchema(over);
+  if (schema == nullptr) {
+    return ErrorAt(name_offset, StrCat("instance '", name,
+                                       "' refers to undeclared schema '",
+                                       over, "'"));
+  }
+  OCDX_RETURN_IF_ERROR(Expect(DxTokKind::kLBrace, "'{' before instance facts"));
+
+  std::vector<ParsedFact> facts;
+  while (!Accept(DxTokKind::kRBrace)) {
+    OCDX_ASSIGN_OR_RETURN(ParsedFact fact, ParseFact(schema->schema));
+    facts.push_back(std::move(fact));
+  }
+
+  DxInstanceDecl decl;
+  decl.name = std::move(name);
+  decl.over = std::move(over);
+  for (const ParsedFact& fact : facts) {
+    if (fact.ann.has_value()) decl.annotated = true;
+  }
+  // Pre-declare every schema relation so empty relations print and chase
+  // over the instance sees the full vocabulary.
+  for (const RelationDecl& rd : schema->schema.decls()) {
+    decl.annotated_instance.GetOrCreate(rd.name, rd.arity());
+  }
+  for (const ParsedFact& fact : facts) {
+    if (fact.ann.has_value()) {
+      decl.annotated_instance.Add(
+          fact.rel, AnnotatedTupleRef{fact.values, *fact.ann});
+    } else {
+      decl.annotated_instance.Add(
+          fact.rel,
+          AnnotatedTupleRef{fact.values, AnnVec(fact.values.size(),
+                                                Ann::kClosed)});
+    }
+  }
+  decl.plain = decl.annotated_instance.RelPart();
+  out->instances.push_back(std::move(decl));
+  return Status::OK();
+}
+
+Status DxParser::ParseQueryDecl(DxScenario* out) {
+  size_t name_offset = Peek().offset;
+  OCDX_ASSIGN_OR_RETURN(std::string name, ExpectIdent("a query name"));
+  if (out->FindQuery(name) != nullptr) {
+    return ErrorAt(name_offset, StrCat("duplicate query '", name, "'"));
+  }
+  DxQuery query;
+  query.name = std::move(name);
+  OCDX_RETURN_IF_ERROR(Expect(DxTokKind::kLParen, "'(' after query name"));
+  if (!Accept(DxTokKind::kRParen)) {
+    while (true) {
+      OCDX_ASSIGN_OR_RETURN(std::string var, ExpectIdent("a variable name"));
+      query.vars.push_back(std::move(var));
+      if (Accept(DxTokKind::kComma)) continue;
+      OCDX_RETURN_IF_ERROR(Expect(DxTokKind::kRParen, "')' or ','"));
+      break;
+    }
+  }
+  if (Peek().kind == DxTokKind::kQuoted) {
+    query.description = Advance().text;
+  }
+  OCDX_RETURN_IF_ERROR(
+      Expect(DxTokKind::kLBrace, "'{' before the query formula"));
+  OCDX_ASSIGN_OR_RETURN(std::vector<Token> block,
+                        TakeBlockTokens("query block"));
+  FormulaParser formula_parser(std::move(block), universe_);
+  Result<FormulaPtr> formula = formula_parser.ParseComplete();
+  if (!formula.ok()) return TranslatePositions(formula.status(), lines_);
+  query.formula = std::move(formula).value();
+
+  // The declared head must name exactly the free variables (in the
+  // caller's column order; the set equality is what we can check).
+  std::vector<std::string> free = FreeVars(query.formula);
+  std::set<std::string> declared(query.vars.begin(), query.vars.end());
+  std::set<std::string> actual(free.begin(), free.end());
+  if (declared.size() != query.vars.size()) {
+    return ErrorAt(name_offset,
+                   StrCat("query '", query.name, "' repeats a head variable"));
+  }
+  if (declared != actual) {
+    return ErrorAt(
+        name_offset,
+        StrCat("query '", query.name, "' declares variables (",
+               Join(query.vars, ", "), ") but its free variables are (",
+               Join(free, ", "), ")"));
+  }
+  // Typo guard: every relation mentioned must exist in some schema.
+  for (const std::string& rel : RelationsIn(query.formula)) {
+    bool found = false;
+    for (const DxSchemaDecl& s : out->schemas) {
+      if (s.schema.Contains(rel)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return ErrorAt(name_offset,
+                     StrCat("query '", query.name, "' uses relation '", rel,
+                            "' not declared in any schema"));
+    }
+  }
+  out->queries.push_back(std::move(query));
+  return Status::OK();
+}
+
+Result<DxScenario> DxParser::ParseFile() {
+  DxScenario out;
+  while (!AtEnd()) {
+    if (AcceptKeyword("scenario")) {
+      OCDX_RETURN_IF_ERROR(ParseScenarioDecl(&out));
+    } else if (AcceptKeyword("schema")) {
+      OCDX_RETURN_IF_ERROR(ParseSchemaDecl(&out));
+    } else if (AcceptKeyword("mapping")) {
+      OCDX_RETURN_IF_ERROR(ParseMappingDecl(&out));
+    } else if (AcceptKeyword("instance")) {
+      OCDX_RETURN_IF_ERROR(ParseInstanceDecl(&out));
+    } else if (AcceptKeyword("query")) {
+      OCDX_RETURN_IF_ERROR(ParseQueryDecl(&out));
+    } else {
+      return Error(
+          "expected 'scenario', 'schema', 'mapping', 'instance' or 'query'");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DxScenario> ParseDxScenario(std::string_view src, Universe* universe) {
+  OCDX_ASSIGN_OR_RETURN(std::vector<DxToken> tokens, DxLex(src));
+  DxParser parser(src, std::move(tokens), universe);
+  return parser.ParseFile();
+}
+
+}  // namespace ocdx

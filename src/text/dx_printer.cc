@@ -1,0 +1,107 @@
+#include "text/dx_printer.h"
+
+#include <algorithm>
+
+#include "util/str.h"
+
+namespace ocdx {
+
+std::string DxValueLiteral(Value v, const Universe& u) {
+  if (v.IsConst()) return StrCat("'", u.Describe(v), "'");
+  // Universe::Describe renders every null with a leading underscore, which
+  // is exactly the `.dx` null-literal form.
+  return u.Describe(v);
+}
+
+namespace {
+
+void PrintSchema(const DxSchemaDecl& decl, std::string* out) {
+  *out += StrCat("schema ", decl.name, " {\n");
+  for (const RelationDecl& rd : decl.schema.decls()) {
+    *out += StrCat("  ", rd.name, "(", Join(rd.attrs, ", "), ");\n");
+  }
+  *out += "}\n";
+}
+
+void PrintMapping(const DxMappingDecl& decl, const Universe& u,
+                  std::string* out) {
+  *out += StrCat("mapping ", decl.name, " from ", decl.from, " to ", decl.to);
+  if (decl.skolem) *out += " [skolem]";
+  *out += " {\n";
+  // Every head position prints its annotation explicitly, so the block is
+  // independent of the declaration's default annotation.
+  for (const AnnotatedStd& std_ : decl.mapping.stds()) {
+    *out += StrCat("  ", std_.ToString(u), ";\n");
+  }
+  *out += "}\n";
+}
+
+std::string FactLine(const AnnotatedTupleRef& t, const std::string& rel,
+                     bool annotated, const Universe& u) {
+  std::vector<std::string> args;
+  if (t.IsEmptyMarker()) {
+    for (Ann a : t.ann) args.push_back(StrCat("^", AnnToString(a)));
+  } else {
+    for (size_t i = 0; i < t.values.size(); ++i) {
+      std::string arg = DxValueLiteral(t.values[i], u);
+      if (annotated) arg += StrCat("^", AnnToString(t.ann[i]));
+      args.push_back(std::move(arg));
+    }
+  }
+  return StrCat("  ", rel, "(", Join(args, ", "), ");\n");
+}
+
+void PrintInstance(const DxInstanceDecl& decl, const Universe& u,
+                   std::string* out) {
+  *out += StrCat("instance ", decl.name, " over ", decl.over, " {\n");
+  for (const auto& [rel, relation] : decl.annotated_instance.relations()) {
+    std::vector<std::string> lines;
+    for (const AnnotatedTupleRef& t : relation.tuples()) {
+      lines.push_back(FactLine(t, rel, decl.annotated, u));
+    }
+    std::sort(lines.begin(), lines.end());
+    for (const std::string& line : lines) *out += line;
+  }
+  *out += "}\n";
+}
+
+void PrintQuery(const DxQuery& query, const Universe& u, std::string* out) {
+  *out += StrCat("query ", query.name, "(", Join(query.vars, ", "), ")");
+  if (!query.description.empty()) {
+    *out += StrCat(" '", query.description, "'");
+  }
+  *out += StrCat(" {\n  ", query.formula->ToString(u), "\n}\n");
+}
+
+}  // namespace
+
+std::string PrintDxScenario(const DxScenario& scenario, const Universe& u) {
+  std::string out;
+  if (!scenario.name.empty()) {
+    out += StrCat("scenario '", scenario.name, "';\n\n");
+  }
+  for (const DxSchemaDecl& s : scenario.schemas) {
+    PrintSchema(s, &out);
+    out += "\n";
+  }
+  for (const DxMappingDecl& m : scenario.mappings) {
+    PrintMapping(m, u, &out);
+    out += "\n";
+  }
+  for (const DxInstanceDecl& i : scenario.instances) {
+    PrintInstance(i, u, &out);
+    out += "\n";
+  }
+  for (const DxQuery& q : scenario.queries) {
+    PrintQuery(q, u, &out);
+    out += "\n";
+  }
+  // Exactly one trailing newline: trim the section separator.
+  while (out.size() >= 2 && out[out.size() - 1] == '\n' &&
+         out[out.size() - 2] == '\n') {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace ocdx

@@ -1,0 +1,28 @@
+// Pretty-printer for `.dx` scenarios: the canonical textual form.
+//
+// PrintDxScenario renders a DxScenario back into `.dx` syntax such that
+// re-parsing yields an equivalent scenario (schemas, mappings, instances
+// and queries all compare equal), and printing again yields the *same*
+// text — the printer's output is a fixpoint of parse-then-print. The
+// round-trip is pinned by tests/dx_parser_test.cc over the whole corpus.
+
+#ifndef OCDX_TEXT_DX_PRINTER_H_
+#define OCDX_TEXT_DX_PRINTER_H_
+
+#include <string>
+
+#include "base/value.h"
+#include "text/dx_scenario.h"
+
+namespace ocdx {
+
+/// Renders the scenario in canonical `.dx` syntax.
+std::string PrintDxScenario(const DxScenario& scenario, const Universe& u);
+
+/// Renders one value as a `.dx` instance-fact argument: quoted constant
+/// or `_name` null literal.
+std::string DxValueLiteral(Value v, const Universe& u);
+
+}  // namespace ocdx
+
+#endif  // OCDX_TEXT_DX_PRINTER_H_

@@ -1,0 +1,33 @@
+#include "text/dx_scenario.h"
+
+namespace ocdx {
+
+namespace {
+
+template <typename T>
+const T* FindByName(const std::vector<T>& items, const std::string& name) {
+  for (const T& item : items) {
+    if (item.name == name) return &item;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const DxSchemaDecl* DxScenario::FindSchema(const std::string& name) const {
+  return FindByName(schemas, name);
+}
+
+const DxMappingDecl* DxScenario::FindMapping(const std::string& name) const {
+  return FindByName(mappings, name);
+}
+
+const DxInstanceDecl* DxScenario::FindInstance(const std::string& name) const {
+  return FindByName(instances, name);
+}
+
+const DxQuery* DxScenario::FindQuery(const std::string& name) const {
+  return FindByName(queries, name);
+}
+
+}  // namespace ocdx

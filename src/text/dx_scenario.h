@@ -1,0 +1,81 @@
+// The parsed form of a `.dx` scenario file.
+//
+// A scenario bundles everything a data-exchange experiment needs —
+// schemas, annotated mappings, instances and queries — as *named*
+// declarations over one shared Universe, so a single file can hold
+// several mappings side by side (the same rules under different
+// annotations, or a composable sigma/delta pair) and every driver
+// subcommand (text/dx_driver.h) can select its inputs by name.
+
+#ifndef OCDX_TEXT_DX_SCENARIO_H_
+#define OCDX_TEXT_DX_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "base/instance.h"
+#include "base/schema.h"
+#include "logic/formula.h"
+#include "mapping/mapping.h"
+
+namespace ocdx {
+
+/// `schema NAME { R(a, b); ... }`
+struct DxSchemaDecl {
+  std::string name;
+  Schema schema;
+};
+
+/// `mapping NAME from SRC to TGT [default op, skolem] { rules }`
+struct DxMappingDecl {
+  std::string name;
+  std::string from;  ///< Source schema name.
+  std::string to;    ///< Target schema name.
+  Ann default_ann = Ann::kClosed;
+  bool skolem = false;  ///< Function terms allowed (an SkSTD mapping).
+  Mapping mapping;
+};
+
+/// `instance NAME over SCHEMA { R('a', _n1); ... }`
+///
+/// Facts whose arguments carry `^op` / `^cl` annotations — or bare-
+/// annotation empty markers `R(^cl, ^op)` — make the instance
+/// *annotated*; `annotated` below is then true and `plain` holds only
+/// rel(T). Unannotated instances populate both views identically.
+struct DxInstanceDecl {
+  std::string name;
+  std::string over;  ///< Schema name.
+  bool annotated = false;
+  Instance plain;
+  AnnotatedInstance annotated_instance;
+};
+
+/// `query NAME(x, y) 'description' { formula }`
+///
+/// `vars` is the declared free-variable order (the certain-answer column
+/// order); an empty list declares a boolean query.
+struct DxQuery {
+  std::string name;
+  std::vector<std::string> vars;
+  std::string description;
+  FormulaPtr formula;
+};
+
+/// One parsed `.dx` file. Values (constants and nulls) are interned in
+/// the externally owned Universe passed to the parser.
+struct DxScenario {
+  std::string name;  ///< From `scenario 'name';`, or empty.
+  std::vector<DxSchemaDecl> schemas;
+  std::vector<DxMappingDecl> mappings;
+  std::vector<DxInstanceDecl> instances;
+  std::vector<DxQuery> queries;
+
+  const DxSchemaDecl* FindSchema(const std::string& name) const;
+  const DxMappingDecl* FindMapping(const std::string& name) const;
+  const DxInstanceDecl* FindInstance(const std::string& name) const;
+  const DxQuery* FindQuery(const std::string& name) const;
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_TEXT_DX_SCENARIO_H_

@@ -1,0 +1,91 @@
+// Keeps docs/format.md honest: every fenced code block tagged `dx`,
+// `dx-rule`, `dx-query` or `dx-bad` is extracted and run through the
+// real parsers. The grammar documentation cannot drift from the
+// implementation without this test failing.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "mapping/rule_parser.h"
+#include "text/dx_parser.h"
+
+namespace ocdx {
+namespace {
+
+struct Snippet {
+  std::string tag;   ///< "dx", "dx-rule", "dx-query", "dx-bad", ...
+  std::string body;
+  size_t line;       ///< 1-based line of the opening fence.
+};
+
+std::vector<Snippet> ExtractFencedBlocks(const std::string& text) {
+  std::vector<Snippet> out;
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.rfind("```", 0) != 0) continue;
+    Snippet snippet;
+    snippet.tag = line.substr(3);
+    snippet.line = lineno;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.rfind("```", 0) == 0) break;
+      snippet.body += line;
+      snippet.body += '\n';
+    }
+    out.push_back(std::move(snippet));
+  }
+  return out;
+}
+
+TEST(DocsSnippets, EveryFormatDocSnippetParses) {
+  const std::filesystem::path doc =
+      std::filesystem::path(OCDX_DOCS_DIR) / "format.md";
+  std::ifstream in(doc, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "cannot read " << doc;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::vector<Snippet> snippets = ExtractFencedBlocks(buf.str());
+  ASSERT_FALSE(snippets.empty());
+
+  size_t dx = 0, rules = 0, queries = 0, bad = 0;
+  for (const Snippet& s : snippets) {
+    SCOPED_TRACE("snippet at " + doc.string() + ":" +
+                 std::to_string(s.line) + " (" + s.tag + ")");
+    Universe u;
+    if (s.tag == "dx") {
+      ++dx;
+      Result<DxScenario> sc = ParseDxScenario(s.body, &u);
+      EXPECT_TRUE(sc.ok()) << sc.status().ToString();
+    } else if (s.tag == "dx-rule") {
+      ++rules;
+      Result<AnnotatedStd> rule = ParseStd(s.body, &u);
+      EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+    } else if (s.tag == "dx-query") {
+      ++queries;
+      Result<FormulaPtr> q = ParseFormula(s.body, &u);
+      EXPECT_TRUE(q.ok()) << q.status().ToString();
+    } else if (s.tag == "dx-bad") {
+      ++bad;
+      Result<DxScenario> sc = ParseDxScenario(s.body, &u);
+      EXPECT_FALSE(sc.ok()) << "dx-bad snippet unexpectedly parsed";
+    }
+    // Other tags (text, sh, ...) are prose, not grammar claims.
+  }
+  // The doc demonstrates every construct class at least once.
+  EXPECT_GE(dx, 4u);
+  EXPECT_GE(rules, 3u);
+  EXPECT_GE(queries, 1u);
+  EXPECT_GE(bad, 2u);
+}
+
+}  // namespace
+}  // namespace ocdx

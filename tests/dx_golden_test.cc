@@ -1,0 +1,118 @@
+// Golden-file runner for the `.dx` scenario corpus.
+//
+// Every tests/corpus/*.dx file is parsed and driven through `ocdx all`
+// (text/dx_driver.h) under BOTH the indexed and the naive join engine;
+// the output must be byte-identical to tests/corpus/golden/<name>.golden
+// in both modes — pinning end-to-end pipeline behavior the way the
+// engine-parity tests pin answer sets.
+//
+// To regenerate goldens after an intentional output change:
+//
+//   OCDX_REGEN_GOLDEN=1 ./build/dx_golden_test
+//
+// (The regenerated files are written from the kIndexed run; the test
+// still verifies the kNaive run matches them.)
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "logic/engine_config.h"
+#include "text/dx_driver.h"
+#include "text/dx_parser.h"
+
+namespace ocdx {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFileOrDie(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<fs::path> DxFilesIn(const fs::path& dir) {
+  std::vector<fs::path> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".dx") out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Parses fresh (own Universe) and runs `ocdx all` under the given engine.
+std::string RunAllUnder(const std::string& src, JoinEngineMode mode,
+                        const fs::path& file) {
+  ScopedJoinEngineMode scoped(mode);
+  Universe universe;
+  Result<DxScenario> scenario = ParseDxScenario(src, &universe);
+  EXPECT_TRUE(scenario.ok())
+      << file << ": " << scenario.status().ToString();
+  if (!scenario.ok()) return "";
+  Result<std::string> out =
+      RunDxCommand(scenario.value(), "all", &universe);
+  EXPECT_TRUE(out.ok()) << file << ": " << out.status().ToString();
+  return out.ok() ? out.value() : "";
+}
+
+TEST(DxGolden, CorpusMatchesGoldenUnderBothEngines) {
+  const fs::path corpus_dir = OCDX_CORPUS_DIR;
+  const fs::path golden_dir = corpus_dir / "golden";
+  const bool regen = std::getenv("OCDX_REGEN_GOLDEN") != nullptr;
+
+  std::vector<fs::path> files = DxFilesIn(corpus_dir);
+  ASSERT_FALSE(files.empty()) << "no .dx files under " << corpus_dir;
+
+  for (const fs::path& file : files) {
+    SCOPED_TRACE(file.string());
+    const std::string src = ReadFileOrDie(file);
+    const std::string indexed =
+        RunAllUnder(src, JoinEngineMode::kIndexed, file);
+    const std::string naive = RunAllUnder(src, JoinEngineMode::kNaive, file);
+    EXPECT_EQ(indexed, naive)
+        << file << ": kIndexed and kNaive runs diverge";
+
+    const fs::path golden_path =
+        golden_dir / (file.stem().string() + ".golden");
+    if (regen) {
+      fs::create_directories(golden_dir);
+      std::ofstream out(golden_path, std::ios::binary);
+      out << indexed;
+      continue;
+    }
+    ASSERT_TRUE(fs::exists(golden_path))
+        << "missing golden file " << golden_path
+        << " (run with OCDX_REGEN_GOLDEN=1 to create it)";
+    EXPECT_EQ(ReadFileOrDie(golden_path), indexed)
+        << file << ": output differs from " << golden_path
+        << " (re-run with OCDX_REGEN_GOLDEN=1 if the change is intended)";
+  }
+}
+
+// The example scenarios are not golden-pinned (they are documentation),
+// but they must parse and drive cleanly under both engines.
+TEST(DxGolden, ExampleScenariosRunClean) {
+  const fs::path dir = OCDX_EXAMPLES_DX_DIR;
+  std::vector<fs::path> files = DxFilesIn(dir);
+  ASSERT_FALSE(files.empty()) << "no .dx files under " << dir;
+  for (const fs::path& file : files) {
+    SCOPED_TRACE(file.string());
+    const std::string src = ReadFileOrDie(file);
+    const std::string indexed =
+        RunAllUnder(src, JoinEngineMode::kIndexed, file);
+    const std::string naive = RunAllUnder(src, JoinEngineMode::kNaive, file);
+    EXPECT_FALSE(indexed.empty());
+    EXPECT_EQ(indexed, naive);
+  }
+}
+
+}  // namespace
+}  // namespace ocdx

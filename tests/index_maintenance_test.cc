@@ -331,5 +331,42 @@ TEST(RelationMaintenance, InterleavedAddProbeDoesOneBuildPerMask) {
   EXPECT_GE(index_maintenance_stats().incremental_inserts, 199u);
 }
 
+// Cross-relation interleaving under a live BucketIterationGuard is the
+// supported pattern (the chase probes sources while appending targets):
+// the guard must stay silent, and the guarded bucket pointer must stay
+// valid while the *other* relation grows.
+TEST(BucketIterationGuard, CrossRelationInterleavingIsAllowed) {
+  Universe u;
+  Relation src(2), dst(2);
+  src.Add({u.Const("k"), u.Const("a")});
+  src.Add({u.Const("k"), u.Const("b")});
+  std::vector<Value> key = {u.Const("k")};
+  const std::vector<uint32_t>* ids = src.Probe(0b01, key);
+  ASSERT_NE(ids, nullptr);
+  BucketIterationGuard guard(&src);
+  for (uint32_t id : *ids) {
+    dst.Add(src.tuples()[id]);  // Appends to dst: no assertion.
+  }
+  EXPECT_EQ(dst.size(), 2u);
+}
+
+#ifndef NDEBUG
+// The sharp edge itself: growing (or clearing) a relation while one of
+// its buckets is being iterated trips the debug assertion. Only
+// meaningful in assertion-enabled builds (the Asan preset runs it).
+TEST(BucketIterationGuardDeathTest, SameRelationMutationAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Universe u;
+  Relation rel(2);
+  rel.Add({u.Const("k"), u.Const("a")});
+  std::vector<Value> key = {u.Const("k")};
+  ASSERT_NE(rel.Probe(0b01, key), nullptr);
+  BucketIterationGuard guard(&rel);
+  EXPECT_DEATH(rel.Add({u.Const("k"), u.Const("b")}),
+               "snapshot the bucket size");
+  EXPECT_DEATH(rel.Clear(), "snapshot the bucket size");
+}
+#endif
+
 }  // namespace
 }  // namespace ocdx

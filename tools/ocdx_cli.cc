@@ -1,0 +1,135 @@
+// ocdx — command-line driver for `.dx` data-exchange scenario files.
+//
+//   ocdx chase FILE.dx [flags]     chase every (mapping, source) pair
+//   ocdx certain FILE.dx [flags]   certain answers for every query
+//   ocdx classify FILE.dx          annotation / query classification
+//   ocdx compose FILE.dx [flags]   composition membership + Lemma 5
+//   ocdx all FILE.dx [flags]       every applicable command (golden form)
+//   ocdx print FILE.dx             parse and pretty-print canonically
+//
+// Flags:
+//   --engine=indexed|naive|generic   join-engine mode (default: indexed)
+//   --mapping=NAME                   chase/certain: restrict to one mapping
+//   --sigma=NAME --delta=NAME        compose: mapping selection
+//   --source=NAME --target=NAME      compose: instance selection
+//
+// Output is canonical and diff-stable (see text/dx_driver.h); the golden
+// corpus under tests/corpus pins `ocdx all` for every scenario.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logic/engine_config.h"
+#include "text/dx_driver.h"
+#include "text/dx_parser.h"
+#include "text/dx_printer.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: ocdx <chase|certain|classify|compose|all|print> FILE.dx\n"
+    "            [--engine=indexed|naive|generic] [--mapping=NAME]\n"
+    "            [--sigma=NAME] [--delta=NAME] [--source=NAME] "
+    "[--target=NAME]\n";
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool FlagValue(std::string_view arg, std::string_view name,
+               std::string* out) {
+  if (arg.substr(0, 2) != "--") return false;
+  std::string_view rest = arg.substr(2);
+  // "--name=value", value possibly empty (reported as invalid downstream).
+  if (rest.size() < name.size() + 1 ||
+      rest.substr(0, name.size()) != name || rest[name.size()] != '=') {
+    return false;
+  }
+  *out = std::string(rest.substr(name.size() + 1));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ocdx;
+
+  std::vector<std::string> positional;
+  std::string engine = "indexed";
+  DxDriverOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (FlagValue(arg, "engine", &engine) ||
+        FlagValue(arg, "mapping", &options.mapping) ||
+        FlagValue(arg, "sigma", &options.sigma) ||
+        FlagValue(arg, "delta", &options.delta) ||
+        FlagValue(arg, "source", &options.source) ||
+        FlagValue(arg, "target", &options.target)) {
+      continue;
+    }
+    if (arg.substr(0, 2) == "--") {
+      std::fprintf(stderr, "ocdx: unknown flag '%s'\n%s",
+                   std::string(arg).c_str(), kUsage);
+      return 2;
+    }
+    positional.emplace_back(arg);
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  const std::string& command = positional[0];
+  const std::string& path = positional[1];
+
+  JoinEngineMode mode;
+  if (engine == "indexed") {
+    mode = JoinEngineMode::kIndexed;
+  } else if (engine == "naive") {
+    mode = JoinEngineMode::kNaive;
+  } else if (engine == "generic") {
+    mode = JoinEngineMode::kGeneric;
+  } else {
+    std::fprintf(stderr, "ocdx: unknown engine '%s'\n%s", engine.c_str(),
+                 kUsage);
+    return 2;
+  }
+  set_join_engine_mode(mode);
+
+  std::string src;
+  if (!ReadFile(path, &src)) {
+    std::fprintf(stderr, "ocdx: cannot read '%s'\n", path.c_str());
+    return 1;
+  }
+
+  Universe universe;
+  Result<DxScenario> scenario = ParseDxScenario(src, &universe);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "ocdx: %s: %s\n", path.c_str(),
+                 scenario.status().ToString().c_str());
+    return 1;
+  }
+
+  if (command == "print") {
+    std::fputs(PrintDxScenario(scenario.value(), universe).c_str(), stdout);
+    return 0;
+  }
+
+  Result<std::string> out =
+      RunDxCommand(scenario.value(), command, &universe, options);
+  if (!out.ok()) {
+    std::fprintf(stderr, "ocdx: %s: %s\n", path.c_str(),
+                 out.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(out.value().c_str(), stdout);
+  return 0;
+}

@@ -3,6 +3,12 @@
 # --benchmark_format=json, and merges the results into BENCH_<tag>.json at
 # the repo root so the perf trajectory is tracked PR over PR.
 #
+# bench_batch_throughput is part of the sweep: it drives the whole .dx
+# corpus through the parallel batch runner (src/exec) at -j 1/2/4/8, so
+# BENCH_<tag>.json records corpus jobs/second per worker count alongside
+# the engine microbenchmarks. Note the scaling columns only spread on
+# multi-core hosts; a single-core container records ~1x (queue overhead).
+#
 # Usage: bench/run_benchmarks.sh [--check BASELINE.json] [tag] [benchmark-filter]
 #   --check FILE  after the run, compare against the recorded baseline and
 #                 exit non-zero if any benchmark regressed by more than 20%

@@ -66,10 +66,15 @@ struct ProjKeyEq {
   }
 };
 
-/// Process-wide maintenance counters: how often an index was built by a
+/// Per-thread maintenance counters: how often an index was built by a
 /// full scan vs. extended in place. The differential tests pin the "zero
 /// full rebuilds" invariant with these (a mask's first probe builds its
 /// index exactly once; every later Add extends it incrementally).
+///
+/// Thread-local, not process-wide: relations are job-owned and jobs run
+/// concurrently (src/exec), so a shared counter would be the one piece of
+/// cross-job mutable state left in the storage layer. Each worker counts
+/// its own maintenance work; tests (single-threaded) see exact totals.
 struct IndexMaintenanceStats {
   uint64_t full_builds = 0;         ///< Index constructed by scanning.
   uint64_t incremental_inserts = 0; ///< Tuple appended into live indexes.
@@ -78,7 +83,7 @@ struct IndexMaintenanceStats {
 };
 
 inline IndexMaintenanceStats& index_maintenance_stats() {
-  static IndexMaintenanceStats stats;
+  thread_local IndexMaintenanceStats stats;
   return stats;
 }
 

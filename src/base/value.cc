@@ -1,10 +1,32 @@
 #include "base/value.h"
 
+#include <algorithm>
+
 #include "util/str.h"
 
 namespace ocdx {
 
+std::span<Value> Universe::AllocateWitness(size_t n) {
+  if (n == 0) return {};
+  if (witness_chunks_.empty() || witness_left_ < n) {
+    // Chunked like ValueArena (base/arena.h): chunks are never
+    // reallocated or freed, so previously returned spans stay valid.
+    // A vector resized within its reserved capacity never moves.
+    static constexpr size_t kChunk = 4096;
+    size_t cap = std::max(n, kChunk);
+    witness_chunks_.emplace_back();
+    witness_chunks_.back().data.reserve(cap);
+    witness_left_ = cap;
+  }
+  std::vector<Value>& data = witness_chunks_.back().data;
+  size_t start = data.size();
+  data.resize(start + n);
+  witness_left_ -= n;
+  return {data.data() + start, n};
+}
+
 std::string Universe::Describe(Value v) const {
+  CheckOwner();
   if (!v.IsValid()) return "<invalid>";
   if (v.IsConst()) return consts_.Get(v.id());
   const NullInfo& info = nulls_.at(v.id());

@@ -17,10 +17,14 @@
 #ifndef OCDX_BASE_VALUE_H_
 #define OCDX_BASE_VALUE_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "util/interner.h"
@@ -77,9 +81,19 @@ struct ValueHash {
 /// satisfied the STD's body) and the existential variable that the null
 /// instantiates. Nulls minted outside a chase (e.g. by tests) leave
 /// std_index = -1.
+///
+/// `witness` is a *borrowed* span: the values live in the minting
+/// Universe's justification arena (see Universe::InternWitness), so the
+/// nulls of one chase trigger share one stored copy instead of each
+/// holding a heap vector — the chase mints one null per existential
+/// variable per witness, which made these copies the dominant remaining
+/// per-witness allocation.
 struct NullInfo {
   int32_t std_index = -1;
-  std::vector<Value> witness;
+  /// Must stay valid for the owning Universe's lifetime; pass spans
+  /// returned by Universe::InternWitness (MintNull asserts nothing —
+  /// interning is the caller's contract).
+  std::span<const Value> witness;
   std::string var;
   std::string label;  ///< Optional pretty-print label.
 };
@@ -88,7 +102,13 @@ struct NullInfo {
 ///
 /// Instances, mappings and solvers all operate on Values minted by one
 /// Universe. Creating a fresh Universe per test gives deterministic ids.
-/// Not thread-safe.
+///
+/// Concurrency contract: a Universe (together with every instance,
+/// relation index and arena built over its values) belongs to exactly one
+/// job at a time — the batch executor (src/exec) gives each job its own
+/// Universe and never migrates one across threads. There is no internal
+/// synchronization; debug builds enforce the rule with a first-use thread
+/// ownership assert.
 class Universe {
  public:
   Universe() = default;
@@ -97,6 +117,7 @@ class Universe {
 
   /// Interns a constant by name and returns its Value.
   Value Const(std::string_view name) {
+    CheckOwner();
     return Value::MakeConst(consts_.Intern(name));
   }
 
@@ -105,6 +126,7 @@ class Universe {
 
   /// Returns the constant named `name` if it exists (invalid Value if not).
   Value FindConst(std::string_view name) const {
+    CheckOwner();
     uint32_t id = consts_.Find(name);
     return id == UINT32_MAX ? Value() : Value::MakeConst(id);
   }
@@ -116,14 +138,35 @@ class Universe {
     return MintNull(std::move(info));
   }
 
-  /// Mints a fresh null with a full justification (chase).
+  /// Mints a fresh null with a full justification (chase). `info.witness`
+  /// must be stable for this universe's lifetime — typically a span from
+  /// InternWitness, shared across all the nulls of one trigger.
   Value MintNull(NullInfo info) {
+    CheckOwner();
     uint32_t id = static_cast<uint32_t>(nulls_.size());
     nulls_.push_back(std::move(info));
     return Value::MakeNull(id);
   }
 
-  const NullInfo& null_info(Value v) const { return nulls_.at(v.id()); }
+  /// Copies a witness tuple into the universe's justification arena and
+  /// returns the stored span (stable until the universe dies; appends
+  /// never move earlier chunks). One call per chase trigger serves that
+  /// trigger's ChaseTrigger record and every null it mints.
+  std::span<const Value> InternWitness(std::span<const Value> witness) {
+    CheckOwner();
+    std::span<Value> dst = AllocateWitness(witness.size());
+    for (size_t i = 0; i < witness.size(); ++i) dst[i] = witness[i];
+    return dst;
+  }
+
+  /// Uninitialized justification-arena space the caller fills in place
+  /// (the chase writes freshly minted nulls straight into it).
+  std::span<Value> AllocateWitness(size_t n);
+
+  const NullInfo& null_info(Value v) const {
+    CheckOwner();
+    return nulls_.at(v.id());
+  }
 
   /// Printable form: the constant's name, or "_N<i>" / the null's label.
   std::string Describe(Value v) const;
@@ -132,8 +175,34 @@ class Universe {
   size_t num_nulls() const { return nulls_.size(); }
 
  private:
+  /// One-Universe-per-job tripwire: the first thread to touch the
+  /// universe owns it for good. Reads are checked too — a concurrent
+  /// reader would race the interner/arena growth of the owner. A no-op
+  /// in NDEBUG builds; the owner_ member is unconditional so the class
+  /// layout never depends on the consumer's NDEBUG setting (the library
+  /// and its users may be compiled with different flags).
+  void CheckOwner() const {
+#ifndef NDEBUG
+    std::thread::id expected{};
+    if (!owner_.compare_exchange_strong(expected, std::this_thread::get_id(),
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed)) {
+      assert(expected == std::this_thread::get_id() &&
+             "Universe shared across threads: every job needs its own "
+             "Universe (see README.md 'Concurrency model')");
+    }
+#endif
+  }
+  mutable std::atomic<std::thread::id> owner_{};
+
+  struct WitnessChunk {
+    std::vector<Value> data;  ///< Reserved once; never reallocated.
+  };
+
   StringInterner consts_;
   std::vector<NullInfo> nulls_;
+  std::vector<WitnessChunk> witness_chunks_;
+  size_t witness_left_ = 0;
 };
 
 }  // namespace ocdx

@@ -67,10 +67,11 @@ size_t LeadingForallCount(const FormulaPtr& q) {
 }  // namespace
 
 Result<CertainAnswerEngine> CertainAnswerEngine::Create(
-    const Mapping& mapping, const Instance& source, Universe* universe) {
+    const Mapping& mapping, const Instance& source, Universe* universe,
+    const EngineContext& ctx) {
   OCDX_ASSIGN_OR_RETURN(CanonicalSolution csol,
-                        Chase(mapping, source, universe));
-  return CertainAnswerEngine(mapping, std::move(csol), universe);
+                        Chase(mapping, source, universe, ctx));
+  return CertainAnswerEngine(mapping, std::move(csol), universe, ctx);
 }
 
 Result<CertainAnswerEngine::Plan> CertainAnswerEngine::MakePlan(
@@ -160,7 +161,7 @@ Result<CertainVerdict> CertainAnswerEngine::IsCertain(
     Instance plain = csol_.Plain();
     Env env;
     for (size_t i = 0; i < order.size(); ++i) env[order[i]] = t[i];
-    Evaluator ev(plain, *universe_);
+    Evaluator ev(plain, *universe_, ctx_);
     OCDX_ASSIGN_OR_RETURN(bool holds, ev.Holds(q, env));
     // A certain answer must be a ground tuple over the evaluation domain
     // (naive answers range over adom(CSol) and the query's constants).
@@ -186,7 +187,7 @@ Result<CertainVerdict> CertainAnswerEngine::IsCertain(
   bool certain = true;
   Status inner = Status::OK();
   Status st = en.ForEachMember([&](const Instance& member) {
-    Evaluator ev(member, *universe_);
+    Evaluator ev(member, *universe_, ctx_);
     Env env;
     for (size_t i = 0; i < order.size(); ++i) env[order[i]] = t[i];
     Result<bool> h = ev.Holds(q, env);
@@ -232,8 +233,8 @@ Result<Relation> CertainAnswerEngine::CertainAnswers(
       options.force_general_engine ? QueryClass::kFirstOrder : Classify(q);
 
   if (cls == QueryClass::kPositive) {
-    OCDX_ASSIGN_OR_RETURN(Relation out,
-                          NaiveEval(q, order, csol_.Plain(), *universe_));
+    OCDX_ASSIGN_OR_RETURN(
+        Relation out, NaiveEval(q, order, csol_.Plain(), *universe_, ctx_));
     if (verdict != nullptr) {
       verdict->certain = true;
       verdict->exhaustive = true;
@@ -260,7 +261,7 @@ Result<Relation> CertainAnswerEngine::CertainAnswers(
   Relation candidates(order.size());
   Status inner = Status::OK();
   Status st = en.ForEachMember([&](const Instance& member) {
-    Evaluator ev(member, *universe_);
+    Evaluator ev(member, *universe_, ctx_);
     Result<Relation> ans = ev.Answers(q, order);
     if (!ans.ok()) {
       inner = ans.status();

@@ -24,6 +24,7 @@
 
 #include "certain/member_enum.h"
 #include "chase/canonical.h"
+#include "logic/engine_context.h"
 #include "logic/classify.h"
 #include "mapping/mapping.h"
 #include "util/status.h"
@@ -56,10 +57,11 @@ struct CertainVerdict {
 class CertainAnswerEngine {
  public:
   /// Chases `source` and prepares the engine. The mapping must be a plain
-  /// (non-Skolemized) annotated mapping.
-  static Result<CertainAnswerEngine> Create(const Mapping& mapping,
-                                            const Instance& source,
-                                            Universe* universe);
+  /// (non-Skolemized) annotated mapping. `ctx` is copied and drives every
+  /// evaluation the engine performs.
+  static Result<CertainAnswerEngine> Create(
+      const Mapping& mapping, const Instance& source, Universe* universe,
+      const EngineContext& ctx = EngineContext::Current());
 
   /// DEQA(Sigma_alpha, Q): is `t` a certain answer of `q`?
   /// `order` names q's free variables in t's column order.
@@ -86,10 +88,11 @@ class CertainAnswerEngine {
 
  private:
   CertainAnswerEngine(Mapping mapping, CanonicalSolution csol,
-                      Universe* universe)
+                      Universe* universe, const EngineContext& ctx)
       : mapping_(std::move(mapping)),
         csol_(std::move(csol)),
-        universe_(universe) {}
+        universe_(universe),
+        ctx_(ctx) {}
 
   /// Chooses the annotated instance, pool size and method label for the
   /// general engine; also decides whether the bounded space constitutes a
@@ -106,6 +109,7 @@ class CertainAnswerEngine {
   Mapping mapping_;
   CanonicalSolution csol_;
   Universe* universe_;
+  EngineContext ctx_;
 };
 
 }  // namespace ocdx

@@ -4,8 +4,9 @@ namespace ocdx {
 
 Result<Relation> NaiveEval(const FormulaPtr& q,
                            const std::vector<std::string>& order,
-                           const Instance& inst, const Universe& universe) {
-  Evaluator ev(inst, universe);
+                           const Instance& inst, const Universe& universe,
+                           const EngineContext& ctx) {
+  Evaluator ev(inst, universe, ctx);
   OCDX_ASSIGN_OR_RETURN(Relation all, ev.Answers(q, order));
   Relation out(all.arity());
   for (TupleRef t : all.tuples()) {
@@ -22,8 +23,9 @@ Result<Relation> NaiveEval(const FormulaPtr& q,
 }
 
 Result<bool> NaiveEvalBoolean(const FormulaPtr& q, const Instance& inst,
-                              const Universe& universe) {
-  Evaluator ev(inst, universe);
+                              const Universe& universe,
+                              const EngineContext& ctx) {
+  Evaluator ev(inst, universe, ctx);
   return ev.Holds(q);
 }
 

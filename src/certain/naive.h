@@ -19,11 +19,13 @@ namespace ocdx {
 /// Evaluates `q` over `inst` naively and keeps only null-free answers.
 Result<Relation> NaiveEval(const FormulaPtr& q,
                            const std::vector<std::string>& order,
-                           const Instance& inst, const Universe& universe);
+                           const Instance& inst, const Universe& universe,
+                           const EngineContext& ctx = EngineContext::Current());
 
 /// Naive evaluation of a boolean (sentence) query.
-Result<bool> NaiveEvalBoolean(const FormulaPtr& q, const Instance& inst,
-                              const Universe& universe);
+Result<bool> NaiveEvalBoolean(
+    const FormulaPtr& q, const Instance& inst, const Universe& universe,
+    const EngineContext& ctx = EngineContext::Current());
 
 }  // namespace ocdx
 

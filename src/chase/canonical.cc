@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "logic/engine_config.h"
 #include "logic/evaluator.h"
 #include "util/str.h"
 
@@ -42,7 +41,7 @@ struct HeadSlot {
 };
 
 // Original string-keyed witness loop, preserved as the naive baseline
-// (see logic/engine_config.h).
+// (see logic/engine_context.h).
 Status FireNaive(const AnnotatedStd& std_, size_t std_index,
                  const std::shared_ptr<const std::vector<std::string>>& vars,
                  const std::vector<std::string>& exist_vars,
@@ -53,13 +52,16 @@ Status FireNaive(const AnnotatedStd& std_, size_t std_index,
     ChaseTrigger trigger;
     trigger.std_index = static_cast<int>(std_index);
     trigger.var_order = vars;
-    trigger.witness = ToTuple(w);
+    // One stored witness copy, shared with every NullInfo minted below.
+    trigger.witness = universe->InternWitness(w);
 
     Env env;
     for (size_t v = 0; v < body_vars.size(); ++v) env[body_vars[v]] = w[v];
     // One fresh null per existential variable per witness: the paper's
     // bottom-bar_(phi, psi, a-bar, b-bar).
-    for (const std::string& z : exist_vars) {
+    std::span<Value> fresh = universe->AllocateWitness(exist_vars.size());
+    for (size_t j = 0; j < exist_vars.size(); ++j) {
+      const std::string& z = exist_vars[j];
       NullInfo info;
       info.std_index = static_cast<int>(std_index);
       info.witness = trigger.witness;
@@ -67,8 +69,9 @@ Status FireNaive(const AnnotatedStd& std_, size_t std_index,
       info.label = StrCat(z, "_s", std_index, "w", out->triggers.size());
       Value null = universe->MintNull(std::move(info));
       env[z] = null;
-      trigger.fresh_nulls.push_back(null);
+      fresh[j] = null;
     }
+    trigger.fresh_nulls = fresh;
 
     for (const HeadAtom& atom : std_.head) {
       Tuple t;
@@ -140,9 +143,12 @@ Status FireCompiled(const AnnotatedStd& std_, size_t std_index,
     ChaseTrigger trigger;
     trigger.std_index = static_cast<int>(std_index);
     trigger.var_order = vars;
-    trigger.witness = ToTuple(w);
+    // One stored witness copy per firing, shared by the trigger record
+    // and all its NullInfo justifications (the former per-null vector
+    // copies were the last allocation on this path).
+    trigger.witness = universe->InternWitness(w);
 
-    trigger.fresh_nulls.reserve(exist_vars.size());
+    std::span<Value> fresh = universe->AllocateWitness(exist_vars.size());
     for (size_t j = 0; j < exist_vars.size(); ++j) {
       NullInfo info;
       info.std_index = static_cast<int>(std_index);
@@ -151,9 +157,9 @@ Status FireCompiled(const AnnotatedStd& std_, size_t std_index,
       // No pretty-print label: Universe::Describe falls back to the
       // unique "_N<id>" form, and materializing a label per null is a
       // measurable fraction of chase time on large sources.
-      trigger.fresh_nulls.push_back(universe->MintNull(std::move(info)));
+      fresh[j] = universe->MintNull(std::move(info));
     }
-    const std::vector<Value>& fresh = trigger.fresh_nulls;
+    trigger.fresh_nulls = fresh;
 
     for (size_t a = 0; a < std_.head.size(); ++a) {
       for (const HeadSlot& slot : head_plans[a]) {
@@ -190,7 +196,8 @@ Status FireCompiled(const AnnotatedStd& std_, size_t std_index,
 }  // namespace
 
 Result<CanonicalSolution> Chase(const Mapping& mapping, const Instance& source,
-                                Universe* universe) {
+                                Universe* universe,
+                                const EngineContext& ctx) {
   OCDX_RETURN_IF_ERROR(mapping.Validate(/*allow_functions=*/false));
   OCDX_RETURN_IF_ERROR(mapping.source().Validate(source));
 
@@ -201,7 +208,7 @@ Result<CanonicalSolution> Chase(const Mapping& mapping, const Instance& source,
     out.annotated.GetOrCreate(decl.name, decl.arity());
   }
 
-  Evaluator eval(source, *universe);
+  Evaluator eval(source, *universe, ctx);
 
   for (size_t i = 0; i < mapping.stds().size(); ++i) {
     const AnnotatedStd& std_ = mapping.stds()[i];
@@ -233,7 +240,7 @@ Result<CanonicalSolution> Chase(const Mapping& mapping, const Instance& source,
 
     auto shared_vars =
         std::make_shared<const std::vector<std::string>>(body_vars);
-    if (join_engine_mode() == JoinEngineMode::kIndexed) {
+    if (ctx.indexed()) {
       OCDX_RETURN_IF_ERROR(
           FireCompiled(std_, i, shared_vars, exist_vars, witnesses, universe,
                        &out));
@@ -242,6 +249,7 @@ Result<CanonicalSolution> Chase(const Mapping& mapping, const Instance& source,
           FireNaive(std_, i, shared_vars, exist_vars, witnesses, universe,
                     &out));
     }
+    if (ctx.stats != nullptr) ctx.stats->chase_triggers += witnesses.size();
   }
   return out;
 }

@@ -22,12 +22,19 @@
 #include <vector>
 
 #include "base/instance.h"
+#include "logic/engine_context.h"
 #include "mapping/mapping.h"
 #include "util/status.h"
 
 namespace ocdx {
 
 /// One firing of one STD: the justification shared by the nulls it minted.
+///
+/// Both spans point into the minting Universe's justification arena
+/// (Universe::InternWitness / AllocateWitness) and stay valid for the
+/// universe's lifetime; `witness` is the *same* stored copy the trigger's
+/// NullInfo justifications reference, so a firing costs one arena append
+/// instead of 1 + #existential-variables heap vectors.
 struct ChaseTrigger {
   int std_index = -1;
   /// Order of the body's free variables for `witness`; shared across all
@@ -35,10 +42,10 @@ struct ChaseTrigger {
   /// one must not copy the variable names).
   std::shared_ptr<const std::vector<std::string>> var_order;
   /// The satisfying assignment (a-bar, b-bar) of the body.
-  Tuple witness;
+  std::span<const Value> witness;
   /// Fresh nulls minted for the STD's existential variables, in
   /// AnnotatedStd::ExistentialVars() order.
-  std::vector<Value> fresh_nulls;
+  std::span<const Value> fresh_nulls;
 };
 
 /// The result of chasing a source instance with a mapping.
@@ -55,10 +62,11 @@ struct CanonicalSolution {
 /// Chases `source` with `mapping` (which must not be Skolemized; use
 /// skolem::SolveSkolem for SkSTDs). Fresh nulls are minted in `*universe`.
 ///
-/// Deterministic: STDs fire in order; witnesses fire in the evaluator's
-/// enumeration order.
-Result<CanonicalSolution> Chase(const Mapping& mapping, const Instance& source,
-                                Universe* universe);
+/// Deterministic: STDs fire in order; witnesses fire in sorted Value
+/// order, independent of the engine mode in `ctx`.
+Result<CanonicalSolution> Chase(
+    const Mapping& mapping, const Instance& source, Universe* universe,
+    const EngineContext& ctx = EngineContext::Current());
 
 }  // namespace ocdx
 

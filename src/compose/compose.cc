@@ -61,7 +61,8 @@ Result<ComposeVerdict> InComposition(const Mapping& sigma,
                                      const Instance& source,
                                      const Instance& target,
                                      Universe* universe,
-                                     ComposeOptions options) {
+                                     ComposeOptions options,
+                                     const EngineContext& ctx) {
   OCDX_RETURN_IF_ERROR(sigma.Validate());
   OCDX_RETURN_IF_ERROR(delta.Validate());
   if (!source.IsGround() || !target.IsGround()) {
@@ -84,7 +85,7 @@ Result<ComposeVerdict> InComposition(const Mapping& sigma,
   }
 
   OCDX_ASSIGN_OR_RETURN(CanonicalSolution csol,
-                        Chase(sigma, source, universe));
+                        Chase(sigma, source, universe, ctx));
   std::vector<Value> fixed = FixedConstants(csol.annotated, delta, target);
 
   ComposeVerdict out;
@@ -111,8 +112,8 @@ Result<ComposeVerdict> InComposition(const Mapping& sigma,
         j.GetOrCreate(d.name, d.arity());
       }
       if (delta_monotone_open) {
-        OCDX_ASSIGN_OR_RETURN(bool ok,
-                              SatisfiesStds(delta, j, target, *universe));
+        OCDX_ASSIGN_OR_RETURN(
+            bool ok, SatisfiesStds(delta, j, target, *universe, ctx));
         if (ok) {
           out.member = true;
           return out;
@@ -120,7 +121,7 @@ Result<ComposeVerdict> InComposition(const Mapping& sigma,
       } else {
         OCDX_ASSIGN_OR_RETURN(
             MembershipResult res,
-            InSolutionSpace(delta, j, target, universe, options.repa));
+            InSolutionSpace(delta, j, target, universe, options.repa, ctx));
         if (res.member) {
           out.member = true;
           return out;
@@ -164,7 +165,7 @@ Result<ComposeVerdict> InComposition(const Mapping& sigma,
       j.GetOrCreate(d.name, d.arity());
     }
     Result<MembershipResult> res =
-        InSolutionSpace(delta, j, target, universe, options.repa);
+        InSolutionSpace(delta, j, target, universe, options.repa, ctx);
     if (!res.ok()) {
       inner = res.status();
       return false;

@@ -23,6 +23,7 @@
 
 #include "base/instance.h"
 #include "certain/member_enum.h"
+#include "logic/engine_context.h"
 #include "mapping/mapping.h"
 #include "semantics/repa.h"
 #include "util/status.h"
@@ -49,12 +50,10 @@ struct ComposeVerdict {
 /// Decides (source, target) in Sigma_alpha o Delta_alpha'. Both instances
 /// must be ground; sigma's target schema and delta's source schema must
 /// declare the same relations.
-Result<ComposeVerdict> InComposition(const Mapping& sigma,
-                                     const Mapping& delta,
-                                     const Instance& source,
-                                     const Instance& target,
-                                     Universe* universe,
-                                     ComposeOptions options = {});
+Result<ComposeVerdict> InComposition(
+    const Mapping& sigma, const Mapping& delta, const Instance& source,
+    const Instance& target, Universe* universe, ComposeOptions options = {},
+    const EngineContext& ctx = EngineContext::Current());
 
 }  // namespace ocdx
 

@@ -1,0 +1,218 @@
+#include "exec/batch_runner.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "exec/pool.h"
+#include "text/dx_parser.h"
+#include "util/stopwatch.h"
+#include "util/str.h"
+
+namespace ocdx {
+
+namespace {
+
+/// Runs one planned slice: fresh Universe, fresh parse, one command.
+/// This is the *entire* per-job state — nothing here outlives the call
+/// or is visible to another job.
+BatchJobResult RunJob(const BatchJob& job) {
+  BatchJobResult result;
+  Stopwatch timer;
+  DxDriverOptions options = job.spec.options;
+  options.engine.stats = &result.stats;
+
+  Universe universe;
+  Result<DxScenario> scenario = ParseDxScenario(*job.source, &universe);
+  if (!scenario.ok()) {
+    result.status = scenario.status();
+    result.millis = timer.ElapsedMillis();
+    return result;
+  }
+  Result<std::string> text =
+      RunDxCommand(scenario.value(), job.spec.command, &universe, options);
+  if (!text.ok()) {
+    result.status = text.status();
+  } else {
+    result.output = StrCat(job.spec.prefix, text.value());
+  }
+  result.millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace
+
+Result<std::string> ReadDxFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound(StrCat("cannot read '", path, "'"));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+Result<std::string> RunDxFile(const std::string& path,
+                              const std::string& source,
+                              const std::string& command,
+                              const DxDriverOptions& options) {
+  Universe universe;
+  Result<DxScenario> scenario = ParseDxScenario(source, &universe);
+  if (!scenario.ok()) {
+    return Status(scenario.status().code(),
+                  StrCat(path, ": ", scenario.status().message()));
+  }
+  return RunDxCommand(scenario.value(), command, &universe, options);
+}
+
+Result<BatchReport> RunDxBatch(const std::vector<std::string>& files,
+                               const BatchOptions& options) {
+  if (files.empty()) {
+    return Status::InvalidArgument("batch needs at least one input file");
+  }
+
+  Stopwatch wall;
+  BatchReport report;
+  report.files.resize(files.size());
+
+  // Planning pass (sequential, on the calling thread): read each file and
+  // slice its command into independent jobs. The planning parse uses a
+  // throwaway Universe; jobs re-parse into their own.
+  std::vector<BatchJob> jobs;
+  std::vector<std::pair<size_t, size_t>> file_job_ranges(files.size(),
+                                                         {0, 0});
+  for (size_t f = 0; f < files.size(); ++f) {
+    report.files[f].file = files[f];
+    file_job_ranges[f].first = jobs.size();
+
+    Result<std::string> source = ReadDxFile(files[f]);
+    if (!source.ok()) {
+      report.files[f].status = source.status();
+      file_job_ranges[f].second = jobs.size();
+      continue;
+    }
+    auto shared_source =
+        std::make_shared<const std::string>(std::move(source).value());
+
+    std::vector<DxJobSpec> specs;
+    DxDriverOptions base = options.driver;
+    base.engine = options.engine;
+    base.engine.stats = nullptr;
+    if (options.split_scenarios) {
+      Universe scoping;
+      Result<DxScenario> scenario = ParseDxScenario(*shared_source, &scoping);
+      if (!scenario.ok()) {
+        report.files[f].status = scenario.status();
+        file_job_ranges[f].second = jobs.size();
+        continue;
+      }
+      Result<std::vector<DxJobSpec>> plan =
+          PlanDxJobs(scenario.value(), options.command, base);
+      if (!plan.ok()) {
+        report.files[f].status = plan.status();
+        file_job_ranges[f].second = jobs.size();
+        continue;
+      }
+      specs = std::move(plan).value();
+    } else {
+      DxJobSpec spec;
+      spec.command = options.command;
+      spec.options = base;
+      specs.push_back(std::move(spec));
+    }
+
+    for (DxJobSpec& spec : specs) {
+      BatchJob job;
+      job.index = jobs.size();
+      job.file_index = f;
+      job.file = files[f];
+      job.source = shared_source;
+      job.spec = std::move(spec);
+      jobs.push_back(std::move(job));
+    }
+    file_job_ranges[f].second = jobs.size();
+  }
+  report.total_jobs = jobs.size();
+
+  // Execution. Results land in submission-indexed slots, so assembly
+  // below is independent of completion order; workers share nothing but
+  // the (read-only) job list and their disjoint result slots.
+  std::vector<BatchJobResult> results(jobs.size());
+  if (options.workers <= 1) {
+    for (size_t i = 0; i < jobs.size(); ++i) results[i] = RunJob(jobs[i]);
+  } else {
+    ThreadPool pool(options.workers);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      const BatchJob* job = &jobs[i];
+      BatchJobResult* slot = &results[i];
+      pool.Submit([job, slot] { *slot = RunJob(*job); });
+    }
+    // ~ThreadPool drains the queue and joins.
+  }
+
+  // Deterministic assembly in plan order.
+  for (size_t f = 0; f < files.size(); ++f) {
+    BatchFileReport& fr = report.files[f];
+    for (size_t i = file_job_ranges[f].first; i < file_job_ranges[f].second;
+         ++i) {
+      ++fr.jobs;
+      fr.millis += results[i].millis;
+      report.stats += results[i].stats;
+      if (results[i].status.ok()) {
+        fr.output += results[i].output;
+      } else {
+        fr.output += StrCat(jobs[i].spec.prefix, "ocdx: error: ",
+                            results[i].status.ToString(), "\n");
+        if (fr.status.ok()) fr.status = results[i].status;
+      }
+    }
+  }
+  report.wall_millis = wall.ElapsedMillis();
+  return report;
+}
+
+std::string RenderBatchOutput(const BatchReport& report) {
+  std::string out;
+  for (const BatchFileReport& f : report.files) {
+    out += StrCat("==> ", f.file, " <==\n");
+    if (f.jobs == 0 && !f.status.ok()) {
+      // Planning-level failure (unreadable file, parse error, no
+      // applicable inputs): still rendered deterministically.
+      out += StrCat("ocdx: error: ", f.status.ToString(), "\n");
+    } else {
+      out += f.output;
+    }
+  }
+  return out;
+}
+
+std::string RenderBatchSummary(const BatchReport& report,
+                               const BatchOptions& options) {
+  size_t failed = 0;
+  double job_millis = 0;
+  for (const BatchFileReport& f : report.files) {
+    if (!f.status.ok()) ++failed;
+    job_millis += f.millis;
+  }
+  std::string out = StrCat(
+      "batch: ", report.files.size(), " file(s), ", report.total_jobs,
+      " job(s), ", options.workers, " worker(s), command=", options.command,
+      "\n");
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "batch: wall %.2f ms, cpu (sum of jobs) %.2f ms, "
+                "speedup %.2fx\n",
+                report.wall_millis, job_millis,
+                report.wall_millis > 0 ? job_millis / report.wall_millis
+                                       : 0.0);
+  out += buf;
+  out += StrCat("batch: engine stats: cq_plans=", report.stats.cq_plans,
+                ", generic_evals=", report.stats.generic_evals,
+                ", chase_triggers=", report.stats.chase_triggers,
+                ", hom_steps=", report.stats.hom_steps,
+                ", repa_steps=", report.stats.repa_steps, "\n");
+  if (failed > 0) out += StrCat("batch: ", failed, " file(s) FAILED\n");
+  return out;
+}
+
+}  // namespace ocdx

@@ -1,0 +1,45 @@
+// Job and result records for the batch executor (exec/batch_runner.h).
+//
+// A job is one independently runnable slice of work over one `.dx` file:
+// a DxJobSpec (command + selection + engine context) from
+// text/dx_driver.h's PlanDxJobs, plus enough identity to reassemble the
+// deterministic, submission-ordered report. Jobs own nothing shared:
+// each execution parses its own copy of the scenario into its own
+// Universe (the one-Universe-per-job rule), so jobs can run on any
+// worker in any order.
+
+#ifndef OCDX_EXEC_JOB_H_
+#define OCDX_EXEC_JOB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "logic/engine_context.h"
+#include "text/dx_driver.h"
+#include "util/status.h"
+
+namespace ocdx {
+
+/// One schedulable unit. `source` is the file's text, shared (read-only)
+/// among the slices of one file.
+struct BatchJob {
+  size_t index = 0;       ///< Submission order across the whole batch.
+  size_t file_index = 0;  ///< Index into the batch's input file list.
+  std::string file;       ///< Path (for error messages).
+  std::shared_ptr<const std::string> source;  ///< File contents.
+  DxJobSpec spec;         ///< Command slice to run.
+};
+
+/// The outcome of one job, written into the report slot matching the
+/// job's submission index.
+struct BatchJobResult {
+  Status status;
+  std::string output;  ///< prefix + canonical command text (when ok).
+  double millis = 0;   ///< Wall time of this job alone.
+  EngineStats stats;   ///< This job's evaluation counters.
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_EXEC_JOB_H_

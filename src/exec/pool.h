@@ -1,0 +1,94 @@
+// Fixed-size thread-pool work queue: the execution substrate of the
+// batch runner (exec/batch_runner.h).
+//
+// Deliberately minimal — a mutex-guarded FIFO drained by N worker
+// threads. Tasks are opaque closures; all structure (job identity,
+// result slots, ordering) lives with the caller, which is what keeps the
+// pool reusable for any future fan-out (server request handling,
+// sharded chases, ...).
+//
+// Shutdown contract: the destructor *drains* the queue — every task
+// submitted before destruction runs to completion, then workers join.
+// The typical usage is therefore scope-shaped:
+//
+//   {
+//     ThreadPool pool(n);
+//     for (auto& job : jobs) pool.Submit([&job] { Run(job); });
+//   }  // <- all jobs finished here
+//
+// Tasks must not Submit() to their own pool after the destructor has
+// begun (there is no one left to be guaranteed to run them).
+
+#ifndef OCDX_EXEC_POOL_H_
+#define OCDX_EXEC_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ocdx {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least one).
+  explicit ThreadPool(size_t workers) {
+    if (workers == 0) workers = 1;
+    threads_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { Work(); });
+    }
+  }
+
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; some worker will run it exactly once.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  size_t num_workers() const { return threads_.size(); }
+
+ private:
+  void Work() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return done_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // done_ && drained.
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool done_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_EXEC_POOL_H_

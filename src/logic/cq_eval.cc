@@ -749,11 +749,13 @@ void NaiveJoin(const CqShape& shape, const std::vector<std::string>& order,
 
 std::optional<Relation> TryEvalCQ(const FormulaPtr& f,
                                   const std::vector<std::string>& order,
-                                  const Instance& inst) {
+                                  const Instance& inst,
+                                  const EngineContext& ctx) {
   std::optional<CqShape> shape = RecognizeCq(f, order, {}, inst);
   if (!shape.has_value()) return std::nullopt;
   std::optional<Plan> plan = Compile(*shape, order, {}, {}, inst);
   if (!plan.has_value()) return std::nullopt;
+  if (ctx.stats != nullptr) ++ctx.stats->cq_plans;
   Relation out(order.size());
   if (!plan->trivially_empty) {
     PlanRunner runner(*plan, &out);
@@ -764,9 +766,11 @@ std::optional<Relation> TryEvalCQ(const FormulaPtr& f,
 
 std::optional<Relation> TryEvalCQNaive(const FormulaPtr& f,
                                        const std::vector<std::string>& order,
-                                       const Instance& inst) {
+                                       const Instance& inst,
+                                       const EngineContext& ctx) {
   std::optional<CqShape> shape = RecognizeCq(f, order, {}, inst);
   if (!shape.has_value()) return std::nullopt;
+  if (ctx.stats != nullptr) ++ctx.stats->cq_plans;
   Relation out(order.size());
   NaiveEnv env;
   NaiveJoin(*shape, order, inst, &env, &out);
@@ -775,7 +779,8 @@ std::optional<Relation> TryEvalCQNaive(const FormulaPtr& f,
 
 std::optional<bool> TryHoldsCQ(const FormulaPtr& f,
                                const std::map<std::string, Value>& binding,
-                               const Instance& inst) {
+                               const Instance& inst,
+                               const EngineContext& ctx) {
   std::set<std::string> prebound;
   for (const std::string& v : FreeVars(f)) {
     if (binding.find(v) == binding.end()) return std::nullopt;
@@ -785,6 +790,7 @@ std::optional<bool> TryHoldsCQ(const FormulaPtr& f,
   if (!shape.has_value()) return std::nullopt;
   std::optional<Plan> plan = Compile(*shape, {}, binding, prebound, inst);
   if (!plan.has_value()) return std::nullopt;
+  if (ctx.stats != nullptr) ++ctx.stats->cq_plans;
   if (plan->trivially_empty) return false;
   PlanRunner runner(*plan, nullptr);
   return runner.Run();

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "base/instance.h"
+#include "logic/engine_context.h"
 #include "logic/formula.h"
 #include "util/status.h"
 
@@ -42,25 +43,26 @@ namespace ocdx {
 ///
 /// Returns the answer relation over `order`, or std::nullopt if the
 /// formula does not have the supported shape (never an error for shape
-/// reasons — the caller falls back).
-std::optional<Relation> TryEvalCQ(const FormulaPtr& f,
-                                  const std::vector<std::string>& order,
-                                  const Instance& inst);
+/// reasons — the caller falls back). `ctx` is consulted for its stats
+/// sink only; which engine runs is the caller's dispatch.
+std::optional<Relation> TryEvalCQ(
+    const FormulaPtr& f, const std::vector<std::string>& order,
+    const Instance& inst, const EngineContext& ctx = EngineContext::Current());
 
 /// The original backtracking nested-loop implementation, preserved as the
 /// naive baseline. Accepts exactly the same shapes as TryEvalCQ and
 /// returns identical relations, just slower.
-std::optional<Relation> TryEvalCQNaive(const FormulaPtr& f,
-                                       const std::vector<std::string>& order,
-                                       const Instance& inst);
+std::optional<Relation> TryEvalCQNaive(
+    const FormulaPtr& f, const std::vector<std::string>& order,
+    const Instance& inst, const EngineContext& ctx = EngineContext::Current());
 
 /// Boolean variant for sentence/guard checks: is `f` satisfied when its
 /// free variables are pre-bound by `binding`? Declines (nullopt) when the
 /// shape is unsupported or some free variable of `f` is missing from
 /// `binding`. Runs the compiled plan with early exit on the first match.
-std::optional<bool> TryHoldsCQ(const FormulaPtr& f,
-                               const std::map<std::string, Value>& binding,
-                               const Instance& inst);
+std::optional<bool> TryHoldsCQ(
+    const FormulaPtr& f, const std::map<std::string, Value>& binding,
+    const Instance& inst, const EngineContext& ctx = EngineContext::Current());
 
 }  // namespace ocdx
 

@@ -3,7 +3,9 @@
 namespace ocdx {
 
 namespace {
-JoinEngineMode g_mode = JoinEngineMode::kIndexed;
+// Thread-local so the deprecated shim can never race across jobs; each
+// thread independently defaults to the indexed engine.
+thread_local JoinEngineMode g_mode = JoinEngineMode::kIndexed;
 }  // namespace
 
 JoinEngineMode join_engine_mode() { return g_mode; }

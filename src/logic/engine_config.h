@@ -1,11 +1,18 @@
-// Process-wide selection of the query/homomorphism evaluation engine.
+// Legacy (deprecated) selection of the query/homomorphism evaluation
+// engine, kept as a thin migration shim.
 //
-// The indexed engine (slot-compiled join plans probing per-relation hash
-// indexes) is the default. The naive engine preserves the original
-// backtracking-scan implementations so they can be benchmarked
-// side-by-side against the indexed paths; the generic mode disables the
-// CQ fast path entirely, forcing active-domain enumeration — parity tests
-// use it as the semantic ground truth.
+// The engine mode now lives in an EngineContext (logic/engine_context.h)
+// that is threaded explicitly through every evaluation path; jobs never
+// consult process state, which is what makes the core reentrant (see
+// README.md "Concurrency model"). The global below survives only so that
+// tests and benchmarks written against ScopedJoinEngineMode keep working:
+// engine entry points default their context argument to
+// EngineContext::Current(), which snapshots this value.
+//
+// The shim is *thread-local*: a ScopedJoinEngineMode in one thread can
+// never race — or leak into — another thread's jobs. Each thread starts
+// at kIndexed. New code should pass an explicit EngineContext instead of
+// writing this global.
 
 #ifndef OCDX_LOGIC_ENGINE_CONFIG_H_
 #define OCDX_LOGIC_ENGINE_CONFIG_H_
@@ -18,11 +25,14 @@ enum class JoinEngineMode {
   kGeneric,  ///< No CQ fast path at all: active-domain enumeration.
 };
 
-/// The current engine mode. Not thread-safe (like the rest of ocdx).
+/// The calling thread's legacy engine mode (deprecated; prefer passing an
+/// EngineContext explicitly).
 JoinEngineMode join_engine_mode();
 void set_join_engine_mode(JoinEngineMode mode);
 
-/// RAII engine-mode override for benchmarks and tests.
+/// RAII engine-mode override for benchmarks and tests (deprecated; new
+/// code constructs an EngineContext and passes it down instead). Affects
+/// only the calling thread.
 class ScopedJoinEngineMode {
  public:
   explicit ScopedJoinEngineMode(JoinEngineMode mode)

@@ -1,0 +1,86 @@
+// EngineContext: per-job evaluation configuration, threaded explicitly.
+//
+// Every evaluation path (cq_eval, evaluator, chase, certain, semantics,
+// compose, the .dx driver) takes an EngineContext instead of consulting
+// process-wide state. A context bundles
+//
+//   - the join-engine mode (indexed / naive / generic),
+//   - default step budgets for the NP search engines (homomorphism and
+//     RepA backtracking), applied as a *cap* on per-call options, and
+//   - an optional per-job statistics sink.
+//
+// Contexts are small values: copy them freely, one per job. The batch
+// executor (src/exec) gives every job its own context and its own
+// Universe, which is the entire concurrency contract — nothing in the
+// engine synchronizes, it simply never shares mutable state across jobs
+// (see README.md "Concurrency model").
+//
+// EngineContext::Current() is the migration shim for code still written
+// against the legacy ScopedJoinEngineMode global (tests, benches): it
+// snapshots the thread-local mode from logic/engine_config.h. New code
+// should construct contexts explicitly and pass them down.
+
+#ifndef OCDX_LOGIC_ENGINE_CONTEXT_H_
+#define OCDX_LOGIC_ENGINE_CONTEXT_H_
+
+#include <cstdint>
+
+#include "logic/engine_config.h"
+
+namespace ocdx {
+
+/// Per-job evaluation counters. Plain (unsynchronized) integers: a sink
+/// must be owned by exactly one job, like everything else a job touches.
+struct EngineStats {
+  uint64_t cq_plans = 0;        ///< CQ join plans run (indexed or naive).
+  uint64_t generic_evals = 0;   ///< Active-domain fallback evaluations.
+  uint64_t chase_triggers = 0;  ///< STD firings across all chases.
+  uint64_t hom_steps = 0;       ///< Homomorphism-search work units.
+  uint64_t repa_steps = 0;      ///< RepA-search work units.
+
+  EngineStats& operator+=(const EngineStats& o) {
+    cq_plans += o.cq_plans;
+    generic_evals += o.generic_evals;
+    chase_triggers += o.chase_triggers;
+    hom_steps += o.hom_steps;
+    repa_steps += o.repa_steps;
+    return *this;
+  }
+};
+
+/// All engine configuration for one job. Value type; default-constructed
+/// means "indexed engine, paper-default budgets, no stats".
+struct EngineContext {
+  /// The paper-default NP-search budget (matches the historical
+  /// HomOptions / RepAOptions defaults).
+  static constexpr uint64_t kDefaultSearchSteps = 50'000'000;
+
+  JoinEngineMode mode = JoinEngineMode::kIndexed;
+  /// Caps on the per-call HomOptions / RepAOptions budgets: an engine
+  /// call runs with min(call budget, context budget), so a job-level
+  /// context can bound every search it transitively spawns.
+  uint64_t hom_max_steps = kDefaultSearchSteps;
+  uint64_t repa_max_steps = kDefaultSearchSteps;
+  /// Optional per-job counters; must not be shared across jobs.
+  EngineStats* stats = nullptr;
+
+  bool indexed() const { return mode == JoinEngineMode::kIndexed; }
+
+  static EngineContext ForMode(JoinEngineMode m) {
+    EngineContext ctx;
+    ctx.mode = m;
+    return ctx;
+  }
+
+  /// Deprecated migration shim: a context whose mode is the thread-local
+  /// legacy global (set by ScopedJoinEngineMode). Default argument of the
+  /// engine entry points so un-migrated callers keep their behavior; new
+  /// code passes explicit contexts instead.
+  static EngineContext Current() {
+    return ForMode(join_engine_mode());
+  }
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_LOGIC_ENGINE_CONTEXT_H_

@@ -1,7 +1,6 @@
 #include "logic/evaluator.h"
 
 #include "logic/cq_eval.h"
-#include "logic/engine_config.h"
 
 #include <algorithm>
 #include <set>
@@ -333,10 +332,11 @@ Result<bool> Evaluator::Holds(const FormulaPtr& f, const Env& binding) {
   // Fast path: CQ-shaped sentences under a full binding run as compiled
   // boolean joins with early exit (positive-CQ truth is independent of the
   // quantification domain, so extra domain values cannot change it).
-  if (oracle_ == nullptr && join_engine_mode() == JoinEngineMode::kIndexed) {
-    std::optional<bool> fast = TryHoldsCQ(f, binding, inst_);
+  if (oracle_ == nullptr && ctx_.indexed()) {
+    std::optional<bool> fast = TryHoldsCQ(f, binding, inst_, ctx_);
     if (fast.has_value()) return *fast;
   }
+  if (ctx_.stats != nullptr) ++ctx_.stats->generic_evals;
   std::vector<Value> domain = Domain(f);
   std::shared_ptr<CompiledSentence> compiled = GetCompiledSentence(f);
   compiled->in_use = true;
@@ -364,22 +364,23 @@ Result<Relation> Evaluator::Answers(const FormulaPtr& f,
   }
   // Fast path: safe conjunctive queries evaluate by index-driven joins
   // instead of domain^k enumeration (rule bodies are usually CQs). The
-  // engine mode selects the compiled/indexed plan, the preserved naive
-  // scan baseline, or no fast path at all (see logic/engine_config.h).
+  // context's mode selects the compiled/indexed plan, the preserved naive
+  // scan baseline, or no fast path at all (see logic/engine_context.h).
   if (oracle_ == nullptr) {
     std::optional<Relation> fast;
-    switch (join_engine_mode()) {
+    switch (ctx_.mode) {
       case JoinEngineMode::kIndexed:
-        fast = TryEvalCQ(f, order, inst_);
+        fast = TryEvalCQ(f, order, inst_, ctx_);
         break;
       case JoinEngineMode::kNaive:
-        fast = TryEvalCQNaive(f, order, inst_);
+        fast = TryEvalCQNaive(f, order, inst_, ctx_);
         break;
       case JoinEngineMode::kGeneric:
         break;
     }
     if (fast.has_value()) return std::move(*fast);
   }
+  if (ctx_.stats != nullptr) ++ctx_.stats->generic_evals;
   std::vector<Value> domain = Domain(f);
   Relation out(order.size());
   size_t k = order.size();
@@ -425,8 +426,9 @@ Result<Relation> Evaluator::Answers(const FormulaPtr& f,
 }
 
 Result<bool> EvalSentence(const FormulaPtr& f, const Instance& inst,
-                          const Universe& universe) {
-  Evaluator ev(inst, universe);
+                          const Universe& universe,
+                          const EngineContext& ctx) {
+  Evaluator ev(inst, universe, ctx);
   return ev.Holds(f);
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "base/instance.h"
+#include "logic/engine_context.h"
 #include "logic/formula.h"
 #include "util/status.h"
 
@@ -41,9 +42,12 @@ class FunctionOracle {
 /// Evaluates FO formulas over one instance.
 class Evaluator {
  public:
-  /// `inst` and `universe` must outlive the evaluator.
-  Evaluator(const Instance& inst, const Universe& universe)
-      : inst_(inst), universe_(universe) {}
+  /// `inst` and `universe` must outlive the evaluator. `ctx` selects the
+  /// CQ fast path (indexed / naive / none) and receives stats; it is
+  /// copied, so a temporary is fine.
+  Evaluator(const Instance& inst, const Universe& universe,
+            const EngineContext& ctx = EngineContext::Current())
+      : inst_(inst), universe_(universe), ctx_(ctx) {}
 
   /// Adds values to the quantification domain (beyond the active domain
   /// and the formula's constants).
@@ -72,13 +76,15 @@ class Evaluator {
  private:
   const Instance& inst_;
   const Universe& universe_;
+  EngineContext ctx_;
   std::vector<Value> extra_domain_;
   FunctionOracle* oracle_ = nullptr;
 };
 
 /// Convenience: evaluates a sentence over an instance.
 Result<bool> EvalSentence(const FormulaPtr& f, const Instance& inst,
-                          const Universe& universe);
+                          const Universe& universe,
+                          const EngineContext& ctx = EngineContext::Current());
 
 }  // namespace ocdx
 

@@ -1,9 +1,9 @@
 #include "semantics/homomorphism.h"
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
-#include "logic/engine_config.h"
 #include "util/str.h"
 
 namespace ocdx {
@@ -15,12 +15,14 @@ enum class Mode { kHom, kOntoImage, kExpansion };
 class HomSearch {
  public:
   HomSearch(const AnnotatedInstance& a, const AnnotatedInstance& b, Mode mode,
-            HomOptions options)
+            HomOptions options, const EngineContext& ctx)
       : a_(a),
         b_(b),
         mode_(mode),
         options_(options),
-        indexed_(join_engine_mode() == JoinEngineMode::kIndexed) {
+        ctx_(ctx),
+        indexed_(ctx.indexed()) {
+    options_.max_steps = std::min(options_.max_steps, ctx.hom_max_steps);
     for (const auto& [name, rel] : a_.relations()) {
       const AnnotatedRelation* brel = b_.Find(name);
       for (const AnnotatedTupleRef& t : rel.tuples()) {
@@ -54,8 +56,10 @@ class HomSearch {
         }
       }
     }
-    OCDX_ASSIGN_OR_RETURN(bool found, Search(0));
-    if (!found) return std::optional<NullMap>();
+    Result<bool> found = Search(0);
+    if (ctx_.stats != nullptr) ctx_.stats->hom_steps += steps_;
+    OCDX_RETURN_IF_ERROR(found.status());
+    if (!found.value()) return std::optional<NullMap>();
     return std::optional<NullMap>(h_);
   }
 
@@ -288,6 +292,7 @@ class HomSearch {
   const AnnotatedInstance& b_;
   Mode mode_;
   HomOptions options_;
+  EngineContext ctx_;
   bool indexed_;
   std::vector<Item> items_;
   std::vector<bool> matched_;
@@ -303,20 +308,23 @@ class HomSearch {
 
 Result<std::optional<NullMap>> FindHomomorphism(const AnnotatedInstance& from,
                                                 const AnnotatedInstance& to,
-                                                HomOptions options) {
-  return HomSearch(from, to, Mode::kHom, options).Run();
+                                                HomOptions options,
+                                                const EngineContext& ctx) {
+  return HomSearch(from, to, Mode::kHom, options, ctx).Run();
 }
 
 Result<std::optional<NullMap>> FindOntoImage(const AnnotatedInstance& from,
                                              const AnnotatedInstance& image,
-                                             HomOptions options) {
-  return HomSearch(from, image, Mode::kOntoImage, options).Run();
+                                             HomOptions options,
+                                             const EngineContext& ctx) {
+  return HomSearch(from, image, Mode::kOntoImage, options, ctx).Run();
 }
 
 Result<std::optional<NullMap>> FindExpansionHom(const AnnotatedInstance& inst,
                                                 const AnnotatedInstance& core,
-                                                HomOptions options) {
-  return HomSearch(inst, core, Mode::kExpansion, options).Run();
+                                                HomOptions options,
+                                                const EngineContext& ctx) {
+  return HomSearch(inst, core, Mode::kExpansion, options, ctx).Run();
 }
 
 }  // namespace ocdx

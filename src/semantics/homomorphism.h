@@ -24,6 +24,7 @@
 #include <optional>
 
 #include "base/instance.h"
+#include "logic/engine_context.h"
 #include "util/status.h"
 
 namespace ocdx {
@@ -54,21 +55,23 @@ class NullMap {
 };
 
 struct HomOptions {
+  /// Per-call budget; the effective budget is additionally capped by the
+  /// context's hom_max_steps.
   uint64_t max_steps = 50'000'000;
 };
 
 /// A homomorphism from `from` to `to`, or nullopt if none exists.
-Result<std::optional<NullMap>> FindHomomorphism(const AnnotatedInstance& from,
-                                                const AnnotatedInstance& to,
-                                                HomOptions options = {});
+Result<std::optional<NullMap>> FindHomomorphism(
+    const AnnotatedInstance& from, const AnnotatedInstance& to,
+    HomOptions options = {}, const EngineContext& ctx = EngineContext::Current());
 
 /// A homomorphism h with h(`from`) = `image` *exactly* (every tuple of
 /// `image` is hit, markers coincide) and h mapping the nulls of `from`
 /// onto the nulls of `image`. This is the paper's "homomorphic image"
 /// (presolution) condition.
-Result<std::optional<NullMap>> FindOntoImage(const AnnotatedInstance& from,
-                                             const AnnotatedInstance& image,
-                                             HomOptions options = {});
+Result<std::optional<NullMap>> FindOntoImage(
+    const AnnotatedInstance& from, const AnnotatedInstance& image,
+    HomOptions options = {}, const EngineContext& ctx = EngineContext::Current());
 
 /// A homomorphism from `inst` into *an expansion of* `core`: every proper
 /// tuple (t, a) of `inst` must, under h, coincide with some tuple
@@ -76,9 +79,9 @@ Result<std::optional<NullMap>> FindOntoImage(const AnnotatedInstance& from,
 /// closed (h maps nulls to nulls, so a closed constant position of t2
 /// requires the same constant in t). Markers of `inst` must occur in
 /// `core`. Returns the partial h (unconstrained nulls unmapped).
-Result<std::optional<NullMap>> FindExpansionHom(const AnnotatedInstance& inst,
-                                                const AnnotatedInstance& core,
-                                                HomOptions options = {});
+Result<std::optional<NullMap>> FindExpansionHom(
+    const AnnotatedInstance& inst, const AnnotatedInstance& core,
+    HomOptions options = {}, const EngineContext& ctx = EngineContext::Current());
 
 }  // namespace ocdx
 

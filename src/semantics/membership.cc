@@ -9,7 +9,8 @@ Result<MembershipResult> InSolutionSpace(const Mapping& mapping,
                                          const Instance& source,
                                          const Instance& target,
                                          Universe* universe,
-                                         RepAOptions options) {
+                                         RepAOptions options,
+                                         const EngineContext& ctx) {
   if (!target.IsGround()) {
     return Status::InvalidArgument(
         "solution-space membership is defined for ground targets");
@@ -18,21 +19,22 @@ Result<MembershipResult> InSolutionSpace(const Mapping& mapping,
   if (mapping.IsAllOpen()) {
     // Theorem 2: with the all-open annotation, T in [[S]] iff (S,T) |= Sigma.
     out.used_ptime_path = true;
-    OCDX_ASSIGN_OR_RETURN(out.member,
-                          SatisfiesStds(mapping, source, target, *universe));
+    OCDX_ASSIGN_OR_RETURN(
+        out.member, SatisfiesStds(mapping, source, target, *universe, ctx));
     return out;
   }
   OCDX_ASSIGN_OR_RETURN(CanonicalSolution csol,
-                        Chase(mapping, source, universe));
-  return InSolutionSpaceGiven(csol.annotated, target, options);
+                        Chase(mapping, source, universe, ctx));
+  return InSolutionSpaceGiven(csol.annotated, target, options, ctx);
 }
 
 Result<MembershipResult> InSolutionSpaceGiven(const AnnotatedInstance& csola,
                                               const Instance& target,
-                                              RepAOptions options) {
+                                              RepAOptions options,
+                                              const EngineContext& ctx) {
   MembershipResult out;
   OCDX_ASSIGN_OR_RETURN(out.member,
-                        InRepA(csola, target, &out.witness, options));
+                        InRepA(csola, target, &out.witness, options, ctx));
   return out;
 }
 

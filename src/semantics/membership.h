@@ -10,6 +10,7 @@
 #define OCDX_SEMANTICS_MEMBERSHIP_H_
 
 #include "base/instance.h"
+#include "logic/engine_context.h"
 #include "mapping/mapping.h"
 #include "semantics/repa.h"
 #include "util/status.h"
@@ -25,17 +26,17 @@ struct MembershipResult {
 };
 
 /// Is `target` (ground) in [[source]]_{Sigma_alpha}?
-Result<MembershipResult> InSolutionSpace(const Mapping& mapping,
-                                         const Instance& source,
-                                         const Instance& target,
-                                         Universe* universe,
-                                         RepAOptions options = {});
+Result<MembershipResult> InSolutionSpace(
+    const Mapping& mapping, const Instance& source, const Instance& target,
+    Universe* universe, RepAOptions options = {},
+    const EngineContext& ctx = EngineContext::Current());
 
 /// As above but with a precomputed CSolA(S) (skips the chase and the
 /// all-open fast path; used by benchmarks isolating the search cost).
-Result<MembershipResult> InSolutionSpaceGiven(const AnnotatedInstance& csola,
-                                              const Instance& target,
-                                              RepAOptions options = {});
+Result<MembershipResult> InSolutionSpaceGiven(
+    const AnnotatedInstance& csola, const Instance& target,
+    RepAOptions options = {},
+    const EngineContext& ctx = EngineContext::Current());
 
 }  // namespace ocdx
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "logic/engine_config.h"
 #include "util/str.h"
 
 namespace ocdx {
@@ -57,11 +56,13 @@ namespace {
 class RepASearch {
  public:
   RepASearch(const AnnotatedInstance& annotated, const Instance& ground,
-             RepAOptions options)
+             RepAOptions options, const EngineContext& ctx)
       : annotated_(annotated),
         ground_(ground),
         options_(options),
-        indexed_(join_engine_mode() == JoinEngineMode::kIndexed) {
+        ctx_(ctx),
+        indexed_(ctx.indexed()) {
+    options_.max_steps = std::min(options_.max_steps, ctx.repa_max_steps);
     for (const auto& [name, rel] : annotated_.relations()) {
       const Relation* grel = ground_.Find(name);
       for (const AnnotatedTupleRef& t : rel.tuples()) {
@@ -78,9 +79,11 @@ class RepASearch {
   }
 
   Result<bool> Run(Valuation* witness) {
-    OCDX_ASSIGN_OR_RETURN(bool found, Search());
-    if (found && witness != nullptr) *witness = valuation_;
-    return found;
+    Result<bool> found = Search();
+    if (ctx_.stats != nullptr) ctx_.stats->repa_steps += steps_;
+    OCDX_RETURN_IF_ERROR(found.status());
+    if (found.value() && witness != nullptr) *witness = valuation_;
+    return found.value();
   }
 
  private:
@@ -275,6 +278,7 @@ class RepASearch {
   const AnnotatedInstance& annotated_;
   const Instance& ground_;
   RepAOptions options_;
+  EngineContext ctx_;
   bool indexed_;
   std::vector<Item> proper_;
   std::vector<std::pair<const Relation*, const AnnotatedRelation*>> cover_;
@@ -288,18 +292,20 @@ class RepASearch {
 }  // namespace
 
 Result<bool> InRepA(const AnnotatedInstance& annotated, const Instance& ground,
-                    Valuation* witness, RepAOptions options) {
+                    Valuation* witness, RepAOptions options,
+                    const EngineContext& ctx) {
   if (!ground.IsGround()) {
     return Status::InvalidArgument(
         "RepA membership is defined for ground instances (over Const)");
   }
-  RepASearch search(annotated, ground, options);
+  RepASearch search(annotated, ground, options, ctx);
   return search.Run(witness);
 }
 
 Result<bool> InRep(const Instance& table, const Instance& ground,
-                   Valuation* witness, RepAOptions options) {
-  return InRepA(Annotate(table, Ann::kClosed), ground, witness, options);
+                   Valuation* witness, RepAOptions options,
+                   const EngineContext& ctx) {
+  return InRepA(Annotate(table, Ann::kClosed), ground, witness, options, ctx);
 }
 
 }  // namespace ocdx

@@ -16,6 +16,7 @@
 #define OCDX_SEMANTICS_REPA_H_
 
 #include "base/instance.h"
+#include "logic/engine_context.h"
 #include "semantics/valuation.h"
 #include "util/status.h"
 
@@ -23,6 +24,8 @@ namespace ocdx {
 
 struct RepAOptions {
   /// Backtracking node budget; exceeding it yields ResourceExhausted.
+  /// The effective budget is additionally capped by the context's
+  /// repa_max_steps.
   uint64_t max_steps = 50'000'000;
 };
 
@@ -30,12 +33,14 @@ struct RepAOptions {
 /// non-null, stores a witnessing valuation.
 /// Fails with InvalidArgument if `ground` contains nulls.
 Result<bool> InRepA(const AnnotatedInstance& annotated, const Instance& ground,
-                    Valuation* witness = nullptr, RepAOptions options = {});
+                    Valuation* witness = nullptr, RepAOptions options = {},
+                    const EngineContext& ctx = EngineContext::Current());
 
 /// Is `ground` in Rep(`table`) = { v(table) } (the closed-world semantics
 /// of naive tables)?
 Result<bool> InRep(const Instance& table, const Instance& ground,
-                   Valuation* witness = nullptr, RepAOptions options = {});
+                   Valuation* witness = nullptr, RepAOptions options = {},
+                   const EngineContext& ctx = EngineContext::Current());
 
 /// Checks conditions (a) and (b) above under a *given* total valuation
 /// (deterministic; used by the enumeration-based engines).

@@ -3,16 +3,16 @@
 #include <algorithm>
 
 #include "logic/cq_eval.h"
-#include "logic/engine_config.h"
 #include "logic/evaluator.h"
 #include "semantics/homomorphism.h"
 
 namespace ocdx {
 
 Result<bool> SatisfiesStds(const Mapping& mapping, const Instance& source,
-                           const Instance& target, const Universe& universe) {
-  Evaluator source_eval(source, universe);
-  Evaluator target_eval(target, universe);
+                           const Instance& target, const Universe& universe,
+                           const EngineContext& ctx) {
+  Evaluator source_eval(source, universe, ctx);
+  Evaluator target_eval(target, universe, ctx);
   for (const AnnotatedStd& std_ : mapping.stds()) {
     const std::vector<std::string> body_vars = std_.BodyVars();
     // Head requirement: exists z-bar . conjunction of head atoms.
@@ -41,10 +41,9 @@ Result<bool> SatisfiesStds(const Mapping& mapping, const Instance& source,
     // containment instead of a (re-compiled) Holds call per witness. The
     // naive engine keeps the per-witness loop as the benchable baseline.
     const std::vector<std::string> req_vars = FreeVars(requirement);
-    if (join_engine_mode() == JoinEngineMode::kIndexed && !body_vars.empty() &&
-        !req_vars.empty()) {
+    if (ctx.indexed() && !body_vars.empty() && !req_vars.empty()) {
       std::optional<Relation> req_answers =
-          TryEvalCQ(requirement, req_vars, target);
+          TryEvalCQ(requirement, req_vars, target, ctx);
       if (req_answers.has_value()) {
         std::vector<size_t> proj(req_vars.size());
         bool proj_ok = true;
@@ -83,37 +82,41 @@ Result<bool> SatisfiesStds(const Mapping& mapping, const Instance& source,
 }
 
 Result<bool> IsOwaSolution(const Mapping& mapping, const Instance& source,
-                           const Instance& target, const Universe& universe) {
-  return SatisfiesStds(mapping, source, target, universe);
+                           const Instance& target, const Universe& universe,
+                           const EngineContext& ctx) {
+  return SatisfiesStds(mapping, source, target, universe, ctx);
 }
 
 Result<bool> IsSigmaAlphaSolutionGiven(const AnnotatedInstance& csola,
-                                       const AnnotatedInstance& target) {
+                                       const AnnotatedInstance& target,
+                                       const EngineContext& ctx) {
   // Proposition 1: T is a Sigma-alpha-solution iff
   //   (1) T is a homomorphic image of CSolA(S) (presolution), and
   //   (2) there is a homomorphism from T into an expansion of CSolA(S).
   OCDX_ASSIGN_OR_RETURN(std::optional<NullMap> onto,
-                        FindOntoImage(csola, target));
+                        FindOntoImage(csola, target, {}, ctx));
   if (!onto.has_value()) return false;
   OCDX_ASSIGN_OR_RETURN(std::optional<NullMap> back,
-                        FindExpansionHom(target, csola));
+                        FindExpansionHom(target, csola, {}, ctx));
   return back.has_value();
 }
 
 Result<bool> IsSigmaAlphaSolution(const Mapping& mapping,
                                   const Instance& source,
                                   const AnnotatedInstance& target,
-                                  Universe* universe) {
+                                  Universe* universe,
+                                  const EngineContext& ctx) {
   OCDX_ASSIGN_OR_RETURN(CanonicalSolution csol,
-                        Chase(mapping, source, universe));
-  return IsSigmaAlphaSolutionGiven(csol.annotated, target);
+                        Chase(mapping, source, universe, ctx));
+  return IsSigmaAlphaSolutionGiven(csol.annotated, target, ctx);
 }
 
 Result<bool> IsCwaSolution(const Mapping& mapping, const Instance& source,
-                           const Instance& target, Universe* universe) {
+                           const Instance& target, Universe* universe,
+                           const EngineContext& ctx) {
   Mapping closed = mapping.WithUniformAnnotation(Ann::kClosed);
   return IsSigmaAlphaSolution(closed, source, Annotate(target, Ann::kClosed),
-                              universe);
+                              universe, ctx);
 }
 
 }  // namespace ocdx

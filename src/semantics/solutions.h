@@ -15,6 +15,7 @@
 
 #include "base/instance.h"
 #include "chase/canonical.h"
+#include "logic/engine_context.h"
 #include "mapping/mapping.h"
 #include "util/status.h"
 
@@ -24,29 +25,33 @@ namespace ocdx {
 /// values (naive semantics), exactly as in the paper's definition of
 /// OWA-solutions.
 Result<bool> SatisfiesStds(const Mapping& mapping, const Instance& source,
-                           const Instance& target, const Universe& universe);
+                           const Instance& target, const Universe& universe,
+                           const EngineContext& ctx = EngineContext::Current());
 
 /// Is T an OWA-solution for S under the mapping? (= SatisfiesStds.)
 Result<bool> IsOwaSolution(const Mapping& mapping, const Instance& source,
-                           const Instance& target, const Universe& universe);
+                           const Instance& target, const Universe& universe,
+                           const EngineContext& ctx = EngineContext::Current());
 
 /// Is T a Sigma-alpha-solution for S (Proposition 1)? `csola` must be the
 /// annotated canonical solution of S under the mapping.
-Result<bool> IsSigmaAlphaSolutionGiven(const AnnotatedInstance& csola,
-                                       const AnnotatedInstance& target);
+Result<bool> IsSigmaAlphaSolutionGiven(
+    const AnnotatedInstance& csola, const AnnotatedInstance& target,
+    const EngineContext& ctx = EngineContext::Current());
 
 /// Convenience overload that chases first.
-Result<bool> IsSigmaAlphaSolution(const Mapping& mapping,
-                                  const Instance& source,
-                                  const AnnotatedInstance& target,
-                                  Universe* universe);
+Result<bool> IsSigmaAlphaSolution(
+    const Mapping& mapping, const Instance& source,
+    const AnnotatedInstance& target, Universe* universe,
+    const EngineContext& ctx = EngineContext::Current());
 
 /// Is T (a plain instance) a CWA-solution for S under the *unannotated*
 /// reading of the mapping? Implemented as the all-closed special case of
 /// Proposition 1 (equivalently [Lib06]: homomorphic image of CSol(S) with
 /// a homomorphism back into CSol(S)).
 Result<bool> IsCwaSolution(const Mapping& mapping, const Instance& source,
-                           const Instance& target, Universe* universe);
+                           const Instance& target, Universe* universe,
+                           const EngineContext& ctx = EngineContext::Current());
 
 }  // namespace ocdx
 

@@ -286,7 +286,8 @@ Result<SkolemMembership> InSkolemComposition(const Mapping& sigma,
                                              const Instance& source,
                                              const Instance& target,
                                              Universe* universe,
-                                             SkolemMembershipOptions options) {
+                                             SkolemMembershipOptions options,
+                                             const EngineContext& ctx) {
   bool delta_open_monotone =
       delta.IsAllOpen() && delta.HasMonotoneBodies();
   bool sigma_closed = sigma.IsAllClosed();
@@ -301,7 +302,7 @@ Result<SkolemMembership> InSkolemComposition(const Mapping& sigma,
     if (!std_.ExistentialVars().empty()) {
       OCDX_ASSIGN_OR_RETURN(Mapping sk, EnsureSkolemized(sigma));
       return InSkolemComposition(sk, delta, source, target, universe,
-                                 options);
+                                 options, ctx);
     }
   }
 
@@ -318,7 +319,7 @@ Result<SkolemMembership> InSkolemComposition(const Mapping& sigma,
     if (!std_.ExistentialVars().empty()) {
       OCDX_ASSIGN_OR_RETURN(Mapping sk, EnsureSkolemized(sigma));
       return InSkolemComposition(sk, delta, source, target, universe,
-                                 options);
+                                 options, ctx);
     }
   }
 
@@ -341,7 +342,7 @@ Result<SkolemMembership> InSkolemComposition(const Mapping& sigma,
   // Phase 1: sigma's demanded *body* slots (guard analysis); head slots
   // surface as placeholders during each solve and form phase 2.
   OCDX_ASSIGN_OR_RETURN(SlotSet demanded,
-                        DemandedBodySlots(sigma, source, universe));
+                        DemandedBodySlots(sigma, source, universe, ctx));
   std::vector<std::pair<std::string, Tuple>> slots(demanded.begin(),
                                                    demanded.end());
   std::vector<Value> slot_nulls;
@@ -365,7 +366,7 @@ Result<SkolemMembership> InSkolemComposition(const Mapping& sigma,
     }
     RecordingOracle head_oracle(&table, universe);
     Result<AnnotatedInstance> sol =
-        SolveSkolem(sigma, source, &head_oracle, universe);
+        SolveSkolem(sigma, source, &head_oracle, universe, ctx);
     if (!sol.ok()) return sol.status();
 
     // Phase 2: valuate head-slot placeholders that reached tuples.
@@ -390,7 +391,7 @@ Result<SkolemMembership> InSkolemComposition(const Mapping& sigma,
       }
       OCDX_ASSIGN_OR_RETURN(
           SkolemMembership inner,
-          InSkolemSemantics(delta, j, target, universe, options));
+          InSkolemSemantics(delta, j, target, universe, options, ctx));
       if (!inner.exhaustive) out.exhaustive = false;
       if (inner.member) {
         out.member = true;

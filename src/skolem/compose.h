@@ -24,6 +24,7 @@
 #ifndef OCDX_SKOLEM_COMPOSE_H_
 #define OCDX_SKOLEM_COMPOSE_H_
 
+#include "logic/engine_context.h"
 #include "mapping/mapping.h"
 #include "skolem/skolem.h"
 #include "util/status.h"
@@ -51,12 +52,11 @@ Result<ComposeSkolemResult> ComposeSkolem(const Mapping& sigma,
 /// intermediate J = rel(Sol_{F'}(S)) — complete when Sigma is all-closed
 /// (RepA is then a singleton), and when Delta is all-open with monotone
 /// bodies (Claim 8: the minimal J suffices).
-Result<SkolemMembership> InSkolemComposition(const Mapping& sigma,
-                                             const Mapping& delta,
-                                             const Instance& source,
-                                             const Instance& target,
-                                             Universe* universe,
-                                             SkolemMembershipOptions options = {});
+Result<SkolemMembership> InSkolemComposition(
+    const Mapping& sigma, const Mapping& delta, const Instance& source,
+    const Instance& target, Universe* universe,
+    SkolemMembershipOptions options = {},
+    const EngineContext& ctx = EngineContext::Current());
 
 }  // namespace ocdx
 

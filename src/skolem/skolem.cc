@@ -91,7 +91,7 @@ Result<Value> TermNullOracle::Apply(const std::string& func,
   if (it != slots_.end()) return it->second;
   NullInfo info;
   info.var = func;
-  info.witness = args;
+  info.witness = universe_->InternWitness(args);
   info.label = StrCat("t_", func, slots_.size());
   Value null = universe_->MintNull(std::move(info));
   slots_.emplace(key, null);
@@ -107,7 +107,7 @@ Result<Value> RecordingOracle::Apply(const std::string& func,
   if (it != placeholders_.end()) return it->second;
   NullInfo info;
   info.var = func;
-  info.witness = args;
+  info.witness = universe_->InternWitness(args);
   info.label = StrCat("p_", func, placeholders_.size());
   Value null = universe_->MintNull(std::move(info));
   placeholders_.emplace(key, null);
@@ -244,10 +244,11 @@ void CollectFuncSites(const FormulaPtr& f, std::vector<FormulaPtr> guards,
 
 Result<SlotSet> DemandedBodySlots(const Mapping& mapping,
                                   const Instance& source,
-                                  Universe* universe) {
+                                  Universe* universe,
+                                  const EngineContext& ctx) {
   SlotSet out;
   std::vector<Value> adom = source.ActiveDomain();
-  Evaluator eval(source, *universe);
+  Evaluator eval(source, *universe, ctx);
 
   for (const AnnotatedStd& std_ : mapping.stds()) {
     std::vector<FuncSite> sites;
@@ -350,7 +351,8 @@ Result<SlotSet> DemandedBodySlots(const Mapping& mapping,
 Result<AnnotatedInstance> SolveSkolem(const Mapping& mapping,
                                       const Instance& source,
                                       FunctionOracle* oracle,
-                                      Universe* universe) {
+                                      Universe* universe,
+                                      const EngineContext& ctx) {
   OCDX_RETURN_IF_ERROR(mapping.Validate(/*allow_functions=*/true));
   OCDX_RETURN_IF_ERROR(mapping.source().Validate(source));
 
@@ -364,7 +366,7 @@ Result<AnnotatedInstance> SolveSkolem(const Mapping& mapping,
   std::vector<Value> extra_domain;
   {
     OCDX_ASSIGN_OR_RETURN(SlotSet slots,
-                          DemandedBodySlots(mapping, source, universe));
+                          DemandedBodySlots(mapping, source, universe, ctx));
     std::set<Value> images;
     for (const auto& [func, args] : slots) {
       Result<Value> img = oracle->Apply(func, args);
@@ -373,7 +375,7 @@ Result<AnnotatedInstance> SolveSkolem(const Mapping& mapping,
     extra_domain.assign(images.begin(), images.end());
   }
 
-  Evaluator eval(source, *universe);
+  Evaluator eval(source, *universe, ctx);
   eval.AddDomainValues(extra_domain);
   eval.set_function_oracle(oracle);
 
@@ -453,7 +455,8 @@ Result<SkolemMembership> InSkolemSemantics(const Mapping& mapping,
                                            const Instance& source,
                                            const Instance& target,
                                            Universe* universe,
-                                           SkolemMembershipOptions options) {
+                                           SkolemMembershipOptions options,
+                                           const EngineContext& ctx) {
   if (!target.IsGround()) {
     return Status::InvalidArgument(
         "SkSTD semantics membership is defined for ground targets");
@@ -462,7 +465,8 @@ Result<SkolemMembership> InSkolemSemantics(const Mapping& mapping,
     if (!std_.ExistentialVars().empty()) {
       // Plain STD rules: Skolemize first (Lemma 4), then decide.
       OCDX_ASSIGN_OR_RETURN(Mapping skolemized, EnsureSkolemized(mapping));
-      return InSkolemSemantics(skolemized, source, target, universe, options);
+      return InSkolemSemantics(skolemized, source, target, universe, options,
+                               ctx);
     }
   }
   SkolemMembership out;
@@ -473,9 +477,9 @@ Result<SkolemMembership> InSkolemSemantics(const Mapping& mapping,
     // is exactly an interpretation of the used slots.
     TermNullOracle oracle(universe);
     OCDX_ASSIGN_OR_RETURN(AnnotatedInstance sol,
-                          SolveSkolem(mapping, source, &oracle, universe));
+                          SolveSkolem(mapping, source, &oracle, universe, ctx));
     OCDX_ASSIGN_OR_RETURN(out.member,
-                          InRepA(sol, target, nullptr, options.repa));
+                          InRepA(sol, target, nullptr, options.repa, ctx));
     out.exhaustive = true;
     out.method = "term-keyed nulls (Lemma 4)";
     out.interpretations_checked = 1;
@@ -487,7 +491,7 @@ Result<SkolemMembership> InSkolemSemantics(const Mapping& mapping,
   // change which witnesses fire. Phase 2: head-term slots demanded during
   // each solve, discovered as placeholder nulls and valuated afterwards.
   OCDX_ASSIGN_OR_RETURN(SlotSet demanded,
-                        DemandedBodySlots(mapping, source, universe));
+                        DemandedBodySlots(mapping, source, universe, ctx));
 
   // Distinguished constants: everything the target / mapping can "see".
   std::vector<Value> adom = source.ActiveDomain();
@@ -528,7 +532,7 @@ Result<SkolemMembership> InSkolemSemantics(const Mapping& mapping,
     }
     RecordingOracle oracle(&table, universe);
     Result<AnnotatedInstance> sol =
-        SolveSkolem(mapping, source, &oracle, universe);
+        SolveSkolem(mapping, source, &oracle, universe, ctx);
     if (!sol.ok()) return sol.status();
 
     // Phase 2: valuate the placeholder (head-slot) nulls that actually
@@ -550,8 +554,8 @@ Result<SkolemMembership> InSkolemSemantics(const Mapping& mapping,
         return out;
       }
       AnnotatedInstance ground = ApplyValuationAnnotated(sol.value(), v2);
-      OCDX_ASSIGN_OR_RETURN(bool member,
-                            InRepA(ground, target, nullptr, options.repa));
+      OCDX_ASSIGN_OR_RETURN(
+          bool member, InRepA(ground, target, nullptr, options.repa, ctx));
       if (member) {
         out.member = true;
         return out;

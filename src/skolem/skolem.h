@@ -29,6 +29,7 @@
 #include <string>
 
 #include "base/instance.h"
+#include "logic/engine_context.h"
 #include "logic/evaluator.h"
 #include "mapping/mapping.h"
 #include "semantics/repa.h"
@@ -51,8 +52,9 @@ using SlotSet = std::set<std::pair<std::string, Tuple>>;
 /// function's value. Argument variables not bound by any guard fall back
 /// to the full active domain. Fails with Unimplemented on nested function
 /// terms in bodies (head nesting is fine).
-Result<SlotSet> DemandedBodySlots(const Mapping& mapping,
-                                  const Instance& source, Universe* universe);
+Result<SlotSet> DemandedBodySlots(
+    const Mapping& mapping, const Instance& source, Universe* universe,
+    const EngineContext& ctx = EngineContext::Current());
 
 /// Lemma 4: translates a plain annotated STD mapping into an equivalent
 /// annotated SkSTD mapping. Each existential variable z of STD #i becomes
@@ -120,10 +122,9 @@ class RecordingOracle : public FunctionOracle {
 
 /// Computes Sol_{F'}(S) for a Skolemized mapping under the oracle's
 /// interpretation (including empty annotated tuples for unfired rules).
-Result<AnnotatedInstance> SolveSkolem(const Mapping& mapping,
-                                      const Instance& source,
-                                      FunctionOracle* oracle,
-                                      Universe* universe);
+Result<AnnotatedInstance> SolveSkolem(
+    const Mapping& mapping, const Instance& source, FunctionOracle* oracle,
+    Universe* universe, const EngineContext& ctx = EngineContext::Current());
 
 struct SkolemMembership {
   bool member = false;
@@ -144,7 +145,8 @@ struct SkolemMembershipOptions {
 /// does some interpretation F' put target in RepA(Sol_{F'}(source))?
 Result<SkolemMembership> InSkolemSemantics(
     const Mapping& mapping, const Instance& source, const Instance& target,
-    Universe* universe, SkolemMembershipOptions options = {});
+    Universe* universe, SkolemMembershipOptions options = {},
+    const EngineContext& ctx = EngineContext::Current());
 
 /// Proposition 7: renders the mapping as the second-order sentence
 /// "exists f1..fr forall x-bar (phi -> psi) ..." of [FKPT05].

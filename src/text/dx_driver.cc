@@ -9,6 +9,8 @@
 #include "chase/canonical.h"
 #include "compose/compose.h"
 #include "logic/classify.h"
+#include "semantics/membership.h"
+#include "semantics/repa.h"
 #include "skolem/compose.h"
 #include "skolem/skolem.h"
 #include "util/str.h"
@@ -18,6 +20,20 @@ namespace ocdx {
 namespace {
 
 const char* YesNo(bool b) { return b ? "yes" : "no"; }
+
+// Error texts shared verbatim by the run paths and PlanDxJobs (the batch
+// planner must fail with byte-identical messages to the sequential run).
+constexpr char kNoChasePair[] =
+    "no applicable (plain mapping, plain instance over its source "
+    "schema) pair for chase";
+constexpr char kNoCertainTriple[] =
+    "no applicable (mapping, instance, query) triple for certain";
+constexpr char kNoMembershipInput[] =
+    "no applicable membership input: need a (mapping, plain source, "
+    "ground target) triple or an (annotated instance, ground instance) "
+    "pair";
+constexpr char kUnknownCommand[] =
+    "' (expected chase, certain, classify, membership, compose or all)";
 
 // ---------------------------------------------------------------------------
 // Canonical null naming
@@ -280,7 +296,7 @@ Result<std::string> ChaseText(const DxScenario& sc, Universe* u,
     for (const DxInstanceDecl& inst : sc.instances) {
       if (!ChasePairOk(m, inst)) continue;
       OCDX_ASSIGN_OR_RETURN(CanonicalSolution csol,
-                            Chase(m.mapping, inst.plain, u));
+                            Chase(m.mapping, inst.plain, u, options.engine));
       std::map<Value, std::string> names =
           CanonicalNullNames(csol.annotated, *u);
       size_t markers = 0;
@@ -297,11 +313,7 @@ Result<std::string> ChaseText(const DxScenario& sc, Universe* u,
                     fresh, ", empty markers=", markers, "\n");
     }
   }
-  if (out.empty()) {
-    return Status::NotFound(
-        "no applicable (plain mapping, plain instance over its source "
-        "schema) pair for chase");
-  }
+  if (out.empty()) return Status::NotFound(kNoChasePair);
   return out;
 }
 
@@ -324,7 +336,8 @@ Result<std::string> CertainText(const DxScenario& sc, Universe* u,
       if (applicable.empty()) continue;
       OCDX_ASSIGN_OR_RETURN(
           CertainAnswerEngine engine,
-          CertainAnswerEngine::Create(m.mapping, inst.plain, u));
+          CertainAnswerEngine::Create(m.mapping, inst.plain, u,
+                                      options.engine));
       out += StrCat("certain ", m.name, " / ", inst.name, ":\n");
       for (const DxQuery* q : applicable) {
         std::string head = StrCat("  ", q->name, "(", Join(q->vars, ", "),
@@ -347,10 +360,129 @@ Result<std::string> CertainText(const DxScenario& sc, Universe* u,
       }
     }
   }
-  if (out.empty()) {
-    return Status::NotFound(
-        "no applicable (mapping, instance, query) triple for certain");
+  if (out.empty()) return Status::NotFound(kNoCertainTriple);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// membership
+// ---------------------------------------------------------------------------
+
+// Solution-space triples: every (mapping, plain source over its source
+// schema, plain *ground* candidate over its target schema). Skolemized
+// mappings are decided through the SkSTD semantics (Lemma 4), plain ones
+// through Theorem 2 (all-open PTIME path or chase + RepA search).
+bool MembershipTripleOk(const DxMappingDecl& m, const DxInstanceDecl& s,
+                        const DxInstanceDecl& t) {
+  return !s.annotated && s.over == m.from && !t.annotated &&
+         t.over == m.to && t.plain.IsGround() && &s != &t;
+}
+
+// RepA pairs: an annotated instance A and a plain ground instance G over
+// the same schema.
+bool RepAPairOk(const DxInstanceDecl& a, const DxInstanceDecl& g) {
+  return a.annotated && !g.annotated && g.over == a.over &&
+         g.plain.IsGround();
+}
+
+bool HasMembershipInputs(const DxScenario& sc) {
+  for (const DxMappingDecl& m : sc.mappings) {
+    for (const DxInstanceDecl& s : sc.instances) {
+      for (const DxInstanceDecl& t : sc.instances) {
+        if (MembershipTripleOk(m, s, t)) return true;
+      }
+    }
   }
+  for (const DxInstanceDecl& a : sc.instances) {
+    for (const DxInstanceDecl& g : sc.instances) {
+      if (RepAPairOk(a, g)) return true;
+    }
+  }
+  return false;
+}
+
+Result<std::string> MembershipText(const DxScenario& sc, Universe* u,
+                                   const DxDriverOptions& options) {
+  OCDX_RETURN_IF_ERROR(CheckMappingSelection(sc, options));
+  std::string out;
+  for (const DxMappingDecl& m : sc.mappings) {
+    if (!options.mapping.empty() && m.name != options.mapping) continue;
+    for (const DxInstanceDecl& s : sc.instances) {
+      bool any = false;
+      for (const DxInstanceDecl& t : sc.instances) {
+        if (MembershipTripleOk(m, s, t)) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) continue;
+      out += StrCat("membership ", m.name, " / ", s.name, ":\n");
+      // Chase once per (mapping, source); every candidate below reuses
+      // CSolA(S) through InSolutionSpaceGiven. The all-open and Skolem
+      // paths do not chase here at all.
+      const bool skolem = m.mapping.IsSkolemized();
+      const bool all_open = m.mapping.IsAllOpen();
+      std::optional<CanonicalSolution> csol;
+      if (!skolem && !all_open) {
+        OCDX_ASSIGN_OR_RETURN(CanonicalSolution chased,
+                              Chase(m.mapping, s.plain, u, options.engine));
+        csol = std::move(chased);
+      }
+      for (const DxInstanceDecl& t : sc.instances) {
+        if (!MembershipTripleOk(m, s, t)) continue;
+        if (skolem) {
+          OCDX_ASSIGN_OR_RETURN(
+              SkolemMembership v,
+              InSkolemSemantics(m.mapping, s.plain, t.plain, u, {},
+                                options.engine));
+          out += StrCat("  ", t.name, ": member=", YesNo(v.member),
+                        ", exhaustive=", YesNo(v.exhaustive), "  [",
+                        v.method, "]\n");
+          continue;
+        }
+        // The witnessing valuation is engine-dependent (search order)
+        // and is deliberately not printed.
+        bool member;
+        if (all_open) {
+          OCDX_ASSIGN_OR_RETURN(
+              MembershipResult v,
+              InSolutionSpace(m.mapping, s.plain, t.plain, u, {},
+                              options.engine));
+          member = v.member;
+        } else {
+          OCDX_ASSIGN_OR_RETURN(
+              MembershipResult v,
+              InSolutionSpaceGiven(csol->annotated, t.plain, {},
+                                   options.engine));
+          member = v.member;
+        }
+        out += StrCat("  ", t.name, ": member=", YesNo(member), "  [",
+                      all_open
+                          ? "direct STD check (all-open, PTIME, Thm 2)"
+                          : "chase + RepA search (NP, Thm 2)",
+                      "]\n");
+      }
+    }
+  }
+  for (const DxInstanceDecl& a : sc.instances) {
+    bool any = false;
+    for (const DxInstanceDecl& g : sc.instances) {
+      if (RepAPairOk(a, g)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    out += StrCat("repa ", a.name, ":\n");
+    for (const DxInstanceDecl& g : sc.instances) {
+      if (!RepAPairOk(a, g)) continue;
+      OCDX_ASSIGN_OR_RETURN(
+          bool member,
+          InRepA(a.annotated_instance, g.plain, nullptr, {}, options.engine));
+      out += StrCat("  ", g.name, ": member=", YesNo(member), "\n");
+    }
+  }
+  if (out.empty()) return Status::NotFound(kNoMembershipInput);
   return out;
 }
 
@@ -370,7 +502,7 @@ Result<std::string> ComposeText(const DxScenario& sc, Universe* u,
   if (skolemized) {
     Result<SkolemMembership> verdict = InSkolemComposition(
         in.sigma->mapping, in.delta->mapping, in.source->plain,
-        in.target->plain, u);
+        in.target->plain, u, {}, options.engine);
     if (!verdict.ok()) {
       out += StrCat("  membership: error: ", verdict.status().message(),
                     "\n");
@@ -382,7 +514,7 @@ Result<std::string> ComposeText(const DxScenario& sc, Universe* u,
   } else {
     Result<ComposeVerdict> verdict =
         InComposition(in.sigma->mapping, in.delta->mapping, in.source->plain,
-                      in.target->plain, u);
+                      in.target->plain, u, {}, options.engine);
     if (!verdict.ok()) {
       out += StrCat("  membership: error: ", verdict.status().message(),
                     "\n");
@@ -463,6 +595,7 @@ std::vector<std::string> ApplicableDxCommands(const DxScenario& scenario) {
   std::vector<std::string> out = {"classify"};
   if (HasChasePair(scenario)) out.push_back("chase");
   if (HasCertainTriple(scenario)) out.push_back("certain");
+  if (HasMembershipInputs(scenario)) out.push_back("membership");
   if (HasComposePair(scenario)) out.push_back("compose");
   return out;
 }
@@ -474,11 +607,89 @@ Result<std::string> RunDxCommand(const DxScenario& scenario,
   if (command == "classify") return ClassifyText(scenario);
   if (command == "chase") return ChaseText(scenario, universe, options);
   if (command == "certain") return CertainText(scenario, universe, options);
+  if (command == "membership") {
+    return MembershipText(scenario, universe, options);
+  }
   if (command == "compose") return ComposeText(scenario, universe, options);
   if (command == "all") return RunAll(scenario, universe, options);
   return Status::InvalidArgument(
-      StrCat("unknown command '", command,
-             "' (expected chase, certain, classify, compose or all)"));
+      StrCat("unknown command '", command, kUnknownCommand));
+}
+
+Result<std::vector<DxJobSpec>> PlanDxJobs(const DxScenario& scenario,
+                                          const std::string& command,
+                                          const DxDriverOptions& options) {
+  std::vector<DxJobSpec> out;
+  if (command == "all") {
+    std::string header =
+        scenario.name.empty() ? ""
+                              : StrCat("scenario '", scenario.name, "'\n");
+    for (const std::string& cmd : ApplicableDxCommands(scenario)) {
+      OCDX_ASSIGN_OR_RETURN(std::vector<DxJobSpec> sub,
+                            PlanDxJobs(scenario, cmd, options));
+      for (size_t i = 0; i < sub.size(); ++i) {
+        if (i == 0) {
+          sub[i].prefix =
+              StrCat(header, "== ", cmd, " ==\n", sub[i].prefix);
+          header.clear();
+        }
+        out.push_back(std::move(sub[i]));
+      }
+    }
+    return out;
+  }
+
+  if (command == "chase" || command == "certain") {
+    OCDX_RETURN_IF_ERROR(CheckMappingSelection(scenario, options));
+    // Per-mapping slices; mapping names select unambiguously because the
+    // parser rejects duplicate mapping declarations.
+    for (const DxMappingDecl& m : scenario.mappings) {
+      if (!options.mapping.empty() && m.name != options.mapping) continue;
+      bool applicable = false;
+      for (const DxInstanceDecl& i : scenario.instances) {
+        if (!ChasePairOk(m, i)) continue;
+        if (command == "chase") {
+          applicable = true;
+        } else {
+          for (const DxQuery& q : scenario.queries) {
+            if (QueryOverTarget(q, m.mapping)) {
+              applicable = true;
+              break;
+            }
+          }
+        }
+        if (applicable) break;
+      }
+      if (!applicable) continue;
+      DxJobSpec spec;
+      spec.command = command;
+      spec.options = options;
+      spec.options.mapping = m.name;
+      out.push_back(std::move(spec));
+    }
+    if (out.empty()) {
+      return Status::NotFound(command == "chase" ? kNoChasePair
+                                                 : kNoCertainTriple);
+    }
+    return out;
+  }
+
+  // classify / membership / compose: one job running the command
+  // verbatim. Validate applicability up front so planning fails exactly
+  // where running would.
+  if (command == "membership" && !HasMembershipInputs(scenario)) {
+    return Status::NotFound(kNoMembershipInput);
+  }
+  if (command != "classify" && command != "membership" &&
+      command != "compose") {
+    return Status::InvalidArgument(
+        StrCat("unknown command '", command, kUnknownCommand));
+  }
+  DxJobSpec spec;
+  spec.command = command;
+  spec.options = options;
+  out.push_back(std::move(spec));
+  return out;
 }
 
 }  // namespace ocdx

@@ -12,16 +12,20 @@
 //     never printed.
 //
 // Commands:
-//   classify  annotation/body/query classification and the paper's
-//             complexity cells (always applicable);
-//   chase     CSolA(S) for every (plain mapping, plain instance over its
-//             source schema) pair;
-//   certain   certain answers / boolean verdicts for every applicable
-//             (mapping, instance, query) triple;
-//   compose   semantic composition membership for the first (or selected)
-//             sigma/delta pair, plus the Lemma 5 syntactic composition;
-//   all       every applicable command, concatenated under `== cmd ==`
-//             headers (the golden-file format).
+//   classify    annotation/body/query classification and the paper's
+//               complexity cells (always applicable);
+//   chase       CSolA(S) for every (plain mapping, plain instance over its
+//               source schema) pair;
+//   certain     certain answers / boolean verdicts for every applicable
+//               (mapping, instance, query) triple;
+//   membership  solution-space checks T in [[S]]_{Sigma_alpha} for every
+//               (mapping, source, ground target) triple, plus RepA checks
+//               G in RepA(A) for annotated instances A against ground
+//               instances G over the same schema;
+//   compose     semantic composition membership for the first (or selected)
+//               sigma/delta pair, plus the Lemma 5 syntactic composition;
+//   all         every applicable command, concatenated under `== cmd ==`
+//               headers (the golden-file format).
 
 #ifndef OCDX_TEXT_DX_DRIVER_H_
 #define OCDX_TEXT_DX_DRIVER_H_
@@ -29,26 +33,32 @@
 #include <string>
 #include <vector>
 
+#include "logic/engine_context.h"
 #include "text/dx_scenario.h"
 #include "util/status.h"
 
 namespace ocdx {
 
 /// Optional by-name input selection; empty strings mean "use every
-/// applicable combination" (chase/certain) or "pick the first structural
-/// match" (compose).
+/// applicable combination" (chase/certain/membership) or "pick the first
+/// structural match" (compose).
 struct DxDriverOptions {
-  std::string mapping;  ///< chase/certain: restrict to this mapping.
+  std::string mapping;  ///< chase/certain/membership: restrict to this mapping.
   std::string sigma;    ///< compose: the first mapping.
   std::string delta;    ///< compose: the second mapping.
   std::string source;   ///< compose: source instance name.
   std::string target;   ///< compose: candidate target instance name.
+  /// Engine configuration for every evaluation the command performs. The
+  /// driver never reads the deprecated process-global mode: callers that
+  /// want a non-default engine set it here (the CLI maps --engine to this
+  /// field).
+  EngineContext engine;
 };
 
-/// Runs one command ("chase", "certain", "classify", "compose" or "all")
-/// and returns its canonical text. Fails on unknown commands, on
-/// selection names that do not resolve, and on commands with no
-/// applicable inputs.
+/// Runs one command ("chase", "certain", "classify", "membership",
+/// "compose" or "all") and returns its canonical text. Fails on unknown
+/// commands, on selection names that do not resolve, and on commands with
+/// no applicable inputs.
 Result<std::string> RunDxCommand(const DxScenario& scenario,
                                  const std::string& command,
                                  Universe* universe,
@@ -57,6 +67,31 @@ Result<std::string> RunDxCommand(const DxScenario& scenario,
 /// The commands (other than "all") that have at least one applicable
 /// input combination in this scenario, in canonical order.
 std::vector<std::string> ApplicableDxCommands(const DxScenario& scenario);
+
+/// One independently runnable slice of a command: `prefix` followed by
+/// the output of RunDxCommand(scenario, command, u, options).
+///
+/// Invariant (relied on by the batch executor, src/exec): running the
+/// specs of PlanDxJobs *in order* — each against a freshly parsed copy of
+/// the same scenario text — and concatenating prefix + output yields text
+/// byte-identical to running `command` directly. Canonical rendering
+/// (sorted relations, justification-keyed null names) is what makes the
+/// slices insensitive to the surrounding universe state.
+struct DxJobSpec {
+  std::string command;
+  DxDriverOptions options;
+  std::string prefix;
+};
+
+/// Decomposes `command` into independent job slices: chase and certain
+/// fan out per applicable mapping, `all` expands into its sub-commands
+/// (with the scenario header and `== cmd ==` banners carried as
+/// prefixes), and everything else stays a single job. Fails exactly when
+/// RunDxCommand would fail up front (unknown command, bad selection, no
+/// applicable inputs).
+Result<std::vector<DxJobSpec>> PlanDxJobs(const DxScenario& scenario,
+                                          const std::string& command,
+                                          const DxDriverOptions& options = {});
 
 }  // namespace ocdx
 

@@ -30,7 +30,11 @@ struct StringViewHash {
 /// Interns strings into dense uint32 ids, starting from 0.
 ///
 /// Ids are stable for the lifetime of the interner and never reused.
-/// Not thread-safe; each Universe owns its interners.
+///
+/// Concurrency contract: unsynchronized, like every per-Universe
+/// structure — an interner belongs to the one job that owns its Universe
+/// (README.md "Concurrency model"); jobs running in parallel each own a
+/// disjoint interner, so no locking is needed or wanted on this path.
 class StringInterner {
  public:
   StringInterner() = default;

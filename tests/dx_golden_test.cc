@@ -22,7 +22,7 @@
 
 #include <gtest/gtest.h>
 
-#include "logic/engine_config.h"
+#include "logic/engine_context.h"
 #include "text/dx_driver.h"
 #include "text/dx_parser.h"
 
@@ -48,17 +48,20 @@ std::vector<fs::path> DxFilesIn(const fs::path& dir) {
   return out;
 }
 
-// Parses fresh (own Universe) and runs `ocdx all` under the given engine.
+// Parses fresh (own Universe) and runs `ocdx all` under the given engine
+// — carried as an explicit EngineContext on the driver options, exactly
+// like the CLI (no global engine-mode writes anywhere in this test).
 std::string RunAllUnder(const std::string& src, JoinEngineMode mode,
                         const fs::path& file) {
-  ScopedJoinEngineMode scoped(mode);
   Universe universe;
   Result<DxScenario> scenario = ParseDxScenario(src, &universe);
   EXPECT_TRUE(scenario.ok())
       << file << ": " << scenario.status().ToString();
   if (!scenario.ok()) return "";
+  DxDriverOptions options;
+  options.engine = EngineContext::ForMode(mode);
   Result<std::string> out =
-      RunDxCommand(scenario.value(), "all", &universe);
+      RunDxCommand(scenario.value(), "all", &universe, options);
   EXPECT_TRUE(out.ok()) << file << ": " << out.status().ToString();
   return out.ok() ? out.value() : "";
 }

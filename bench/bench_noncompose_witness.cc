@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "compose/compose.h"
+#include "logic/engine_context.h"
 #include "workloads/scenarios.h"
 
 namespace ocdx {
@@ -27,9 +28,12 @@ void RunProp6(benchmark::State& state, bool positive_case) {
   }
   bool member = false;
   uint64_t intermediates = 0;
+  // Production configuration: a job-scoped plan cache across iterations.
+  const EngineContext ctx =
+      EngineContext::CachedForMode(JoinEngineMode::kIndexed);
   for (auto _ : state) {
     Result<ComposeVerdict> v = InComposition(
-        sc.value().sigma, sc.value().delta, sc.value().source, w, &u);
+        sc.value().sigma, sc.value().delta, sc.value().source, w, &u, {}, ctx);
     if (!v.ok()) {
       state.SkipWithError(v.status().ToString().c_str());
       return;

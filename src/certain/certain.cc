@@ -69,9 +69,16 @@ size_t LeadingForallCount(const FormulaPtr& q) {
 Result<CertainAnswerEngine> CertainAnswerEngine::Create(
     const Mapping& mapping, const Instance& source, Universe* universe,
     const EngineContext& ctx) {
+  // The engine's private context carries a plan cache (unless the caller
+  // already attached one, or OCDX_PLAN_CACHE=off): the member-enumeration
+  // loops below evaluate each query over thousands of member instances,
+  // and the cache is what makes that O(queries) compilations instead of
+  // O(members x queries).
+  EngineContext engine_ctx = ctx;
+  engine_ctx.EnsureCache();
   OCDX_ASSIGN_OR_RETURN(CanonicalSolution csol,
-                        Chase(mapping, source, universe, ctx));
-  return CertainAnswerEngine(mapping, std::move(csol), universe, ctx);
+                        Chase(mapping, source, universe, engine_ctx));
+  return CertainAnswerEngine(mapping, std::move(csol), universe, engine_ctx);
 }
 
 Result<CertainAnswerEngine::Plan> CertainAnswerEngine::MakePlan(

@@ -61,7 +61,7 @@ class CertainAnswerEngine {
   /// evaluation the engine performs.
   static Result<CertainAnswerEngine> Create(
       const Mapping& mapping, const Instance& source, Universe* universe,
-      const EngineContext& ctx = EngineContext::Current());
+      const EngineContext& ctx = EngineContext());
 
   /// DEQA(Sigma_alpha, Q): is `t` a certain answer of `q`?
   /// `order` names q's free variables in t's column order.

@@ -20,12 +20,12 @@ namespace ocdx {
 Result<Relation> NaiveEval(const FormulaPtr& q,
                            const std::vector<std::string>& order,
                            const Instance& inst, const Universe& universe,
-                           const EngineContext& ctx = EngineContext::Current());
+                           const EngineContext& ctx = EngineContext());
 
 /// Naive evaluation of a boolean (sentence) query.
 Result<bool> NaiveEvalBoolean(
     const FormulaPtr& q, const Instance& inst, const Universe& universe,
-    const EngineContext& ctx = EngineContext::Current());
+    const EngineContext& ctx = EngineContext());
 
 }  // namespace ocdx
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "logic/evaluator.h"
+#include "plan/head_plan.h"
 #include "util/str.h"
 
 namespace ocdx {
@@ -30,15 +31,6 @@ Result<Value> EvalHeadTerm(const Term& t, const Env& env) {
   }
   return Status::Internal("unknown term kind");
 }
-
-// A head term resolved at compile time: a constant, a witness position, or
-// a fresh-null position. The per-witness loop then touches no strings.
-struct HeadSlot {
-  enum class Kind : uint8_t { kConst, kWitness, kFresh };
-  Kind kind = Kind::kConst;
-  Value constant;
-  size_t index = 0;
-};
 
 // Original string-keyed witness loop, preserved as the naive baseline
 // (see logic/engine_context.h).
@@ -88,49 +80,21 @@ Status FireNaive(const AnnotatedStd& std_, size_t std_index,
 }
 
 // Slot-compiled witness loop: head terms are resolved to witness / fresh-
-// null positions once per STD, so firing a witness is a handful of vector
-// reads instead of string-map traffic. The instantiated head tuples are
-// accumulated into one flat buffer per head atom and appended through the
-// relations' batch AddAll — the whole delta of an STD costs at most one
-// arena chunk allocation per target relation instead of per-tuple
-// vector/annotation churn.
+// null positions once per STD (plan::CompileHeadPlans), so firing a
+// witness is a handful of vector reads instead of string-map traffic. The
+// instantiated head tuples are accumulated into one flat buffer per head
+// atom and appended through the relations' batch AddAll — the whole delta
+// of an STD costs at most one arena chunk allocation per target relation
+// instead of per-tuple vector/annotation churn.
 Status FireCompiled(const AnnotatedStd& std_, size_t std_index,
                     const std::shared_ptr<const std::vector<std::string>>& vars,
                     const std::vector<std::string>& exist_vars,
                     const std::vector<TupleRef>& witnesses,
                     Universe* universe, CanonicalSolution* out) {
   const std::vector<std::string>& body_vars = *vars;
-  std::vector<std::vector<HeadSlot>> head_plans(std_.head.size());
-  for (size_t a = 0; a < std_.head.size(); ++a) {
-    head_plans[a].reserve(std_.head[a].terms.size());
-    for (const Term& term : std_.head[a].terms) {
-      HeadSlot slot;
-      if (term.IsConst()) {
-        slot.kind = HeadSlot::Kind::kConst;
-        slot.constant = term.constant;
-      } else if (term.IsVar()) {
-        auto wit = std::find(body_vars.begin(), body_vars.end(), term.name);
-        if (wit != body_vars.end()) {
-          slot.kind = HeadSlot::Kind::kWitness;
-          slot.index = static_cast<size_t>(wit - body_vars.begin());
-        } else {
-          auto ex = std::find(exist_vars.begin(), exist_vars.end(), term.name);
-          if (ex == exist_vars.end()) {
-            return Status::Internal(StrCat("head variable '", term.name,
-                                           "' has no binding"));
-          }
-          slot.kind = HeadSlot::Kind::kFresh;
-          slot.index = static_cast<size_t>(ex - exist_vars.begin());
-        }
-      } else {
-        return Status::InvalidArgument(
-            StrCat("function term '", term.name,
-                   "' in a plain chase; Skolemized mappings must go through "
-                   "skolem::SolveSkolem"));
-      }
-      head_plans[a].push_back(slot);
-    }
-  }
+  OCDX_ASSIGN_OR_RETURN(
+      std::vector<std::vector<plan::HeadSlot>> head_plans,
+      plan::CompileHeadPlans(std_.head, body_vars, exist_vars));
 
   // One flat delta buffer per head atom; row i belongs to witness i.
   std::vector<Tuple> deltas(std_.head.size());
@@ -162,15 +126,15 @@ Status FireCompiled(const AnnotatedStd& std_, size_t std_index,
     trigger.fresh_nulls = fresh;
 
     for (size_t a = 0; a < std_.head.size(); ++a) {
-      for (const HeadSlot& slot : head_plans[a]) {
+      for (const plan::HeadSlot& slot : head_plans[a]) {
         switch (slot.kind) {
-          case HeadSlot::Kind::kConst:
+          case plan::HeadSlot::Kind::kConst:
             deltas[a].push_back(slot.constant);
             break;
-          case HeadSlot::Kind::kWitness:
+          case plan::HeadSlot::Kind::kWitness:
             deltas[a].push_back(w[slot.index]);
             break;
-          case HeadSlot::Kind::kFresh:
+          case plan::HeadSlot::Kind::kFresh:
             deltas[a].push_back(fresh[slot.index]);
             break;
         }

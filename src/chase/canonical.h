@@ -66,7 +66,7 @@ struct CanonicalSolution {
 /// order, independent of the engine mode in `ctx`.
 Result<CanonicalSolution> Chase(
     const Mapping& mapping, const Instance& source, Universe* universe,
-    const EngineContext& ctx = EngineContext::Current());
+    const EngineContext& ctx = EngineContext());
 
 }  // namespace ocdx
 

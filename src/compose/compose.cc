@@ -84,8 +84,15 @@ Result<ComposeVerdict> InComposition(const Mapping& sigma,
     }
   }
 
+  // One plan cache for the whole membership decision (unless the caller
+  // attached one): the J-searches below run Delta's bodies over every
+  // enumerated intermediate, so each query compiles once and rebinds
+  // per J.
+  EngineContext call_ctx = ctx;
+  call_ctx.EnsureCache();
+
   OCDX_ASSIGN_OR_RETURN(CanonicalSolution csol,
-                        Chase(sigma, source, universe, ctx));
+                        Chase(sigma, source, universe, call_ctx));
   std::vector<Value> fixed = FixedConstants(csol.annotated, delta, target);
 
   ComposeVerdict out;
@@ -103,6 +110,10 @@ Result<ComposeVerdict> InComposition(const Mapping& sigma,
                      ? "valuation enumeration (all-closed Sigma, NP)"
                      : "valuation enumeration (monotone all-open Delta, "
                        "Lemma 3 / Cor 4, NP)";
+    // Requirement formulas built once: the plan cache keys on formula
+    // identity, so per-J construction would recompile per intermediate.
+    const std::vector<FormulaPtr> delta_reqs =
+        delta_monotone_open ? StdRequirements(delta) : std::vector<FormulaPtr>{};
     ValuationEnumerator en(csol.annotated.Nulls(), fixed, universe);
     Valuation v;
     while (en.Next(&v)) {
@@ -113,7 +124,8 @@ Result<ComposeVerdict> InComposition(const Mapping& sigma,
       }
       if (delta_monotone_open) {
         OCDX_ASSIGN_OR_RETURN(
-            bool ok, SatisfiesStds(delta, j, target, *universe, ctx));
+            bool ok,
+            SatisfiesStds(delta, delta_reqs, j, target, *universe, call_ctx));
         if (ok) {
           out.member = true;
           return out;
@@ -121,7 +133,7 @@ Result<ComposeVerdict> InComposition(const Mapping& sigma,
       } else {
         OCDX_ASSIGN_OR_RETURN(
             MembershipResult res,
-            InSolutionSpace(delta, j, target, universe, options.repa, ctx));
+            InSolutionSpace(delta, j, target, universe, options.repa, call_ctx));
         if (res.member) {
           out.member = true;
           return out;
@@ -165,7 +177,7 @@ Result<ComposeVerdict> InComposition(const Mapping& sigma,
       j.GetOrCreate(d.name, d.arity());
     }
     Result<MembershipResult> res =
-        InSolutionSpace(delta, j, target, universe, options.repa, ctx);
+        InSolutionSpace(delta, j, target, universe, options.repa, call_ctx);
     if (!res.ok()) {
       inner = res.status();
       return false;

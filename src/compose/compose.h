@@ -53,7 +53,7 @@ struct ComposeVerdict {
 Result<ComposeVerdict> InComposition(
     const Mapping& sigma, const Mapping& delta, const Instance& source,
     const Instance& target, Universe* universe, ComposeOptions options = {},
-    const EngineContext& ctx = EngineContext::Current());
+    const EngineContext& ctx = EngineContext());
 
 }  // namespace ocdx
 

@@ -20,6 +20,10 @@ BatchJobResult RunJob(const BatchJob& job) {
   BatchJobResult result;
   Stopwatch timer;
   DxDriverOptions options = job.spec.options;
+  // Each job gets its *own* plan cache (PlanCache is unsynchronized,
+  // like everything else a job owns); the spec's context never carries
+  // one across jobs.
+  options.engine = options.engine.WithFreshCache();
   options.engine.stats = &result.stats;
 
   Universe universe;
@@ -211,6 +215,11 @@ std::string RenderBatchSummary(const BatchReport& report,
                 ", chase_triggers=", report.stats.chase_triggers,
                 ", hom_steps=", report.stats.hom_steps,
                 ", repa_steps=", report.stats.repa_steps, "\n");
+  out += StrCat("batch: plan stats: compiles=", report.stats.plan_compiles,
+                ", cache_hits=", report.stats.plan_cache_hits,
+                ", cache_misses=", report.stats.plan_cache_misses,
+                ", guard_depth_fallbacks=",
+                report.stats.guard_depth_fallbacks, "\n");
   if (failed > 0) out += StrCat("batch: ", failed, " file(s) FAILED\n");
   return out;
 }

@@ -1,765 +1,28 @@
 #include "logic/cq_eval.h"
 
-#include <algorithm>
-#include <cstdint>
-#include <functional>
 #include <set>
-#include <span>
-#include <unordered_map>
+
+#include "plan/plan_cache.h"
+#include "plan/runner.h"
 
 namespace ocdx {
-
-namespace {
-
-// Indexable positions are addressed by a 64-bit mask.
-constexpr size_t kMaxPlanArity = 64;
-
-// ---------------------------------------------------------------------------
-// Shape recognition (shared by the indexed and the naive engine).
-// ---------------------------------------------------------------------------
-
-struct CqAtom {
-  const std::string* rel;
-  const std::vector<Term>* terms;
-};
-
-struct CqEquality {
-  Term lhs;
-  Term rhs;
-};
-
-/// A negated sub-CQ guard: "!exists z-bar . atoms & equalities". The guard
-/// prunes a binding iff the sub-CQ has a match under it (an anti-join).
-struct CqGuard {
-  std::vector<CqAtom> atoms;
-  std::vector<CqEquality> equalities;
-  std::vector<std::string> free_vars;  ///< Bound outside the guard.
-};
-
-struct CqShape {
-  std::vector<CqAtom> atoms;
-  std::vector<CqEquality> equalities;
-  std::vector<CqGuard> guards;
-};
-
-// Flattens a *positive* exists-prefixed conjunction (no nested negation).
-bool FlattenPositive(const Formula& f, std::vector<CqAtom>* atoms,
-                     std::vector<CqEquality>* equalities) {
-  switch (f.kind()) {
-    case Formula::Kind::kTrue:
-      return true;
-    case Formula::Kind::kAtom:
-      for (const Term& t : f.terms()) {
-        if (t.IsFunc()) return false;
-      }
-      atoms->push_back(CqAtom{&f.rel(), &f.terms()});
-      return true;
-    case Formula::Kind::kEquals:
-      if (f.terms()[0].IsFunc() || f.terms()[1].IsFunc()) return false;
-      equalities->push_back(CqEquality{f.terms()[0], f.terms()[1]});
-      return true;
-    case Formula::Kind::kAnd:
-      for (const FormulaPtr& c : f.children()) {
-        if (!FlattenPositive(*c, atoms, equalities)) return false;
-      }
-      return true;
-    case Formula::Kind::kExists:
-      // Existential variables are simply projected away at the end; the
-      // prefix may also occur nested inside the conjunction, which is
-      // equivalent for CQs as long as bound names do not clash with outer
-      // ones (CollectBound declines shadowing).
-      return FlattenPositive(*f.children()[0], atoms, equalities);
-    default:
-      return false;
-  }
-}
-
-// Flattens the full supported shape: positive conjuncts plus negated
-// sub-CQ guards at the top conjunction level.
-bool Flatten(const Formula& f, CqShape* shape) {
-  switch (f.kind()) {
-    case Formula::Kind::kNot: {
-      CqGuard guard;
-      if (!FlattenPositive(*f.children()[0], &guard.atoms,
-                           &guard.equalities)) {
-        return false;
-      }
-      guard.free_vars = FreeVars(f.children()[0]);
-      shape->guards.push_back(std::move(guard));
-      return true;
-    }
-    case Formula::Kind::kAnd:
-      for (const FormulaPtr& c : f.children()) {
-        if (!Flatten(*c, shape)) return false;
-      }
-      return true;
-    case Formula::Kind::kExists:
-      return Flatten(*f.children()[0], shape);
-    default:
-      return FlattenPositive(f, &shape->atoms, &shape->equalities);
-  }
-}
-
-// Collects bound-variable names; declines shadowing (same name bound
-// twice or bound-and-free), which would make naive flattening unsound.
-bool CollectBound(const Formula& f, std::set<std::string>* bound) {
-  switch (f.kind()) {
-    case Formula::Kind::kExists: {
-      for (const std::string& v : f.bound()) {
-        if (!bound->insert(v).second) return false;
-      }
-      return CollectBound(*f.children()[0], bound);
-    }
-    case Formula::Kind::kAnd:
-      for (const FormulaPtr& c : f.children()) {
-        if (!CollectBound(*c, bound)) return false;
-      }
-      return true;
-    case Formula::Kind::kNot:
-      return CollectBound(*f.children()[0], bound);
-    default:
-      return true;
-  }
-}
-
-/// Recognizes the safe-CQ(+guards) shape of `f`, where `order` lists the
-/// output variables and `prebound` the externally bound ones (boolean
-/// mode). Nullopt = unsupported shape, fall back to the generic evaluator.
-std::optional<CqShape> RecognizeCq(const FormulaPtr& f,
-                                   const std::vector<std::string>& order,
-                                   const std::set<std::string>& prebound,
-                                   const Instance& inst) {
-  CqShape shape;
-  std::set<std::string> bound;
-  if (!CollectBound(*f, &bound)) return std::nullopt;
-  for (const std::string& v : order) {
-    if (bound.count(v)) return std::nullopt;  // Shadowed output variable.
-  }
-  // A name both bound and free would be conflated by flattening.
-  for (const std::string& v : FreeVars(f)) {
-    if (bound.count(v)) return std::nullopt;
-  }
-  if (!Flatten(*f, &shape)) return std::nullopt;
-
-  // Malformed atoms (arity mismatch) must reach the generic evaluator so
-  // that they produce its InvalidArgument error instead of garbage.
-  for (const CqAtom& a : shape.atoms) {
-    const Relation* rel = inst.Find(*a.rel);
-    if (rel != nullptr && rel->arity() != a.terms->size()) return std::nullopt;
-  }
-  for (const CqGuard& g : shape.guards) {
-    for (const CqAtom& a : g.atoms) {
-      const Relation* rel = inst.Find(*a.rel);
-      if (rel != nullptr && rel->arity() != a.terms->size()) {
-        return std::nullopt;
-      }
-    }
-  }
-
-  // Safety: every output variable must occur in some positive atom; every
-  // equality or guard variable must be bound by a positive atom or given
-  // from outside (otherwise it ranges over the whole domain and the
-  // generic evaluator is the right tool).
-  std::set<std::string> atom_vars;
-  for (const CqAtom& a : shape.atoms) {
-    for (const Term& t : *a.terms) {
-      if (t.IsVar()) atom_vars.insert(t.name);
-    }
-  }
-  auto covered = [&](const std::string& v) {
-    return atom_vars.count(v) > 0 || prebound.count(v) > 0;
-  };
-  for (const std::string& v : order) {
-    if (!atom_vars.count(v)) return std::nullopt;
-  }
-  for (const CqEquality& eq : shape.equalities) {
-    if (eq.lhs.IsVar() && !covered(eq.lhs.name)) return std::nullopt;
-    if (eq.rhs.IsVar() && !covered(eq.rhs.name)) return std::nullopt;
-  }
-  for (const CqGuard& g : shape.guards) {
-    for (const std::string& v : g.free_vars) {
-      if (!covered(v)) return std::nullopt;
-    }
-    std::set<std::string> guard_atom_vars;
-    for (const CqAtom& a : g.atoms) {
-      for (const Term& t : *a.terms) {
-        if (t.IsVar()) guard_atom_vars.insert(t.name);
-      }
-    }
-    for (const CqEquality& eq : g.equalities) {
-      for (const Term* side : {&eq.lhs, &eq.rhs}) {
-        if (side->IsVar() && !guard_atom_vars.count(side->name) &&
-            !covered(side->name)) {
-          return std::nullopt;
-        }
-      }
-    }
-  }
-  return shape;
-}
-
-// ---------------------------------------------------------------------------
-// The indexed engine: slot compilation, plan construction, execution.
-// ---------------------------------------------------------------------------
-
-/// A term resolved at compile time: either an interned constant or a dense
-/// frame slot. The inner loop never touches variable names.
-struct SlotOrConst {
-  bool is_const = false;
-  Value constant;
-  int slot = -1;
-};
-
-/// One join step: probe `rel` on `mask` with the compiled key, then bind /
-/// check the remaining positions against the fetched tuple.
-struct AtomPlan {
-  const Relation* rel = nullptr;
-  uint64_t mask = 0;                 ///< Positions matched via the index.
-  std::vector<SlotOrConst> key;      ///< One entry per mask bit, ascending.
-  std::vector<std::pair<uint32_t, int>> binds;   ///< (position, slot).
-  std::vector<std::pair<uint32_t, int>> checks;  ///< Intra-atom repeats.
-};
-
-struct EqPlan {
-  SlotOrConst lhs;
-  SlotOrConst rhs;
-};
-
-/// A compiled anti-join. `eqs_after[i]` are checked once guard atom i-1
-/// has bound its slots (index 0: before any guard atom).
-struct GuardPlan {
-  std::vector<AtomPlan> atoms;
-  std::vector<std::vector<EqPlan>> eqs_after;
-};
-
-struct Plan {
-  size_t num_slots = 0;
-  std::vector<int> out_slots;                     ///< Answers projection.
-  std::vector<std::pair<int, Value>> preset;      ///< Boolean-mode seeds.
-  std::vector<AtomPlan> atoms;
-  std::vector<std::vector<EqPlan>> eqs_after;     ///< Size atoms.size()+1.
-  std::vector<std::vector<GuardPlan>> guards_after;
-  /// Some positive atom ranges over a missing or empty relation: the
-  /// answer is empty (boolean: false) without running anything.
-  bool trivially_empty = false;
-};
-
-/// Interns variable names to dense slot ids at compile time.
-class SlotMap {
- public:
-  int GetOrAdd(const std::string& v) {
-    auto [it, inserted] = slots_.emplace(v, static_cast<int>(slots_.size()));
-    return it->second;
-  }
-  size_t size() const { return slots_.size(); }
-
- private:
-  std::unordered_map<std::string, int> slots_;
-};
-
-// Greedy next-atom choice: minimize estimated fan-out = |R| shrunk by a
-// factor of ~4 per bound position (selectivity), preferring atoms
-// connected to already-bound variables; ties break toward more bound
-// positions, then smaller relations, then source order.
-size_t PickNextAtom(const std::vector<CqAtom>& atoms,
-                    const std::vector<bool>& used,
-                    const std::function<bool(const std::string&)>& is_bound,
-                    const Instance& inst) {
-  size_t best = SIZE_MAX;
-  double best_cost = 0;
-  size_t best_nb = 0, best_n = 0;
-  for (size_t i = 0; i < atoms.size(); ++i) {
-    if (used[i]) continue;
-    const Relation* rel = inst.Find(*atoms[i].rel);
-    size_t n = rel == nullptr ? 0 : rel->size();
-    size_t nb = 0;
-    for (const Term& t : *atoms[i].terms) {
-      if (t.IsConst() || (t.IsVar() && is_bound(t.name))) ++nb;
-    }
-    double cost =
-        static_cast<double>(n) /
-        static_cast<double>(uint64_t{1} << std::min<size_t>(2 * nb, 62));
-    if (best == SIZE_MAX || cost < best_cost ||
-        (cost == best_cost &&
-         (nb > best_nb || (nb == best_nb && n < best_n)))) {
-      best = i;
-      best_cost = cost;
-      best_nb = nb;
-      best_n = n;
-    }
-  }
-  return best;
-}
-
-/// Compiles one atom given the currently bound slots. `bind_slot` interns
-/// a variable and must mark it bound for subsequent atoms.
-AtomPlan CompileAtom(const CqAtom& atom, const Instance& inst, SlotMap* slots,
-                     const std::function<bool(int)>& slot_bound,
-                     const std::function<void(int)>& mark_bound) {
-  AtomPlan ap;
-  ap.rel = inst.Find(*atom.rel);
-  std::set<int> bound_here;  // First occurrences within this atom.
-  for (uint32_t p = 0; p < atom.terms->size(); ++p) {
-    const Term& term = (*atom.terms)[p];
-    if (term.IsConst()) {
-      ap.mask |= uint64_t{1} << p;
-      ap.key.push_back(SlotOrConst{true, term.constant, -1});
-      continue;
-    }
-    int slot = slots->GetOrAdd(term.name);
-    if (slot_bound(slot)) {
-      ap.mask |= uint64_t{1} << p;
-      ap.key.push_back(SlotOrConst{false, Value(), slot});
-    } else if (bound_here.count(slot)) {
-      ap.checks.push_back({p, slot});
-    } else {
-      ap.binds.push_back({p, slot});
-      bound_here.insert(slot);
-    }
-  }
-  for (int slot : bound_here) mark_bound(slot);
-  return ap;
-}
-
-/// Compiles the recognized shape into an executable plan. Nullopt means
-/// the shape is fine but not plannable (e.g. arity > 64); callers fall
-/// back to the generic evaluator.
-std::optional<Plan> Compile(const CqShape& shape,
-                            const std::vector<std::string>& order,
-                            const std::map<std::string, Value>& binding,
-                            const std::set<std::string>& prebound,
-                            const Instance& inst) {
-  for (const CqAtom& a : shape.atoms) {
-    if (a.terms->size() > kMaxPlanArity) return std::nullopt;
-  }
-  for (const CqGuard& g : shape.guards) {
-    for (const CqAtom& a : g.atoms) {
-      if (a.terms->size() > kMaxPlanArity) return std::nullopt;
-    }
-  }
-
-  Plan plan;
-  SlotMap slots;
-  // bound_step[slot]: -1 = never bound; 0 = preset; i+1 = bound by the
-  // i-th atom of the main plan.
-  std::vector<int> bound_step;
-  auto ensure = [&](int slot) {
-    if (static_cast<size_t>(slot) >= bound_step.size()) {
-      bound_step.resize(slot + 1, -1);
-    }
-  };
-
-  for (const std::string& v : order) {
-    int s = slots.GetOrAdd(v);
-    ensure(s);
-    plan.out_slots.push_back(s);
-  }
-  for (const std::string& v : prebound) {
-    auto it = binding.find(v);
-    if (it == binding.end()) continue;
-    int s = slots.GetOrAdd(v);
-    ensure(s);
-    bound_step[s] = 0;
-    plan.preset.push_back({s, it->second});
-  }
-
-  // Greedy main join order.
-  std::vector<bool> used(shape.atoms.size(), false);
-  auto var_bound = [&](const std::string& v) {
-    int s = slots.GetOrAdd(v);
-    ensure(s);
-    return bound_step[s] >= 0;
-  };
-  for (size_t step = 0; step < shape.atoms.size(); ++step) {
-    size_t pick = PickNextAtom(shape.atoms, used, var_bound, inst);
-    used[pick] = true;
-    const CqAtom& atom = shape.atoms[pick];
-    const Relation* rel = inst.Find(*atom.rel);
-    if (rel == nullptr || rel->empty()) plan.trivially_empty = true;
-    AtomPlan ap = CompileAtom(
-        atom, inst, &slots,
-        [&](int s) {
-          ensure(s);
-          return bound_step[s] >= 0;
-        },
-        [&](int s) {
-          ensure(s);
-          bound_step[s] = static_cast<int>(step) + 1;
-        });
-    plan.atoms.push_back(std::move(ap));
-  }
-
-  plan.eqs_after.resize(plan.atoms.size() + 1);
-  plan.guards_after.resize(plan.atoms.size() + 1);
-
-  auto resolve = [&](const Term& t) -> SlotOrConst {
-    if (t.IsConst()) return SlotOrConst{true, t.constant, -1};
-    int s = slots.GetOrAdd(t.name);
-    ensure(s);
-    return SlotOrConst{false, Value(), s};
-  };
-  auto ready_step = [&](const SlotOrConst& sc) -> int {
-    return sc.is_const ? 0 : bound_step[sc.slot];
-  };
-
-  // Equalities fire at the earliest step where both sides are bound.
-  for (const CqEquality& eq : shape.equalities) {
-    EqPlan ep{resolve(eq.lhs), resolve(eq.rhs)};
-    int l = ready_step(ep.lhs), r = ready_step(ep.rhs);
-    if (l < 0 || r < 0) return std::nullopt;  // Unreachable given safety.
-    plan.eqs_after[static_cast<size_t>(std::max(l, r))].push_back(ep);
-  }
-
-  // Guards fire at the earliest step where all their free variables are
-  // bound; their atoms get their own greedy sub-plan and slots.
-  for (const CqGuard& g : shape.guards) {
-    int ready = 0;
-    for (const std::string& v : g.free_vars) {
-      int s = slots.GetOrAdd(v);
-      ensure(s);
-      if (bound_step[s] < 0) return std::nullopt;  // Unreachable.
-      ready = std::max(ready, bound_step[s]);
-    }
-    // A guard over a missing/empty relation can never match: drop it.
-    bool vacuous = false;
-    for (const CqAtom& a : g.atoms) {
-      const Relation* rel = inst.Find(*a.rel);
-      if (rel == nullptr || rel->empty()) vacuous = true;
-    }
-    if (vacuous) continue;
-
-    GuardPlan gp;
-    // guard_bound[slot]: -1 = unbound inside the guard; 0 = bound by the
-    // outer plan (by `ready`); j+1 = bound by guard atom j.
-    std::vector<int> guard_bound;
-    auto gensure = [&](int slot) {
-      if (static_cast<size_t>(slot) >= guard_bound.size()) {
-        guard_bound.resize(slot + 1, -1);
-      }
-    };
-    for (size_t s = 0; s < bound_step.size(); ++s) {
-      if (bound_step[s] >= 0 && bound_step[s] <= ready) {
-        gensure(static_cast<int>(s));
-        guard_bound[s] = 0;
-      }
-    }
-    std::vector<bool> gused(g.atoms.size(), false);
-    auto gvar_bound = [&](const std::string& v) {
-      int s = slots.GetOrAdd(v);
-      gensure(s);
-      return guard_bound[s] >= 0;
-    };
-    for (size_t gstep = 0; gstep < g.atoms.size(); ++gstep) {
-      size_t pick = PickNextAtom(g.atoms, gused, gvar_bound, inst);
-      gused[pick] = true;
-      AtomPlan ap = CompileAtom(
-          g.atoms[pick], inst, &slots,
-          [&](int s) {
-            gensure(s);
-            return guard_bound[s] >= 0;
-          },
-          [&](int s) {
-            gensure(s);
-            guard_bound[s] = static_cast<int>(gstep) + 1;
-          });
-      gp.atoms.push_back(std::move(ap));
-    }
-    gp.eqs_after.resize(gp.atoms.size() + 1);
-    for (const CqEquality& eq : g.equalities) {
-      EqPlan ep{resolve(eq.lhs), resolve(eq.rhs)};
-      auto gready = [&](const SlotOrConst& sc) -> int {
-        if (sc.is_const) return 0;
-        gensure(sc.slot);
-        return guard_bound[sc.slot];
-      };
-      int l = gready(ep.lhs), r = gready(ep.rhs);
-      if (l < 0 || r < 0) return std::nullopt;  // Unreachable given safety.
-      gp.eqs_after[static_cast<size_t>(std::max(l, r))].push_back(ep);
-    }
-    plan.guards_after[static_cast<size_t>(ready)].push_back(std::move(gp));
-  }
-
-  plan.num_slots = slots.size();
-  return plan;
-}
-
-/// Executes a compiled plan. In boolean mode stops at the first full
-/// match; otherwise projects every match into `out`.
-class PlanRunner {
- public:
-  PlanRunner(const Plan& plan, Relation* out)
-      : plan_(plan),
-        out_(out),
-        frame_(plan.num_slots),
-        key_scratch_(plan.atoms.size()),
-        out_scratch_(plan.out_slots.size()) {}
-
-  /// Returns true iff at least one match was found.
-  bool Run() {
-    for (const auto& [slot, value] : plan_.preset) frame_[slot] = value;
-    if (!StageOk(0)) return false;
-    return Descend(0);
-  }
-
- private:
-  bool EqOk(const EqPlan& eq) const {
-    Value l = eq.lhs.is_const ? eq.lhs.constant : frame_[eq.lhs.slot];
-    Value r = eq.rhs.is_const ? eq.rhs.constant : frame_[eq.rhs.slot];
-    return l == r;
-  }
-
-  /// Equality and guard checks that become decidable after step-1 atoms.
-  bool StageOk(size_t stage) {
-    for (const EqPlan& eq : plan_.eqs_after[stage]) {
-      if (!EqOk(eq)) return false;
-    }
-    for (const GuardPlan& g : plan_.guards_after[stage]) {
-      if (GuardMatches(g, 0)) return false;  // Anti-join: a match kills it.
-    }
-    return true;
-  }
-
-  bool Descend(size_t step) {
-    if (step == plan_.atoms.size()) {
-      if (out_ == nullptr) return true;  // Boolean mode: witness found.
-      for (size_t i = 0; i < plan_.out_slots.size(); ++i) {
-        out_scratch_[i] = frame_[plan_.out_slots[i]];
-      }
-      out_->Add(out_scratch_);  // Copies into the relation's arena.
-      return false;  // Keep enumerating.
-    }
-    const AtomPlan& ap = plan_.atoms[step];
-    if (ap.mask != 0) {
-      std::vector<Value>& key = key_scratch_[step];
-      key.clear();
-      for (const SlotOrConst& k : ap.key) {
-        key.push_back(k.is_const ? k.constant : frame_[k.slot]);
-      }
-      const std::vector<uint32_t>* ids = ap.rel->Probe(ap.mask, key);
-      if (ids == nullptr) return false;
-      // Plans never insert into the relations they scan (answers go to
-      // out_), which is what makes iterating the live bucket safe; the
-      // guard turns any future violation into a debug assertion.
-      BucketIterationGuard guard(ap.rel);
-      for (uint32_t id : *ids) {
-        if (TryTuple(ap, ap.rel->tuples()[id], step)) return true;
-      }
-    } else {
-      for (TupleRef t : ap.rel->tuples()) {
-        if (TryTuple(ap, t, step)) return true;
-      }
-    }
-    return false;
-  }
-
-  bool TryTuple(const AtomPlan& ap, TupleRef t, size_t step) {
-    for (const auto& [pos, slot] : ap.binds) frame_[slot] = t[pos];
-    bool ok = true;
-    for (const auto& [pos, slot] : ap.checks) {
-      if (frame_[slot] != t[pos]) {
-        ok = false;
-        break;
-      }
-    }
-    bool stop = false;
-    if (ok && StageOk(step + 1)) stop = Descend(step + 1);
-    for (const auto& [pos, slot] : ap.binds) frame_[slot] = Value();
-    return stop;
-  }
-
-  /// True iff the guard's sub-CQ has a match under the current frame.
-  bool GuardMatches(const GuardPlan& g, size_t step) {
-    if (step == 0) {
-      for (const EqPlan& eq : g.eqs_after[0]) {
-        if (!EqOk(eq)) return false;
-      }
-    }
-    if (step == g.atoms.size()) return true;
-    const AtomPlan& ap = g.atoms[step];
-    // Guards share the frame; their bindings are undone on exit, so the
-    // scratch keys can be local.
-    std::vector<Value> key;
-    auto try_tuple = [&](TupleRef t) {
-      for (const auto& [pos, slot] : ap.binds) frame_[slot] = t[pos];
-      bool ok = true;
-      for (const auto& [pos, slot] : ap.checks) {
-        if (frame_[slot] != t[pos]) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) {
-        for (const EqPlan& eq : g.eqs_after[step + 1]) {
-          if (!EqOk(eq)) {
-            ok = false;
-            break;
-          }
-        }
-      }
-      bool found = ok && GuardMatches(g, step + 1);
-      for (const auto& [pos, slot] : ap.binds) frame_[slot] = Value();
-      return found;
-    };
-    if (ap.mask != 0) {
-      key.reserve(ap.key.size());
-      for (const SlotOrConst& k : ap.key) {
-        key.push_back(k.is_const ? k.constant : frame_[k.slot]);
-      }
-      const std::vector<uint32_t>* ids = ap.rel->Probe(ap.mask, key);
-      if (ids == nullptr) return false;
-      BucketIterationGuard guard(ap.rel);
-      for (uint32_t id : *ids) {
-        if (try_tuple(ap.rel->tuples()[id])) return true;
-      }
-    } else {
-      for (TupleRef t : ap.rel->tuples()) {
-        if (try_tuple(t)) return true;
-      }
-    }
-    return false;
-  }
-
-  const Plan& plan_;
-  Relation* out_;
-  std::vector<Value> frame_;
-  std::vector<std::vector<Value>> key_scratch_;
-  Tuple out_scratch_;
-};
-
-// ---------------------------------------------------------------------------
-// The naive engine: the original string-keyed backtracking scan, preserved
-// verbatim (modulo guard support) as the reference baseline.
-// ---------------------------------------------------------------------------
-
-using NaiveEnv = std::map<std::string, Value>;
-
-bool NaiveTermValue(const Term& t, const NaiveEnv& env, Value* out) {
-  if (t.IsConst()) {
-    *out = t.constant;
-    return true;
-  }
-  auto it = env.find(t.name);
-  if (it == env.end()) return false;
-  *out = it->second;
-  return true;
-}
-
-// Checks the equalities decidable under the current (partial) binding.
-bool NaiveEqualitiesOk(const std::vector<CqEquality>& equalities,
-                       const NaiveEnv& env) {
-  for (const CqEquality& eq : equalities) {
-    Value l, r;
-    if (!NaiveTermValue(eq.lhs, env, &l)) continue;
-    if (!NaiveTermValue(eq.rhs, env, &r)) continue;
-    if (l != r) return false;
-  }
-  return true;
-}
-
-// Does the guard's sub-CQ have a match extending `env`? Nested scans.
-bool NaiveGuardMatches(const CqGuard& guard, const Instance& inst,
-                       NaiveEnv* env, size_t idx) {
-  if (!NaiveEqualitiesOk(guard.equalities, *env)) return false;
-  if (idx == guard.atoms.size()) return true;
-  const CqAtom& atom = guard.atoms[idx];
-  const Relation* rel = inst.Find(*atom.rel);
-  if (rel == nullptr) return false;
-  for (TupleRef tuple : rel->tuples()) {
-    std::vector<std::string> added;
-    bool ok = true;
-    for (size_t p = 0; p < atom.terms->size() && ok; ++p) {
-      const Term& term = (*atom.terms)[p];
-      if (term.IsConst()) {
-        ok = term.constant == tuple[p];
-      } else {
-        auto it = env->find(term.name);
-        if (it != env->end()) {
-          ok = it->second == tuple[p];
-        } else {
-          (*env)[term.name] = tuple[p];
-          added.push_back(term.name);
-        }
-      }
-    }
-    if (ok && NaiveGuardMatches(guard, inst, env, idx + 1)) {
-      for (const std::string& v : added) env->erase(v);
-      return true;
-    }
-    for (const std::string& v : added) env->erase(v);
-  }
-  return false;
-}
-
-/// Backtracking nested-loop join over full relation scans, projecting
-/// every match into `out`.
-void NaiveJoin(const CqShape& shape, const std::vector<std::string>& order,
-               const Instance& inst, NaiveEnv* env, Relation* out) {
-  // Greedy atom ordering: prefer atoms over smaller relations first.
-  std::vector<CqAtom> atoms = shape.atoms;
-  std::sort(atoms.begin(), atoms.end(),
-            [&](const CqAtom& a, const CqAtom& b) {
-              const Relation* ra = inst.Find(*a.rel);
-              const Relation* rb = inst.Find(*b.rel);
-              size_t sa = ra == nullptr ? 0 : ra->size();
-              size_t sb = rb == nullptr ? 0 : rb->size();
-              return sa < sb;
-            });
-
-  std::function<void(size_t)> join = [&](size_t idx) {
-    if (idx == atoms.size()) {
-      if (!NaiveEqualitiesOk(shape.equalities, *env)) return;
-      for (const CqGuard& guard : shape.guards) {
-        NaiveEnv genv = *env;
-        if (NaiveGuardMatches(guard, inst, &genv, 0)) return;
-      }
-      Tuple t;
-      t.reserve(order.size());
-      for (const std::string& v : order) t.push_back(env->at(v));
-      out->Add(std::move(t));
-      return;
-    }
-    const CqAtom& atom = atoms[idx];
-    const Relation* rel = inst.Find(*atom.rel);
-    if (rel == nullptr) return;
-    for (TupleRef tuple : rel->tuples()) {
-      std::vector<std::string> added;
-      bool ok = true;
-      for (size_t p = 0; p < atom.terms->size() && ok; ++p) {
-        const Term& term = (*atom.terms)[p];
-        if (term.IsConst()) {
-          ok = term.constant == tuple[p];
-        } else {
-          auto it = env->find(term.name);
-          if (it != env->end()) {
-            ok = it->second == tuple[p];
-          } else {
-            (*env)[term.name] = tuple[p];
-            added.push_back(term.name);
-          }
-        }
-      }
-      if (ok && NaiveEqualitiesOk(shape.equalities, *env)) join(idx + 1);
-      for (const std::string& v : added) env->erase(v);
-    }
-  };
-  join(0);
-}
-
-}  // namespace
 
 std::optional<Relation> TryEvalCQ(const FormulaPtr& f,
                                   const std::vector<std::string>& order,
                                   const Instance& inst,
                                   const EngineContext& ctx) {
-  std::optional<CqShape> shape = RecognizeCq(f, order, {}, inst);
-  if (!shape.has_value()) return std::nullopt;
-  std::optional<Plan> plan = Compile(*shape, order, {}, {}, inst);
-  if (!plan.has_value()) return std::nullopt;
+  plan::CompileRequest req;
+  req.formula = f;
+  req.order = order;
+  plan::CompiledQueryPtr cq = plan::GetOrCompile(
+      req, inst, JoinEngineMode::kIndexed, /*force_generic=*/false, ctx);
+  if (cq->kind != plan::PlanKind::kRelational) return std::nullopt;
+  plan::BoundQuery bound = plan::BindQuery(*cq, inst);
+  if (!bound.arity_ok) return std::nullopt;  // Generic reports the error.
   if (ctx.stats != nullptr) ++ctx.stats->cq_plans;
   Relation out(order.size());
-  if (!plan->trivially_empty) {
-    PlanRunner runner(*plan, &out);
-    runner.Run();
+  if (!bound.trivially_empty) {
+    plan::RunRelational(bound, /*binding=*/nullptr, &out);
   }
   return out;
 }
@@ -768,12 +31,17 @@ std::optional<Relation> TryEvalCQNaive(const FormulaPtr& f,
                                        const std::vector<std::string>& order,
                                        const Instance& inst,
                                        const EngineContext& ctx) {
-  std::optional<CqShape> shape = RecognizeCq(f, order, {}, inst);
-  if (!shape.has_value()) return std::nullopt;
+  plan::CompileRequest req;
+  req.formula = f;
+  req.order = order;
+  plan::CompiledQueryPtr cq = plan::GetOrCompile(
+      req, inst, JoinEngineMode::kNaive, /*force_generic=*/false, ctx);
+  if (cq->kind != plan::PlanKind::kShape) return std::nullopt;
+  plan::BoundQuery bound = plan::BindQuery(*cq, inst);
+  if (!bound.arity_ok) return std::nullopt;
   if (ctx.stats != nullptr) ++ctx.stats->cq_plans;
   Relation out(order.size());
-  NaiveEnv env;
-  NaiveJoin(*shape, order, inst, &env, &out);
+  plan::RunShape(bound, order, &out);
   return out;
 }
 
@@ -781,19 +49,21 @@ std::optional<bool> TryHoldsCQ(const FormulaPtr& f,
                                const std::map<std::string, Value>& binding,
                                const Instance& inst,
                                const EngineContext& ctx) {
-  std::set<std::string> prebound;
+  plan::CompileRequest req;
+  req.formula = f;
+  req.boolean_mode = true;
   for (const std::string& v : FreeVars(f)) {
     if (binding.find(v) == binding.end()) return std::nullopt;
-    prebound.insert(v);
+    req.prebound.insert(v);
   }
-  std::optional<CqShape> shape = RecognizeCq(f, {}, prebound, inst);
-  if (!shape.has_value()) return std::nullopt;
-  std::optional<Plan> plan = Compile(*shape, {}, binding, prebound, inst);
-  if (!plan.has_value()) return std::nullopt;
+  plan::CompiledQueryPtr cq = plan::GetOrCompile(
+      req, inst, JoinEngineMode::kIndexed, /*force_generic=*/false, ctx);
+  if (cq->kind != plan::PlanKind::kRelational) return std::nullopt;
+  plan::BoundQuery bound = plan::BindQuery(*cq, inst);
+  if (!bound.arity_ok) return std::nullopt;
   if (ctx.stats != nullptr) ++ctx.stats->cq_plans;
-  if (plan->trivially_empty) return false;
-  PlanRunner runner(*plan, nullptr);
-  return runner.Run();
+  if (bound.trivially_empty) return false;
+  return plan::RunRelational(bound, &binding, /*out=*/nullptr);
 }
 
 }  // namespace ocdx

@@ -9,13 +9,15 @@
 // any other shape it declines and the caller falls back to the generic
 // evaluator, so using it is always sound.
 //
-// The indexed engine compiles the query once: variable names are interned
-// to dense slot ids, so the join inner loop touches only a flat
-// std::vector<Value> frame; atoms are greedily ordered by estimated
-// selectivity and bound-variable connectivity, and each atom fetches its
-// candidate tuples from the relation's lazy hash index on the positions
-// bound at that point in the plan (see base/tuple_index.h) instead of
-// scanning the whole relation.
+// These entry points are thin wrappers over the src/plan subsystem:
+// plan::CompileQuery produces the immutable, schema-level CompiledQuery
+// (slot frames, ordered atom steps, equality/guard schedules) and
+// plan::BindQuery rebinds it per instance. When `ctx` carries a plan
+// cache (EngineContext::plan_cache) the compile happens once per
+// (formula, schema fingerprint, engine mode) — the member-enumeration
+// loops call these thousands of times per query and pay for compilation
+// exactly once. Without a cache every call compiles privately, the
+// pre-PR 5 behavior.
 //
 // TryEvalCQNaive preserves the original string-keyed nested-loop-scan
 // implementation; it is the reference baseline for parity tests and
@@ -43,18 +45,18 @@ namespace ocdx {
 ///
 /// Returns the answer relation over `order`, or std::nullopt if the
 /// formula does not have the supported shape (never an error for shape
-/// reasons — the caller falls back). `ctx` is consulted for its stats
-/// sink only; which engine runs is the caller's dispatch.
+/// reasons — the caller falls back). `ctx` supplies the optional plan
+/// cache and stats sink; which engine runs is the caller's dispatch.
 std::optional<Relation> TryEvalCQ(
     const FormulaPtr& f, const std::vector<std::string>& order,
-    const Instance& inst, const EngineContext& ctx = EngineContext::Current());
+    const Instance& inst, const EngineContext& ctx = EngineContext());
 
 /// The original backtracking nested-loop implementation, preserved as the
 /// naive baseline. Accepts exactly the same shapes as TryEvalCQ and
 /// returns identical relations, just slower.
 std::optional<Relation> TryEvalCQNaive(
     const FormulaPtr& f, const std::vector<std::string>& order,
-    const Instance& inst, const EngineContext& ctx = EngineContext::Current());
+    const Instance& inst, const EngineContext& ctx = EngineContext());
 
 /// Boolean variant for sentence/guard checks: is `f` satisfied when its
 /// free variables are pre-bound by `binding`? Declines (nullopt) when the
@@ -62,7 +64,7 @@ std::optional<Relation> TryEvalCQNaive(
 /// `binding`. Runs the compiled plan with early exit on the first match.
 std::optional<bool> TryHoldsCQ(
     const FormulaPtr& f, const std::map<std::string, Value>& binding,
-    const Instance& inst, const EngineContext& ctx = EngineContext::Current());
+    const Instance& inst, const EngineContext& ctx = EngineContext());
 
 }  // namespace ocdx
 

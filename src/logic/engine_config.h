@@ -1,18 +1,14 @@
-// Legacy (deprecated) selection of the query/homomorphism evaluation
-// engine, kept as a thin migration shim.
+// Selection of the query/homomorphism evaluation engine.
 //
-// The engine mode now lives in an EngineContext (logic/engine_context.h)
+// The engine mode lives in an EngineContext (logic/engine_context.h)
 // that is threaded explicitly through every evaluation path; jobs never
 // consult process state, which is what makes the core reentrant (see
-// README.md "Concurrency model"). The global below survives only so that
-// tests and benchmarks written against ScopedJoinEngineMode keep working:
-// engine entry points default their context argument to
-// EngineContext::Current(), which snapshots this value.
+// README.md "Concurrency model"). This header holds only the mode enum.
 //
-// The shim is *thread-local*: a ScopedJoinEngineMode in one thread can
-// never race — or leak into — another thread's jobs. Each thread starts
-// at kIndexed. New code should pass an explicit EngineContext instead of
-// writing this global.
+// History: a deprecated thread-local ScopedJoinEngineMode shim lived here
+// through PR 4 so that pre-EngineContext tests and benchmarks kept
+// working. Every caller now constructs contexts explicitly and the shim
+// is gone (PR 5).
 
 #ifndef OCDX_LOGIC_ENGINE_CONFIG_H_
 #define OCDX_LOGIC_ENGINE_CONFIG_H_
@@ -23,29 +19,6 @@ enum class JoinEngineMode {
   kIndexed,  ///< Slot-compiled plans over lazy hash indexes (default).
   kNaive,    ///< Original nested-loop scans (reference baseline).
   kGeneric,  ///< No CQ fast path at all: active-domain enumeration.
-};
-
-/// The calling thread's legacy engine mode (deprecated; prefer passing an
-/// EngineContext explicitly).
-JoinEngineMode join_engine_mode();
-void set_join_engine_mode(JoinEngineMode mode);
-
-/// RAII engine-mode override for benchmarks and tests (deprecated; new
-/// code constructs an EngineContext and passes it down instead). Affects
-/// only the calling thread.
-class ScopedJoinEngineMode {
- public:
-  explicit ScopedJoinEngineMode(JoinEngineMode mode)
-      : prev_(join_engine_mode()) {
-    set_join_engine_mode(mode);
-  }
-  ~ScopedJoinEngineMode() { set_join_engine_mode(prev_); }
-
-  ScopedJoinEngineMode(const ScopedJoinEngineMode&) = delete;
-  ScopedJoinEngineMode& operator=(const ScopedJoinEngineMode&) = delete;
-
- private:
-  JoinEngineMode prev_;
 };
 
 }  // namespace ocdx

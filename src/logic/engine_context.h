@@ -6,28 +6,35 @@
 //
 //   - the join-engine mode (indexed / naive / generic),
 //   - default step budgets for the NP search engines (homomorphism and
-//     RepA backtracking), applied as a *cap* on per-call options, and
-//   - an optional per-job statistics sink.
+//     RepA backtracking), applied as a *cap* on per-call options,
+//   - an optional per-job statistics sink, and
+//   - an optional per-job *plan cache* (src/plan): compiled query plans
+//     keyed by (formula identity, schema fingerprint, engine mode), so
+//     enumeration workloads — which evaluate one query over thousands of
+//     member instances — compile each query exactly once and rebind the
+//     immutable plan per instance.
 //
-// Contexts are small values: copy them freely, one per job. The batch
-// executor (src/exec) gives every job its own context and its own
-// Universe, which is the entire concurrency contract — nothing in the
-// engine synchronizes, it simply never shares mutable state across jobs
-// (see README.md "Concurrency model").
-//
-// EngineContext::Current() is the migration shim for code still written
-// against the legacy ScopedJoinEngineMode global (tests, benches): it
-// snapshots the thread-local mode from logic/engine_config.h. New code
-// should construct contexts explicitly and pass them down.
+// Contexts are small values: copy them freely, one per job. Copies of a
+// context *share* its plan cache (that is the point: every evaluation a
+// job performs sees the same cache). The batch executor (src/exec) gives
+// every job its own context, its own cache and its own Universe, which is
+// the entire concurrency contract — nothing in the engine synchronizes,
+// it simply never shares mutable state across jobs (see README.md
+// "Concurrency model").
 
 #ifndef OCDX_LOGIC_ENGINE_CONTEXT_H_
 #define OCDX_LOGIC_ENGINE_CONTEXT_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "logic/engine_config.h"
 
 namespace ocdx {
+
+namespace plan {
+class PlanCache;
+}  // namespace plan
 
 /// Per-job evaluation counters. Plain (unsynchronized) integers: a sink
 /// must be owned by exactly one job, like everything else a job touches.
@@ -37,6 +44,13 @@ struct EngineStats {
   uint64_t chase_triggers = 0;  ///< STD firings across all chases.
   uint64_t hom_steps = 0;       ///< Homomorphism-search work units.
   uint64_t repa_steps = 0;      ///< RepA-search work units.
+  uint64_t plan_compiles = 0;   ///< CompiledQuery constructions (src/plan).
+  uint64_t plan_cache_hits = 0;    ///< Plan-cache lookups served.
+  uint64_t plan_cache_misses = 0;  ///< Plan-cache lookups that compiled.
+  /// Formulas whose CQ recognition failed *because* a negated guard body
+  /// itself contains a negation (the one-level guard limit); these fall
+  /// back to the generic evaluator.
+  uint64_t guard_depth_fallbacks = 0;
 
   EngineStats& operator+=(const EngineStats& o) {
     cq_plans += o.cq_plans;
@@ -44,12 +58,17 @@ struct EngineStats {
     chase_triggers += o.chase_triggers;
     hom_steps += o.hom_steps;
     repa_steps += o.repa_steps;
+    plan_compiles += o.plan_compiles;
+    plan_cache_hits += o.plan_cache_hits;
+    plan_cache_misses += o.plan_cache_misses;
+    guard_depth_fallbacks += o.guard_depth_fallbacks;
     return *this;
   }
 };
 
 /// All engine configuration for one job. Value type; default-constructed
-/// means "indexed engine, paper-default budgets, no stats".
+/// means "indexed engine, paper-default budgets, no stats, no cache"
+/// (plans are then compiled per call, the pre-PR 5 behavior).
 struct EngineContext {
   /// The paper-default NP-search budget (matches the historical
   /// HomOptions / RepAOptions defaults).
@@ -63,6 +82,16 @@ struct EngineContext {
   uint64_t repa_max_steps = kDefaultSearchSteps;
   /// Optional per-job counters; must not be shared across jobs.
   EngineStats* stats = nullptr;
+  /// Optional per-job compiled-plan cache (see src/plan/plan_cache.h).
+  /// Shared by every copy of this context; like `stats` and the job's
+  /// Universe it must be owned by exactly one job — fan-out code hands
+  /// each job a context with its own fresh cache (WithFreshCache).
+  std::shared_ptr<plan::PlanCache> plan_cache;
+  /// When true, EnsureCache / WithFreshCache attach nothing and every
+  /// call compiles privately (the pre-PR 5 behavior). Used by the parity
+  /// tests' cache-off leg; the OCDX_PLAN_CACHE=off environment variable
+  /// has the same effect process-wide.
+  bool plan_cache_opt_out = false;
 
   bool indexed() const { return mode == JoinEngineMode::kIndexed; }
 
@@ -72,12 +101,23 @@ struct EngineContext {
     return ctx;
   }
 
-  /// Deprecated migration shim: a context whose mode is the thread-local
-  /// legacy global (set by ScopedJoinEngineMode). Default argument of the
-  /// engine entry points so un-migrated callers keep their behavior; new
-  /// code passes explicit contexts instead.
-  static EngineContext Current() {
-    return ForMode(join_engine_mode());
+  /// Attaches a fresh plan cache if none is present (no-op when the
+  /// OCDX_PLAN_CACHE=off escape hatch disables caching). Returns *this.
+  /// Engine entry points that evaluate one query over many instances
+  /// call this on their private context copy, so callers get compile-
+  /// once behavior without opting in.
+  EngineContext& EnsureCache();
+
+  /// A copy of this context with its *own* fresh plan cache (or none if
+  /// caching is disabled by the environment). Fan-out code (src/exec)
+  /// uses this so parallel jobs never share a cache.
+  EngineContext WithFreshCache() const;
+
+  /// A context for `m` with a fresh plan cache attached (EnsureCache).
+  static EngineContext CachedForMode(JoinEngineMode m) {
+    EngineContext ctx = ForMode(m);
+    ctx.EnsureCache();
+    return ctx;
   }
 };
 

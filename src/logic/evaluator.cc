@@ -1,322 +1,33 @@
 #include "logic/evaluator.h"
 
-#include "logic/cq_eval.h"
-
 #include <algorithm>
+#include <optional>
 #include <set>
-#include <unordered_map>
 
+#include "plan/plan_cache.h"
+#include "plan/runner.h"
 #include "util/str.h"
 
 namespace ocdx {
 
+// The evaluator is a dispatcher over the src/plan subsystem: it obtains
+// a CompiledQuery for (formula, schema, engine mode) — through the
+// context's plan cache when one is attached, else by compiling privately
+// — binds it to this instance, and runs the matching plan form. The
+// PR 2-era thread-local compiled-sentence cache that lived here is
+// subsumed by plan::PlanCache.
+
 namespace {
 
-// ---------------------------------------------------------------------------
-// Slot compilation of the generic evaluator.
-//
-// The generic active-domain path used to thread a string-keyed Env (a
-// std::map<std::string, Value>) through the recursion: every term lookup
-// hashed/compared a variable name and every quantifier step mutated the
-// map. The formula is now compiled once per evaluation onto the same
-// dense-slot frames TryEvalCQ uses: variable names are interned to slot
-// ids, the binding is a flat std::vector<Value> (invalid Value = unbound),
-// and the inner loop touches no strings. Shadowed names share a slot;
-// quantifiers save and restore the previous slot contents, which is
-// exactly the shadowing semantics the Env gave.
-// ---------------------------------------------------------------------------
-
-struct CompiledTerm {
-  Term::Kind kind = Term::Kind::kConst;
-  Value constant;              ///< kConst payload.
-  int slot = -1;               ///< kVar slot id.
-  const Term* src = nullptr;   ///< Name source for kVar / kFunc.
-  std::vector<CompiledTerm> args;  ///< kFunc arguments.
-};
-
-struct CompiledNode {
-  Formula::Kind kind = Formula::Kind::kTrue;
-  const Formula* src = nullptr;       ///< Atom name + error messages.
-  const Relation* rel = nullptr;      ///< Re-resolved per evaluation.
-  std::vector<CompiledTerm> terms;
-  std::vector<CompiledNode> children;
-  std::vector<int> bound_slots;       ///< Quantifier slots.
-  // Evaluation scratch, reused across visits of this node.
-  Tuple atom_scratch;
-  std::vector<Value> saved_scratch;
-  std::vector<size_t> idx_scratch;
-};
-
-// Binds the skeleton's atoms to one instance's relations (the skeleton
-// itself is instance-independent, which is what makes it cacheable: the
-// member-enumeration loops evaluate one query over thousands of short-
-// lived instances).
-void ResolveRelations(CompiledNode* n, const Instance& inst) {
-  if (n->kind == Formula::Kind::kAtom) n->rel = inst.Find(n->src->rel());
-  for (CompiledNode& c : n->children) ResolveRelations(&c, inst);
+// A fresh, uncached generic compile for the bind-failure path: the plan
+// in hand is relational/shape but this instance's relation arities do
+// not match, so the generic evaluator must run to report its historical
+// InvalidArgument. Rare, and never worth a cache slot.
+plan::CompiledQueryPtr FreshGeneric(const plan::CompileRequest& req,
+                                    const Instance& inst) {
+  return plan::CompileQuery(req, inst, JoinEngineMode::kGeneric,
+                            /*force_generic=*/true, /*schema_key=*/0);
 }
-
-class SlotCompiler {
- public:
-  int GetOrAdd(const std::string& v) {
-    auto [it, inserted] = slots_.emplace(v, static_cast<int>(slots_.size()));
-    return it->second;
-  }
-
-  size_t size() const { return slots_.size(); }
-
-  CompiledTerm CompileTerm(const Term& t) {
-    CompiledTerm out;
-    out.kind = t.kind;
-    out.src = &t;
-    switch (t.kind) {
-      case Term::Kind::kConst:
-        out.constant = t.constant;
-        break;
-      case Term::Kind::kVar:
-        out.slot = GetOrAdd(t.name);
-        break;
-      case Term::Kind::kFunc:
-        out.args.reserve(t.args.size());
-        for (const Term& a : t.args) out.args.push_back(CompileTerm(a));
-        break;
-    }
-    return out;
-  }
-
-  CompiledNode Compile(const Formula& f) {
-    CompiledNode n;
-    n.kind = f.kind();
-    n.src = &f;
-    switch (f.kind()) {
-      case Formula::Kind::kAtom:
-        n.terms.reserve(f.terms().size());
-        for (const Term& t : f.terms()) n.terms.push_back(CompileTerm(t));
-        n.atom_scratch.resize(f.terms().size());
-        break;
-      case Formula::Kind::kEquals:
-        n.terms.push_back(CompileTerm(f.terms()[0]));
-        n.terms.push_back(CompileTerm(f.terms()[1]));
-        break;
-      case Formula::Kind::kExists:
-      case Formula::Kind::kForall:
-        n.bound_slots.reserve(f.bound().size());
-        for (const std::string& v : f.bound()) {
-          n.bound_slots.push_back(GetOrAdd(v));
-        }
-        n.saved_scratch.resize(f.bound().size());
-        n.idx_scratch.resize(f.bound().size());
-        [[fallthrough]];
-      default:
-        n.children.reserve(f.children().size());
-        for (const FormulaPtr& c : f.children()) {
-          n.children.push_back(Compile(*c));
-        }
-        break;
-    }
-    return n;
-  }
-
-  std::unordered_map<std::string, int>&& TakeSlots() {
-    return std::move(slots_);
-  }
-
- private:
-  std::unordered_map<std::string, int> slots_;
-};
-
-/// A compiled sentence: the slot skeleton plus the name -> slot map used
-/// to seed bindings. Cached per formula identity; `in_use` guards the
-/// node-local scratch against (rare) reentrant evaluation of the same
-/// formula, in which case the caller compiles a private copy.
-struct CompiledSentence {
-  CompiledNode root;
-  std::unordered_map<std::string, int> slots;
-  size_t num_slots = 0;
-  bool in_use = false;
-};
-
-std::shared_ptr<CompiledSentence> CompileSentence(const Formula& f) {
-  auto out = std::make_shared<CompiledSentence>();
-  SlotCompiler compiler;
-  out->root = compiler.Compile(f);
-  out->num_slots = compiler.size();
-  out->slots = compiler.TakeSlots();
-  return out;
-}
-
-/// Tiny LRU of compiled sentences keyed by formula *identity* (shared_ptr
-/// control block, so a recycled address can never alias a dead entry).
-/// Holds weak refs only: the cache never extends a formula's lifetime.
-std::shared_ptr<CompiledSentence> GetCompiledSentence(const FormulaPtr& f) {
-  struct Entry {
-    std::weak_ptr<const Formula> key;
-    std::shared_ptr<CompiledSentence> compiled;
-  };
-  constexpr size_t kCapacity = 8;
-  thread_local std::vector<Entry> cache;
-  for (size_t i = 0; i < cache.size(); ++i) {
-    const std::weak_ptr<const Formula>& k = cache[i].key;
-    if (!k.owner_before(f) && !f.owner_before(k) && k.lock() != nullptr) {
-      std::shared_ptr<CompiledSentence> hit = cache[i].compiled;
-      if (hit->in_use) return CompileSentence(*f);  // Reentrant: private copy.
-      if (i != 0) std::rotate(cache.begin(), cache.begin() + i,
-                              cache.begin() + i + 1);
-      return hit;
-    }
-  }
-  std::shared_ptr<CompiledSentence> fresh = CompileSentence(*f);
-  cache.insert(cache.begin(), Entry{f, fresh});
-  if (cache.size() > kCapacity) cache.pop_back();
-  return fresh;
-}
-
-/// Runs a compiled formula over a dense frame. The frame outlives the
-/// runner; unbound slots hold the invalid Value sentinel.
-class SlotEval {
- public:
-  SlotEval(std::vector<Value>* frame, FunctionOracle* oracle)
-      : frame_(*frame), oracle_(oracle) {}
-
-  Result<Value> EvalTerm(const CompiledTerm& t) {
-    switch (t.kind) {
-      case Term::Kind::kVar: {
-        Value v = frame_[t.slot];
-        if (!v.IsValid()) {
-          return Status::InvalidArgument(
-              StrCat("unbound variable '", t.src->name,
-                     "' during evaluation"));
-        }
-        return v;
-      }
-      case Term::Kind::kConst:
-        return t.constant;
-      case Term::Kind::kFunc: {
-        if (oracle_ == nullptr) {
-          return Status::FailedPrecondition(
-              StrCat("function term '", t.src->name,
-                     "' evaluated without a function oracle"));
-        }
-        Tuple args;
-        args.reserve(t.args.size());
-        for (const CompiledTerm& a : t.args) {
-          OCDX_ASSIGN_OR_RETURN(Value v, EvalTerm(a));
-          args.push_back(v);
-        }
-        return oracle_->Apply(t.src->name, args);
-      }
-    }
-    return Status::Internal("unknown term kind");
-  }
-
-  Result<bool> Eval(CompiledNode& n, const std::vector<Value>& domain) {
-    switch (n.kind) {
-      case Formula::Kind::kTrue:
-        return true;
-      case Formula::Kind::kFalse:
-        return false;
-      case Formula::Kind::kAtom: {
-        for (size_t i = 0; i < n.terms.size(); ++i) {
-          OCDX_ASSIGN_OR_RETURN(Value v, EvalTerm(n.terms[i]));
-          n.atom_scratch[i] = v;
-        }
-        if (n.rel == nullptr) return false;
-        if (n.rel->arity() != n.atom_scratch.size()) {
-          return Status::InvalidArgument(
-              StrCat("atom ", n.src->rel(), "/", n.atom_scratch.size(),
-                     " does not match relation arity ", n.rel->arity()));
-        }
-        return n.rel->Contains(n.atom_scratch);
-      }
-      case Formula::Kind::kEquals: {
-        OCDX_ASSIGN_OR_RETURN(Value a, EvalTerm(n.terms[0]));
-        OCDX_ASSIGN_OR_RETURN(Value b, EvalTerm(n.terms[1]));
-        return a == b;
-      }
-      case Formula::Kind::kNot: {
-        OCDX_ASSIGN_OR_RETURN(bool v, Eval(n.children[0], domain));
-        return !v;
-      }
-      case Formula::Kind::kAnd: {
-        for (CompiledNode& c : n.children) {
-          OCDX_ASSIGN_OR_RETURN(bool v, Eval(c, domain));
-          if (!v) return false;
-        }
-        return true;
-      }
-      case Formula::Kind::kOr: {
-        for (CompiledNode& c : n.children) {
-          OCDX_ASSIGN_OR_RETURN(bool v, Eval(c, domain));
-          if (v) return true;
-        }
-        return false;
-      }
-      case Formula::Kind::kImplies: {
-        OCDX_ASSIGN_OR_RETURN(bool a, Eval(n.children[0], domain));
-        if (!a) return true;
-        return Eval(n.children[1], domain);
-      }
-      case Formula::Kind::kExists:
-      case Formula::Kind::kForall: {
-        bool is_exists = n.kind == Formula::Kind::kExists;
-        const size_t k = n.bound_slots.size();
-        // Shadowing: remember the outer bindings of the bound slots.
-        for (size_t i = 0; i < k; ++i) {
-          n.saved_scratch[i] = frame_[n.bound_slots[i]];
-        }
-        // Odometer over domain^k.
-        bool result = !is_exists;  // exists: false until witness.
-        if (!(domain.empty() && k > 0)) {
-          std::fill(n.idx_scratch.begin(), n.idx_scratch.end(), 0);
-          std::vector<size_t>& idx = n.idx_scratch;
-          while (true) {
-            for (size_t i = 0; i < k; ++i) {
-              frame_[n.bound_slots[i]] = domain[idx[i]];
-            }
-            Result<bool> v = Eval(n.children[0], domain);
-            if (!v.ok()) {
-              Restore(n);
-              return v;
-            }
-            if (is_exists && v.value()) {
-              result = true;
-              break;
-            }
-            if (!is_exists && !v.value()) {
-              result = false;
-              break;
-            }
-            // Advance odometer.
-            size_t p = k;
-            while (p > 0) {
-              --p;
-              if (++idx[p] < domain.size()) break;
-              idx[p] = 0;
-              if (p == 0) {
-                p = SIZE_MAX;
-                break;
-              }
-            }
-            if (p == SIZE_MAX || k == 0) break;
-          }
-        }
-        Restore(n);
-        return result;
-      }
-    }
-    return Status::Internal("unknown formula kind");
-  }
-
- private:
-  void Restore(const CompiledNode& n) {
-    for (size_t i = 0; i < n.bound_slots.size(); ++i) {
-      frame_[n.bound_slots[i]] = n.saved_scratch[i];
-    }
-  }
-
-  std::vector<Value>& frame_;
-  FunctionOracle* oracle_;
-};
 
 }  // namespace
 
@@ -332,24 +43,43 @@ Result<bool> Evaluator::Holds(const FormulaPtr& f, const Env& binding) {
   // Fast path: CQ-shaped sentences under a full binding run as compiled
   // boolean joins with early exit (positive-CQ truth is independent of the
   // quantification domain, so extra domain values cannot change it).
-  if (oracle_ == nullptr && ctx_.indexed()) {
-    std::optional<bool> fast = TryHoldsCQ(f, binding, inst_, ctx_);
-    if (fast.has_value()) return *fast;
+  plan::CompileRequest req;
+  req.formula = f;
+  req.boolean_mode = true;
+  bool all_bound = true;
+  for (const std::string& v : FreeVars(f)) {
+    if (binding.find(v) == binding.end()) {
+      all_bound = false;
+      break;
+    }
+    req.prebound.insert(v);
   }
+  const bool cq_eligible = oracle_ == nullptr && ctx_.indexed() && all_bound;
+  if (!cq_eligible) req.prebound.clear();
+
+  plan::CompiledQueryPtr cq = plan::GetOrCompile(
+      req, inst_, cq_eligible ? JoinEngineMode::kIndexed : JoinEngineMode::kGeneric,
+      /*force_generic=*/!cq_eligible, ctx_);
+  if (cq->kind == plan::PlanKind::kRelational) {
+    plan::BoundQuery bound = plan::BindQuery(*cq, inst_);
+    if (bound.arity_ok) {
+      if (ctx_.stats != nullptr) ++ctx_.stats->cq_plans;
+      if (bound.trivially_empty) return false;
+      return plan::RunRelational(bound, &binding, /*out=*/nullptr);
+    }
+    cq = FreshGeneric(req, inst_);
+  }
+
   if (ctx_.stats != nullptr) ++ctx_.stats->generic_evals;
   std::vector<Value> domain = Domain(f);
-  std::shared_ptr<CompiledSentence> compiled = GetCompiledSentence(f);
-  compiled->in_use = true;
-  ResolveRelations(&compiled->root, inst_);
-  std::vector<Value> frame(compiled->num_slots);
+  const plan::GenericPlan& gp = *cq->generic;
+  plan::BoundQuery bound = plan::BindQuery(*cq, inst_);
+  plan::GenericRunner runner(bound, oracle_);
   for (const auto& [name, value] : binding) {
-    auto it = compiled->slots.find(name);
-    if (it != compiled->slots.end()) frame[it->second] = value;
+    auto it = gp.slots.find(name);
+    if (it != gp.slots.end()) runner.frame()[it->second] = value;
   }
-  SlotEval eval(&frame, oracle_);
-  Result<bool> result = eval.Eval(compiled->root, domain);
-  compiled->in_use = false;
-  return result;
+  return runner.Run(domain);
 }
 
 Result<Relation> Evaluator::Answers(const FormulaPtr& f,
@@ -366,20 +96,31 @@ Result<Relation> Evaluator::Answers(const FormulaPtr& f,
   // instead of domain^k enumeration (rule bodies are usually CQs). The
   // context's mode selects the compiled/indexed plan, the preserved naive
   // scan baseline, or no fast path at all (see logic/engine_context.h).
-  if (oracle_ == nullptr) {
-    std::optional<Relation> fast;
-    switch (ctx_.mode) {
-      case JoinEngineMode::kIndexed:
-        fast = TryEvalCQ(f, order, inst_, ctx_);
-        break;
-      case JoinEngineMode::kNaive:
-        fast = TryEvalCQNaive(f, order, inst_, ctx_);
-        break;
-      case JoinEngineMode::kGeneric:
-        break;
+  plan::CompileRequest req;
+  req.formula = f;
+  req.order = order;
+  const bool fast_eligible =
+      oracle_ == nullptr && ctx_.mode != JoinEngineMode::kGeneric;
+  plan::CompiledQueryPtr cq = plan::GetOrCompile(
+      req, inst_, fast_eligible ? ctx_.mode : JoinEngineMode::kGeneric,
+      /*force_generic=*/!fast_eligible, ctx_);
+  if (cq->kind != plan::PlanKind::kGeneric) {
+    plan::BoundQuery bound = plan::BindQuery(*cq, inst_);
+    if (bound.arity_ok) {
+      if (ctx_.stats != nullptr) ++ctx_.stats->cq_plans;
+      Relation out(order.size());
+      if (cq->kind == plan::PlanKind::kRelational) {
+        if (!bound.trivially_empty) {
+          plan::RunRelational(bound, /*binding=*/nullptr, &out);
+        }
+      } else {
+        plan::RunShape(bound, order, &out);
+      }
+      return out;
     }
-    if (fast.has_value()) return std::move(*fast);
+    cq = FreshGeneric(req, inst_);
   }
+
   if (ctx_.stats != nullptr) ++ctx_.stats->generic_evals;
   std::vector<Value> domain = Domain(f);
   Relation out(order.size());
@@ -391,26 +132,20 @@ Result<Relation> Evaluator::Answers(const FormulaPtr& f,
   }
   if (domain.empty()) return out;
 
-  SlotCompiler compiler;
-  // Output variables get slots first (they may not even occur in f, in
-  // which case they simply range over the domain). The slot numbering
-  // differs from the sentence cache's, so Answers compiles privately.
-  std::vector<int> out_slots(k);
-  for (size_t i = 0; i < k; ++i) out_slots[i] = compiler.GetOrAdd(order[i]);
-  CompiledNode root = compiler.Compile(*f);
-  ResolveRelations(&root, inst_);
-  std::vector<Value> frame(compiler.size());
-  SlotEval eval(&frame, oracle_);
+  const plan::GenericPlan& gp = *cq->generic;
+  plan::BoundQuery bound = plan::BindQuery(*cq, inst_);
+  plan::GenericRunner runner(bound, oracle_);
+  std::vector<Value>& frame = runner.frame();
 
   out.Reserve(16);
   std::vector<size_t> idx(k, 0);
   Tuple t(k);
   while (true) {
     for (size_t i = 0; i < k; ++i) {
-      frame[out_slots[i]] = domain[idx[i]];
+      frame[gp.out_slots[i]] = domain[idx[i]];
       t[i] = domain[idx[i]];
     }
-    OCDX_ASSIGN_OR_RETURN(bool v, eval.Eval(root, domain));
+    OCDX_ASSIGN_OR_RETURN(bool v, runner.Run(domain));
     if (v) out.Add(t);
     size_t p = k;
     bool done = false;

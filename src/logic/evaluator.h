@@ -19,6 +19,7 @@
 #include "base/instance.h"
 #include "logic/engine_context.h"
 #include "logic/formula.h"
+#include "logic/function_oracle.h"
 #include "util/status.h"
 
 namespace ocdx {
@@ -28,17 +29,6 @@ namespace ocdx {
 /// the evaluation loop itself never touches variable names).
 using Env = std::map<std::string, Value>;
 
-/// Interprets Skolem function symbols during evaluation of SkSTD bodies.
-///
-/// The paper's actual functions F' are total maps Const^m -> Const; an
-/// oracle may also return nulls (ocdx uses term-keyed nulls to realize the
-/// F' ~ v correspondence of Lemma 4).
-class FunctionOracle {
- public:
-  virtual ~FunctionOracle() = default;
-  virtual Result<Value> Apply(const std::string& func, const Tuple& args) = 0;
-};
-
 /// Evaluates FO formulas over one instance.
 class Evaluator {
  public:
@@ -46,7 +36,7 @@ class Evaluator {
   /// CQ fast path (indexed / naive / none) and receives stats; it is
   /// copied, so a temporary is fine.
   Evaluator(const Instance& inst, const Universe& universe,
-            const EngineContext& ctx = EngineContext::Current())
+            const EngineContext& ctx = EngineContext())
       : inst_(inst), universe_(universe), ctx_(ctx) {}
 
   /// Adds values to the quantification domain (beyond the active domain
@@ -84,7 +74,7 @@ class Evaluator {
 /// Convenience: evaluates a sentence over an instance.
 Result<bool> EvalSentence(const FormulaPtr& f, const Instance& inst,
                           const Universe& universe,
-                          const EngineContext& ctx = EngineContext::Current());
+                          const EngineContext& ctx = EngineContext());
 
 }  // namespace ocdx
 

@@ -1,0 +1,28 @@
+// FunctionOracle: interpretation of Skolem function symbols during
+// evaluation of SkSTD bodies (split out of logic/evaluator.h so the
+// plan runners can see it without depending on the Evaluator).
+
+#ifndef OCDX_LOGIC_FUNCTION_ORACLE_H_
+#define OCDX_LOGIC_FUNCTION_ORACLE_H_
+
+#include <string>
+
+#include "base/tuple.h"
+#include "util/status.h"
+
+namespace ocdx {
+
+/// Interprets Skolem function symbols during evaluation of SkSTD bodies.
+///
+/// The paper's actual functions F' are total maps Const^m -> Const; an
+/// oracle may also return nulls (ocdx uses term-keyed nulls to realize the
+/// F' ~ v correspondence of Lemma 4).
+class FunctionOracle {
+ public:
+  virtual ~FunctionOracle() = default;
+  virtual Result<Value> Apply(const std::string& func, const Tuple& args) = 0;
+};
+
+}  // namespace ocdx
+
+#endif  // OCDX_LOGIC_FUNCTION_ORACLE_H_

@@ -1,0 +1,81 @@
+// Compiled STD head instantiation: each head term resolved once per STD
+// to a constant, a witness position, or a fresh-null position, so firing
+// a chase witness is a handful of vector reads instead of string-map
+// traffic. Extracted from chase/canonical.cc into the plan layer (PR 5):
+// a head plan is the chase-side sibling of CompiledQuery — compiled once
+// against the STD, executed per witness.
+//
+// \invariant Head plans are immutable after CompileHeadPlans returns and
+//   hold no pointers into the STD, so they may outlive it and be shared
+//   across exec/ workers.
+
+#ifndef OCDX_PLAN_HEAD_PLAN_H_
+#define OCDX_PLAN_HEAD_PLAN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/value.h"
+#include "mapping/mapping.h"
+#include "util/status.h"
+#include "util/str.h"
+
+namespace ocdx {
+namespace plan {
+
+/// A head term resolved at compile time.
+struct HeadSlot {
+  enum class Kind : uint8_t { kConst, kWitness, kFresh };
+  Kind kind = Kind::kConst;
+  Value constant;    ///< kConst payload.
+  size_t index = 0;  ///< kWitness: body-variable index; kFresh:
+                     ///< existential-variable index.
+};
+
+/// Compiles the head atoms of one (plain) STD against its body-variable
+/// and existential-variable orders. Function terms are rejected (plain
+/// chases only; Skolemized mappings go through skolem::SolveSkolem).
+inline Result<std::vector<std::vector<HeadSlot>>> CompileHeadPlans(
+    const std::vector<HeadAtom>& head,
+    const std::vector<std::string>& body_vars,
+    const std::vector<std::string>& exist_vars) {
+  std::vector<std::vector<HeadSlot>> plans(head.size());
+  for (size_t a = 0; a < head.size(); ++a) {
+    plans[a].reserve(head[a].terms.size());
+    for (const Term& term : head[a].terms) {
+      HeadSlot slot;
+      if (term.IsConst()) {
+        slot.kind = HeadSlot::Kind::kConst;
+        slot.constant = term.constant;
+      } else if (term.IsVar()) {
+        auto wit = std::find(body_vars.begin(), body_vars.end(), term.name);
+        if (wit != body_vars.end()) {
+          slot.kind = HeadSlot::Kind::kWitness;
+          slot.index = static_cast<size_t>(wit - body_vars.begin());
+        } else {
+          auto ex = std::find(exist_vars.begin(), exist_vars.end(), term.name);
+          if (ex == exist_vars.end()) {
+            return Status::Internal(StrCat("head variable '", term.name,
+                                           "' has no binding"));
+          }
+          slot.kind = HeadSlot::Kind::kFresh;
+          slot.index = static_cast<size_t>(ex - exist_vars.begin());
+        }
+      } else {
+        return Status::InvalidArgument(
+            StrCat("function term '", term.name,
+                   "' in a plain chase; Skolemized mappings must go through "
+                   "skolem::SolveSkolem"));
+      }
+      plans[a].push_back(slot);
+    }
+  }
+  return plans;
+}
+
+}  // namespace plan
+}  // namespace ocdx
+
+#endif  // OCDX_PLAN_HEAD_PLAN_H_

@@ -1,0 +1,106 @@
+// Binding and executing CompiledQuery plans (see compiled_query.h).
+//
+// BindQuery is the per-instance half of the compile-once split: it
+// resolves the plan's relation-name table against one Instance, re-checks
+// arities, and precomputes the instance-dependent facts the pre-PR 5
+// compiler baked into the plan (trivially-empty main atoms, guards over
+// missing/empty relations). Binding is a handful of map lookups — the
+// member-enumeration loops bind per member and reuse one compiled plan.
+//
+// \invariant Runners never mutate the CompiledQuery. All scratch (the
+//   dense binding frame, probe keys, per-node quantifier state) is owned
+//   by the runner or this call's BoundQuery, so a plan can be executed
+//   concurrently from any number of jobs.
+// \invariant A BoundQuery borrows its CompiledQuery and its Instance's
+//   relations; it must not outlive either. It is a per-call value, not a
+//   cacheable artifact.
+
+#ifndef OCDX_PLAN_RUNNER_H_
+#define OCDX_PLAN_RUNNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/instance.h"
+#include "logic/function_oracle.h"
+#include "plan/compiled_query.h"
+#include "util/status.h"
+
+namespace ocdx {
+namespace plan {
+
+/// A compiled plan resolved against one concrete instance.
+struct BoundQuery {
+  const CompiledQuery* query = nullptr;
+  /// Resolved relation pointers, aligned with query->relations; nullptr
+  /// where the instance lacks the relation.
+  std::vector<const Relation*> rels;
+  /// False iff some referenced relation exists with an arity different
+  /// from the plan's expectation. The plan must then not run: callers
+  /// fall back to a fresh generic evaluation, which reports the
+  /// mismatch as the historical InvalidArgument.
+  bool arity_ok = true;
+  /// Relational plans: some positive atom ranges over a missing or empty
+  /// relation, so the answer is empty (boolean: false) without running.
+  bool trivially_empty = false;
+  /// Relational plans, by PlanGuard::guard_id: a guard over a missing or
+  /// empty relation can never match and is skipped.
+  std::vector<bool> guard_active;
+};
+
+/// Resolves `q` against `inst`. Cheap; call per instance.
+BoundQuery BindQuery(const CompiledQuery& q, const Instance& inst);
+
+/// Executes a bound relational plan (kind kRelational, arity_ok, and not
+/// trivially_empty). In boolean mode (`out` == nullptr) stops at the
+/// first full match; otherwise projects every match into `out`.
+/// `binding` supplies the boolean-mode preset values by variable name
+/// (may be nullptr when the plan has no presets). Returns true iff at
+/// least one match was found.
+bool RunRelational(const BoundQuery& b,
+                   const std::map<std::string, Value>* binding,
+                   Relation* out);
+
+/// Executes a bound shape (kind kShape, arity_ok) with the naive
+/// backtracking nested-loop scan, projecting matches over `order` into
+/// `out`. Atom order is chosen here, by bound relation size — the
+/// instance-dependent half of the historical naive engine.
+void RunShape(const BoundQuery& b, const std::vector<std::string>& order,
+              Relation* out);
+
+/// Executes a bound generic plan (kind kGeneric) over a dense frame.
+/// One runner per evaluation call; for Answers-style enumeration the
+/// caller seeds frame() slots per domain tuple and calls Run repeatedly.
+class GenericRunner {
+ public:
+  /// `b` must outlive the runner (it holds the resolved relations).
+  GenericRunner(const BoundQuery& b, FunctionOracle* oracle);
+
+  /// The binding frame (size num_slots; invalid Value = unbound). Seed
+  /// free-variable slots through the plan's `slots` map before Run.
+  std::vector<Value>& frame() { return frame_; }
+
+  /// Evaluates the root under the current frame and `domain`.
+  Result<bool> Run(const std::vector<Value>& domain);
+
+ private:
+  Result<Value> EvalTerm(const GenericTerm& t);
+  Result<bool> Eval(const GenericNode& n, const std::vector<Value>& domain);
+  void Restore(const GenericNode& n);
+
+  const GenericPlan& plan_;
+  const std::vector<const Relation*>& rels_;
+  FunctionOracle* oracle_;
+  std::vector<Value> frame_;
+  // Per-node scratch, addressed by GenericNode::id (the compiled plan is
+  // immutable and shared; scratch cannot live in it).
+  std::vector<Tuple> atom_scratch_;
+  std::vector<std::vector<Value>> saved_scratch_;
+  std::vector<std::vector<size_t>> idx_scratch_;
+};
+
+}  // namespace plan
+}  // namespace ocdx
+
+#endif  // OCDX_PLAN_RUNNER_H_

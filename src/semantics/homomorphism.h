@@ -63,7 +63,7 @@ struct HomOptions {
 /// A homomorphism from `from` to `to`, or nullopt if none exists.
 Result<std::optional<NullMap>> FindHomomorphism(
     const AnnotatedInstance& from, const AnnotatedInstance& to,
-    HomOptions options = {}, const EngineContext& ctx = EngineContext::Current());
+    HomOptions options = {}, const EngineContext& ctx = EngineContext());
 
 /// A homomorphism h with h(`from`) = `image` *exactly* (every tuple of
 /// `image` is hit, markers coincide) and h mapping the nulls of `from`
@@ -71,7 +71,7 @@ Result<std::optional<NullMap>> FindHomomorphism(
 /// (presolution) condition.
 Result<std::optional<NullMap>> FindOntoImage(
     const AnnotatedInstance& from, const AnnotatedInstance& image,
-    HomOptions options = {}, const EngineContext& ctx = EngineContext::Current());
+    HomOptions options = {}, const EngineContext& ctx = EngineContext());
 
 /// A homomorphism from `inst` into *an expansion of* `core`: every proper
 /// tuple (t, a) of `inst` must, under h, coincide with some tuple
@@ -81,7 +81,7 @@ Result<std::optional<NullMap>> FindOntoImage(
 /// `core`. Returns the partial h (unconstrained nulls unmapped).
 Result<std::optional<NullMap>> FindExpansionHom(
     const AnnotatedInstance& inst, const AnnotatedInstance& core,
-    HomOptions options = {}, const EngineContext& ctx = EngineContext::Current());
+    HomOptions options = {}, const EngineContext& ctx = EngineContext());
 
 }  // namespace ocdx
 

@@ -29,14 +29,14 @@ struct MembershipResult {
 Result<MembershipResult> InSolutionSpace(
     const Mapping& mapping, const Instance& source, const Instance& target,
     Universe* universe, RepAOptions options = {},
-    const EngineContext& ctx = EngineContext::Current());
+    const EngineContext& ctx = EngineContext());
 
 /// As above but with a precomputed CSolA(S) (skips the chase and the
 /// all-open fast path; used by benchmarks isolating the search cost).
 Result<MembershipResult> InSolutionSpaceGiven(
     const AnnotatedInstance& csola, const Instance& target,
     RepAOptions options = {},
-    const EngineContext& ctx = EngineContext::Current());
+    const EngineContext& ctx = EngineContext());
 
 }  // namespace ocdx
 

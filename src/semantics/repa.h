@@ -34,13 +34,13 @@ struct RepAOptions {
 /// Fails with InvalidArgument if `ground` contains nulls.
 Result<bool> InRepA(const AnnotatedInstance& annotated, const Instance& ground,
                     Valuation* witness = nullptr, RepAOptions options = {},
-                    const EngineContext& ctx = EngineContext::Current());
+                    const EngineContext& ctx = EngineContext());
 
 /// Is `ground` in Rep(`table`) = { v(table) } (the closed-world semantics
 /// of naive tables)?
 Result<bool> InRep(const Instance& table, const Instance& ground,
                    Valuation* witness = nullptr, RepAOptions options = {},
-                   const EngineContext& ctx = EngineContext::Current());
+                   const EngineContext& ctx = EngineContext());
 
 /// Checks conditions (a) and (b) above under a *given* total valuation
 /// (deterministic; used by the enumeration-based engines).

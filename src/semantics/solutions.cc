@@ -8,21 +8,46 @@
 
 namespace ocdx {
 
-Result<bool> SatisfiesStds(const Mapping& mapping, const Instance& source,
-                           const Instance& target, const Universe& universe,
-                           const EngineContext& ctx) {
-  Evaluator source_eval(source, universe, ctx);
-  Evaluator target_eval(target, universe, ctx);
+std::vector<FormulaPtr> StdRequirements(const Mapping& mapping) {
+  std::vector<FormulaPtr> out;
+  out.reserve(mapping.stds().size());
   for (const AnnotatedStd& std_ : mapping.stds()) {
-    const std::vector<std::string> body_vars = std_.BodyVars();
     // Head requirement: exists z-bar . conjunction of head atoms.
     std::vector<FormulaPtr> atoms;
     atoms.reserve(std_.head.size());
     for (const HeadAtom& atom : std_.head) {
       atoms.push_back(Formula::Atom(atom.rel, atom.terms));
     }
-    FormulaPtr requirement =
-        Formula::Exists(std_.ExistentialVars(), Formula::And(std::move(atoms)));
+    out.push_back(Formula::Exists(std_.ExistentialVars(),
+                                  Formula::And(std::move(atoms))));
+  }
+  return out;
+}
+
+Result<bool> SatisfiesStds(const Mapping& mapping, const Instance& source,
+                           const Instance& target, const Universe& universe,
+                           const EngineContext& ctx) {
+  return SatisfiesStds(mapping, StdRequirements(mapping), source, target,
+                       universe, ctx);
+}
+
+Result<bool> SatisfiesStds(const Mapping& mapping,
+                           const std::vector<FormulaPtr>& requirements,
+                           const Instance& source, const Instance& target,
+                           const Universe& universe,
+                           const EngineContext& ctx) {
+  // No per-call cache setup here: SatisfiesStds is an *inner* step of
+  // the enumeration drivers (composition intermediates, membership
+  // candidates), which attach one plan cache up front, precompute the
+  // requirement formulas (StdRequirements — the cache keys on formula
+  // identity) and reuse both across calls. With an uncached context each
+  // call compiles privately.
+  Evaluator source_eval(source, universe, ctx);
+  Evaluator target_eval(target, universe, ctx);
+  for (size_t i = 0; i < mapping.stds().size(); ++i) {
+    const AnnotatedStd& std_ = mapping.stds()[i];
+    const FormulaPtr& requirement = requirements[i];
+    const std::vector<std::string> body_vars = std_.BodyVars();
 
     Relation answers(body_vars.size());
     std::vector<TupleRef> witnesses;

@@ -26,24 +26,40 @@ namespace ocdx {
 /// OWA-solutions.
 Result<bool> SatisfiesStds(const Mapping& mapping, const Instance& source,
                            const Instance& target, const Universe& universe,
-                           const EngineContext& ctx = EngineContext::Current());
+                           const EngineContext& ctx = EngineContext());
+
+/// The head-requirement sentences "exists z-bar . head atoms" of the
+/// mapping's STDs, in STD order. Callers that check SatisfiesStds
+/// repeatedly (the enumeration drivers' per-candidate loops) build this
+/// once and use the overload below: the plan cache is keyed on formula
+/// *identity*, so per-call formula construction would compile the same
+/// requirement once per candidate instead of once.
+std::vector<FormulaPtr> StdRequirements(const Mapping& mapping);
+
+/// As SatisfiesStds, with the requirement formulas precomputed by
+/// StdRequirements (must be for the same mapping).
+Result<bool> SatisfiesStds(const Mapping& mapping,
+                           const std::vector<FormulaPtr>& requirements,
+                           const Instance& source, const Instance& target,
+                           const Universe& universe,
+                           const EngineContext& ctx = EngineContext());
 
 /// Is T an OWA-solution for S under the mapping? (= SatisfiesStds.)
 Result<bool> IsOwaSolution(const Mapping& mapping, const Instance& source,
                            const Instance& target, const Universe& universe,
-                           const EngineContext& ctx = EngineContext::Current());
+                           const EngineContext& ctx = EngineContext());
 
 /// Is T a Sigma-alpha-solution for S (Proposition 1)? `csola` must be the
 /// annotated canonical solution of S under the mapping.
 Result<bool> IsSigmaAlphaSolutionGiven(
     const AnnotatedInstance& csola, const AnnotatedInstance& target,
-    const EngineContext& ctx = EngineContext::Current());
+    const EngineContext& ctx = EngineContext());
 
 /// Convenience overload that chases first.
 Result<bool> IsSigmaAlphaSolution(
     const Mapping& mapping, const Instance& source,
     const AnnotatedInstance& target, Universe* universe,
-    const EngineContext& ctx = EngineContext::Current());
+    const EngineContext& ctx = EngineContext());
 
 /// Is T (a plain instance) a CWA-solution for S under the *unannotated*
 /// reading of the mapping? Implemented as the all-closed special case of
@@ -51,7 +67,7 @@ Result<bool> IsSigmaAlphaSolution(
 /// a homomorphism back into CSol(S)).
 Result<bool> IsCwaSolution(const Mapping& mapping, const Instance& source,
                            const Instance& target, Universe* universe,
-                           const EngineContext& ctx = EngineContext::Current());
+                           const EngineContext& ctx = EngineContext());
 
 }  // namespace ocdx
 

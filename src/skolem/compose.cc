@@ -323,6 +323,12 @@ Result<SkolemMembership> InSkolemComposition(const Mapping& sigma,
     }
   }
 
+  // One plan cache for the whole composition decision (unless the
+  // caller attached one): the interpretation loops below re-run Sigma's
+  // bodies per phase-1 valuation and Delta's per intermediate J.
+  EngineContext call_ctx = ctx;
+  call_ctx.EnsureCache();
+
   // Distinguished constants: everything W, Sigma and Delta can "see".
   std::vector<Value> adom = source.ActiveDomain();
   std::set<Value> fixed_set(adom.begin(), adom.end());
@@ -342,7 +348,7 @@ Result<SkolemMembership> InSkolemComposition(const Mapping& sigma,
   // Phase 1: sigma's demanded *body* slots (guard analysis); head slots
   // surface as placeholders during each solve and form phase 2.
   OCDX_ASSIGN_OR_RETURN(SlotSet demanded,
-                        DemandedBodySlots(sigma, source, universe, ctx));
+                        DemandedBodySlots(sigma, source, universe, call_ctx));
   std::vector<std::pair<std::string, Tuple>> slots(demanded.begin(),
                                                    demanded.end());
   std::vector<Value> slot_nulls;
@@ -366,7 +372,7 @@ Result<SkolemMembership> InSkolemComposition(const Mapping& sigma,
     }
     RecordingOracle head_oracle(&table, universe);
     Result<AnnotatedInstance> sol =
-        SolveSkolem(sigma, source, &head_oracle, universe, ctx);
+        SolveSkolem(sigma, source, &head_oracle, universe, call_ctx);
     if (!sol.ok()) return sol.status();
 
     // Phase 2: valuate head-slot placeholders that reached tuples.
@@ -391,7 +397,7 @@ Result<SkolemMembership> InSkolemComposition(const Mapping& sigma,
       }
       OCDX_ASSIGN_OR_RETURN(
           SkolemMembership inner,
-          InSkolemSemantics(delta, j, target, universe, options, ctx));
+          InSkolemSemantics(delta, j, target, universe, options, call_ctx));
       if (!inner.exhaustive) out.exhaustive = false;
       if (inner.member) {
         out.member = true;

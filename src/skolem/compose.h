@@ -56,7 +56,7 @@ Result<SkolemMembership> InSkolemComposition(
     const Mapping& sigma, const Mapping& delta, const Instance& source,
     const Instance& target, Universe* universe,
     SkolemMembershipOptions options = {},
-    const EngineContext& ctx = EngineContext::Current());
+    const EngineContext& ctx = EngineContext());
 
 }  // namespace ocdx
 

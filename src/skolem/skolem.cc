@@ -461,12 +461,17 @@ Result<SkolemMembership> InSkolemSemantics(const Mapping& mapping,
     return Status::InvalidArgument(
         "SkSTD semantics membership is defined for ground targets");
   }
+  // `call_ctx` gains a plan cache only on the explicit-enumeration path
+  // below: that path re-evaluates the same SkSTD bodies once per
+  // candidate interpretation, while the term-keyed fast path solves
+  // exactly once and would pay cache setup for nothing.
+  EngineContext call_ctx = ctx;
   for (const AnnotatedStd& std_ : mapping.stds()) {
     if (!std_.ExistentialVars().empty()) {
       // Plain STD rules: Skolemize first (Lemma 4), then decide.
       OCDX_ASSIGN_OR_RETURN(Mapping skolemized, EnsureSkolemized(mapping));
       return InSkolemSemantics(skolemized, source, target, universe, options,
-                               ctx);
+                               call_ctx);
     }
   }
   SkolemMembership out;
@@ -477,9 +482,9 @@ Result<SkolemMembership> InSkolemSemantics(const Mapping& mapping,
     // is exactly an interpretation of the used slots.
     TermNullOracle oracle(universe);
     OCDX_ASSIGN_OR_RETURN(AnnotatedInstance sol,
-                          SolveSkolem(mapping, source, &oracle, universe, ctx));
+                          SolveSkolem(mapping, source, &oracle, universe, call_ctx));
     OCDX_ASSIGN_OR_RETURN(out.member,
-                          InRepA(sol, target, nullptr, options.repa, ctx));
+                          InRepA(sol, target, nullptr, options.repa, call_ctx));
     out.exhaustive = true;
     out.method = "term-keyed nulls (Lemma 4)";
     out.interpretations_checked = 1;
@@ -487,11 +492,12 @@ Result<SkolemMembership> InSkolemSemantics(const Mapping& mapping,
   }
 
   // Explicit enumeration of interpretations.
+  call_ctx.EnsureCache();
   // Phase 1: the *demanded* body slots (guard analysis): only these can
   // change which witnesses fire. Phase 2: head-term slots demanded during
   // each solve, discovered as placeholder nulls and valuated afterwards.
   OCDX_ASSIGN_OR_RETURN(SlotSet demanded,
-                        DemandedBodySlots(mapping, source, universe, ctx));
+                        DemandedBodySlots(mapping, source, universe, call_ctx));
 
   // Distinguished constants: everything the target / mapping can "see".
   std::vector<Value> adom = source.ActiveDomain();
@@ -532,7 +538,7 @@ Result<SkolemMembership> InSkolemSemantics(const Mapping& mapping,
     }
     RecordingOracle oracle(&table, universe);
     Result<AnnotatedInstance> sol =
-        SolveSkolem(mapping, source, &oracle, universe, ctx);
+        SolveSkolem(mapping, source, &oracle, universe, call_ctx);
     if (!sol.ok()) return sol.status();
 
     // Phase 2: valuate the placeholder (head-slot) nulls that actually
@@ -555,7 +561,7 @@ Result<SkolemMembership> InSkolemSemantics(const Mapping& mapping,
       }
       AnnotatedInstance ground = ApplyValuationAnnotated(sol.value(), v2);
       OCDX_ASSIGN_OR_RETURN(
-          bool member, InRepA(ground, target, nullptr, options.repa, ctx));
+          bool member, InRepA(ground, target, nullptr, options.repa, call_ctx));
       if (member) {
         out.member = true;
         return out;

@@ -54,7 +54,7 @@ using SlotSet = std::set<std::pair<std::string, Tuple>>;
 /// terms in bodies (head nesting is fine).
 Result<SlotSet> DemandedBodySlots(
     const Mapping& mapping, const Instance& source, Universe* universe,
-    const EngineContext& ctx = EngineContext::Current());
+    const EngineContext& ctx = EngineContext());
 
 /// Lemma 4: translates a plain annotated STD mapping into an equivalent
 /// annotated SkSTD mapping. Each existential variable z of STD #i becomes
@@ -124,7 +124,7 @@ class RecordingOracle : public FunctionOracle {
 /// interpretation (including empty annotated tuples for unfired rules).
 Result<AnnotatedInstance> SolveSkolem(
     const Mapping& mapping, const Instance& source, FunctionOracle* oracle,
-    Universe* universe, const EngineContext& ctx = EngineContext::Current());
+    Universe* universe, const EngineContext& ctx = EngineContext());
 
 struct SkolemMembership {
   bool member = false;
@@ -146,7 +146,7 @@ struct SkolemMembershipOptions {
 Result<SkolemMembership> InSkolemSemantics(
     const Mapping& mapping, const Instance& source, const Instance& target,
     Universe* universe, SkolemMembershipOptions options = {},
-    const EngineContext& ctx = EngineContext::Current());
+    const EngineContext& ctx = EngineContext());
 
 /// Proposition 7: renders the mapping as the second-order sentence
 /// "exists f1..fr forall x-bar (phi -> psi) ..." of [FKPT05].

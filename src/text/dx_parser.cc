@@ -423,6 +423,8 @@ Status DxParser::ParseQueryDecl(DxScenario* out) {
   }
   DxQuery query;
   query.name = std::move(name);
+  query.line = lines_.LineOf(name_offset);
+  query.col = lines_.ColOf(name_offset);
   OCDX_RETURN_IF_ERROR(Expect(DxTokKind::kLParen, "'(' after query name"));
   if (!Accept(DxTokKind::kRParen)) {
     while (true) {

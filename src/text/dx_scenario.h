@@ -59,6 +59,11 @@ struct DxQuery {
   std::vector<std::string> vars;
   std::string description;
   FormulaPtr formula;
+  /// Source position of the declaration (1-based; 0 when synthesized).
+  /// The driver uses it to position diagnostics, e.g. the guard-depth
+  /// fallback note.
+  uint32_t line = 0;
+  uint32_t col = 0;
 };
 
 /// One parsed `.dx` file. Values (constants and nulls) are interned in

@@ -4,8 +4,9 @@
 // The headline property is *determinism*: `ocdx batch -j 8` must be
 // byte-identical to `-j 1` over the whole corpus under every engine mode
 // — no synchronization makes that true, only the absence of shared
-// mutable state (one Universe per job, thread-local shims, canonical
-// rendering). CI additionally runs this file under ThreadSanitizer
+// mutable state (one Universe, one EngineContext and one plan cache per
+// job, canonical rendering). CI additionally runs this file under
+// ThreadSanitizer
 // (the `tsan` preset), which turns any violation of that contract into a
 // hard failure instead of a flaky diff.
 
@@ -179,15 +180,25 @@ TEST(BatchExec, EmptyInputIsAnError) {
 // EngineContext plumbing
 // ---------------------------------------------------------------------------
 
-TEST(EngineContext, LegacyGlobalShimIsThreadLocal) {
-  // A ScopedJoinEngineMode in this thread must be invisible to workers:
-  // each thread's EngineContext::Current() starts at kIndexed.
-  ScopedJoinEngineMode scoped(JoinEngineMode::kNaive);
-  EXPECT_EQ(EngineContext::Current().mode, JoinEngineMode::kNaive);
-  JoinEngineMode seen = JoinEngineMode::kNaive;
-  std::thread worker([&seen] { seen = EngineContext::Current().mode; });
-  worker.join();
-  EXPECT_EQ(seen, JoinEngineMode::kIndexed);
+TEST(EngineContext, PlanCachesAreJobLocal) {
+  // Default contexts carry no cache (per-call compilation, the engine's
+  // conservative baseline); EnsureCache attaches one and is idempotent;
+  // WithFreshCache — the batch runner's per-job hand-off — never shares a
+  // cache between the source context and the job copy.
+  EngineContext ctx;
+  EXPECT_EQ(ctx.plan_cache, nullptr);
+  ctx.EnsureCache();
+  auto first = ctx.plan_cache;
+  ctx.EnsureCache();
+  EXPECT_EQ(ctx.plan_cache, first);  // Idempotent.
+  EngineContext job = ctx.WithFreshCache();
+  if (first != nullptr) {  // OCDX_PLAN_CACHE=off runs cacheless.
+    ASSERT_NE(job.plan_cache, nullptr);
+    EXPECT_NE(job.plan_cache, first);
+  }
+  // Copies of one context share its cache: that is the intra-job contract.
+  EngineContext copy = job;
+  EXPECT_EQ(copy.plan_cache, job.plan_cache);
 }
 
 TEST(EngineContext, ContextBudgetCapsHomSearch) {

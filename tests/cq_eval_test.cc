@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "logic/cq_eval.h"
-#include "logic/engine_config.h"
+#include "logic/engine_context.h"
 #include "logic/evaluator.h"
 #include "logic/parser.h"
 #include "util/rng.h"
@@ -135,8 +135,7 @@ TEST_P(CqAgreementSweep, AgreesWithGenericEvaluator) {
     ASSERT_TRUE(naive.has_value()) << text;
     // Generic evaluation, bypassing every fast path by evaluating the
     // formula under the full domain enumeration.
-    ScopedJoinEngineMode generic(JoinEngineMode::kGeneric);
-    Evaluator ev(inst, u);
+    Evaluator ev(inst, u, EngineContext::ForMode(JoinEngineMode::kGeneric));
     std::vector<Value> domain = ev.Domain(q.value());
     Relation slow(2);
     for (Value x : domain) {

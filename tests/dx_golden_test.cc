@@ -1,10 +1,10 @@
 // Golden-file runner for the `.dx` scenario corpus.
 //
 // Every tests/corpus/*.dx file is parsed and driven through `ocdx all`
-// (text/dx_driver.h) under BOTH the indexed and the naive join engine;
-// the output must be byte-identical to tests/corpus/golden/<name>.golden
-// in both modes — pinning end-to-end pipeline behavior the way the
-// engine-parity tests pin answer sets.
+// (text/dx_driver.h) under the indexed engine (plan cache on and off)
+// AND the naive join engine; the output must be byte-identical to
+// tests/corpus/golden/<name>.golden in every mode — pinning end-to-end
+// pipeline behavior the way the engine-parity tests pin answer sets.
 //
 // To regenerate goldens after an intentional output change:
 //
@@ -51,8 +51,10 @@ std::vector<fs::path> DxFilesIn(const fs::path& dir) {
 // Parses fresh (own Universe) and runs `ocdx all` under the given engine
 // — carried as an explicit EngineContext on the driver options, exactly
 // like the CLI (no global engine-mode writes anywhere in this test).
+// `cache_opt_out` runs the per-call-compilation path (the plan cache is
+// a pure optimization: output bytes must not change).
 std::string RunAllUnder(const std::string& src, JoinEngineMode mode,
-                        const fs::path& file) {
+                        const fs::path& file, bool cache_opt_out = false) {
   Universe universe;
   Result<DxScenario> scenario = ParseDxScenario(src, &universe);
   EXPECT_TRUE(scenario.ok())
@@ -60,6 +62,7 @@ std::string RunAllUnder(const std::string& src, JoinEngineMode mode,
   if (!scenario.ok()) return "";
   DxDriverOptions options;
   options.engine = EngineContext::ForMode(mode);
+  options.engine.plan_cache_opt_out = cache_opt_out;
   Result<std::string> out =
       RunDxCommand(scenario.value(), "all", &universe, options);
   EXPECT_TRUE(out.ok()) << file << ": " << out.status().ToString();
@@ -82,6 +85,12 @@ TEST(DxGolden, CorpusMatchesGoldenUnderBothEngines) {
     const std::string naive = RunAllUnder(src, JoinEngineMode::kNaive, file);
     EXPECT_EQ(indexed, naive)
         << file << ": kIndexed and kNaive runs diverge";
+    // The cached/uncached/naive triangle over the full corpus: disabling
+    // the plan cache must not change a byte.
+    const std::string uncached = RunAllUnder(
+        src, JoinEngineMode::kIndexed, file, /*cache_opt_out=*/true);
+    EXPECT_EQ(indexed, uncached)
+        << file << ": plan-cached and per-call-compiled runs diverge";
 
     const fs::path golden_path =
         golden_dir / (file.stem().string() + ".golden");

@@ -15,10 +15,11 @@
 #include "certain/certain.h"
 #include "chase/canonical.h"
 #include "logic/cq_eval.h"
-#include "logic/engine_config.h"
+#include "logic/engine_context.h"
 #include "logic/evaluator.h"
 #include "logic/parser.h"
 #include "mapping/rule_parser.h"
+#include "plan/plan_cache.h"
 #include "semantics/homomorphism.h"
 #include "semantics/membership.h"
 #include "semantics/repa.h"
@@ -91,8 +92,7 @@ TEST_P(CqEngineParity, IndexedNaiveAndGenericAgree) {
       ASSERT_TRUE(naive.has_value());
       EXPECT_TRUE(*fast == *naive) << "seed " << GetParam() << " query " << q;
 
-      ScopedJoinEngineMode generic(JoinEngineMode::kGeneric);
-      Evaluator ev(*inst, u);
+      Evaluator ev(*inst, u, EngineContext::ForMode(JoinEngineMode::kGeneric));
       Result<Relation> slow = ev.Answers(f, order);
       ASSERT_TRUE(slow.ok());
       EXPECT_TRUE(*fast == slow.value())
@@ -193,10 +193,8 @@ TEST_P(HomEngineParity, IndexedAgreesWithNaiveAndBruteForce) {
 
   Result<std::optional<NullMap>> indexed = FindHomomorphism(a, b);
   ASSERT_TRUE(indexed.ok());
-  Result<std::optional<NullMap>> naive = [&] {
-    ScopedJoinEngineMode scoped(JoinEngineMode::kNaive);
-    return FindHomomorphism(a, b);
-  }();
+  Result<std::optional<NullMap>> naive = FindHomomorphism(
+      a, b, {}, EngineContext::ForMode(JoinEngineMode::kNaive));
   ASSERT_TRUE(naive.ok());
   bool brute = BruteForceHomExists(a, b);
 
@@ -232,9 +230,9 @@ TEST(EndToEndParity, ChaseAgreesAcrossEngines) {
     Result<CanonicalSolution> indexed =
         Chase(sc1.value().mapping, sc1.value().source, &u1);
     ASSERT_TRUE(indexed.ok());
-    ScopedJoinEngineMode scoped(mode);
     Result<CanonicalSolution> other =
-        Chase(sc2.value().mapping, sc2.value().source, &u2);
+        Chase(sc2.value().mapping, sc2.value().source, &u2,
+              EngineContext::ForMode(mode));
     ASSERT_TRUE(other.ok());
     // Same deterministic firing order in both engines: identical null ids,
     // hence identical annotated instances and trigger counts.
@@ -259,7 +257,6 @@ TEST(EndToEndParity, MembershipAgreesAcrossEngines) {
         for (JoinEngineMode mode :
              {JoinEngineMode::kIndexed, JoinEngineMode::kNaive,
               JoinEngineMode::kGeneric}) {
-          ScopedJoinEngineMode scoped(mode);
           Universe u;
           Result<TripartiteReduction> red =
               BuildTripartiteReduction(*tri, &u);
@@ -269,7 +266,8 @@ TEST(EndToEndParity, MembershipAgreesAcrossEngines) {
                   ? red.value().mapping.WithUniformAnnotation(Ann::kOpen)
                   : red.value().mapping;
           Result<MembershipResult> r = InSolutionSpace(
-              mapping, red.value().source, red.value().target, &u);
+              mapping, red.value().source, red.value().target, &u, {},
+              EngineContext::ForMode(mode));
           ASSERT_TRUE(r.ok());
           members.push_back(r.value().member);
         }
@@ -294,8 +292,9 @@ TEST(EndToEndParity, InRepAAgreesAcrossEngines) {
     }
     Result<bool> indexed = InRepA(t, ground);
     ASSERT_TRUE(indexed.ok());
-    ScopedJoinEngineMode scoped(JoinEngineMode::kNaive);
-    Result<bool> naive = InRepA(t, ground);
+    Result<bool> naive =
+        InRepA(t, ground, nullptr, {},
+               EngineContext::ForMode(JoinEngineMode::kNaive));
     ASSERT_TRUE(naive.ok());
     EXPECT_EQ(indexed.value(), naive.value()) << "seed " << seed;
   }
@@ -346,7 +345,6 @@ TEST_P(CertainEngineParity, VerdictsAgreeAcrossEngines) {
   for (JoinEngineMode mode :
        {JoinEngineMode::kIndexed, JoinEngineMode::kNaive,
         JoinEngineMode::kGeneric}) {
-    ScopedJoinEngineMode scoped(mode);
     Universe u;
     Schema src, tgt;
     src.Add("Papers", {"paper", "title"});
@@ -366,7 +364,8 @@ TEST_P(CertainEngineParity, VerdictsAgreeAcrossEngines) {
     ASSERT_TRUE(q.ok()) << q.status().ToString();
 
     Result<CertainAnswerEngine> engine =
-        CertainAnswerEngine::Create(m.value(), s, &u);
+        CertainAnswerEngine::Create(m.value(), s, &u,
+                                    EngineContext::ForMode(mode));
     ASSERT_TRUE(engine.ok()) << engine.status().ToString();
 
     CertainOptions opts;
@@ -404,6 +403,154 @@ TEST_P(CertainEngineParity, VerdictsAgreeAcrossEngines) {
 INSTANTIATE_TEST_SUITE_P(Random, CertainEngineParity, ::testing::Range(0, 12));
 
 // ---------------------------------------------------------------------------
+// Plan-cache parity: the cached / uncached / naive triangle over the
+// certain/ engines, and the compile-once pin for enumeration workloads
+// (PR 5: compile-once query plans).
+// ---------------------------------------------------------------------------
+
+struct CacheTriangleLeg {
+  JoinEngineMode mode;
+  bool cache_opt_out;
+};
+
+class PlanCacheParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanCacheParity, CachedUncachedAndNaiveAgree) {
+  const int seed = GetParam();
+  Rng rng(8080 + seed);
+  static const char* kRules[] = {
+      "Submissions(x^cl, z^cl) :- Papers(x, y);",
+      "Submissions(x^cl, z^op) :- Papers(x, y);",
+      "Submissions(x^op, z^op) :- Papers(x, y);",
+  };
+  static const char* kQueries[] = {
+      "exists p a. Submissions(p, a)",
+      "forall p a1 a2. (Submissions(p, a1) & Submissions(p, a2)) -> a1 = a2",
+      "!(exists p. Submissions(p, 'zz'))",
+  };
+  const std::string rules = kRules[rng.Below(3)];
+  const size_t query_idx = rng.Below(3);
+  const size_t n_papers = 1 + rng.Below(3);
+  const uint64_t src_seed = rng.Next();
+
+  const CacheTriangleLeg legs[] = {
+      {JoinEngineMode::kIndexed, /*cache_opt_out=*/false},
+      {JoinEngineMode::kIndexed, /*cache_opt_out=*/true},
+      {JoinEngineMode::kNaive, /*cache_opt_out=*/false},
+  };
+  std::vector<bool> certains;
+  std::vector<bool> exhaustives;
+  std::vector<std::vector<Tuple>> answer_sets;
+  for (const CacheTriangleLeg& leg : legs) {
+    Universe u;
+    Schema src, tgt;
+    src.Add("Papers", {"paper", "title"});
+    tgt.Add("Submissions", {"paper", "author"});
+    Result<Mapping> m = ParseMapping(rules, src, tgt, &u);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+
+    Instance s;
+    Rng srng(src_seed);
+    for (size_t i = 0; i < n_papers; ++i) {
+      s.Add("Papers",
+            {u.Const("x" + std::to_string(srng.Below(3))),
+             u.Const("t" + std::to_string(srng.Below(2)))});
+    }
+    Result<FormulaPtr> q = ParseFormula(kQueries[query_idx], &u);
+    ASSERT_TRUE(q.ok());
+
+    EngineContext ctx = EngineContext::ForMode(leg.mode);
+    ctx.plan_cache_opt_out = leg.cache_opt_out;
+    Result<CertainAnswerEngine> engine =
+        CertainAnswerEngine::Create(m.value(), s, &u, ctx);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+    CertainOptions opts;
+    opts.enum_options.fresh_pool = 1;
+    opts.enum_options.max_extra_tuples = 2;
+    opts.enum_options.max_universe = 8;
+    opts.enum_options.open_replication_limit = 2;
+    opts.enum_options.max_members = 2000;
+    Result<CertainVerdict> v = engine.value().IsCertainBoolean(q.value(), opts);
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    certains.push_back(v.value().certain);
+    exhaustives.push_back(v.value().exhaustive);
+
+    Result<FormulaPtr> qa = ParseFormula("exists a. Submissions(p, a)", &u);
+    ASSERT_TRUE(qa.ok());
+    Result<Relation> ans =
+        engine.value().CertainAnswers(qa.value(), {"p"}, nullptr, opts);
+    ASSERT_TRUE(ans.ok()) << ans.status().ToString();
+    answer_sets.push_back(ans.value().SortedTuples());
+  }
+  EXPECT_EQ(certains[0], certains[1]) << "seed " << seed;
+  EXPECT_EQ(certains[0], certains[2]) << "seed " << seed;
+  EXPECT_EQ(exhaustives[0], exhaustives[1]) << "seed " << seed;
+  EXPECT_EQ(exhaustives[0], exhaustives[2]) << "seed " << seed;
+  EXPECT_EQ(answer_sets[0], answer_sets[1]) << "seed " << seed;
+  EXPECT_EQ(answer_sets[0], answer_sets[2]) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PlanCacheParity, ::testing::Range(0, 12));
+
+TEST(PlanCacheParity, CompileOncePerQuerySchemaModeOnEnumeration) {
+  // The tentpole pin: a member-enumeration workload (CWA valuation
+  // enumeration, Thm 3.1) visits many member instances but compiles each
+  // query exactly once — O(queries) compilations, not O(members x
+  // queries).
+  Universe u;
+  Schema src, tgt;
+  src.Add("Papers", {"paper", "title"});
+  tgt.Add("Submissions", {"paper", "author"});
+  Result<Mapping> m = ParseMapping(
+      "Submissions(x^cl, z^cl) :- Papers(x, y);", src, tgt, &u);
+  ASSERT_TRUE(m.ok());
+  Instance s;
+  for (int i = 0; i < 3; ++i) {
+    s.Add("Papers", {u.Const("p" + std::to_string(i)), u.Const("t")});
+  }
+
+  EngineStats stats;
+  EngineContext ctx;
+  ctx.stats = &stats;
+  // Attach the cache explicitly (not via EnsureCache) so this pin holds
+  // even under the OCDX_PLAN_CACHE=off CI configuration — the test is
+  // *about* the cache.
+  ctx.plan_cache = std::make_shared<plan::PlanCache>();
+  Result<CertainAnswerEngine> engine =
+      CertainAnswerEngine::Create(m.value(), s, &u, ctx);
+  ASSERT_TRUE(engine.ok());
+
+  Result<FormulaPtr> q1 = ParseFormula(
+      "forall p a1 a2. (Submissions(p, a1) & Submissions(p, a2)) -> a1 = a2",
+      &u);
+  Result<FormulaPtr> q2 =
+      ParseFormula("!(exists p. Submissions(p, 'zz'))", &u);
+  ASSERT_TRUE(q1.ok() && q2.ok());
+
+  uint64_t before = stats.plan_compiles;
+  Result<CertainVerdict> v1 = engine.value().IsCertainBoolean(q1.value());
+  ASSERT_TRUE(v1.ok());
+  ASSERT_GT(v1.value().members_checked, 1u)
+      << "workload must actually enumerate members";
+  // One distinct (query, schema, mode) triple -> one compilation, no
+  // matter how many members were visited.
+  EXPECT_EQ(stats.plan_compiles - before, 1u);
+
+  // Same query again: the engine-owned cache still has the plan.
+  before = stats.plan_compiles;
+  ASSERT_TRUE(engine.value().IsCertainBoolean(q1.value()).ok());
+  EXPECT_EQ(stats.plan_compiles - before, 0u);
+
+  // A second distinct query adds exactly one triple.
+  before = stats.plan_compiles;
+  Result<CertainVerdict> v2 = engine.value().IsCertainBoolean(q2.value());
+  ASSERT_TRUE(v2.ok());
+  ASSERT_GT(v2.value().members_checked, 1u);
+  EXPECT_EQ(stats.plan_compiles - before, 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Step accounting: max_steps covers index probes, not just search nodes.
 // ---------------------------------------------------------------------------
 
@@ -417,8 +564,8 @@ TEST(HomBudget, MaxStepsCountsIndexProbes) {
   HomOptions tight;
   tight.max_steps = 2;
   {
-    ScopedJoinEngineMode scoped(JoinEngineMode::kNaive);
-    Result<std::optional<NullMap>> r = FindHomomorphism(a, b, tight);
+    Result<std::optional<NullMap>> r = FindHomomorphism(
+        a, b, tight, EngineContext::ForMode(JoinEngineMode::kNaive));
     ASSERT_TRUE(r.ok());
     EXPECT_TRUE(r.value().has_value());
   }

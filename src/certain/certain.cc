@@ -190,7 +190,8 @@ Result<CertainVerdict> CertainAnswerEngine::IsCertain(
   std::vector<Value> fixed = ConstantsIn(q);
   for (Value v : t) fixed.push_back(v);
 
-  RepAMemberEnumerator en(plan.target, fixed, universe_, plan.enum_options);
+  RepAMemberEnumerator en(plan.target, fixed, universe_, plan.enum_options,
+                          &ctx_);
   bool certain = true;
   Status inner = Status::OK();
   Status st = en.ForEachMember([&](const Instance& member) {
@@ -262,7 +263,8 @@ Result<Relation> CertainAnswerEngine::CertainAnswers(
   for (Value v : ConstantsIn(q)) allowed.insert(v);
 
   std::vector<Value> fixed = ConstantsIn(q);
-  RepAMemberEnumerator en(plan.target, fixed, universe_, plan.enum_options);
+  RepAMemberEnumerator en(plan.target, fixed, universe_, plan.enum_options,
+                          &ctx_);
 
   bool first = true;
   Relation candidates(order.size());

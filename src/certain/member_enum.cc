@@ -2,7 +2,9 @@
 
 #include <set>
 
+#include "logic/engine_context.h"
 #include "util/combinatorics.h"
+#include "util/fault.h"
 #include "util/str.h"
 
 namespace ocdx {
@@ -10,8 +12,9 @@ namespace ocdx {
 RepAMemberEnumerator::RepAMemberEnumerator(const AnnotatedInstance& t,
                                            const std::vector<Value>& fixed,
                                            Universe* universe,
-                                           MemberEnumOptions options)
-    : t_(t), universe_(universe), options_(options) {
+                                           MemberEnumOptions options,
+                                           const EngineContext* ctx)
+    : t_(t), universe_(universe), options_(options), ctx_(ctx) {
   std::set<Value> f(fixed.begin(), fixed.end());
   for (Value v : t_.ActiveDomain()) {
     if (v.IsConst()) f.insert(v);
@@ -26,8 +29,18 @@ Status RepAMemberEnumerator::ForEachMember(
 
   std::vector<Value> nulls = t_.Nulls();
   ValuationEnumerator valuations(nulls, fixed_, universe_);
+  // Governance (logic/budget.h): the budget's max_members is a *hard*
+  // cap — tripping it is a kResourceExhausted error, unlike the soft
+  // options_.max_members bound, which quietly marks the run
+  // non-exhaustive. The gauge bounds wall time; the "enum" probe is the
+  // fault-injection site for this layer.
+  const Budget no_budget;
+  const Budget& budget = ctx_ != nullptr ? ctx_->budget : no_budget;
+  BudgetGauge gauge(budget, ctx_ != nullptr ? ctx_->stats : nullptr);
   Valuation v;
   while (valuations.Next(&v)) {
+    OCDX_RETURN_IF_ERROR(fault::Probe("enum"));
+    OCDX_RETURN_IF_ERROR(gauge.Poll());
     // Base member: v(rel(T)).
     Instance base = v.ApplyRelPart(t_);
     // Make sure every relation of T exists in the member (including ones
@@ -131,10 +144,24 @@ Status RepAMemberEnumerator::ForEachMember(
     std::vector<size_t> chosen;
     std::vector<size_t> used(template_cap.size(), 0);
     bool stop = false;
+    Status trip = Status::OK();
     std::function<bool(size_t, size_t)> rec = [&](size_t start,
                                                   size_t remaining) -> bool {
       if (remaining == 0) {
-        if (++members_ > options_.max_members) {
+        trip = gauge.Tick();
+        if (!trip.ok()) {
+          stop = true;
+          return false;
+        }
+        ++members_;
+        if (members_ > budget.max_members) {
+          trip = Status::ResourceExhausted(
+              StrCat("member enumeration exceeded budget of ",
+                     budget.max_members, " members"));
+          stop = true;
+          return false;
+        }
+        if (members_ > options_.max_members) {
           exhausted_ = false;
           stop = true;
           return false;
@@ -164,6 +191,7 @@ Status RepAMemberEnumerator::ForEachMember(
     for (size_t m = 0; m <= max_size && !stop; ++m) {
       rec(0, m);
     }
+    OCDX_RETURN_IF_ERROR(trip);
     if (stop) return Status::OK();
   }
   return Status::OK();

@@ -38,6 +38,8 @@
 
 namespace ocdx {
 
+struct EngineContext;
+
 struct MemberEnumOptions {
   /// Number of fresh constants available for extra (open-position) tuples.
   size_t fresh_pool = 2;
@@ -64,9 +66,17 @@ class RepAMemberEnumerator {
   /// `fixed` is the distinguished-constant set (query constants, candidate
   /// answer constants, ...); valuations are enumerated up to isomorphisms
   /// fixing it and the constants of T.
+  ///
+  /// `ctx`, when non-null, attaches resource governance (logic/budget.h):
+  /// the context budget's hard max_members cap, its deadline/cancellation
+  /// gauge, and the "enum" fault-injection probe all apply to every
+  /// ForEachMember run. The hard cap is distinct from the soft
+  /// MemberEnumOptions::max_members bound: tripping it is an error
+  /// (kResourceExhausted), not a quiet exhausted() = false.
   RepAMemberEnumerator(const AnnotatedInstance& t,
                        const std::vector<Value>& fixed, Universe* universe,
-                       MemberEnumOptions options = {});
+                       MemberEnumOptions options = {},
+                       const EngineContext* ctx = nullptr);
 
   /// Visits members until `fn` returns false (early stop) or enumeration
   /// finishes/budgets out. Returns OK unless a hard error occurred.
@@ -88,6 +98,7 @@ class RepAMemberEnumerator {
   std::vector<Value> fixed_;
   Universe* universe_;
   MemberEnumOptions options_;
+  const EngineContext* ctx_;
   bool exhausted_ = true;
   uint64_t members_ = 0;
 };

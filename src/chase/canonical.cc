@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "logic/budget.h"
 #include "logic/evaluator.h"
 #include "plan/head_plan.h"
+#include "util/fault.h"
 #include "util/str.h"
 
 namespace ocdx {
@@ -174,6 +176,15 @@ Result<CanonicalSolution> Chase(const Mapping& mapping, const Instance& source,
 
   Evaluator eval(source, *universe, ctx);
 
+  // Governance (logic/budget.h): the trigger and fresh-null caps bound
+  // the chase even for non-weakly-acyclic STD sets whose witness sets
+  // explode; the gauge bounds wall time. Both trip with messages that
+  // mention only caps and witness counts — quantities every join engine
+  // agrees on — so budget diagnostics are byte-identical across engines.
+  BudgetGauge gauge(ctx.budget, ctx.stats);
+  uint64_t fired = 0;
+  uint64_t minted = 0;
+
   for (size_t i = 0; i < mapping.stds().size(); ++i) {
     const AnnotatedStd& std_ = mapping.stds()[i];
     const std::vector<std::string> body_vars = std_.BodyVars();
@@ -200,6 +211,26 @@ Result<CanonicalSolution> Chase(const Mapping& mapping, const Instance& source,
         out.annotated.Add(atom.rel, AnnotatedTuple::EmptyMarker(atom.ann));
       }
       continue;
+    }
+
+    OCDX_RETURN_IF_ERROR(fault::Probe("chase"));
+    OCDX_RETURN_IF_ERROR(gauge.Poll());
+    fired += witnesses.size();
+    if (fired > ctx.budget.chase_max_triggers) {
+      if (ctx.stats != nullptr) ++ctx.stats->chase_budget_trips;
+      return Status::ResourceExhausted(
+          StrCat("chase trigger budget exceeded: ",
+                 ctx.budget.chase_max_triggers, " allowed, std ", i + 1,
+                 " of ", mapping.stds().size(), " brings the total to ",
+                 fired));
+    }
+    minted += witnesses.size() * exist_vars.size();
+    if (minted > ctx.budget.chase_max_nulls) {
+      if (ctx.stats != nullptr) ++ctx.stats->chase_budget_trips;
+      return Status::ResourceExhausted(
+          StrCat("chase fresh-null budget exceeded: ",
+                 ctx.budget.chase_max_nulls, " allowed, std ", i + 1, " of ",
+                 mapping.stds().size(), " brings the total to ", minted));
     }
 
     auto shared_vars =

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "chase/canonical.h"
+#include "logic/budget.h"
 #include "semantics/iso_enum.h"
 #include "semantics/membership.h"
 #include "semantics/solutions.h"
@@ -115,8 +116,13 @@ Result<ComposeVerdict> InComposition(const Mapping& sigma,
     const std::vector<FormulaPtr> delta_reqs =
         delta_monotone_open ? StdRequirements(delta) : std::vector<FormulaPtr>{};
     ValuationEnumerator en(csol.annotated.Nulls(), fixed, universe);
+    // One deadline/cancellation poll per intermediate J (logic/budget.h):
+    // the valuation space is exponential in the null count, so the loop
+    // itself must be governed, not just the membership checks inside it.
+    BudgetGauge gauge(call_ctx.budget, call_ctx.stats);
     Valuation v;
     while (en.Next(&v)) {
+      OCDX_RETURN_IF_ERROR(gauge.Tick());
       ++out.intermediates_checked;
       Instance j = v.ApplyRelPart(csol.annotated);
       for (const RelationDecl& d : sigma.target().decls()) {
@@ -167,7 +173,7 @@ Result<ComposeVerdict> InComposition(const Mapping& sigma,
                    : "bounded J-search (#op >= 2: undecidable, Thm 4.3)";
 
   RepAMemberEnumerator en(csol.annotated, fixed, universe,
-                          options.enum_options);
+                          options.enum_options, &call_ctx);
   bool found = false;
   Status inner = Status::OK();
   Status st = en.ForEachMember([&](const Instance& j_raw) {

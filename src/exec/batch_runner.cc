@@ -33,12 +33,18 @@ BatchJobResult RunJob(const BatchJob& job) {
     result.millis = timer.ElapsedMillis();
     return result;
   }
-  Result<std::string> text =
-      RunDxCommand(scenario.value(), job.spec.command, &universe, options);
+  Result<std::string> text = RunDxCommand(scenario.value(), job.spec.command,
+                                          &universe, options,
+                                          &result.governed);
   if (!text.ok()) {
     result.status = text.status();
   } else {
     result.output = StrCat(job.spec.prefix, text.value());
+  }
+  // Cancellation has no in-engine trip counter (the flag is observed at
+  // many sites); count it per job, where it is well-defined.
+  if (result.governed.code() == StatusCode::kCancelled) {
+    ++result.stats.cancelled_jobs;
   }
   result.millis = timer.ElapsedMillis();
   return result;
@@ -59,14 +65,16 @@ Result<std::string> ReadDxFile(const std::string& path) {
 Result<std::string> RunDxFile(const std::string& path,
                               const std::string& source,
                               const std::string& command,
-                              const DxDriverOptions& options) {
+                              const DxDriverOptions& options,
+                              Status* governed) {
   Universe universe;
   Result<DxScenario> scenario = ParseDxScenario(source, &universe);
   if (!scenario.ok()) {
     return Status(scenario.status().code(),
                   StrCat(path, ": ", scenario.status().message()));
   }
-  return RunDxCommand(scenario.value(), command, &universe, options);
+  return RunDxCommand(scenario.value(), command, &universe, options,
+                      governed);
 }
 
 Result<BatchReport> RunDxBatch(const std::vector<std::string>& files,
@@ -162,6 +170,10 @@ Result<BatchReport> RunDxBatch(const std::vector<std::string>& files,
       ++fr.jobs;
       fr.millis += results[i].millis;
       report.stats += results[i].stats;
+      if (!results[i].governed.ok()) {
+        ++report.governed_jobs;
+        if (fr.governed.ok()) fr.governed = results[i].governed;
+      }
       if (results[i].status.ok()) {
         fr.output += results[i].output;
       } else {
@@ -220,6 +232,11 @@ std::string RenderBatchSummary(const BatchReport& report,
                 ", cache_misses=", report.stats.plan_cache_misses,
                 ", guard_depth_fallbacks=",
                 report.stats.guard_depth_fallbacks, "\n");
+  out += StrCat("batch: governance: chase_budget_trips=",
+                report.stats.chase_budget_trips, ", deadline_trips=",
+                report.stats.deadline_trips, ", cancelled_jobs=",
+                report.stats.cancelled_jobs, ", governed_jobs=",
+                report.governed_jobs, "\n");
   if (failed > 0) out += StrCat("batch: ", failed, " file(s) FAILED\n");
   return out;
 }

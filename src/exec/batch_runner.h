@@ -52,6 +52,10 @@ struct BatchOptions {
 struct BatchFileReport {
   std::string file;
   Status status;       ///< OK iff planning and every job succeeded.
+  /// First budget/deadline/cancellation trip among the file's jobs (OK
+  /// when none). Orthogonal to `status`: a governed file still produced
+  /// complete, deterministic output with inline `error ...` lines.
+  Status governed;
   std::string output;  ///< Concatenated job outputs; failed jobs render a
                        ///< deterministic "ocdx: error:" line in place.
   size_t jobs = 0;
@@ -61,6 +65,7 @@ struct BatchFileReport {
 struct BatchReport {
   std::vector<BatchFileReport> files;  ///< Input order.
   size_t total_jobs = 0;
+  size_t governed_jobs = 0;  ///< Jobs that tripped a budget/deadline/cancel.
   double wall_millis = 0;  ///< End-to-end batch wall time.
   EngineStats stats;       ///< Aggregated over all jobs.
 
@@ -96,10 +101,13 @@ Result<std::string> ReadDxFile(const std::string& path);
 
 /// Parses `path` and runs one driver command against it: the shared
 /// implementation of a single batch job and of one `ocdxd` request.
+/// `governed` (optional) receives the first budget/deadline/cancellation
+/// trip, exactly as in RunDxCommand.
 Result<std::string> RunDxFile(const std::string& path,
                               const std::string& source,
                               const std::string& command,
-                              const DxDriverOptions& options);
+                              const DxDriverOptions& options,
+                              Status* governed = nullptr);
 
 }  // namespace ocdx
 

@@ -35,6 +35,11 @@ struct BatchJob {
 /// job's submission index.
 struct BatchJobResult {
   Status status;
+  /// First budget/deadline/cancellation trip inside the job (OK when
+  /// none). A governed job still has status OK and full output — the trip
+  /// renders inline as positioned `error ...` lines (see RunDxCommand) —
+  /// so governance never breaks batch byte-identity or stops the batch.
+  Status governed;
   std::string output;  ///< prefix + canonical command text (when ok).
   double millis = 0;   ///< Wall time of this job alone.
   EngineStats stats;   ///< This job's evaluation counters.

@@ -1,0 +1,71 @@
+#include "logic/budget.h"
+
+#include <algorithm>
+
+#include "logic/engine_context.h"
+#include "util/str.h"
+
+namespace ocdx {
+
+void Budget::Tighten(const Budget& o) {
+  hom_max_steps = std::min(hom_max_steps, o.hom_max_steps);
+  repa_max_steps = std::min(repa_max_steps, o.repa_max_steps);
+  chase_max_triggers = std::min(chase_max_triggers, o.chase_max_triggers);
+  chase_max_nulls = std::min(chase_max_nulls, o.chase_max_nulls);
+  max_members = std::min(max_members, o.max_members);
+  if (o.deadline_ms != 0) {
+    deadline_ms =
+        deadline_ms == 0 ? o.deadline_ms : std::min(deadline_ms, o.deadline_ms);
+  }
+  if (o.deadline_armed && (!deadline_armed || o.deadline < deadline)) {
+    deadline = o.deadline;
+    deadline_armed = true;
+  }
+  if (cancel == nullptr) cancel = o.cancel;
+}
+
+void Budget::ArmDeadline() {
+  if (deadline_armed || deadline_ms == 0) return;
+  deadline = std::chrono::steady_clock::now() +
+             std::chrono::milliseconds(deadline_ms);
+  deadline_armed = true;
+}
+
+bool IsBudgetStatusCode(StatusCode code) {
+  return code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kCancelled;
+}
+
+bool SetBudgetField(Budget* budget, std::string_view key, uint64_t value) {
+  if (key == "chase_max_triggers") {
+    budget->chase_max_triggers = value;
+  } else if (key == "chase_max_nulls") {
+    budget->chase_max_nulls = value;
+  } else if (key == "max_members") {
+    budget->max_members = value;
+  } else if (key == "hom_max_steps") {
+    budget->hom_max_steps = value;
+  } else if (key == "repa_max_steps") {
+    budget->repa_max_steps = value;
+  } else if (key == "deadline_ms") {
+    budget->deadline_ms = value;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Status BudgetGauge::Poll() {
+  if (budget_.cancelled()) {
+    return Status::Cancelled("evaluation cancelled");
+  }
+  if (budget_.deadline_expired()) {
+    if (stats_ != nullptr) ++stats_->deadline_trips;
+    return Status::DeadlineExceeded(
+        StrCat("deadline of ", budget_.deadline_ms, " ms exceeded"));
+  }
+  return Status::OK();
+}
+
+}  // namespace ocdx

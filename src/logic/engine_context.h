@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "logic/budget.h"
 #include "logic/engine_config.h"
 
 namespace ocdx {
@@ -51,6 +52,12 @@ struct EngineStats {
   /// itself contains a negation (the one-level guard limit); these fall
   /// back to the generic evaluator.
   uint64_t guard_depth_fallbacks = 0;
+  /// Chase runs stopped by the trigger or fresh-null budget.
+  uint64_t chase_budget_trips = 0;
+  /// Wall-clock deadline expirations observed by budget gauges.
+  uint64_t deadline_trips = 0;
+  /// Jobs that ended via the cooperative cancellation flag.
+  uint64_t cancelled_jobs = 0;
 
   EngineStats& operator+=(const EngineStats& o) {
     cq_plans += o.cq_plans;
@@ -62,6 +69,9 @@ struct EngineStats {
     plan_cache_hits += o.plan_cache_hits;
     plan_cache_misses += o.plan_cache_misses;
     guard_depth_fallbacks += o.guard_depth_fallbacks;
+    chase_budget_trips += o.chase_budget_trips;
+    deadline_trips += o.deadline_trips;
+    cancelled_jobs += o.cancelled_jobs;
     return *this;
   }
 };
@@ -71,15 +81,16 @@ struct EngineStats {
 /// (plans are then compiled per call, the pre-PR 5 behavior).
 struct EngineContext {
   /// The paper-default NP-search budget (matches the historical
-  /// HomOptions / RepAOptions defaults).
-  static constexpr uint64_t kDefaultSearchSteps = 50'000'000;
+  /// HomOptions / RepAOptions defaults). Kept as an alias of the Budget
+  /// constant for existing callers.
+  static constexpr uint64_t kDefaultSearchSteps = Budget::kDefaultSearchSteps;
 
   JoinEngineMode mode = JoinEngineMode::kIndexed;
-  /// Caps on the per-call HomOptions / RepAOptions budgets: an engine
-  /// call runs with min(call budget, context budget), so a job-level
-  /// context can bound every search it transitively spawns.
-  uint64_t hom_max_steps = kDefaultSearchSteps;
-  uint64_t repa_max_steps = kDefaultSearchSteps;
+  /// Resource limits for everything this context evaluates: NP-search
+  /// step caps, chase trigger/null caps, member-enumeration caps, the
+  /// wall-clock deadline and the cooperative cancellation flag (see
+  /// logic/budget.h). Copied with the context like everything else.
+  Budget budget;
   /// Optional per-job counters; must not be shared across jobs.
   EngineStats* stats = nullptr;
   /// Optional per-job compiled-plan cache (see src/plan/plan_cache.h).

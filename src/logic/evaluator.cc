@@ -4,8 +4,10 @@
 #include <optional>
 #include <set>
 
+#include "logic/budget.h"
 #include "plan/plan_cache.h"
 #include "plan/runner.h"
+#include "util/fault.h"
 #include "util/str.h"
 
 namespace ocdx {
@@ -57,6 +59,7 @@ Result<bool> Evaluator::Holds(const FormulaPtr& f, const Env& binding) {
   const bool cq_eligible = oracle_ == nullptr && ctx_.indexed() && all_bound;
   if (!cq_eligible) req.prebound.clear();
 
+  OCDX_RETURN_IF_ERROR(fault::Probe("plan-bind"));
   plan::CompiledQueryPtr cq = plan::GetOrCompile(
       req, inst_, cq_eligible ? JoinEngineMode::kIndexed : JoinEngineMode::kGeneric,
       /*force_generic=*/!cq_eligible, ctx_);
@@ -75,6 +78,8 @@ Result<bool> Evaluator::Holds(const FormulaPtr& f, const Env& binding) {
   const plan::GenericPlan& gp = *cq->generic;
   plan::BoundQuery bound = plan::BindQuery(*cq, inst_);
   plan::GenericRunner runner(bound, oracle_);
+  BudgetGauge gauge(ctx_.budget, ctx_.stats);
+  runner.set_gauge(&gauge);
   for (const auto& [name, value] : binding) {
     auto it = gp.slots.find(name);
     if (it != gp.slots.end()) runner.frame()[it->second] = value;
@@ -101,6 +106,7 @@ Result<Relation> Evaluator::Answers(const FormulaPtr& f,
   req.order = order;
   const bool fast_eligible =
       oracle_ == nullptr && ctx_.mode != JoinEngineMode::kGeneric;
+  OCDX_RETURN_IF_ERROR(fault::Probe("plan-bind"));
   plan::CompiledQueryPtr cq = plan::GetOrCompile(
       req, inst_, fast_eligible ? ctx_.mode : JoinEngineMode::kGeneric,
       /*force_generic=*/!fast_eligible, ctx_);
@@ -135,12 +141,17 @@ Result<Relation> Evaluator::Answers(const FormulaPtr& f,
   const plan::GenericPlan& gp = *cq->generic;
   plan::BoundQuery bound = plan::BindQuery(*cq, inst_);
   plan::GenericRunner runner(bound, oracle_);
+  BudgetGauge gauge(ctx_.budget, ctx_.stats);
+  runner.set_gauge(&gauge);
   std::vector<Value>& frame = runner.frame();
 
   out.Reserve(16);
   std::vector<size_t> idx(k, 0);
   Tuple t(k);
   while (true) {
+    // The outer domain^k odometer is governed alongside the runner's
+    // inner quantifier loops (same gauge, shared tick counter).
+    OCDX_RETURN_IF_ERROR(gauge.Tick());
     for (size_t i = 0; i < k; ++i) {
       frame[gp.out_slots[i]] = domain[idx[i]];
       t[i] = domain[idx[i]];

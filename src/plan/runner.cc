@@ -481,6 +481,13 @@ Result<bool> GenericRunner::Eval(const GenericNode& n,
       if (!(domain.empty() && k > 0)) {
         std::fill(idx.begin(), idx.end(), 0);
         while (true) {
+          if (gauge_ != nullptr) {
+            Status g = gauge_->Tick();
+            if (!g.ok()) {
+              Restore(n);
+              return g;
+            }
+          }
           for (size_t i = 0; i < k; ++i) {
             frame_[n.bound_slots[i]] = domain[idx[i]];
           }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "base/instance.h"
+#include "logic/budget.h"
 #include "logic/function_oracle.h"
 #include "plan/compiled_query.h"
 #include "util/status.h"
@@ -81,6 +82,12 @@ class GenericRunner {
   /// free-variable slots through the plan's `slots` map before Run.
   std::vector<Value>& frame() { return frame_; }
 
+  /// Attaches a deadline/cancellation gauge (logic/budget.h), ticked once
+  /// per quantifier-odometer iteration — the domain^k loops are the only
+  /// place a generic evaluation does unbounded work. The gauge must
+  /// outlive every Run call; nullptr (the default) disables polling.
+  void set_gauge(BudgetGauge* gauge) { gauge_ = gauge; }
+
   /// Evaluates the root under the current frame and `domain`.
   Result<bool> Run(const std::vector<Value>& domain);
 
@@ -92,6 +99,7 @@ class GenericRunner {
   const GenericPlan& plan_;
   const std::vector<const Relation*>& rels_;
   FunctionOracle* oracle_;
+  BudgetGauge* gauge_ = nullptr;
   std::vector<Value> frame_;
   // Per-node scratch, addressed by GenericNode::id (the compiled plan is
   // immutable and shared; scratch cannot live in it).

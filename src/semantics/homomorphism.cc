@@ -22,7 +22,7 @@ class HomSearch {
         options_(options),
         ctx_(ctx),
         indexed_(ctx.indexed()) {
-    options_.max_steps = std::min(options_.max_steps, ctx.hom_max_steps);
+    options_.max_steps = std::min(options_.max_steps, ctx.budget.hom_max_steps);
     for (const auto& [name, rel] : a_.relations()) {
       const AnnotatedRelation* brel = b_.Find(name);
       for (const AnnotatedTupleRef& t : rel.tuples()) {
@@ -79,7 +79,9 @@ class HomSearch {
       return Status::ResourceExhausted(StrCat(
           "homomorphism search exceeded ", options_.max_steps, " steps"));
     }
-    return Status::OK();
+    // Amortized deadline/cancellation poll (see logic/budget.h): the step
+    // budget bounds work, the gauge bounds wall time.
+    return gauge_.Tick();
   }
 
   /// Number of positions of `item` already forced (constants or h-bound
@@ -293,6 +295,7 @@ class HomSearch {
   Mode mode_;
   HomOptions options_;
   EngineContext ctx_;
+  BudgetGauge gauge_{ctx_.budget, ctx_.stats};
   bool indexed_;
   std::vector<Item> items_;
   std::vector<bool> matched_;

@@ -62,7 +62,7 @@ class RepASearch {
         options_(options),
         ctx_(ctx),
         indexed_(ctx.indexed()) {
-    options_.max_steps = std::min(options_.max_steps, ctx.repa_max_steps);
+    options_.max_steps = std::min(options_.max_steps, ctx.budget.repa_max_steps);
     for (const auto& [name, rel] : annotated_.relations()) {
       const Relation* grel = ground_.Find(name);
       for (const AnnotatedTupleRef& t : rel.tuples()) {
@@ -170,12 +170,19 @@ class RepASearch {
     return seen_scratch_.size();
   }
 
-  Result<bool> Search() {
+  /// One unit of search work: the step cap plus the amortized deadline/
+  /// cancellation poll (see logic/budget.h).
+  Status ChargeStep() {
     if (++steps_ > options_.max_steps) {
       return Status::ResourceExhausted(
           StrCat("InRepA exceeded ", options_.max_steps,
                  " backtracking steps"));
     }
+    return gauge_.Tick();
+  }
+
+  Result<bool> Search() {
+    OCDX_RETURN_IF_ERROR(ChargeStep());
     // Pick the unmatched item with the fewest unbound nulls.
     int best = -1;
     size_t best_unbound = SIZE_MAX;
@@ -219,11 +226,7 @@ class RepASearch {
         }
       }
       if (mask != 0) {
-        if (++steps_ > options_.max_steps) {
-          return Status::ResourceExhausted(
-              StrCat("InRepA exceeded ", options_.max_steps,
-                     " backtracking steps"));
-        }
+        OCDX_RETURN_IF_ERROR(ChargeStep());
         ids = grel->Probe(mask, key_scratch_);
         if (ids == nullptr) {
           item.matched = false;
@@ -279,6 +282,7 @@ class RepASearch {
   const Instance& ground_;
   RepAOptions options_;
   EngineContext ctx_;
+  BudgetGauge gauge_{ctx_.budget, ctx_.stats};
   bool indexed_;
   std::vector<Item> proper_;
   std::vector<std::pair<const Relation*, const AnnotatedRelation*>> cover_;

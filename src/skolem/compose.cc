@@ -356,9 +356,13 @@ Result<SkolemMembership> InSkolemComposition(const Mapping& sigma,
     slot_nulls.push_back(universe->FreshNull(StrCat("cs", i)));
   }
 
+  // Shared deadline/cancellation gauge for both interpretation loops
+  // (logic/budget.h), mirroring InSkolemSemantics.
+  BudgetGauge gauge(call_ctx.budget, call_ctx.stats);
   ValuationEnumerator phase1(slot_nulls, fixed, universe);
   Valuation v1;
   while (phase1.Next(&v1)) {
+    OCDX_RETURN_IF_ERROR(gauge.Tick());
     if (++out.interpretations_checked > options.max_interpretations) {
       out.exhaustive = false;
       return out;
@@ -387,6 +391,7 @@ Result<SkolemMembership> InSkolemComposition(const Mapping& sigma,
     ValuationEnumerator phase2(phase2_nulls, fixed2, universe);
     Valuation v2;
     while (phase2.Next(&v2)) {
+      OCDX_RETURN_IF_ERROR(gauge.Tick());
       if (++out.interpretations_checked > options.max_interpretations) {
         out.exhaustive = false;
         return out;

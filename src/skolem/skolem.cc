@@ -522,9 +522,14 @@ Result<SkolemMembership> InSkolemSemantics(const Mapping& mapping,
   }
 
   out.method = "explicit F' enumeration (two-phase, up to isomorphism)";
+  // Both interpretation loops share one deadline/cancellation gauge
+  // (logic/budget.h): the space is exponential in the slot count, and the
+  // per-interpretation solves alone do not poll often enough.
+  BudgetGauge gauge(call_ctx.budget, call_ctx.stats);
   ValuationEnumerator phase1(slot_nulls, fixed, universe);
   Valuation v1;
   while (phase1.Next(&v1)) {
+    OCDX_RETURN_IF_ERROR(gauge.Tick());
     if (++out.interpretations_checked > options.max_interpretations) {
       out.exhaustive = false;
       return out;
@@ -555,6 +560,7 @@ Result<SkolemMembership> InSkolemSemantics(const Mapping& mapping,
     ValuationEnumerator phase2(phase2_nulls, fixed2, universe);
     Valuation v2;
     while (phase2.Next(&v2)) {
+      OCDX_RETURN_IF_ERROR(gauge.Tick());
       if (++out.interpretations_checked > options.max_interpretations) {
         out.exhaustive = false;
         return out;

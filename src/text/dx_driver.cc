@@ -8,6 +8,7 @@
 #include "certain/certain.h"
 #include "chase/canonical.h"
 #include "compose/compose.h"
+#include "logic/budget.h"
 #include "logic/classify.h"
 #include "plan/compile.h"
 #include "semantics/membership.h"
@@ -22,6 +23,33 @@ namespace ocdx {
 namespace {
 
 const char* YesNo(bool b) { return b ? "yes" : "no"; }
+
+// ---------------------------------------------------------------------------
+// Governed (budget/deadline/cancellation) error rendering
+// ---------------------------------------------------------------------------
+
+// Budget trips are *results*, not failures of the driver: they render as
+// positioned `error ...` lines inside the command output — so a batch run
+// keeps its byte-identity guarantee and the remaining inputs still run —
+// while the first one is also reported out-of-band through the `governed`
+// out-parameter for exit-code and summary purposes. Hard errors (parse
+// bugs, internal invariants) still abort the command as before.
+bool Governed(const Status& status) {
+  return IsBudgetStatusCode(status.code());
+}
+
+void NoteGoverned(const Status& status, Status* governed) {
+  if (governed != nullptr && governed->ok()) *governed = status;
+}
+
+// The positioned error block for a failed (mapping, instance) pair. The
+// position is the mapping declaration's — the budget was exceeded while
+// executing *its* rules — which both engines and every parallelism level
+// agree on.
+std::string MappingErrorLine(const DxMappingDecl& m, const Status& status) {
+  return StrCat("  error (mapping ", m.name, ", line ", m.line, ", col ",
+                m.col, "): ", status.ToString(), "\n");
+}
 
 // Error texts shared verbatim by the run paths and PlanDxJobs (the batch
 // planner must fail with byte-identical messages to the sequential run).
@@ -290,15 +318,24 @@ Status CheckMappingSelection(const DxScenario& sc,
 }
 
 Result<std::string> ChaseText(const DxScenario& sc, Universe* u,
-                              const DxDriverOptions& options) {
+                              const DxDriverOptions& options,
+                              Status* governed) {
   OCDX_RETURN_IF_ERROR(CheckMappingSelection(sc, options));
   std::string out;
   for (const DxMappingDecl& m : sc.mappings) {
     if (!options.mapping.empty() && m.name != options.mapping) continue;
     for (const DxInstanceDecl& inst : sc.instances) {
       if (!ChasePairOk(m, inst)) continue;
-      OCDX_ASSIGN_OR_RETURN(CanonicalSolution csol,
-                            Chase(m.mapping, inst.plain, u, options.engine));
+      Result<CanonicalSolution> chased =
+          Chase(m.mapping, inst.plain, u, options.engine);
+      if (!chased.ok()) {
+        if (!Governed(chased.status())) return chased.status();
+        NoteGoverned(chased.status(), governed);
+        out += StrCat("chase ", m.name, " / ", inst.name, ":\n",
+                      MappingErrorLine(m, chased.status()));
+        continue;
+      }
+      CanonicalSolution csol = std::move(chased).value();
       std::map<Value, std::string> names =
           CanonicalNullNames(csol.annotated, *u);
       size_t markers = 0;
@@ -324,7 +361,8 @@ Result<std::string> ChaseText(const DxScenario& sc, Universe* u,
 // ---------------------------------------------------------------------------
 
 Result<std::string> CertainText(const DxScenario& sc, Universe* u,
-                                const DxDriverOptions& options) {
+                                const DxDriverOptions& options,
+                                Status* governed) {
   OCDX_RETURN_IF_ERROR(CheckMappingSelection(sc, options));
   std::string out;
   for (const DxMappingDecl& m : sc.mappings) {
@@ -336,10 +374,17 @@ Result<std::string> CertainText(const DxScenario& sc, Universe* u,
         if (QueryOverTarget(q, m.mapping)) applicable.push_back(&q);
       }
       if (applicable.empty()) continue;
-      OCDX_ASSIGN_OR_RETURN(
-          CertainAnswerEngine engine,
-          CertainAnswerEngine::Create(m.mapping, inst.plain, u,
-                                      options.engine));
+      // Create chases the instance, so it can trip the chase budget.
+      Result<CertainAnswerEngine> created = CertainAnswerEngine::Create(
+          m.mapping, inst.plain, u, options.engine);
+      if (!created.ok()) {
+        if (!Governed(created.status())) return created.status();
+        NoteGoverned(created.status(), governed);
+        out += StrCat("certain ", m.name, " / ", inst.name, ":\n",
+                      MappingErrorLine(m, created.status()));
+        continue;
+      }
+      CertainAnswerEngine engine = std::move(created).value();
       out += StrCat("certain ", m.name, " / ", inst.name, ":\n");
       for (const DxQuery* q : applicable) {
         // Guard-depth diagnostic (static shape analysis, so the note is
@@ -354,19 +399,34 @@ Result<std::string> CertainText(const DxScenario& sc, Universe* u,
         }
         std::string head = StrCat("  ", q->name, "(", Join(q->vars, ", "),
                                   ")");
+        // Per-query governed failures render in the query's own slot; the
+        // remaining queries of the pair still run.
+        auto query_error = [&](const Status& status) -> Status {
+          if (!Governed(status)) return status;
+          NoteGoverned(status, governed);
+          out += StrCat(head, " = error (line ", q->line, ", col ", q->col,
+                        "): ", status.ToString(), "\n");
+          return Status::OK();
+        };
         if (q->vars.empty()) {
-          OCDX_ASSIGN_OR_RETURN(CertainVerdict verdict,
-                                engine.IsCertainBoolean(q->formula));
-          out += StrCat(head, " = ", YesNo(verdict.certain), "  [",
-                        verdict.method, "; exhaustive=",
-                        YesNo(verdict.exhaustive), "]\n");
+          Result<CertainVerdict> verdict = engine.IsCertainBoolean(q->formula);
+          if (!verdict.ok()) {
+            OCDX_RETURN_IF_ERROR(query_error(verdict.status()));
+            continue;
+          }
+          out += StrCat(head, " = ", YesNo(verdict.value().certain), "  [",
+                        verdict.value().method, "; exhaustive=",
+                        YesNo(verdict.value().exhaustive), "]\n");
         } else {
           CertainVerdict verdict;
-          OCDX_ASSIGN_OR_RETURN(
-              Relation answers,
-              engine.CertainAnswers(q->formula, q->vars, &verdict));
-          out += StrCat(head, " = ", RenderRelation(answers, *u), "  [",
-                        verdict.method, "; exhaustive=",
+          Result<Relation> answers =
+              engine.CertainAnswers(q->formula, q->vars, &verdict);
+          if (!answers.ok()) {
+            OCDX_RETURN_IF_ERROR(query_error(answers.status()));
+            continue;
+          }
+          out += StrCat(head, " = ", RenderRelation(answers.value(), *u),
+                        "  [", verdict.method, "; exhaustive=",
                         YesNo(verdict.exhaustive), "]\n");
         }
       }
@@ -414,7 +474,8 @@ bool HasMembershipInputs(const DxScenario& sc) {
 }
 
 Result<std::string> MembershipText(const DxScenario& sc, Universe* u,
-                                   const DxDriverOptions& options) {
+                                   const DxDriverOptions& options,
+                                   Status* governed) {
   OCDX_RETURN_IF_ERROR(CheckMappingSelection(sc, options));
   std::string out;
   for (const DxMappingDecl& m : sc.mappings) {
@@ -441,20 +502,36 @@ Result<std::string> MembershipText(const DxScenario& sc, Universe* u,
       std::vector<FormulaPtr> reqs;
       if (!skolem && all_open) reqs = StdRequirements(m.mapping);
       if (!skolem && !all_open) {
-        OCDX_ASSIGN_OR_RETURN(CanonicalSolution chased,
-                              Chase(m.mapping, s.plain, u, options.engine));
-        csol = std::move(chased);
+        Result<CanonicalSolution> chased =
+            Chase(m.mapping, s.plain, u, options.engine);
+        if (!chased.ok()) {
+          if (!Governed(chased.status())) return chased.status();
+          NoteGoverned(chased.status(), governed);
+          out += MappingErrorLine(m, chased.status());
+          continue;
+        }
+        csol = std::move(chased).value();
       }
       for (const DxInstanceDecl& t : sc.instances) {
         if (!MembershipTripleOk(m, s, t)) continue;
+        // Per-candidate governed failures render in the candidate's slot;
+        // the remaining candidates still run.
+        auto candidate_error = [&](const Status& status) -> Status {
+          if (!Governed(status)) return status;
+          NoteGoverned(status, governed);
+          out += StrCat("  ", t.name, ": error: ", status.ToString(), "\n");
+          return Status::OK();
+        };
         if (skolem) {
-          OCDX_ASSIGN_OR_RETURN(
-              SkolemMembership v,
-              InSkolemSemantics(m.mapping, s.plain, t.plain, u, {},
-                                options.engine));
-          out += StrCat("  ", t.name, ": member=", YesNo(v.member),
-                        ", exhaustive=", YesNo(v.exhaustive), "  [",
-                        v.method, "]\n");
+          Result<SkolemMembership> v = InSkolemSemantics(
+              m.mapping, s.plain, t.plain, u, {}, options.engine);
+          if (!v.ok()) {
+            OCDX_RETURN_IF_ERROR(candidate_error(v.status()));
+            continue;
+          }
+          out += StrCat("  ", t.name, ": member=", YesNo(v.value().member),
+                        ", exhaustive=", YesNo(v.value().exhaustive), "  [",
+                        v.value().method, "]\n");
           continue;
         }
         // The witnessing valuation is engine-dependent (search order)
@@ -464,15 +541,21 @@ Result<std::string> MembershipText(const DxScenario& sc, Universe* u,
           // Theorem 2: with the all-open annotation, T in [[S]] iff
           // (S,T) |= Sigma — the same check InSolutionSpace would make,
           // with the hoisted requirement formulas.
-          OCDX_ASSIGN_OR_RETURN(
-              member, SatisfiesStds(m.mapping, reqs, s.plain, t.plain, *u,
-                                    options.engine));
+          Result<bool> sat = SatisfiesStds(m.mapping, reqs, s.plain, t.plain,
+                                           *u, options.engine);
+          if (!sat.ok()) {
+            OCDX_RETURN_IF_ERROR(candidate_error(sat.status()));
+            continue;
+          }
+          member = sat.value();
         } else {
-          OCDX_ASSIGN_OR_RETURN(
-              MembershipResult v,
-              InSolutionSpaceGiven(csol->annotated, t.plain, {},
-                                   options.engine));
-          member = v.member;
+          Result<MembershipResult> v = InSolutionSpaceGiven(
+              csol->annotated, t.plain, {}, options.engine);
+          if (!v.ok()) {
+            OCDX_RETURN_IF_ERROR(candidate_error(v.status()));
+            continue;
+          }
+          member = v.value().member;
         }
         out += StrCat("  ", t.name, ": member=", YesNo(member), "  [",
                       all_open
@@ -494,10 +577,16 @@ Result<std::string> MembershipText(const DxScenario& sc, Universe* u,
     out += StrCat("repa ", a.name, ":\n");
     for (const DxInstanceDecl& g : sc.instances) {
       if (!RepAPairOk(a, g)) continue;
-      OCDX_ASSIGN_OR_RETURN(
-          bool member,
-          InRepA(a.annotated_instance, g.plain, nullptr, {}, options.engine));
-      out += StrCat("  ", g.name, ": member=", YesNo(member), "\n");
+      Result<bool> member =
+          InRepA(a.annotated_instance, g.plain, nullptr, {}, options.engine);
+      if (!member.ok()) {
+        if (!Governed(member.status())) return member.status();
+        NoteGoverned(member.status(), governed);
+        out += StrCat("  ", g.name, ": error: ", member.status().ToString(),
+                      "\n");
+        continue;
+      }
+      out += StrCat("  ", g.name, ": member=", YesNo(member.value()), "\n");
     }
   }
   if (out.empty()) return Status::NotFound(kNoMembershipInput);
@@ -509,7 +598,8 @@ Result<std::string> MembershipText(const DxScenario& sc, Universe* u,
 // ---------------------------------------------------------------------------
 
 Result<std::string> ComposeText(const DxScenario& sc, Universe* u,
-                                const DxDriverOptions& options) {
+                                const DxDriverOptions& options,
+                                Status* governed) {
   OCDX_ASSIGN_OR_RETURN(ComposeInputs in, SelectComposeInputs(sc, options));
   std::string out =
       StrCat("compose ", in.sigma->name, " o ", in.delta->name, " on (",
@@ -522,6 +612,7 @@ Result<std::string> ComposeText(const DxScenario& sc, Universe* u,
         in.sigma->mapping, in.delta->mapping, in.source->plain,
         in.target->plain, u, {}, options.engine);
     if (!verdict.ok()) {
+      NoteGoverned(verdict.status(), governed);
       out += StrCat("  membership: error: ", verdict.status().message(),
                     "\n");
     } else {
@@ -534,6 +625,7 @@ Result<std::string> ComposeText(const DxScenario& sc, Universe* u,
         InComposition(in.sigma->mapping, in.delta->mapping, in.source->plain,
                       in.target->plain, u, {}, options.engine);
     if (!verdict.ok()) {
+      NoteGoverned(verdict.status(), governed);
       out += StrCat("  membership: error: ", verdict.status().message(),
                     "\n");
     } else {
@@ -595,13 +687,13 @@ bool HasCertainTriple(const DxScenario& sc) {
 }
 
 Result<std::string> RunAll(const DxScenario& sc, Universe* u,
-                           const DxDriverOptions& options) {
+                           const DxDriverOptions& options, Status* governed) {
   std::string out;
   if (!sc.name.empty()) out += StrCat("scenario '", sc.name, "'\n");
   for (const std::string& cmd : ApplicableDxCommands(sc)) {
     out += StrCat("== ", cmd, " ==\n");
     OCDX_ASSIGN_OR_RETURN(std::string text,
-                          RunDxCommand(sc, cmd, u, options));
+                          RunDxCommand(sc, cmd, u, options, governed));
     out += text;
   }
   return out;
@@ -621,7 +713,8 @@ std::vector<std::string> ApplicableDxCommands(const DxScenario& scenario) {
 Result<std::string> RunDxCommand(const DxScenario& scenario,
                                  const std::string& command,
                                  Universe* universe,
-                                 const DxDriverOptions& options) {
+                                 const DxDriverOptions& options,
+                                 Status* governed) {
   if (command == "classify") return ClassifyText(scenario);
   // One plan cache per command run (unless the caller attached one):
   // every evaluation below shares it, so the enumeration-heavy commands
@@ -631,13 +724,29 @@ Result<std::string> RunDxCommand(const DxScenario& scenario,
   // error path pays one idle cache allocation, which is fine.)
   DxDriverOptions run = options;
   run.engine.EnsureCache();
-  if (command == "chase") return ChaseText(scenario, universe, run);
-  if (command == "certain") return CertainText(scenario, universe, run);
-  if (command == "membership") {
-    return MembershipText(scenario, universe, run);
+  // Scenario-declared budget settings tighten (never relax) whatever the
+  // caller imposed, and the wall-clock deadline starts here — once per
+  // command, including once for a whole `all` run (the recursive
+  // sub-command calls see an already armed deadline and keep it).
+  for (const auto& [key, value] : scenario.budget_settings) {
+    Budget b;
+    SetBudgetField(&b, key, value);
+    run.engine.budget.Tighten(b);
   }
-  if (command == "compose") return ComposeText(scenario, universe, run);
-  if (command == "all") return RunAll(scenario, universe, run);
+  run.engine.budget.ArmDeadline();
+  if (command == "chase") {
+    return ChaseText(scenario, universe, run, governed);
+  }
+  if (command == "certain") {
+    return CertainText(scenario, universe, run, governed);
+  }
+  if (command == "membership") {
+    return MembershipText(scenario, universe, run, governed);
+  }
+  if (command == "compose") {
+    return ComposeText(scenario, universe, run, governed);
+  }
+  if (command == "all") return RunAll(scenario, universe, run, governed);
   return Status::InvalidArgument(
       StrCat("unknown command '", command, kUnknownCommand));
 }

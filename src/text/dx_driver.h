@@ -59,10 +59,22 @@ struct DxDriverOptions {
 /// "compose" or "all") and returns its canonical text. Fails on unknown
 /// commands, on selection names that do not resolve, and on commands with
 /// no applicable inputs.
+///
+/// Resource governance (logic/budget.h): the scenario's `budget { ... }`
+/// block tightens `options.engine.budget`, and the deadline (if any) is
+/// armed once per command. A budget/deadline/cancellation trip inside one
+/// evaluation is a *result*, not a failure: it renders as a positioned
+/// `error ...` line in the returned text (deterministic for the
+/// count-based caps, so batch byte-identity holds), the remaining inputs
+/// still run, and the command returns OK. When `governed` is non-null the
+/// first such trip is also stored there, so callers (CLI exit codes, the
+/// batch summary) can distinguish a governed run without re-parsing the
+/// text. Non-governed errors abort the command as before.
 Result<std::string> RunDxCommand(const DxScenario& scenario,
                                  const std::string& command,
                                  Universe* universe,
-                                 const DxDriverOptions& options = {});
+                                 const DxDriverOptions& options = {},
+                                 Status* governed = nullptr);
 
 /// The commands (other than "all") that have at least one applicable
 /// input combination in this scenario, in canonical order.

@@ -4,6 +4,7 @@
 #include <optional>
 #include <set>
 
+#include "logic/budget.h"
 #include "logic/parser.h"
 #include "mapping/rule_parser.h"
 #include "text/dx_lexer.h"
@@ -92,6 +93,7 @@ class DxParser {
   }
 
   Status ParseScenarioDecl(DxScenario* out);
+  Status ParseBudgetDecl(DxScenario* out);
   Status ParseSchemaDecl(DxScenario* out);
   Status ParseMappingDecl(DxScenario* out);
   Status ParseInstanceDecl(DxScenario* out);
@@ -111,6 +113,7 @@ class DxParser {
   size_t cursor_ = 0;
   Universe* universe_;
   bool saw_scenario_decl_ = false;
+  bool saw_budget_decl_ = false;
   /// Null literals are interned per file: `_n1` denotes the same null
   /// everywhere it appears.
   std::map<std::string, Value> nulls_;
@@ -167,6 +170,55 @@ Status DxParser::ParseScenarioDecl(DxScenario* out) {
   }
   out->name = Advance().text;
   return Expect(DxTokKind::kSemicolon, "';' after scenario declaration");
+}
+
+// `budget { chase_max_triggers = 100; deadline_ms = 500; ... }`
+//
+// Keys are validated against SetBudgetField (logic/budget.h) at parse
+// time, so a typo'd field is a positioned parse error instead of a
+// silently ignored setting.
+Status DxParser::ParseBudgetDecl(DxScenario* out) {
+  if (saw_budget_decl_) {
+    return Error("duplicate 'budget' block");
+  }
+  saw_budget_decl_ = true;
+  OCDX_RETURN_IF_ERROR(Expect(DxTokKind::kLBrace, "'{' after 'budget'"));
+  Budget probe;
+  while (!Accept(DxTokKind::kRBrace)) {
+    size_t key_offset = Peek().offset;
+    OCDX_ASSIGN_OR_RETURN(std::string key, ExpectIdent("a budget field name"));
+    for (const auto& [prev, value] : out->budget_settings) {
+      if (prev == key) {
+        return ErrorAt(key_offset,
+                       StrCat("duplicate budget field '", key, "'"));
+      }
+    }
+    OCDX_RETURN_IF_ERROR(Expect(DxTokKind::kEq, "'=' after budget field"));
+    if (Peek().kind != DxTokKind::kInt) {
+      return Error("expected an integer budget value");
+    }
+    size_t value_offset = Peek().offset;
+    uint64_t value = 0;
+    for (char c : Advance().text) {
+      uint64_t digit = static_cast<uint64_t>(c - '0');
+      if (value > (UINT64_MAX - digit) / 10) {
+        return ErrorAt(value_offset, "budget value does not fit in 64 bits");
+      }
+      value = value * 10 + digit;
+    }
+    OCDX_RETURN_IF_ERROR(
+        Expect(DxTokKind::kSemicolon, "';' after budget setting"));
+    if (!SetBudgetField(&probe, key, value)) {
+      return ErrorAt(
+          key_offset,
+          StrCat("unknown budget field '", key,
+                 "' (expected chase_max_triggers, chase_max_nulls, "
+                 "max_members, hom_max_steps, repa_max_steps or "
+                 "deadline_ms)"));
+    }
+    out->budget_settings.emplace_back(std::move(key), value);
+  }
+  return Status::OK();
 }
 
 Status DxParser::ParseSchemaDecl(DxScenario* out) {
@@ -233,6 +285,8 @@ Status DxParser::ParseMappingDecl(DxScenario* out) {
   decl.name = std::move(name);
   decl.from = std::move(from);
   decl.to = std::move(to);
+  decl.line = lines_.LineOf(name_offset);
+  decl.col = lines_.ColOf(name_offset);
   if (Accept(DxTokKind::kLBracket)) {
     while (true) {
       if (AcceptKeyword("default")) {
@@ -487,6 +541,8 @@ Result<DxScenario> DxParser::ParseFile() {
   while (!AtEnd()) {
     if (AcceptKeyword("scenario")) {
       OCDX_RETURN_IF_ERROR(ParseScenarioDecl(&out));
+    } else if (AcceptKeyword("budget")) {
+      OCDX_RETURN_IF_ERROR(ParseBudgetDecl(&out));
     } else if (AcceptKeyword("schema")) {
       OCDX_RETURN_IF_ERROR(ParseSchemaDecl(&out));
     } else if (AcceptKeyword("mapping")) {
@@ -497,7 +553,8 @@ Result<DxScenario> DxParser::ParseFile() {
       OCDX_RETURN_IF_ERROR(ParseQueryDecl(&out));
     } else {
       return Error(
-          "expected 'scenario', 'schema', 'mapping', 'instance' or 'query'");
+          "expected 'scenario', 'budget', 'schema', 'mapping', 'instance' "
+          "or 'query'");
     }
   }
   return out;

@@ -80,6 +80,13 @@ std::string PrintDxScenario(const DxScenario& scenario, const Universe& u) {
   if (!scenario.name.empty()) {
     out += StrCat("scenario '", scenario.name, "';\n\n");
   }
+  if (!scenario.budget_settings.empty()) {
+    out += "budget {\n";
+    for (const auto& [key, value] : scenario.budget_settings) {
+      out += StrCat("  ", key, " = ", value, ";\n");
+    }
+    out += "}\n\n";
+  }
   for (const DxSchemaDecl& s : scenario.schemas) {
     PrintSchema(s, &out);
     out += "\n";

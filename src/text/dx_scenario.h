@@ -11,6 +11,7 @@
 #define OCDX_TEXT_DX_SCENARIO_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/instance.h"
@@ -34,6 +35,10 @@ struct DxMappingDecl {
   Ann default_ann = Ann::kClosed;
   bool skolem = false;  ///< Function terms allowed (an SkSTD mapping).
   Mapping mapping;
+  /// Source position of the declaration (1-based; 0 when synthesized).
+  /// The driver uses it to position budget-exhaustion diagnostics.
+  uint32_t line = 0;
+  uint32_t col = 0;
 };
 
 /// `instance NAME over SCHEMA { R('a', _n1); ... }`
@@ -70,6 +75,12 @@ struct DxQuery {
 /// the externally owned Universe passed to the parser.
 struct DxScenario {
   std::string name;  ///< From `scenario 'name';`, or empty.
+  /// From the optional `budget { key = INT; ... }` block: resource caps
+  /// the scenario asks to run under, in declaration order. Keys are the
+  /// Budget field names accepted by SetBudgetField (logic/budget.h); the
+  /// driver folds them into the engine budget via Budget::Tighten, so a
+  /// scenario can only lower caps the caller already imposed.
+  std::vector<std::pair<std::string, uint64_t>> budget_settings;
   std::vector<DxSchemaDecl> schemas;
   std::vector<DxMappingDecl> mappings;
   std::vector<DxInstanceDecl> instances;

@@ -1,0 +1,69 @@
+#include "util/fault.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "util/str.h"
+
+namespace ocdx {
+namespace fault {
+
+namespace {
+
+// `g_site` is written only by Install*/Clear, which the contract requires
+// to run before (or without) concurrent probing; `g_armed` gates every
+// reader, and the hit counter is the only state touched concurrently.
+std::atomic<bool> g_armed{false};
+std::string g_site;                   // NOLINT: process-lifetime singleton.
+uint64_t g_threshold = 1;
+std::atomic<uint64_t> g_hits{0};
+
+}  // namespace
+
+void InstallFromEnv() {
+  const char* spec = std::getenv("OCDX_FAULT");
+  if (spec == nullptr || *spec == '\0') return;
+  std::string_view s(spec);
+  size_t colon = s.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) return;
+  uint64_t n = 0;
+  size_t i = colon + 1;
+  if (i >= s.size()) return;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return;
+    n = n * 10 + static_cast<uint64_t>(s[i] - '0');
+  }
+  InstallForTest(s.substr(0, colon), n == 0 ? 1 : n);
+}
+
+void InstallForTest(std::string_view site, uint64_t nth_hit) {
+  g_armed.store(false, std::memory_order_release);
+  g_site.assign(site);
+  g_threshold = nth_hit == 0 ? 1 : nth_hit;
+  g_hits.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void Clear() {
+  g_armed.store(false, std::memory_order_release);
+  g_site.clear();
+  g_threshold = 1;
+  g_hits.store(0, std::memory_order_relaxed);
+}
+
+bool Armed() { return g_armed.load(std::memory_order_acquire); }
+
+Status Probe(std::string_view site) {
+  if (!g_armed.load(std::memory_order_acquire)) return Status::OK();
+  if (site != g_site) return Status::OK();
+  uint64_t hit = g_hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (hit < g_threshold) return Status::OK();
+  // No hit number in the message: every firing probe renders the same
+  // text, so injected-fault output stays byte-stable run to run.
+  return Status::ResourceExhausted(
+      StrCat("injected fault at probe '", site, "'"));
+}
+
+}  // namespace fault
+}  // namespace ocdx

@@ -25,6 +25,8 @@ enum class StatusCode {
   kResourceExhausted,   ///< A configured search bound was exceeded.
   kUnimplemented,       ///< Feature intentionally out of scope.
   kInternal,            ///< Invariant violation: a bug in ocdx itself.
+  kDeadlineExceeded,    ///< A wall-clock deadline expired mid-evaluation.
+  kCancelled,           ///< The job's cooperative cancellation flag was set.
 };
 
 /// Returns a short human-readable name ("InvalidArgument", ...).
@@ -64,6 +66,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

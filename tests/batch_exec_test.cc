@@ -212,7 +212,7 @@ TEST(EngineContext, ContextBudgetCapsHomSearch) {
     to.Add("R", {u.FreshNull(), u.FreshNull()}, {Ann::kOpen, Ann::kOpen});
   }
   EngineContext tight;
-  tight.hom_max_steps = 1;
+  tight.budget.hom_max_steps = 1;
   Result<std::optional<NullMap>> r = FindHomomorphism(from, to, {}, tight);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);

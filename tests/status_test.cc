@@ -1,0 +1,41 @@
+// The governed status codes (logic/budget.h's trip vocabulary): factory,
+// code, rendering, and the IsBudgetStatusCode classification the driver
+// uses to tell "render inline and continue" from "abort the command".
+
+#include <gtest/gtest.h>
+
+#include "logic/budget.h"
+#include "util/status.h"
+
+namespace ocdx {
+namespace {
+
+TEST(StatusTest, DeadlineExceededRoundTrips) {
+  Status s = Status::DeadlineExceeded("deadline of 5 ms exceeded");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.message(), "deadline of 5 ms exceeded");
+  EXPECT_EQ(s.ToString(), "DeadlineExceeded: deadline of 5 ms exceeded");
+}
+
+TEST(StatusTest, CancelledRoundTrips) {
+  Status s = Status::Cancelled("job cancelled");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_EQ(s.ToString(), "Cancelled: job cancelled");
+}
+
+TEST(StatusTest, GovernedCodesAreExactlyTheBudgetTrips) {
+  EXPECT_TRUE(IsBudgetStatusCode(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(IsBudgetStatusCode(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsBudgetStatusCode(StatusCode::kCancelled));
+
+  EXPECT_FALSE(IsBudgetStatusCode(StatusCode::kOk));
+  EXPECT_FALSE(IsBudgetStatusCode(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsBudgetStatusCode(StatusCode::kNotFound));
+  EXPECT_FALSE(IsBudgetStatusCode(StatusCode::kParseError));
+  EXPECT_FALSE(IsBudgetStatusCode(StatusCode::kInternal));
+}
+
+}  // namespace
+}  // namespace ocdx

@@ -17,10 +17,19 @@
 //   --mapping=NAME                   chase/certain/membership: one mapping
 //   --sigma=NAME --delta=NAME        compose: mapping selection
 //   --source=NAME --target=NAME      compose: instance selection
+//   --chase-max-triggers=N           resource cap: chase trigger firings
+//   --max-members=N                  resource cap: enumerated members
+//   --deadline-ms=N                  wall-clock deadline per command
 //   -j N / --jobs=N                  batch: worker threads (default 1)
 //   --command=CMD                    batch: driver command (default all)
 //   --no-split                       batch: one job per file (no
 //                                    within-scenario fan-out)
+//
+// Exit codes: 0 = success; 1 = error (unreadable/unparsable input, hard
+// failure); 2 = usage; 3 = the run completed but at least one evaluation
+// tripped a resource budget/deadline (the trip renders as a positioned
+// `error ...` line in the output). Scenario `budget { ... }` blocks
+// tighten the flag-supplied caps, never relax them.
 //
 // Output is canonical and diff-stable (see text/dx_driver.h); the golden
 // corpus under tests/corpus pins `ocdx all` for every scenario, and the
@@ -37,10 +46,12 @@
 #include <vector>
 
 #include "exec/batch_runner.h"
+#include "logic/budget.h"
 #include "logic/engine_context.h"
 #include "text/dx_driver.h"
 #include "text/dx_parser.h"
 #include "text/dx_printer.h"
+#include "util/fault.h"
 
 namespace {
 
@@ -50,8 +61,11 @@ constexpr char kUsage[] =
     "            [--engine=indexed|naive|generic] [--mapping=NAME]\n"
     "            [--sigma=NAME] [--delta=NAME] [--source=NAME] "
     "[--target=NAME]\n"
+    "            [--chase-max-triggers=N] [--max-members=N] "
+    "[--deadline-ms=N]\n"
     "       ocdx batch FILE.dx... [-j N] [--command=CMD] "
-    "[--engine=MODE] [--no-split]\n";
+    "[--engine=MODE] [--no-split]\n"
+    "exit codes: 0 ok, 1 error, 2 usage, 3 resource budget tripped\n";
 
 bool FlagValue(std::string_view arg, std::string_view name,
                std::string* out) {
@@ -63,6 +77,19 @@ bool FlagValue(std::string_view arg, std::string_view name,
     return false;
   }
   *out = std::string(rest.substr(name.size() + 1));
+  return true;
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
   return true;
 }
 
@@ -84,10 +111,17 @@ bool ParseEngine(const std::string& engine, ocdx::JoinEngineMode* mode) {
 int main(int argc, char** argv) {
   using namespace ocdx;
 
+  // Deterministic fault injection (OCDX_FAULT=<site>:<n>), armed before
+  // anything evaluates; a no-op unless the variable is set.
+  fault::InstallFromEnv();
+
   std::vector<std::string> positional;
   std::string engine = "indexed";
   std::string jobs_flag;
   std::string command_flag;
+  std::string chase_max_triggers_flag;
+  std::string max_members_flag;
+  std::string deadline_ms_flag;
   bool no_split = false;
   DxDriverOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -111,6 +145,9 @@ int main(int argc, char** argv) {
     if (FlagValue(arg, "engine", &engine) ||
         FlagValue(arg, "jobs", &jobs_flag) ||
         FlagValue(arg, "command", &command_flag) ||
+        FlagValue(arg, "chase-max-triggers", &chase_max_triggers_flag) ||
+        FlagValue(arg, "max-members", &max_members_flag) ||
+        FlagValue(arg, "deadline-ms", &deadline_ms_flag) ||
         FlagValue(arg, "mapping", &options.mapping) ||
         FlagValue(arg, "sigma", &options.sigma) ||
         FlagValue(arg, "delta", &options.delta) ||
@@ -139,6 +176,28 @@ int main(int argc, char** argv) {
   }
   options.engine = EngineContext::ForMode(mode);
 
+  struct BudgetFlag {
+    const char* name;
+    const std::string* value;
+    uint64_t Budget::* field;
+  };
+  const BudgetFlag budget_flags[] = {
+      {"--chase-max-triggers", &chase_max_triggers_flag,
+       &Budget::chase_max_triggers},
+      {"--max-members", &max_members_flag, &Budget::max_members},
+      {"--deadline-ms", &deadline_ms_flag, &Budget::deadline_ms},
+  };
+  for (const BudgetFlag& bf : budget_flags) {
+    if (bf.value->empty()) continue;
+    uint64_t value = 0;
+    if (!ParseU64(*bf.value, &value)) {
+      std::fprintf(stderr, "ocdx: bad %s value '%s'\n%s", bf.name,
+                   bf.value->c_str(), kUsage);
+      return 2;
+    }
+    options.engine.budget.*(bf.field) = value;
+  }
+
   if (command == "batch") {
     BatchOptions batch;
     batch.engine = options.engine;
@@ -162,7 +221,11 @@ int main(int argc, char** argv) {
     }
     std::fputs(RenderBatchOutput(report.value()).c_str(), stdout);
     std::fputs(RenderBatchSummary(report.value(), batch).c_str(), stderr);
-    return report.value().ok() ? 0 : 1;
+    // Hard failures dominate the exit code; a clean-but-governed batch
+    // reports 3 so scripts can tell "completed under budget trips" from
+    // both success and failure.
+    if (!report.value().ok()) return 1;
+    return report.value().governed_jobs > 0 ? 3 : 0;
   }
 
   if (positional.size() != 2) {
@@ -190,13 +253,14 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  Status governed;
   Result<std::string> out =
-      RunDxCommand(scenario.value(), command, &universe, options);
+      RunDxCommand(scenario.value(), command, &universe, options, &governed);
   if (!out.ok()) {
     std::fprintf(stderr, "ocdx: %s: %s\n", path.c_str(),
                  out.status().ToString().c_str());
     return 1;
   }
   std::fputs(out.value().c_str(), stdout);
-  return 0;
+  return governed.ok() ? 0 : 3;
 }

@@ -1,18 +1,32 @@
 // ocdxd — a minimal line-protocol server over `.dx` scenario files.
 //
 //   ocdxd serve [--engine=indexed|naive|generic]
+//               [--chase-max-triggers=N] [--max-members=N]
+//               [--deadline-ms=N]
 //
 // Protocol (stdin/stdout, one request per line — run it under socat or
 // (x)inetd for network service; keeping the transport external keeps the
 // binary dependency-free):
 //
-//   request:   <command> <file-path>
+//   request:   <command> <file-path> [key=value ...]
 //              where <command> is any ocdx driver command
 //              (chase | certain | classify | membership | compose | all)
+//              and the optional trailing fields tighten the request's
+//              resource budget: deadline-ms, chase-max-triggers,
+//              max-members, hom-max-steps, repa-max-steps. An unknown
+//              field fails the request (err line), never the server.
 //   response:  "ok <nbytes>\n" followed by exactly <nbytes> bytes of
-//              canonical command output, or
+//              canonical command output ("governed <nbytes>\n" instead of
+//              "ok" when the run completed but tripped a budget or
+//              deadline — the trip renders inline in the payload), or
 //              "err <message>\n"
 //   "quit" (or EOF) ends the session.
+//
+// Shutdown: SIGTERM (and SIGINT) drain gracefully — the in-flight
+// request observes the cancellation flag through its budget and returns
+// a governed response, then the server exits 0 without reading further
+// requests. The handler is installed without SA_RESTART so a blocking
+// read wakes up too.
 //
 // Every request executes as an isolated job — fresh parse, fresh
 // Universe, explicit EngineContext — through the same path as one batch
@@ -20,33 +34,93 @@
 // to `ocdx <command> <file>` output and the server stays reentrant by
 // construction.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "exec/batch_runner.h"
+#include "logic/budget.h"
 #include "logic/engine_context.h"
 #include "text/dx_driver.h"
+#include "util/fault.h"
 
 namespace {
 
 constexpr char kUsage[] =
-    "usage: ocdxd serve [--engine=indexed|naive|generic]\n";
+    "usage: ocdxd serve [--engine=indexed|naive|generic]\n"
+    "                   [--chase-max-triggers=N] [--max-members=N]\n"
+    "                   [--deadline-ms=N]\n";
+
+// Two shutdown flags: the sig_atomic_t is the only thing a handler may
+// portably touch and gates the accept loop; the atomic<bool> is what the
+// engine polls (Budget::cancel). Storing a lock-free atomic from a
+// handler is the accepted practice even though the standard only blesses
+// volatile sig_atomic_t.
+volatile std::sig_atomic_t g_stop = 0;
+std::atomic<bool> g_cancel{false};
+
+void OnTerm(int) {
+  g_stop = 1;
+  g_cancel.store(true, std::memory_order_relaxed);
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+// Maps a wire budget field ("deadline-ms") to its Budget key
+// ("deadline_ms"). Returns false on an unknown field.
+bool SetWireBudgetField(const std::string& name, uint64_t value,
+                        ocdx::Budget* budget) {
+  std::string key = name;
+  for (char& c : key) {
+    if (c == '-') c = '_';
+  }
+  return ocdx::SetBudgetField(budget, key, value);
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace ocdx;
 
+  fault::InstallFromEnv();
+
   std::string engine = "indexed";
+  std::string chase_max_triggers;
+  std::string max_members;
+  std::string deadline_ms;
   bool serve = false;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
+    auto flag = [&arg](std::string_view name, std::string* out) {
+      if (arg.size() < name.size() + 3 || arg.substr(0, 2) != "--" ||
+          arg.substr(2, name.size()) != name || arg[name.size() + 2] != '=') {
+        return false;
+      }
+      *out = std::string(arg.substr(name.size() + 3));
+      return true;
+    };
     if (arg == "serve") {
       serve = true;
-    } else if (arg.substr(0, 9) == "--engine=") {
-      engine = std::string(arg.substr(9));
+    } else if (flag("engine", &engine) ||
+               flag("chase-max-triggers", &chase_max_triggers) ||
+               flag("max-members", &max_members) ||
+               flag("deadline-ms", &deadline_ms)) {
+      // handled
     } else {
       std::fprintf(stderr, "ocdxd: unknown argument '%s'\n%s",
                    std::string(arg).c_str(), kUsage);
@@ -73,21 +147,81 @@ int main(int argc, char** argv) {
 
   DxDriverOptions options;
   options.engine = EngineContext::ForMode(mode);
+  options.engine.budget.cancel = &g_cancel;
+
+  struct ServeFlag {
+    const char* name;
+    const std::string* value;
+  };
+  const ServeFlag serve_flags[] = {
+      {"chase-max-triggers", &chase_max_triggers},
+      {"max-members", &max_members},
+      {"deadline-ms", &deadline_ms},
+  };
+  for (const ServeFlag& sf : serve_flags) {
+    if (sf.value->empty()) continue;
+    uint64_t value = 0;
+    if (!ParseU64(*sf.value, &value) ||
+        !SetWireBudgetField(sf.name, value, &options.engine.budget)) {
+      std::fprintf(stderr, "ocdxd: bad --%s value '%s'\n%s", sf.name,
+                   sf.value->c_str(), kUsage);
+      return 2;
+    }
+  }
+
+  // Graceful drain on SIGTERM/SIGINT: no SA_RESTART, so a read blocked in
+  // getline returns with EINTR and the loop condition sees g_stop.
+  struct sigaction sa = {};
+  sa.sa_handler = OnTerm;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
 
   std::string line;
-  while (std::getline(std::cin, line)) {
+  while (!g_stop && std::getline(std::cin, line)) {
+    if (g_stop) break;
     if (line == "quit") break;
     if (line.empty()) continue;
 
-    size_t space = line.find(' ');
-    if (space == std::string::npos || space == 0 ||
-        space + 1 >= line.size()) {
-      std::fputs("err expected '<command> <file>'\n", stdout);
+    // Tokenize: <command> <file> [key=value ...].
+    std::vector<std::string> tokens;
+    size_t pos = 0;
+    while (pos < line.size()) {
+      size_t space = line.find(' ', pos);
+      if (space == std::string::npos) space = line.size();
+      if (space > pos) tokens.push_back(line.substr(pos, space - pos));
+      pos = space + 1;
+    }
+    if (tokens.size() < 2) {
+      std::fputs("err expected '<command> <file> [key=value ...]'\n",
+                 stdout);
       std::fflush(stdout);
       continue;
     }
-    std::string command = line.substr(0, space);
-    std::string path = line.substr(space + 1);
+    const std::string& command = tokens[0];
+    const std::string& path = tokens[1];
+
+    // Per-request budget: starts from the serve-level defaults, tightened
+    // by the request's trailing fields; the scenario's own budget block
+    // can tighten further inside RunDxCommand.
+    DxDriverOptions request = options;
+    bool bad_field = false;
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      size_t eq = tokens[i].find('=');
+      uint64_t value = 0;
+      Budget tightener;
+      if (eq == std::string::npos || eq == 0 ||
+          !ParseU64(tokens[i].substr(eq + 1), &value) ||
+          !SetWireBudgetField(tokens[i].substr(0, eq), value, &tightener)) {
+        std::printf("err unknown budget field '%s'\n", tokens[i].c_str());
+        std::fflush(stdout);
+        bad_field = true;
+        break;
+      }
+      request.engine.budget.Tighten(tightener);
+    }
+    if (bad_field) continue;
 
     Result<std::string> source = ReadDxFile(path);
     if (!source.ok()) {
@@ -95,8 +229,9 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
       continue;
     }
+    Status governed;
     Result<std::string> out =
-        RunDxFile(path, source.value(), command, options);
+        RunDxFile(path, source.value(), command, request, &governed);
     if (!out.ok()) {
       // One-line error: newlines in the message would break the framing.
       std::string msg = out.status().ToString();
@@ -105,7 +240,8 @@ int main(int argc, char** argv) {
       }
       std::printf("err %s\n", msg.c_str());
     } else {
-      std::printf("ok %zu\n", out.value().size());
+      std::printf("%s %zu\n", governed.ok() ? "ok" : "governed",
+                  out.value().size());
       std::fwrite(out.value().data(), 1, out.value().size(), stdout);
     }
     std::fflush(stdout);

@@ -25,6 +25,27 @@ std::span<Value> Universe::AllocateWitness(size_t n) {
   return {data.data() + start, n};
 }
 
+std::unique_ptr<Universe> Universe::Clone() const {
+  CheckOwner();
+  auto out = std::make_unique<Universe>();
+  out->consts_ = consts_;
+  out->nulls_ = nulls_;
+  // NullInfo::witness spans borrow the *source* universe's justification
+  // arena; rebase each one into the clone's own arena so the clone stays
+  // valid (and race-free) whatever happens to the source afterwards.
+  for (NullInfo& info : out->nulls_) {
+    if (info.witness.empty()) continue;
+    std::span<Value> dst = out->AllocateWitness(info.witness.size());
+    for (size_t i = 0; i < info.witness.size(); ++i) dst[i] = info.witness[i];
+    info.witness = dst;
+  }
+  // Make sure the clone leaves this function unowned so a pool worker can
+  // claim it (nothing above goes through the clone's public, owner-checked
+  // API, but the contract is worth enforcing explicitly).
+  out->owner_.store(std::thread::id{}, std::memory_order_relaxed);
+  return out;
+}
+
 std::string Universe::Describe(Value v) const {
   CheckOwner();
   if (!v.IsValid()) return "<invalid>";

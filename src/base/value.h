@@ -21,6 +21,7 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -114,6 +115,16 @@ class Universe {
   Universe() = default;
   Universe(const Universe&) = delete;
   Universe& operator=(const Universe&) = delete;
+
+  /// A scratch copy for intra-job fan-out (src/certain member-enumeration
+  /// sharding): same constants under the same ids, same nulls with their
+  /// justifications re-interned into the clone's own arena. The clone is
+  /// returned *unowned* — the first thread to touch it claims it under the
+  /// one-Universe-per-job rule — so the caller can build clones up front
+  /// and hand one to each worker. Values minted before the clone point
+  /// mean the same thing in both universes; values minted afterwards are
+  /// private to whichever universe minted them.
+  std::unique_ptr<Universe> Clone() const;
 
   /// Interns a constant by name and returns its Value.
   Value Const(std::string_view name) {

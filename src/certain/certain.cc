@@ -1,7 +1,9 @@
 #include "certain/certain.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
+#include <vector>
 
 #include "certain/naive.h"
 #include "logic/evaluator.h"
@@ -192,25 +194,36 @@ Result<CertainVerdict> CertainAnswerEngine::IsCertain(
 
   RepAMemberEnumerator en(plan.target, fixed, universe_, plan.enum_options,
                           &ctx_);
-  bool certain = true;
-  Status inner = Status::OK();
-  Status st = en.ForEachMember([&](const Instance& member) {
-    Evaluator ev(member, *universe_, ctx_);
-    Env env;
-    for (size_t i = 0; i < order.size(); ++i) env[order[i]] = t[i];
-    Result<bool> h = ev.Holds(q, env);
-    if (!h.ok()) {
-      inner = h.status();
-      return false;
-    }
-    if (!h.value()) {
-      certain = false;  // Concrete counterexample.
-      return false;
-    }
-    return true;
-  });
+  // One flag per shard, written only by that shard's visitor (the factory
+  // runs serially before the fan-out starts); merged by AND afterwards —
+  // order-independent, so the verdict is identical for every shard count.
+  struct ShardCheck {
+    bool certain = true;
+  };
+  std::vector<std::unique_ptr<ShardCheck>> checks;
+  Status st = en.ForEachMember(
+      [&](const MemberShard& shard) -> RepAMemberEnumerator::ShardMemberFn {
+        checks.push_back(std::make_unique<ShardCheck>());
+        ShardCheck* state = checks.back().get();
+        const Universe* su = shard.universe;
+        const EngineContext* sctx = shard.ctx;
+        return [state, su, sctx, &q, &order, &t](
+                   const Instance& member) -> Result<bool> {
+          Evaluator ev(member, *su, *sctx);
+          Env env;
+          for (size_t i = 0; i < order.size(); ++i) env[order[i]] = t[i];
+          OCDX_ASSIGN_OR_RETURN(bool holds, ev.Holds(q, env));
+          if (!holds) {
+            state->certain = false;  // Concrete counterexample.
+            return false;            // First success: stop every shard.
+          }
+          return true;
+        };
+      });
   OCDX_RETURN_IF_ERROR(st);
-  OCDX_RETURN_IF_ERROR(inner);
+
+  bool certain = true;
+  for (const auto& check : checks) certain = certain && check->certain;
 
   verdict.certain = certain;
   verdict.exhaustive =
@@ -266,36 +279,67 @@ Result<Relation> CertainAnswerEngine::CertainAnswers(
   RepAMemberEnumerator en(plan.target, fixed, universe_, plan.enum_options,
                           &ctx_);
 
-  bool first = true;
+  // Each shard intersects the answer sets of the members *it* saw; the
+  // merge below intersects across shards, which equals the intersection
+  // over all members — intersection is order-independent, so the result
+  // is identical for every shard count. A shard whose own intersection
+  // empties stops the fan-out early: empty is final (every removal was
+  // witnessed by a concrete member), and it forces the merged set empty.
+  struct ShardAnswers {
+    bool first = true;
+    Relation candidates;
+    explicit ShardAnswers(size_t arity) : candidates(arity) {}
+  };
+  std::vector<std::unique_ptr<ShardAnswers>> parts;
+  Status st = en.ForEachMember(
+      [&](const MemberShard& shard) -> RepAMemberEnumerator::ShardMemberFn {
+        parts.push_back(std::make_unique<ShardAnswers>(order.size()));
+        ShardAnswers* state = parts.back().get();
+        const Universe* su = shard.universe;
+        const EngineContext* sctx = shard.ctx;
+        return [state, su, sctx, &q, &order, &allowed](
+                   const Instance& member) -> Result<bool> {
+          Evaluator ev(member, *su, *sctx);
+          OCDX_ASSIGN_OR_RETURN(Relation ans, ev.Answers(q, order));
+          if (state->first) {
+            state->first = false;
+            // Seed filtered to `allowed`: certain answers are ground
+            // tuples over rel(CSolA) + query constants, which also keeps
+            // every candidate meaningful outside the shard's scratch
+            // universe.
+            for (TupleRef t : ans.tuples()) {
+              bool ok = true;
+              for (Value v : t) ok = ok && allowed.count(v) > 0;
+              if (ok) state->candidates.Add(t);
+            }
+          } else {
+            Relation next(order.size());
+            for (TupleRef t : state->candidates.tuples()) {
+              if (ans.Contains(t)) next.Add(t);
+            }
+            state->candidates = std::move(next);
+          }
+          return !state->candidates.empty();
+        };
+      });
+  OCDX_RETURN_IF_ERROR(st);
+
+  // Shard-ordered merge; shards that saw no members contribute nothing.
   Relation candidates(order.size());
-  Status inner = Status::OK();
-  Status st = en.ForEachMember([&](const Instance& member) {
-    Evaluator ev(member, *universe_, ctx_);
-    Result<Relation> ans = ev.Answers(q, order);
-    if (!ans.ok()) {
-      inner = ans.status();
-      return false;
-    }
-    if (first) {
-      first = false;
-      for (TupleRef t : ans.value().tuples()) {
-        bool ok = true;
-        for (Value v : t) ok = ok && allowed.count(v) > 0;
-        if (ok) candidates.Add(t);
-      }
+  bool seeded = false;
+  for (const auto& part : parts) {
+    if (part->first) continue;
+    if (!seeded) {
+      seeded = true;
+      for (TupleRef t : part->candidates.tuples()) candidates.Add(t);
     } else {
       Relation next(order.size());
       for (TupleRef t : candidates.tuples()) {
-        if (ans.value().Contains(t)) next.Add(t);
+        if (part->candidates.Contains(t)) next.Add(t);
       }
       candidates = std::move(next);
     }
-    // Early exit: the empty intersection is final (each removal was
-    // witnessed by a concrete member).
-    return !candidates.empty();
-  });
-  OCDX_RETURN_IF_ERROR(st);
-  OCDX_RETURN_IF_ERROR(inner);
+  }
 
   if (verdict != nullptr) {
     verdict->certain = !candidates.empty();

@@ -1,7 +1,10 @@
 #include "certain/member_enum.h"
 
+#include <memory>
 #include <set>
+#include <utility>
 
+#include "exec/pool.h"
 #include "logic/engine_context.h"
 #include "util/combinatorics.h"
 #include "util/fault.h"
@@ -20,27 +23,82 @@ RepAMemberEnumerator::RepAMemberEnumerator(const AnnotatedInstance& t,
     if (v.IsConst()) f.insert(v);
   }
   fixed_.assign(f.begin(), f.end());
+
+  // Fresh-pool names, computed once. Every constant that can appear in a
+  // member is either in fixed_ (instance + caller constants) or minted
+  // with the reserved "#f" prefix (iso_enum.h), so skipping the names of
+  // fixed_ guarantees the pool is genuinely fresh — a scenario constant
+  // literally named "#e0" used to alias into the pool and make the
+  // enumeration unsound.
+  std::set<std::string> occupied;
+  for (Value c : fixed_) occupied.insert(universe_->Describe(c));
+  fresh_names_.reserve(options_.fresh_pool);
+  for (size_t i = 0; fresh_names_.size() < options_.fresh_pool; ++i) {
+    std::string name = StrCat("#e", i);
+    if (occupied.count(name) > 0) continue;
+    fresh_names_.push_back(std::move(name));
+  }
 }
 
-Status RepAMemberEnumerator::ForEachMember(
-    const std::function<bool(const Instance&)>& fn) {
-  exhausted_ = true;
-  members_ = 0;
+// One shard's walk over its slice of the valuation space (global
+// valuation index ≡ shard.index mod shard.count). Everything mutable is
+// shard-local: `shard.universe` owns every value the shard mints, the
+// gauge runs over the shard context's budget (whose `cancel` is the
+// fan-out's shared stop flag), and the only cross-shard writes are the
+// three atomics. `t_`, `fixed_` and `fresh_names_` are shared read-only.
+void RepAMemberEnumerator::RunShard(const MemberShard& shard,
+                                    const ShardMemberFn& fn,
+                                    std::atomic<bool>* stop,
+                                    std::atomic<uint64_t>* total_members,
+                                    ShardOutcome* out) const {
+  Universe* universe = shard.universe;
+  const Budget no_budget;
+  const Budget& budget = shard.ctx != nullptr ? shard.ctx->budget : no_budget;
+  BudgetGauge gauge(budget, shard.ctx != nullptr ? shard.ctx->stats : nullptr);
+  // The *caller's* cooperative flag. Under fan-out the shard budget's
+  // `cancel` is the internal stop flag, so genuine caller cancellation
+  // must be folded in explicitly (and is distinguishable at merge time:
+  // a kCancelled trip is surfaced only when the caller really cancelled).
+  const std::atomic<bool>* parent_cancel =
+      ctx_ != nullptr ? ctx_->budget.cancel : nullptr;
+  const bool fanned_out = shard.count > 1;
+
+  auto parent_cancelled = [&] {
+    return fanned_out && parent_cancel != nullptr &&
+           parent_cancel->load(std::memory_order_relaxed);
+  };
 
   std::vector<Value> nulls = t_.Nulls();
-  ValuationEnumerator valuations(nulls, fixed_, universe_);
-  // Governance (logic/budget.h): the budget's max_members is a *hard*
-  // cap — tripping it is a kResourceExhausted error, unlike the soft
-  // options_.max_members bound, which quietly marks the run
-  // non-exhaustive. The gauge bounds wall time; the "enum" probe is the
-  // fault-injection site for this layer.
-  const Budget no_budget;
-  const Budget& budget = ctx_ != nullptr ? ctx_->budget : no_budget;
-  BudgetGauge gauge(budget, ctx_ != nullptr ? ctx_->stats : nullptr);
+  ValuationEnumerator valuations(nulls, fixed_, universe);
   Valuation v;
+  uint64_t vindex = UINT64_MAX;
   while (valuations.Next(&v)) {
-    OCDX_RETURN_IF_ERROR(fault::Probe("enum"));
-    OCDX_RETURN_IF_ERROR(gauge.Poll());
+    ++vindex;
+    if (vindex % shard.count != shard.index) continue;
+    // Stopped by a peer shard: leave quietly (no terminal event of our
+    // own); the shard that raised the flag recorded the cause.
+    if (stop->load(std::memory_order_acquire)) return;
+    if (parent_cancelled()) {
+      out->event = ShardOutcome::Event::kTrip;
+      out->event_index = vindex;
+      out->trip = Status::Cancelled("evaluation cancelled");
+      stop->store(true, std::memory_order_release);
+      return;
+    }
+    // Governance (logic/budget.h): the budget's max_members is a *hard*
+    // cap — tripping it is a kResourceExhausted error, unlike the soft
+    // options_.max_members bound, which quietly marks the run
+    // non-exhaustive. The gauge bounds wall time; the "enum" probe is the
+    // fault-injection site for this layer.
+    Status governed = fault::Probe("enum");
+    if (governed.ok()) governed = gauge.Poll();
+    if (!governed.ok()) {
+      out->event = ShardOutcome::Event::kTrip;
+      out->event_index = vindex;
+      out->trip = std::move(governed);
+      stop->store(true, std::memory_order_release);
+      return;
+    }
     // Base member: v(rel(T)).
     Instance base = v.ApplyRelPart(t_);
     // Make sure every relation of T exists in the member (including ones
@@ -51,11 +109,12 @@ Status RepAMemberEnumerator::ForEachMember(
       base.GetOrCreate(name, rel.arity());
     }
 
-    // Extra-value pool: fixed constants + constants of the base + fresh.
+    // Extra-value pool: fixed constants + constants of the base + fresh
+    // (collision-free names precomputed in the constructor).
     std::set<Value> pool_set(fixed_.begin(), fixed_.end());
     for (Value c : base.ActiveDomain()) pool_set.insert(c);
-    for (size_t i = 0; i < options_.fresh_pool; ++i) {
-      pool_set.insert(universe_->Const(StrCat("#e", i)));
+    for (const std::string& name : fresh_names_) {
+      pool_set.insert(universe->Const(name));
     }
     std::vector<Value> pool(pool_set.begin(), pool_set.end());
 
@@ -132,46 +191,73 @@ Status RepAMemberEnumerator::ForEachMember(
                      });
       }
     }
-    if (truncated) exhausted_ = false;
+    if (truncated) out->truncated = true;
 
     // Visit base u E for subsets E of the universe, in increasing size.
     size_t max_size = std::min(extras.size(), options_.max_extra_tuples);
-    if (max_size < extras.size()) exhausted_ = false;
+    if (max_size < extras.size()) out->truncated = true;
 
     // Combination enumeration, smallest subsets first (counterexamples
     // tend to be small, and early exit then prunes the rest). The
     // per-template usage counters enforce the 1-to-m replication limit.
     std::vector<size_t> chosen;
     std::vector<size_t> used(template_cap.size(), 0);
-    bool stop = false;
-    Status trip = Status::OK();
+    bool stop_run = false;  // This shard recorded a terminal event.
+    bool stopped_by_peer = false;
     std::function<bool(size_t, size_t)> rec = [&](size_t start,
                                                   size_t remaining) -> bool {
       if (remaining == 0) {
-        trip = gauge.Tick();
-        if (!trip.ok()) {
-          stop = true;
+        if (stop->load(std::memory_order_acquire)) {
+          stopped_by_peer = true;
           return false;
         }
-        ++members_;
-        if (members_ > budget.max_members) {
-          trip = Status::ResourceExhausted(
+        if (parent_cancelled()) {
+          out->event = ShardOutcome::Event::kTrip;
+          out->event_index = vindex;
+          out->trip = Status::Cancelled("evaluation cancelled");
+          stop_run = true;
+          return false;
+        }
+        Status trip = gauge.Tick();
+        if (!trip.ok()) {
+          out->event = ShardOutcome::Event::kTrip;
+          out->event_index = vindex;
+          out->trip = std::move(trip);
+          stop_run = true;
+          return false;
+        }
+        uint64_t n = total_members->fetch_add(1, std::memory_order_relaxed) + 1;
+        if (n > budget.max_members) {
+          out->event = ShardOutcome::Event::kTrip;
+          out->event_index = vindex;
+          out->trip = Status::ResourceExhausted(
               StrCat("member enumeration exceeded budget of ",
                      budget.max_members, " members"));
-          stop = true;
+          stop_run = true;
           return false;
         }
-        if (members_ > options_.max_members) {
-          exhausted_ = false;
-          stop = true;
+        if (n > options_.max_members) {
+          out->event = ShardOutcome::Event::kSoftCap;
+          out->event_index = vindex;
+          stop_run = true;
           return false;
         }
         Instance member = base;
         for (size_t idx : chosen) {
           member.Add(extras[idx].rel, extras[idx].tuple);
         }
-        if (!fn(member)) {
-          stop = true;
+        Result<bool> r = fn(member);
+        if (!r.ok()) {
+          out->event = ShardOutcome::Event::kTrip;
+          out->event_index = vindex;
+          out->trip = r.status();
+          stop_run = true;
+          return false;
+        }
+        if (!r.value()) {
+          out->event = ShardOutcome::Event::kEarlyStop;
+          out->event_index = vindex;
+          stop_run = true;
           return false;
         }
         return true;
@@ -188,13 +274,137 @@ Status RepAMemberEnumerator::ForEachMember(
       }
       return true;
     };
-    for (size_t m = 0; m <= max_size && !stop; ++m) {
+    for (size_t m = 0; m <= max_size && !stop_run && !stopped_by_peer; ++m) {
       rec(0, m);
     }
-    OCDX_RETURN_IF_ERROR(trip);
-    if (stop) return Status::OK();
+    if (stop_run) {
+      stop->store(true, std::memory_order_release);
+      return;
+    }
+    if (stopped_by_peer) return;
+  }
+}
+
+Status RepAMemberEnumerator::RunSharded(size_t shards,
+                                        const ShardFnFactory& factory) {
+  outcome_ = EnumOutcome::kExhausted;
+  members_ = 0;
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_members{0};
+
+  std::vector<ShardOutcome> outcomes(shards);
+
+  if (shards == 1) {
+    // Sequential: the shard *is* the caller's job — same universe, same
+    // context (budget cancel stays the caller's flag, the engine-level
+    // plan cache keeps serving every query of the job).
+    MemberShard shard{0, 1, universe_, ctx_};
+    ShardMemberFn fn = factory(shard);
+    RunShard(shard, fn, &stop, &total_members, &outcomes[0]);
+  } else {
+    // Fan-out. Shard 0 runs on the calling thread over the caller's
+    // universe/cache; shards 1..n-1 run on a scoped pool, each over its
+    // own scratch Universe clone and fresh-cache context. Contexts and
+    // visitors are fully built (factory called serially, in shard order)
+    // before any worker starts.
+    std::vector<std::unique_ptr<Universe>> clones;
+    clones.reserve(shards - 1);
+    std::vector<EngineContext> shard_ctxs(shards);
+    std::vector<EngineStats> shard_stats(shards);
+    std::vector<MemberShard> shard_descs(shards);
+    std::vector<ShardMemberFn> fns;
+    fns.reserve(shards);
+    const EngineContext base_ctx =
+        ctx_ != nullptr ? *ctx_ : EngineContext();
+    for (size_t s = 0; s < shards; ++s) {
+      Universe* su = universe_;
+      if (s > 0) {
+        clones.push_back(universe_->Clone());
+        su = clones.back().get();
+      }
+      shard_ctxs[s] = s == 0 ? base_ctx : base_ctx.WithFreshCache();
+      shard_ctxs[s].stats = &shard_stats[s];
+      shard_ctxs[s].budget.cancel = &stop;
+      shard_ctxs[s].shards = 1;  // Fan-out never nests.
+      shard_descs[s] = MemberShard{s, shards, su, &shard_ctxs[s]};
+      fns.push_back(factory(shard_descs[s]));
+    }
+    {
+      // A scoped pool of our own: submitting intra-job work to the outer
+      // exec/ batch pool from inside a job could deadlock (all its
+      // workers may be the jobs waiting for these very tasks).
+      ThreadPool pool(shards - 1);
+      for (size_t s = 1; s < shards; ++s) {
+        pool.Submit([this, s, &shard_descs, &fns, &stop, &total_members,
+                     &outcomes] {
+          RunShard(shard_descs[s], fns[s], &stop, &total_members,
+                   &outcomes[s]);
+        });
+      }
+      RunShard(shard_descs[0], fns[0], &stop, &total_members, &outcomes[0]);
+    }  // <- pool drained: every shard finished, results visible here.
+    if (ctx_ != nullptr && ctx_->stats != nullptr) {
+      for (const EngineStats& st : shard_stats) *ctx_->stats += st;
+      ++ctx_->stats->enum_shard_runs;
+      ctx_->stats->enum_shard_tasks += shards;
+      if (stop.load(std::memory_order_relaxed)) {
+        ++ctx_->stats->enum_shard_stops;
+      }
+    }
+  }
+
+  members_ = total_members.load(std::memory_order_relaxed);
+
+  // Deterministic shard-ordered merge: the surfaced terminal event is the
+  // one at the smallest global valuation index (ties broken by shard
+  // order). kCancelled trips are first-success echoes — a peer raised the
+  // shared stop flag and this shard's gauge saw it mid-search — unless
+  // the *caller's* flag really was raised; echoes merge as plain
+  // peer-stops.
+  const bool caller_cancelled = ctx_ != nullptr && ctx_->budget.cancelled();
+  const ShardOutcome* best = nullptr;
+  bool any_truncated = false;
+  for (const ShardOutcome& o : outcomes) {
+    any_truncated = any_truncated || o.truncated;
+    if (o.event == ShardOutcome::Event::kNone) continue;
+    if (o.event == ShardOutcome::Event::kTrip &&
+        o.trip.code() == StatusCode::kCancelled && !caller_cancelled) {
+      continue;
+    }
+    if (best == nullptr || o.event_index < best->event_index) best = &o;
+  }
+  if (best == nullptr) {
+    outcome_ = any_truncated ? EnumOutcome::kTruncated : EnumOutcome::kExhausted;
+    return Status::OK();
+  }
+  switch (best->event) {
+    case ShardOutcome::Event::kEarlyStop:
+      outcome_ = EnumOutcome::kEarlyStopped;
+      return Status::OK();
+    case ShardOutcome::Event::kSoftCap:
+      outcome_ = EnumOutcome::kTruncated;
+      return Status::OK();
+    case ShardOutcome::Event::kTrip:
+      outcome_ = EnumOutcome::kTruncated;
+      return best->trip;
+    case ShardOutcome::Event::kNone:
+      break;  // Unreachable.
   }
   return Status::OK();
+}
+
+Status RepAMemberEnumerator::ForEachMember(const MemberFn& fn) {
+  return RunSharded(1, [&fn](const MemberShard&) -> ShardMemberFn {
+    return [&fn](const Instance& member) -> Result<bool> {
+      return fn(member);
+    };
+  });
+}
+
+Status RepAMemberEnumerator::ForEachMember(const ShardFnFactory& factory) {
+  size_t shards = ctx_ != nullptr && ctx_->shards > 1 ? ctx_->shards : 1;
+  return RunSharded(shards, factory);
 }
 
 }  // namespace ocdx

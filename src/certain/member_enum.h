@@ -23,12 +23,28 @@
 //     (the coNEXPTIME bound of Theorem 3.2 is the size of this search).
 //   - #op >= 2: provably no bound exists (Theorem 3.3, undecidable); the
 //     enumeration is then a sound but incomplete counterexample search
-//     and reports exhausted() = false.
+//     and reports a non-exhausted outcome.
+//
+// Intra-job fan-out (EngineContext::shards > 1): the valuation space is
+// partitioned round-robin across a scoped worker pool. Each shard runs on
+// its own scratch Universe clone with its own fresh-cache EngineContext
+// (honoring the one-Universe-per-job contract), and the shard contexts'
+// Budget::cancel points at a per-fan-out stop flag, so the first shard
+// that stops the run (counterexample found, intersection emptied, budget
+// trip) cooperatively cancels the NP searches still running in the
+// others. Shard results merge in shard order, and every merged observable
+// (outcome, the surfaced governed trip, the early-stop decision) is
+// chosen so canonical `ocdx` output is byte-identical for every shard
+// count; only members_visited() may vary under early stop, and the driver
+// never prints it.
 
 #ifndef OCDX_CERTAIN_MEMBER_ENUM_H_
 #define OCDX_CERTAIN_MEMBER_ENUM_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "base/instance.h"
@@ -60,9 +76,48 @@ struct MemberEnumOptions {
   size_t open_replication_limit = SIZE_MAX;
 };
 
+/// How a ForEachMember run ended.
+enum class EnumOutcome {
+  /// The complete bounded space was visited: no truncation, no budget
+  /// exhaustion, no early stop. Whether the bounded space suffices for a
+  /// proof is the caller's concern (see the per-class guarantees above).
+  kExhausted,
+  /// The space was cut short by a bound (universe truncation, the soft
+  /// member cap) or a governed trip — some members were never visited.
+  kTruncated,
+  /// The visitor stopped the run (returned false / Ok(false)). The
+  /// remaining space was deliberately skipped, so the run must not be
+  /// read as having visited it — callers that early-stop on a witness
+  /// already have their answer and must not consult exhausted().
+  kEarlyStopped,
+};
+
+/// One shard of a fanned-out ForEachMember run, handed to the visitor
+/// factory. `universe` and `ctx` are what the shard's visitor must
+/// evaluate against: at shard count 1 they are the enumerator's own
+/// universe/context; under fan-out they are a scratch Universe clone and
+/// a per-shard fresh-cache context whose Budget::cancel is the fan-out's
+/// shared stop flag.
+struct MemberShard {
+  size_t index = 0;
+  size_t count = 1;
+  Universe* universe = nullptr;
+  const EngineContext* ctx = nullptr;
+};
+
 /// Enumerates ground members of RepA(T) and reports exhaustiveness.
 class RepAMemberEnumerator {
  public:
+  /// Sequential visitor: receives each member; returning false stops.
+  using MemberFn = std::function<bool(const Instance&)>;
+  /// Sharded visitor: returning Ok(false) stops the whole fan-out (first
+  /// success); a non-OK status aborts it and surfaces from ForEachMember.
+  using ShardMemberFn = std::function<Result<bool>(const Instance&)>;
+  /// Builds the visitor for one shard. Called serially on the calling
+  /// thread, in shard order, before any shard starts running; the
+  /// returned visitor then runs on that shard's thread only.
+  using ShardFnFactory = std::function<ShardMemberFn(const MemberShard&)>;
+
   /// `fixed` is the distinguished-constant set (query constants, candidate
   /// answer constants, ...); valuations are enumerated up to isomorphisms
   /// fixing it and the constants of T.
@@ -72,7 +127,8 @@ class RepAMemberEnumerator {
   /// gauge, and the "enum" fault-injection probe all apply to every
   /// ForEachMember run. The hard cap is distinct from the soft
   /// MemberEnumOptions::max_members bound: tripping it is an error
-  /// (kResourceExhausted), not a quiet exhausted() = false.
+  /// (kResourceExhausted), not a quiet kTruncated outcome. `ctx->shards`
+  /// selects the fan-out width of the factory-based ForEachMember.
   RepAMemberEnumerator(const AnnotatedInstance& t,
                        const std::vector<Value>& fixed, Universe* universe,
                        MemberEnumOptions options = {},
@@ -80,26 +136,54 @@ class RepAMemberEnumerator {
 
   /// Visits members until `fn` returns false (early stop) or enumeration
   /// finishes/budgets out. Returns OK unless a hard error occurred.
-  ///
-  /// `fn` receives each member instance; returning false stops.
-  Status ForEachMember(const std::function<bool(const Instance&)>& fn);
+  /// Always sequential, whatever ctx->shards says.
+  Status ForEachMember(const MemberFn& fn);
 
-  /// True iff the last ForEachMember call visited the *complete* bounded
-  /// space (no truncation and no budget exhaustion). Whether the bounded
-  /// space suffices for a proof is the caller's concern (see header
-  /// comment for the per-class guarantees).
-  bool exhausted() const { return exhausted_; }
+  /// The sharded entry point: partitions the valuation space across
+  /// ctx->shards workers (sequential when that is 1). Visitor errors are
+  /// returned from here; the first shard to stop the run cancels the
+  /// rest through the shard budgets' cooperative flag. See the header
+  /// comment for the determinism contract.
+  Status ForEachMember(const ShardFnFactory& factory);
 
-  /// Number of members visited by the last run.
+  /// How the last ForEachMember run ended.
+  EnumOutcome outcome() const { return outcome_; }
+
+  /// True iff the last run visited the *complete* bounded space — false
+  /// for truncated and for early-stopped runs (an early stop deliberately
+  /// skips the rest of the space, so it proves nothing about it).
+  bool exhausted() const { return outcome_ == EnumOutcome::kExhausted; }
+
+  /// Number of members visited by the last run (summed over shards).
   uint64_t members_visited() const { return members_; }
 
  private:
+  // Per-shard result record, merged in shard order by RunSharded.
+  struct ShardOutcome {
+    // Terminal event: at most one per shard, stamped with the global
+    // valuation index it occurred in so the merge can pick the earliest.
+    enum class Event { kNone, kEarlyStop, kSoftCap, kTrip };
+    Event event = Event::kNone;
+    uint64_t event_index = UINT64_MAX;
+    Status trip;             // Set when event == kTrip.
+    bool truncated = false;  // Universe/extra-tuple truncation seen.
+  };
+
+  Status RunSharded(size_t shards, const ShardFnFactory& factory);
+  void RunShard(const MemberShard& shard, const ShardMemberFn& fn,
+                std::atomic<bool>* stop, std::atomic<uint64_t>* total_members,
+                ShardOutcome* out) const;
+
   const AnnotatedInstance& t_;
   std::vector<Value> fixed_;
   Universe* universe_;
   MemberEnumOptions options_;
   const EngineContext* ctx_;
-  bool exhausted_ = true;
+  /// Names for the fresh extra-value pool, computed once: "#e<i>" skipping
+  /// any name already taken by a fixed/instance constant, so a scenario
+  /// constant literally named "#e0" can never alias into the pool.
+  std::vector<std::string> fresh_names_;
+  EnumOutcome outcome_ = EnumOutcome::kExhausted;
   uint64_t members_ = 0;
 };
 

@@ -1,6 +1,8 @@
 #include "compose/compose.h"
 
+#include <memory>
 #include <set>
+#include <vector>
 
 #include "chase/canonical.h"
 #include "logic/budget.h"
@@ -174,28 +176,50 @@ Result<ComposeVerdict> InComposition(const Mapping& sigma,
 
   RepAMemberEnumerator en(csol.annotated, fixed, universe,
                           options.enum_options, &call_ctx);
-  bool found = false;
-  Status inner = Status::OK();
-  Status st = en.ForEachMember([&](const Instance& j_raw) {
-    ++out.intermediates_checked;
-    Instance j = j_raw;
-    for (const RelationDecl& d : sigma.target().decls()) {
-      j.GetOrCreate(d.name, d.arity());
-    }
-    Result<MembershipResult> res =
-        InSolutionSpace(delta, j, target, universe, options.repa, call_ctx);
-    if (!res.ok()) {
-      inner = res.status();
-      return false;
-    }
-    if (res.value().member) {
-      found = true;
-      return false;
-    }
-    return true;
-  });
+  // Per-shard search state. Each shard chases Delta into its own scratch
+  // universe, and gets its own copy of `target`: the RepA matcher builds
+  // lazy probe indexes on the ground instance, which must not be shared
+  // across shard threads. found merges by OR (order-independent), and the
+  // first shard to find a witnessing J cancels the NP searches still
+  // running in the others through the shard budgets' cooperative flag.
+  struct ShardSearch {
+    uint64_t checked = 0;
+    bool found = false;
+    Instance target_copy;
+  };
+  std::vector<std::unique_ptr<ShardSearch>> searches;
+  Status st = en.ForEachMember(
+      [&](const MemberShard& shard) -> RepAMemberEnumerator::ShardMemberFn {
+        searches.push_back(std::make_unique<ShardSearch>());
+        ShardSearch* state = searches.back().get();
+        state->target_copy = target;
+        Universe* su = shard.universe;
+        const EngineContext* sctx = shard.ctx;
+        return [state, su, sctx, &sigma, &delta, &options](
+                   const Instance& j_raw) -> Result<bool> {
+          ++state->checked;
+          Instance j = j_raw;
+          for (const RelationDecl& d : sigma.target().decls()) {
+            j.GetOrCreate(d.name, d.arity());
+          }
+          OCDX_ASSIGN_OR_RETURN(
+              MembershipResult res,
+              InSolutionSpace(delta, j, state->target_copy, su, options.repa,
+                              *sctx));
+          if (res.member) {
+            state->found = true;
+            return false;  // First success: stop every shard.
+          }
+          return true;
+        };
+      });
   OCDX_RETURN_IF_ERROR(st);
-  OCDX_RETURN_IF_ERROR(inner);
+
+  bool found = false;
+  for (const auto& s : searches) {
+    out.intermediates_checked += s->checked;
+    found = found || s->found;
+  }
 
   out.member = found;
   out.exhaustive = found ? true : (en.exhausted() && bounds_are_proof);

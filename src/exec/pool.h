@@ -16,12 +16,20 @@
 //     for (auto& job : jobs) pool.Submit([&job] { Run(job); });
 //   }  // <- all jobs finished here
 //
-// Tasks must not Submit() to their own pool after the destructor has
-// begun (there is no one left to be guaranteed to run them).
+// Tasks must not Submit() to their own pool once the destructor has
+// begun: a worker that is already past the "done and drained" check will
+// never come back for the late task, so it would be dropped silently.
+// Submit() debug-asserts this instead (NDEBUG builds keep the old
+// behavior). The contract is load-bearing for the intra-job fan-out
+// (certain/member_enum.cc RunSharded): the scoped per-fan-out pool joins
+// at scope exit to publish the shard results, which is only a barrier if
+// nothing enqueues after the drain starts — shard visitors must never
+// hold a reference to their own pool.
 
 #ifndef OCDX_EXEC_POOL_H_
 #define OCDX_EXEC_POOL_H_
 
+#include <cassert>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -56,10 +64,15 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; some worker will run it exactly once.
+  /// Enqueues a task; some worker will run it exactly once. Must not be
+  /// called once destruction has begun (see the shutdown contract above);
+  /// debug builds assert, release builds may drop the task silently.
   void Submit(std::function<void()> task) {
     {
       std::lock_guard<std::mutex> lock(mu_);
+      assert(!done_ &&
+             "ThreadPool::Submit after shutdown: the destructor's drain "
+             "barrier has begun and nothing guarantees this task runs");
       queue_.push_back(std::move(task));
     }
     cv_.notify_one();

@@ -58,6 +58,14 @@ struct EngineStats {
   uint64_t deadline_trips = 0;
   /// Jobs that ended via the cooperative cancellation flag.
   uint64_t cancelled_jobs = 0;
+  /// Member enumerations that actually fanned out (EngineContext::shards
+  /// > 1 and the sharded entry point was used).
+  uint64_t enum_shard_runs = 0;
+  /// Shard tasks executed across all fan-outs (one per shard per run).
+  uint64_t enum_shard_tasks = 0;
+  /// Fan-outs ended early by the shared stop flag (first success, soft
+  /// member cap, a governed trip, or caller cancellation).
+  uint64_t enum_shard_stops = 0;
 
   EngineStats& operator+=(const EngineStats& o) {
     cq_plans += o.cq_plans;
@@ -72,6 +80,9 @@ struct EngineStats {
     chase_budget_trips += o.chase_budget_trips;
     deadline_trips += o.deadline_trips;
     cancelled_jobs += o.cancelled_jobs;
+    enum_shard_runs += o.enum_shard_runs;
+    enum_shard_tasks += o.enum_shard_tasks;
+    enum_shard_stops += o.enum_shard_stops;
     return *this;
   }
 };
@@ -103,6 +114,14 @@ struct EngineContext {
   /// tests' cache-off leg; the OCDX_PLAN_CACHE=off environment variable
   /// has the same effect process-wide.
   bool plan_cache_opt_out = false;
+  /// Intra-job fan-out width for the exponential member-enumeration loops
+  /// (certain/member_enum.h): >1 shards each ForEachMember run across a
+  /// scoped worker pool, one scratch Universe clone + fresh-cache context
+  /// per shard, with deterministic shard-ordered merge — canonical output
+  /// is byte-identical for every value. 1 (the default, and any 0) keeps
+  /// the sequential path. Shard workers run with shards = 1, so fan-out
+  /// never nests.
+  size_t shards = 1;
 
   bool indexed() const { return mode == JoinEngineMode::kIndexed; }
 

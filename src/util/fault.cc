@@ -11,9 +11,15 @@ namespace fault {
 
 namespace {
 
-// `g_site` is written only by Install*/Clear, which the contract requires
-// to run before (or without) concurrent probing; `g_armed` gates every
-// reader, and the hit counter is the only state touched concurrently.
+// `g_site` and `g_threshold` are written only by Install*/Clear, which
+// the contract requires to run before (or without) concurrent probing;
+// the release store to `g_armed` publishes them to every reader's acquire
+// load, and the atomic hit counter is the only state touched concurrently.
+// The intra-job fan-out (certain/member_enum.cc) probes "enum" from shard
+// threads concurrently, which is safe under exactly this scheme — though,
+// as with batch -j, *which* shard observes the n-th hit is scheduling-
+// dependent, so injected-fault output under shards > 1 may attribute the
+// trip to a different valuation than the sequential run.
 std::atomic<bool> g_armed{false};
 std::string g_site;                   // NOLINT: process-lifetime singleton.
 uint64_t g_threshold = 1;

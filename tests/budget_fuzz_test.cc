@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <random>
 #include <sstream>
 #include <string>
@@ -85,6 +86,7 @@ TEST(BudgetFuzzTest, CorpusSurvivesRandomTinyBudgets) {
   std::mt19937 rng(0xD5C0FFEE);
   std::uniform_int_distribution<uint64_t> tiny(1, 40);
   std::uniform_int_distribution<int> which(0, 4);
+  std::uniform_int_distribution<int> shard_pick(1, 8);
 
   for (const fs::path& file : files) {
     SCOPED_TRACE(file.string());
@@ -92,6 +94,9 @@ TEST(BudgetFuzzTest, CorpusSurvivesRandomTinyBudgets) {
     for (int round = 0; round < 6; ++round) {
       EngineContext engine = EngineContext::ForMode(
           round % 2 == 0 ? JoinEngineMode::kIndexed : JoinEngineMode::kNaive);
+      // Random intra-job fan-out width: budget trips must stay governed
+      // when they land inside shard workers and race first-success stops.
+      engine.shards = static_cast<size_t>(shard_pick(rng));
       // Randomly tighten a couple of caps to tiny values; the untouched
       // caps stay at their defaults so every trip cause gets exercised
       // across the sweep.
@@ -124,16 +129,21 @@ TEST(BudgetFuzzTest, CorpusSurvivesInjectedFaultsAtEverySite) {
   ASSERT_FALSE(files.empty());
 
   const char* kSites[] = {"chase", "plan-bind", "enum"};
+  const size_t kShards[] = {1, 4, 8};
   std::mt19937 rng(0xFA017);
   std::uniform_int_distribution<uint64_t> hit(1, 20);
 
   for (const fs::path& file : files) {
     SCOPED_TRACE(file.string());
     const std::string src = ReadFileOrDie(file);
-    for (const char* site : kSites) {
-      fault::InstallForTest(site, hit(rng));
-      RunUnderContract(src, file,
-                       EngineContext::ForMode(JoinEngineMode::kIndexed));
+    for (size_t i = 0; i < std::size(kSites); ++i) {
+      // Sweep the shard widths too: the "enum" probe fires from inside
+      // shard workers, where the trip must unwind through the fan-out
+      // merge as the same governed status.
+      fault::InstallForTest(kSites[i], hit(rng));
+      EngineContext engine = EngineContext::ForMode(JoinEngineMode::kIndexed);
+      engine.shards = kShards[i % std::size(kShards)];
+      RunUnderContract(src, file, engine);
       fault::Clear();
     }
   }

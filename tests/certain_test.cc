@@ -334,6 +334,55 @@ TEST_F(PositiveTest, UndecidableCellIsFlaggedNonExhaustive) {
 }
 
 // ---------------------------------------------------------------------------
+// Member-enumeration regressions: the fresh-constant pool must survive
+// adversarial constant names, and an early-stopped enumeration must not
+// report itself exhausted.
+// ---------------------------------------------------------------------------
+TEST_F(PositiveTest, FreshPoolSurvivesAdversarialConstantNames) {
+  // Regression: a scenario constant literally named '#e0' used to alias
+  // into the enumerator's fresh pool, so with a pool of one there was no
+  // genuinely fresh value and "z stays among the named constants" came
+  // back certain — unsoundly, since open positions license tuples over
+  // values the scenario never names. tests/corpus/fresh_pool_alias.dx
+  // pins the same bug through the CLI at the default pool size.
+  Instance s;
+  s.Add("E", {u_.Const("a"), u_.Const("#e0")});
+  Mapping m = MustParse("R(x^cl, y^op) :- E(x, y);", src_, tgt_);
+  Result<CertainAnswerEngine> engine = CertainAnswerEngine::Create(m, s, &u_);
+  ASSERT_TRUE(engine.ok());
+  FormulaPtr q = Q("forall x z. R(x, z) -> (z = 'a' | z = '#e0')");
+  CertainOptions opts;
+  opts.enum_options.fresh_pool = 1;
+  CertainVerdict v = MustDecideBoolean(engine.value(), q, opts);
+  EXPECT_FALSE(v.certain)
+      << "a member filling the open position with a fresh value refutes it";
+  EXPECT_TRUE(v.exhaustive) << "falsity is witnessed by a counterexample";
+}
+
+TEST_F(PositiveTest, EarlyStoppedSearchIsNeverReportedExhaustive) {
+  // Regression: exhausted() used to stay true when the visitor stopped
+  // the run early. At the engine level the observable is the verdict's
+  // exhaustive flag: a *false* verdict early-stops on its counterexample
+  // yet is exhaustive (the counterexample is the proof), while a capped
+  // *true* verdict in the undecidable cell must not be (pinned by
+  // UndecidableCellIsFlaggedNonExhaustive above). Here: truncate the
+  // member space under the soft cap so a "certain" outcome cannot claim
+  // a proof.
+  Mapping m = MustParse("R(x^cl, z^op) :- E(x, y);", src_, tgt_);
+  Result<CertainAnswerEngine> engine =
+      CertainAnswerEngine::Create(m, s_, &u_);
+  ASSERT_TRUE(engine.ok());
+  FormulaPtr q = Q("forall x z. R(x, z) -> (x = 'a' | x = 'b')");
+  CertainOptions opts;
+  opts.enum_options.max_members = 1;  // Soft cap: truncation, not a trip.
+  CertainVerdict v = MustDecideBoolean(engine.value(), q, opts);
+  if (v.certain) {
+    EXPECT_FALSE(v.exhaustive)
+        << "one visited member cannot prove certainty of the whole space";
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Tuple-level (non-boolean) decisions and input validation.
 // ---------------------------------------------------------------------------
 TEST_F(PositiveTest, TupleDecisionsAndValidation) {

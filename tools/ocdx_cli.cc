@@ -20,6 +20,9 @@
 //   --chase-max-triggers=N           resource cap: chase trigger firings
 //   --max-members=N                  resource cap: enumerated members
 //   --deadline-ms=N                  wall-clock deadline per command
+//   --shards=N                       intra-job fan-out width for the
+//                                    member-enumeration loops (default 1;
+//                                    output is byte-identical for every N)
 //   -j N / --jobs=N                  batch: worker threads (default 1)
 //   --command=CMD                    batch: driver command (default all)
 //   --no-split                       batch: one job per file (no
@@ -63,6 +66,7 @@ constexpr char kUsage[] =
     "[--target=NAME]\n"
     "            [--chase-max-triggers=N] [--max-members=N] "
     "[--deadline-ms=N]\n"
+    "            [--shards=N]\n"
     "       ocdx batch FILE.dx... [-j N] [--command=CMD] "
     "[--engine=MODE] [--no-split]\n"
     "exit codes: 0 ok, 1 error, 2 usage, 3 resource budget tripped\n";
@@ -122,6 +126,7 @@ int main(int argc, char** argv) {
   std::string chase_max_triggers_flag;
   std::string max_members_flag;
   std::string deadline_ms_flag;
+  std::string shards_flag;
   bool no_split = false;
   DxDriverOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -148,6 +153,7 @@ int main(int argc, char** argv) {
         FlagValue(arg, "chase-max-triggers", &chase_max_triggers_flag) ||
         FlagValue(arg, "max-members", &max_members_flag) ||
         FlagValue(arg, "deadline-ms", &deadline_ms_flag) ||
+        FlagValue(arg, "shards", &shards_flag) ||
         FlagValue(arg, "mapping", &options.mapping) ||
         FlagValue(arg, "sigma", &options.sigma) ||
         FlagValue(arg, "delta", &options.delta) ||
@@ -196,6 +202,16 @@ int main(int argc, char** argv) {
       return 2;
     }
     options.engine.budget.*(bf.field) = value;
+  }
+
+  if (!shards_flag.empty()) {
+    uint64_t shards = 0;
+    if (!ParseU64(shards_flag, &shards) || shards < 1 || shards > 64) {
+      std::fprintf(stderr, "ocdx: bad --shards value '%s' (want 1..64)\n%s",
+                   shards_flag.c_str(), kUsage);
+      return 2;
+    }
+    options.engine.shards = static_cast<size_t>(shards);
   }
 
   if (command == "batch") {

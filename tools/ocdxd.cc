@@ -2,7 +2,7 @@
 //
 //   ocdxd serve [--engine=indexed|naive|generic]
 //               [--chase-max-triggers=N] [--max-members=N]
-//               [--deadline-ms=N]
+//               [--deadline-ms=N] [--shards=N]
 //
 // Protocol (stdin/stdout, one request per line — run it under socat or
 // (x)inetd for network service; keeping the transport external keeps the
@@ -13,8 +13,10 @@
 //              (chase | certain | classify | membership | compose | all)
 //              and the optional trailing fields tighten the request's
 //              resource budget: deadline-ms, chase-max-triggers,
-//              max-members, hom-max-steps, repa-max-steps. An unknown
-//              field fails the request (err line), never the server.
+//              max-members, hom-max-steps, repa-max-steps — or set its
+//              intra-job fan-out width: shards=N (1..64; responses are
+//              byte-identical for every width). An unknown field fails
+//              the request (err line), never the server.
 //   response:  "ok <nbytes>\n" followed by exactly <nbytes> bytes of
 //              canonical command output ("governed <nbytes>\n" instead of
 //              "ok" when the run completed but tripped a budget or
@@ -53,7 +55,7 @@ namespace {
 constexpr char kUsage[] =
     "usage: ocdxd serve [--engine=indexed|naive|generic]\n"
     "                   [--chase-max-triggers=N] [--max-members=N]\n"
-    "                   [--deadline-ms=N]\n";
+    "                   [--deadline-ms=N] [--shards=N]\n";
 
 // Two shutdown flags: the sig_atomic_t is the only thing a handler may
 // portably touch and gates the accept loop; the atomic<bool> is what the
@@ -92,6 +94,16 @@ bool SetWireBudgetField(const std::string& name, uint64_t value,
   return ocdx::SetBudgetField(budget, key, value);
 }
 
+// Intra-job fan-out width (EngineContext::shards): a knob on the
+// context, not a Budget cap, so it is parsed apart from the budget
+// fields. Accepted range matches the ocdx --shards flag.
+bool ParseShards(const std::string& text, size_t* out) {
+  uint64_t value = 0;
+  if (!ParseU64(text, &value) || value < 1 || value > 64) return false;
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -103,6 +115,7 @@ int main(int argc, char** argv) {
   std::string chase_max_triggers;
   std::string max_members;
   std::string deadline_ms;
+  std::string shards;
   bool serve = false;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -119,7 +132,8 @@ int main(int argc, char** argv) {
     } else if (flag("engine", &engine) ||
                flag("chase-max-triggers", &chase_max_triggers) ||
                flag("max-members", &max_members) ||
-               flag("deadline-ms", &deadline_ms)) {
+               flag("deadline-ms", &deadline_ms) ||
+               flag("shards", &shards)) {
       // handled
     } else {
       std::fprintf(stderr, "ocdxd: unknown argument '%s'\n%s",
@@ -168,6 +182,11 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (!shards.empty() && !ParseShards(shards, &options.engine.shards)) {
+    std::fprintf(stderr, "ocdxd: bad --shards value '%s' (want 1..64)\n%s",
+                 shards.c_str(), kUsage);
+    return 2;
+  }
 
   // Graceful drain on SIGTERM/SIGINT: no SA_RESTART, so a read blocked in
   // getline returns with EINTR and the loop condition sees g_stop.
@@ -209,6 +228,17 @@ int main(int argc, char** argv) {
     bool bad_field = false;
     for (size_t i = 2; i < tokens.size(); ++i) {
       size_t eq = tokens[i].find('=');
+      if (eq != std::string::npos && eq != 0 &&
+          tokens[i].substr(0, eq) == "shards") {
+        if (!ParseShards(tokens[i].substr(eq + 1), &request.engine.shards)) {
+          std::printf("err bad shards value '%s' (want 1..64)\n",
+                      tokens[i].c_str());
+          std::fflush(stdout);
+          bad_field = true;
+          break;
+        }
+        continue;
+      }
       uint64_t value = 0;
       Budget tightener;
       if (eq == std::string::npos || eq == 0 ||

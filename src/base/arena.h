@@ -9,25 +9,54 @@
 //
 // \invariant Span stability (the TupleRef lifetime rule): chunks are
 //   never reallocated, moved, or freed before the arena dies, so every
-//   span handed out by Intern / Allocate stays valid for the arena's
-//   lifetime, across any number of later appends — this is what lets
-//   relations expose span-backed tuples (TupleRef / AnnotatedTupleRef)
-//   whose pointers survive later Adds. Clear() is the sole exception: it
-//   recycles capacity and invalidates every previously returned span
-//   (relations that Clear are scratch by contract; see Relation::Clear).
+//   span handed out by InternRef / AllocateRef (or produced by Resolve)
+//   stays valid for the arena's lifetime, across any number of later
+//   appends — this is what lets relations expose span-backed tuples
+//   (TupleRef / AnnotatedTupleRef) whose pointers survive later Adds.
+//   Clear() is the sole exception: it recycles capacity and invalidates
+//   every previously returned span and ArenaRef (relations that Clear are
+//   scratch by contract; see Relation::Clear).
+//
+// \invariant Relocatable storage (the snapshot rule): rows are addressed
+//   by ArenaRef handles — (chunk, position) coordinates — never by raw
+//   pointers, and OffsetOf maps every handle into a single *dense* logical
+//   offset space: value i of the arena (counting only values actually
+//   handed out, in allocation order) has logical offset i, regardless of
+//   how allocations were split across chunks or how much capacity a chunk
+//   abandoned when the next one opened. Concatenating the used prefix of
+//   every chunk in order therefore reproduces the arena byte-for-byte,
+//   which is what lets src/snap serialize a relation as one contiguous
+//   extent plus per-row offsets and load it back with no pointer fixup
+//   pass (see LoadExtent: a freshly loaded arena is a single chunk whose
+//   logical offsets equal the serialized ones verbatim).
 
 #ifndef OCDX_BASE_ARENA_H_
 #define OCDX_BASE_ARENA_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "base/value.h"
 
 namespace ocdx {
+
+/// A relocatable handle to a sequence of values in a ValueArena: chunk
+/// index plus position within the chunk. 8 bytes, trivially copyable;
+/// the length is carried by the owner (relations know their arity).
+/// The default-constructed ref denotes the empty sequence.
+struct ArenaRef {
+  uint32_t chunk = 0;
+  uint32_t pos = 0;
+
+  friend bool operator==(ArenaRef a, ArenaRef b) {
+    return a.chunk == b.chunk && a.pos == b.pos;
+  }
+};
 
 /// Append-only chunked storage for Value sequences. Unsynchronized by
 /// design: an arena belongs to one relation, which belongs to one job
@@ -42,24 +71,56 @@ class ValueArena {
   ValueArena(const ValueArena&) = delete;
   ValueArena& operator=(const ValueArena&) = delete;
 
-  /// Copies `src` into the arena; the returned span is stable until the
-  /// arena is destroyed (appends never move existing chunks).
-  std::span<const Value> Intern(std::span<const Value> src) {
-    std::span<Value> dst = Allocate(src.size());
+  /// Copies `src` into the arena and returns its relocatable handle; the
+  /// handle (and any span Resolve derives from it) is stable until the
+  /// arena is destroyed — appends never move existing chunks.
+  ArenaRef InternRef(std::span<const Value> src) {
+    auto [ref, dst] = AllocateRef(src.size());
     if (!src.empty()) {
       std::memcpy(dst.data(), src.data(), src.size() * sizeof(Value));
     }
-    return dst;
+    return ref;
   }
 
-  /// Uninitialized space for `n` values (the caller fills it in place).
-  std::span<Value> Allocate(size_t n) {
+  /// Uninitialized space for `n` values (the caller fills the span in
+  /// place; the handle addresses it for good).
+  std::pair<ArenaRef, std::span<Value>> AllocateRef(size_t n) {
+    if (n == 0) return {ArenaRef{}, std::span<Value>{}};
     if (n > left_) NewChunk(n);
-    Value* out = cur_;
-    cur_ += n;
+    Chunk& c = chunks_.back();
+    ArenaRef ref{static_cast<uint32_t>(chunks_.size() - 1),
+                 static_cast<uint32_t>(c.used)};
+    Value* out = c.data.get() + c.used;
+    c.used += n;
     left_ -= n;
     size_ += n;
-    return {out, n};
+    return {ref, std::span<Value>{out, n}};
+  }
+
+  /// The `n` values addressed by `ref`. O(1): two loads and an add.
+  std::span<const Value> Resolve(ArenaRef ref, size_t n) const {
+    if (n == 0) return {};
+    assert(ref.chunk < chunks_.size() && "ArenaRef from another arena");
+    const Chunk& c = chunks_[ref.chunk];
+    assert(ref.pos + n <= c.used && "ArenaRef range out of bounds");
+    return {c.data.get() + ref.pos, n};
+  }
+
+  /// The dense logical offset of `ref` (see the relocatable-storage
+  /// invariant above): 0-based position in the concatenation of every
+  /// chunk's used prefix. Serializable verbatim.
+  uint64_t OffsetOf(ArenaRef ref) const {
+    if (chunks_.empty()) return 0;
+    return chunks_[ref.chunk].base + ref.pos;
+  }
+
+  /// Inverse of OffsetOf for loaded arenas: the handle whose logical
+  /// offset is `offset`. Only valid on an arena populated by LoadExtent
+  /// (single chunk, base 0), where it is a constant-time reinterpretation.
+  ArenaRef RefAt(uint64_t offset) const {
+    assert(chunks_.size() <= 1 && (chunks_.empty() || chunks_[0].base == 0) &&
+           "RefAt requires a LoadExtent-shaped arena");
+    return ArenaRef{0, static_cast<uint32_t>(offset)};
   }
 
   /// Ensures the next `n` values fit without a further chunk allocation:
@@ -68,12 +129,37 @@ class ValueArena {
     if (n > left_) NewChunk(n);
   }
 
+  /// Bulk-populates an empty arena with one contiguous extent whose
+  /// logical offsets equal positions in `values` — the snapshot loader's
+  /// no-fixup path. Requires an empty arena.
+  void LoadExtent(std::span<const Value> values) {
+    assert(size_ == 0 && chunks_.empty() && "LoadExtent needs a fresh arena");
+    if (values.empty()) return;
+    NewChunk(values.size());
+    Chunk& c = chunks_.back();
+    std::memcpy(c.data.get(), values.data(), values.size() * sizeof(Value));
+    c.used = values.size();
+    left_ = c.size - c.used;
+    size_ = values.size();
+  }
+
+  /// Appends the used prefix of every chunk, in order, to `out`: the
+  /// serialized form of the arena (equals the rows in id order by the
+  /// dedup-before-intern contract; see Relation::Add).
+  void AppendTo(std::vector<Value>* out) const {
+    out->reserve(out->size() + size_);
+    for (const Chunk& c : chunks_) {
+      out->insert(out->end(), c.data.get(), c.data.get() + c.used);
+    }
+  }
+
   /// Total values stored.
   size_t size() const { return size_; }
 
   /// Forgets the contents but keeps (and coalesces) the allocated
   /// capacity, so a scratch arena filled and cleared in a loop stops
-  /// allocating after the first lap. Invalidates every span handed out.
+  /// allocating after the first lap. Invalidates every span and ArenaRef
+  /// handed out.
   void Clear() {
     size_ = 0;
     if (chunks_.empty()) return;
@@ -81,16 +167,19 @@ class ValueArena {
       size_t total = 0;
       for (const Chunk& c : chunks_) total += c.size;
       chunks_.clear();
-      chunks_.push_back(Chunk{std::make_unique<Value[]>(total), total});
+      chunks_.push_back(Chunk{std::make_unique<Value[]>(total), total, 0, 0});
     }
-    cur_ = chunks_[0].data.get();
+    chunks_[0].used = 0;
+    chunks_[0].base = 0;
     left_ = chunks_[0].size;
   }
 
  private:
   struct Chunk {
     std::unique_ptr<Value[]> data;
-    size_t size;
+    size_t size;    ///< Capacity in values.
+    size_t used;    ///< Values handed out from this chunk.
+    uint64_t base;  ///< Logical offset of the chunk's first value.
   };
 
   // Big enough that per-chunk overhead vanishes, small enough that tiny
@@ -101,13 +190,13 @@ class ValueArena {
   void NewChunk(size_t at_least) {
     size_t want = std::max(at_least, std::min(next_chunk_, kMaxChunk));
     next_chunk_ = std::min(next_chunk_ * 2, kMaxChunk);
-    chunks_.push_back(Chunk{std::make_unique<Value[]>(want), want});
-    cur_ = chunks_.back().data.get();
+    // base = size_: the abandoned tail of the previous chunk was never
+    // handed out, so the logical offset space stays dense.
+    chunks_.push_back(Chunk{std::make_unique<Value[]>(want), want, 0, size_});
     left_ = want;
   }
 
   std::vector<Chunk> chunks_;
-  Value* cur_ = nullptr;
   size_t left_ = 0;
   size_t size_ = 0;
   size_t next_chunk_ = kMinChunk;

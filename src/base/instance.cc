@@ -125,10 +125,9 @@ bool AnnotatedInstance::Add(const std::string& name, TupleRef t, AnnRef ann) {
 Instance AnnotatedInstance::RelPart() const {
   Instance out;
   for (const auto& [name, rel] : relations_) {
-    Relation& dst = out.GetOrCreate(name, rel.arity());
-    for (const AnnotatedTupleRef& t : rel.tuples()) {
-      if (!t.IsEmptyMarker()) dst.Add(t.values);
-    }
+    // Per-relation RelPart so the bulk fast path (single-annotation,
+    // marker-free relations) applies; move-assigned into place.
+    out.GetOrCreate(name, rel.arity()) = rel.RelPart();
   }
   return out;
 }

@@ -71,7 +71,7 @@ inline void AssertProbeArgs(uint64_t mask, std::span<const Value> key,
 Relation::Relation(const Relation& o) : arity_(o.arity_) {
   arena_.Reserve(o.arena_.size());
   rows_.reserve(o.rows_.size());
-  for (TupleRef t : o.rows_) Add(t);
+  for (size_t i = 0; i < o.size(); ++i) Add(o.row(i));
 }
 
 Relation& Relation::operator=(const Relation& o) {
@@ -79,26 +79,42 @@ Relation& Relation::operator=(const Relation& o) {
   return *this;
 }
 
+void Relation::EnsureDedup() const {
+  if (dedup_built_) return;
+  // A LoadRows deferred the table; rebuild it from the rows in id order
+  // (equivalent to the table an Add-by-Add construction would have left).
+  for (uint32_t id = 0; id < rows_.size(); ++id) {
+    set_.Insert(TupleHash{}(row(id)), id);
+  }
+  dedup_built_ = true;
+}
+
 bool Relation::Contains(TupleRef t) const {
+  EnsureDedup();
   size_t h = TupleHash{}(t);
-  return set_.Find(h, [&](uint32_t id) { return rows_[id] == t; }) !=
+  return set_.Find(h, [&](uint32_t id) { return row(id) == t; }) !=
          DedupIndex::kNone;
 }
 
 bool Relation::Add(TupleRef t) {
   assert(t.size() == arity_ && "tuple arity mismatch");
   OCDX_ASSERT_NO_LIVE_BUCKET_ITERATION(this);
+  EnsureDedup();
   size_t h = TupleHash{}(t);
-  if (set_.Find(h, [&](uint32_t id) { return rows_[id] == t; }) !=
+  if (set_.Find(h, [&](uint32_t id) { return row(id) == t; }) !=
       DedupIndex::kNone) {
     return false;
   }
-  TupleRef stored = arena_.Intern(t);
+  // Dedup-before-intern: only accepted rows reach the arena, so the
+  // arena extent stays the concatenation of rows in id order (the
+  // serialization contract in the header).
+  ArenaRef ref = arena_.InternRef(t);
   uint32_t id = static_cast<uint32_t>(rows_.size());
-  rows_.push_back(stored);
+  rows_.push_back(ref);
   set_.Insert(h, id);
   // Incremental index maintenance: live indexes absorb the new id in
   // place instead of being dropped and rebuilt on the next probe.
+  TupleRef stored = arena_.Resolve(ref, arity_);
   for (auto& [mask, index] : indexes_) {
     index.Insert(stored, id);
     ++index_maintenance_stats().incremental_inserts;
@@ -118,6 +134,18 @@ size_t Relation::AddAll(std::span<const Value> flat) {
   return added;
 }
 
+bool Relation::LoadRows(std::span<const Value> flat) {
+  if (!empty() || arity_ == 0 || flat.size() % arity_ != 0) return false;
+  arena_.LoadExtent(flat);
+  size_t n = flat.size() / arity_;
+  rows_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows_.push_back(arena_.RefAt(i * arity_));
+  }
+  dedup_built_ = rows_.empty();
+  return true;
+}
+
 void Relation::Reserve(size_t rows) {
   arena_.Reserve(rows * arity_);
   rows_.reserve(rows_.size() + rows);
@@ -128,6 +156,7 @@ void Relation::Clear() {
   arena_.Clear();
   rows_.clear();
   set_.Clear();
+  dedup_built_ = true;
   indexes_.clear();
 }
 
@@ -140,7 +169,7 @@ const std::vector<uint32_t>* Relation::Probe(uint64_t mask,
     ++index_maintenance_stats().full_builds;
     PositionIndex index(mask);
     for (uint32_t id = 0; id < rows_.size(); ++id) {
-      index.Insert(rows_[id], id);
+      index.Insert(row(id), id);
     }
     it = indexes_.emplace(mask, std::move(index)).first;
   }
@@ -150,14 +179,14 @@ const std::vector<uint32_t>* Relation::Probe(uint64_t mask,
 std::vector<Tuple> Relation::SortedTuples() const {
   std::vector<Tuple> out;
   out.reserve(rows_.size());
-  for (TupleRef t : rows_) out.push_back(ToTuple(t));
+  for (size_t i = 0; i < rows_.size(); ++i) out.push_back(ToTuple(row(i)));
   std::sort(out.begin(), out.end());
   return out;
 }
 
 bool Relation::SubsetOf(const Relation& other) const {
-  for (TupleRef t : rows_) {
-    if (!other.Contains(t)) return false;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!other.Contains(row(i))) return false;
   }
   return true;
 }
@@ -195,7 +224,7 @@ AnnotatedRelation::AnnotatedRelation(const AnnotatedRelation& o)
     : arity_(o.arity_) {
   arena_.Reserve(o.arena_.size());
   rows_.reserve(o.rows_.size());
-  for (const AnnotatedTupleRef& t : o.rows_) Add(t);
+  for (size_t i = 0; i < o.size(); ++i) Add(o.row(i));
 }
 
 AnnotatedRelation& AnnotatedRelation::operator=(const AnnotatedRelation& o) {
@@ -203,17 +232,26 @@ AnnotatedRelation& AnnotatedRelation::operator=(const AnnotatedRelation& o) {
   return *this;
 }
 
-AnnRef AnnotatedRelation::InternAnn(AnnRef ann) {
-  for (const AnnVec& a : ann_pool_) {
-    if (AnnRef(a) == ann) return a;
+uint32_t AnnotatedRelation::InternAnn(AnnRef ann) {
+  for (size_t i = 0; i < ann_pool_.size(); ++i) {
+    if (AnnRef(ann_pool_[i]) == ann) return static_cast<uint32_t>(i);
   }
   ann_pool_.emplace_back(ann.begin(), ann.end());
-  return ann_pool_.back();
+  return static_cast<uint32_t>(ann_pool_.size() - 1);
+}
+
+void AnnotatedRelation::EnsureDedup() const {
+  if (dedup_built_) return;
+  for (uint32_t id = 0; id < rows_.size(); ++id) {
+    set_.Insert(AnnotatedTupleHash{}(row(id)), id);
+  }
+  dedup_built_ = true;
 }
 
 bool AnnotatedRelation::Contains(const AnnotatedTupleRef& t) const {
+  EnsureDedup();
   size_t h = AnnotatedTupleHash{}(t);
-  return set_.Find(h, [&](uint32_t id) { return rows_[id] == t; }) !=
+  return set_.Find(h, [&](uint32_t id) { return row(id) == t; }) !=
          DedupIndex::kNone;
 }
 
@@ -222,15 +260,20 @@ bool AnnotatedRelation::Add(const AnnotatedTupleRef& t) {
   OCDX_ASSERT_NO_LIVE_BUCKET_ITERATION(this);
   assert((t.values.empty() || t.values.size() == arity_) &&
          "tuple arity mismatch");
+  EnsureDedup();
   size_t h = AnnotatedTupleHash{}(t);
-  if (set_.Find(h, [&](uint32_t id) { return rows_[id] == t; }) !=
+  if (set_.Find(h, [&](uint32_t id) { return row(id) == t; }) !=
       DedupIndex::kNone) {
     return false;
   }
-  AnnotatedTupleRef stored{arena_.Intern(t.values), InternAnn(t.ann)};
+  // Dedup-before-intern, as with Relation::Add: the arena extent is the
+  // concatenation of the accepted (proper) rows in id order.
+  StoredRow r{arena_.InternRef(t.values),
+              static_cast<uint32_t>(t.values.size()), InternAnn(t.ann)};
   uint32_t id = static_cast<uint32_t>(rows_.size());
-  rows_.push_back(stored);
+  rows_.push_back(r);
   set_.Insert(h, id);
+  AnnotatedTupleRef stored = row(id);
   if (!stored.IsEmptyMarker()) {
     // Incremental maintenance of the proper-tuple indexes (markers are
     // never indexed).
@@ -258,6 +301,32 @@ size_t AnnotatedRelation::AddAll(std::span<const Value> flat, AnnRef ann) {
   return added;
 }
 
+bool AnnotatedRelation::LoadRows(std::span<const Value> flat,
+                                 std::span<const RowSpec> rows,
+                                 std::vector<AnnVec> pool) {
+  if (!empty() || !ann_pool_.empty()) return false;
+  for (const AnnVec& a : pool) {
+    if (a.size() != arity_) return false;
+  }
+  uint64_t total = 0;
+  for (const RowSpec& r : rows) {
+    if (r.len != 0 && r.len != arity_) return false;
+    if (r.ann >= pool.size()) return false;
+    total += r.len;
+  }
+  if (total != flat.size()) return false;
+  arena_.LoadExtent(flat);
+  ann_pool_ = std::move(pool);
+  rows_.reserve(rows.size());
+  uint64_t offset = 0;
+  for (const RowSpec& r : rows) {
+    rows_.push_back(StoredRow{arena_.RefAt(offset), r.len, r.ann});
+    offset += r.len;
+  }
+  dedup_built_ = rows_.empty();
+  return true;
+}
+
 void AnnotatedRelation::Reserve(size_t rows) {
   arena_.Reserve(rows * arity_);
   rows_.reserve(rows_.size() + rows);
@@ -268,9 +337,10 @@ void AnnotatedRelation::Clear() {
   arena_.Clear();
   rows_.clear();
   set_.Clear();
+  dedup_built_ = true;
   indexes_.clear();
-  // ann_pool_ is deliberately kept: pooled spans are still handed out to
-  // future rows, and the pool is tiny.
+  // ann_pool_ is deliberately kept: pool indexes held by future rows stay
+  // meaningful, and the pool is tiny.
 }
 
 const std::vector<uint32_t>* AnnotatedRelation::ProbeProper(
@@ -283,7 +353,7 @@ const std::vector<uint32_t>* AnnotatedRelation::ProbeProper(
     PositionIndex index(mask);
     Tuple k;
     for (uint32_t id = 0; id < rows_.size(); ++id) {
-      const AnnotatedTupleRef& t = rows_[id];
+      AnnotatedTupleRef t = row(id);
       if (t.IsEmptyMarker()) continue;
       BuildProperKey(t, mask, &k);
       index.InsertKey(k, id);
@@ -300,7 +370,33 @@ const std::vector<uint32_t>* AnnotatedRelation::ProbeProper(
 
 Relation AnnotatedRelation::RelPart() const {
   Relation out(arity_);
-  for (const AnnotatedTupleRef& t : rows_) {
+  // Fast path: with at most one annotation vector in the pool and no
+  // empty markers, the (values, annotation) dedup invariant makes every
+  // value tuple distinct already, so rel(T) is the row extent verbatim —
+  // bulk-load it with the dedup table deferred instead of re-hashing
+  // every row. This is the shape of every unannotated instance and of
+  // the snapshot loader's reconstituted relations, where RelPart over
+  // tens of thousands of bulk rows sits on the warm-start critical path.
+  if (arity_ > 0 && ann_pool_.size() <= 1) {
+    bool all_proper = true;
+    for (const StoredRow& r : rows_) {
+      if (r.len != arity_) {
+        all_proper = false;
+        break;
+      }
+    }
+    if (all_proper) {
+      std::vector<Value> flat;
+      flat.reserve(rows_.size() * arity_);
+      for (size_t i = 0; i < rows_.size(); ++i) {
+        TupleRef t = row(i).values;
+        flat.insert(flat.end(), t.begin(), t.end());
+      }
+      if (out.LoadRows(flat)) return out;
+    }
+  }
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    AnnotatedTupleRef t = row(i);
     if (!t.IsEmptyMarker()) out.Add(t.values);
   }
   return out;
@@ -308,8 +404,10 @@ Relation AnnotatedRelation::RelPart() const {
 
 size_t AnnotatedRelation::NumProperTuples() const {
   size_t n = 0;
-  for (const AnnotatedTupleRef& t : rows_) {
-    if (!t.IsEmptyMarker()) ++n;
+  for (const StoredRow& r : rows_) {
+    // A marker is a zero-width row of a positive-arity relation (0-ary
+    // relations have width-0 *proper* rows and no markers).
+    if (r.len != 0 || arity_ == 0) ++n;
   }
   return n;
 }

@@ -1,14 +1,14 @@
 // Relations: deduplicated sets of (annotated) tuples of a fixed arity.
 //
 // Storage layout: tuple payloads live in a per-relation bump arena
-// (base/arena.h) and rows are spans into it — adding a tuple is a hash,
-// a dedup probe against a flat open-addressed id table (base/dedup.h),
-// and a memcpy; annotation vectors are interned into a per-relation pool
-// (a chase emits thousands of tuples under a handful of annotations).
-// Batch AddAll reserves the arena once for a whole delta, so firing n
-// chase witnesses costs O(head atoms) allocations, not O(n). Copying a
-// relation re-interns rows into the copy's own arena (indexes rebuild
-// lazily on demand).
+// (base/arena.h) and rows are *relocatable arena handles* (ArenaRef) into
+// it — adding a tuple is a hash, a dedup probe against a flat
+// open-addressed id table (base/dedup.h), and a memcpy; annotation
+// vectors are interned into a per-relation pool (a chase emits thousands
+// of tuples under a handful of annotations). Batch AddAll reserves the
+// arena once for a whole delta, so firing n chase witnesses costs O(head
+// atoms) allocations, not O(n). Copying a relation re-interns rows into
+// the copy's own arena (indexes rebuild lazily on demand).
 //
 // \invariant TupleRef lifetime: arena chunks never move or shrink before
 //   the relation dies, so every TupleRef / AnnotatedTupleRef handed out
@@ -16,6 +16,14 @@
 //   number of later Adds. Clear() is the one exception: it recycles the
 //   arena and invalidates every previously returned span and bucket
 //   pointer.
+//
+// \invariant Serialization contract (dedup-before-intern): Add checks the
+//   dedup table *before* interning, so the arena holds exactly the
+//   accepted rows, back to back, in id order — concatenating row 0..n-1
+//   reproduces the arena extent, and a relation serializes as (flat value
+//   blob + per-row metadata) with no pointer fixup on reload (src/snap).
+//   LoadRows is the inverse: it bulk-loads a serialized extent and defers
+//   the dedup table until the first Add/Contains actually needs it.
 //
 // \invariant Index-append contract: lazy per-mask hash indexes are built
 //   by a full scan on the first probe of their mask and maintained
@@ -38,7 +46,9 @@
 #ifndef OCDX_BASE_RELATION_H_
 #define OCDX_BASE_RELATION_H_
 
+#include <cstdint>
 #include <initializer_list>
+#include <iterator>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -88,6 +98,59 @@ class BucketIterationGuard {
 #endif
 };
 
+/// Random-access view over a relation's rows, resolving each relocatable
+/// row handle to its borrowed form on demand. Copyable and cheap (one
+/// pointer); iterators index (relation, row id) rather than borrowing the
+/// view object, so iterators taken from two distinct view temporaries of
+/// the same relation interoperate (begin()/end() in one expression is
+/// fine). Yields rows *by value* — bind as `for (TupleRef t : ...)` or
+/// `for (const auto& t : ...)` (lifetime extension applies).
+template <typename Rel, typename Row>
+class RowView {
+ public:
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Row;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = Row;
+
+    iterator() = default;
+    iterator(const Rel* rel, size_t i) : rel_(rel), i_(i) {}
+    Row operator*() const { return rel_->row(i_); }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator t = *this;
+      ++i_;
+      return t;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.i_ == b.i_;
+    }
+    friend bool operator!=(const iterator& a, const iterator& b) {
+      return a.i_ != b.i_;
+    }
+
+   private:
+    const Rel* rel_ = nullptr;
+    size_t i_ = 0;
+  };
+
+  explicit RowView(const Rel* rel) : rel_(rel) {}
+  size_t size() const { return rel_->size(); }
+  bool empty() const { return rel_->empty(); }
+  Row operator[](size_t id) const { return rel_->row(id); }
+  iterator begin() const { return iterator(rel_, 0); }
+  iterator end() const { return iterator(rel_, rel_->size()); }
+
+ private:
+  const Rel* rel_;
+};
+
 /// A plain (unannotated) relation: a set of tuples over Const u Null.
 ///
 /// Tuples are kept in insertion order for reproducible iteration; the
@@ -96,7 +159,7 @@ class Relation {
  public:
   explicit Relation(size_t arity) : arity_(arity) {}
 
-  // Rows are spans into the arena, so copying re-interns them into the
+  // Rows are handles into the arena, so copying re-interns them into the
   // copy's own arena (indexes are rebuilt lazily on demand).
   Relation(const Relation& o);
   Relation& operator=(const Relation& o);
@@ -120,6 +183,14 @@ class Relation {
   /// (duplicates, including within the batch, are dropped).
   size_t AddAll(std::span<const Value> flat);
 
+  /// Bulk-loads a serialized extent (`flat.size() / arity()` rows, known
+  /// distinct — the snapshot loader's contract) into an *empty* relation
+  /// with one memcpy and no per-row hashing: the dedup table is rebuilt
+  /// lazily by the first Add/Contains. Returns false (and loads nothing)
+  /// if the relation is non-empty or `flat` is not a whole number of
+  /// rows.
+  bool LoadRows(std::span<const Value> flat);
+
   /// Pre-sizes the arena and row vector for `rows` further tuples.
   void Reserve(size_t rows);
 
@@ -133,8 +204,14 @@ class Relation {
     return Contains(TupleRef(t.begin(), t.size()));
   }
 
+  /// Row `id` (insertion order), resolved to its borrowed form. The span
+  /// stays valid across later Adds.
+  TupleRef row(size_t id) const { return arena_.Resolve(rows_[id], arity_); }
+
   /// All rows in insertion order. Spans stay valid across later Adds.
-  std::span<const TupleRef> tuples() const { return rows_; }
+  RowView<Relation, TupleRef> tuples() const {
+    return RowView<Relation, TupleRef>(this);
+  }
 
   /// Index probe: ids (ascending) of the tuples whose values at the
   /// positions of `mask` (bit p = position p) equal `key`, where `key`
@@ -159,11 +236,18 @@ class Relation {
   }
 
  private:
+  /// Builds the dedup table if a LoadRows deferred it (no-op otherwise).
+  void EnsureDedup() const;
+
   size_t arity_;
   ValueArena arena_;
-  std::vector<TupleRef> rows_;
+  std::vector<ArenaRef> rows_;
   /// Flat (hash -> id) dedup table; rows are stored once, in the arena.
-  DedupIndex set_;
+  /// Mutable + built flag: LoadRows defers construction until the first
+  /// membership query or mutation (bulk loads never pay per-row hashing
+  /// for read-only service).
+  mutable DedupIndex set_;
+  mutable bool dedup_built_ = true;
   /// Lazy per-bound-signature indexes; mutable because probing a logically
   /// const relation materializes them on demand.
   mutable std::unordered_map<uint64_t, PositionIndex> indexes_;
@@ -175,6 +259,13 @@ class Relation {
 /// thousands of tuples sharing a handful of annotations).
 class AnnotatedRelation {
  public:
+  /// Per-row metadata for LoadRows: `len` values (0 = empty marker) under
+  /// pool annotation index `ann`.
+  struct RowSpec {
+    uint32_t len = 0;
+    uint32_t ann = 0;
+  };
+
   explicit AnnotatedRelation(size_t arity) : arity_(arity) {}
 
   AnnotatedRelation(const AnnotatedRelation& o);
@@ -195,17 +286,39 @@ class AnnotatedRelation {
   /// consecutive rows. Returns the number newly inserted.
   size_t AddAll(std::span<const Value> flat, AnnRef ann);
 
+  /// Bulk-loads a serialized extent into an *empty* relation (empty
+  /// annotation pool included): `flat` concatenates the proper rows in id
+  /// order, `rows` gives each row's width and pool annotation, `pool` the
+  /// annotation vectors (each sized to the arity). Rows are trusted
+  /// distinct (snapshot loader contract); the dedup table is rebuilt
+  /// lazily by the first Add/Contains. Returns false (loading nothing) on
+  /// any structural mismatch: non-empty relation, a row width not 0 or
+  /// arity, an out-of-range annotation index, a mis-sized pool vector, or
+  /// a `flat` that is not exactly the sum of the row widths.
+  bool LoadRows(std::span<const Value> flat, std::span<const RowSpec> rows,
+                std::vector<AnnVec> pool);
+
   void Reserve(size_t rows);
 
-  /// As Relation::Clear; the annotation pool is retained (its spans stay
-  /// valid, and scratch reuse is exactly the case that re-adds the same
-  /// few annotations).
+  /// As Relation::Clear; the annotation pool is retained (pool indexes
+  /// stay meaningful, and scratch reuse is exactly the case that re-adds
+  /// the same few annotations).
   void Clear();
 
   bool Contains(const AnnotatedTupleRef& t) const;
 
+  /// Row `id` (insertion order), resolved to its borrowed form. Refs stay
+  /// valid across later Adds.
+  AnnotatedTupleRef row(size_t id) const {
+    const StoredRow& r = rows_[id];
+    return AnnotatedTupleRef{arena_.Resolve(r.ref, r.len),
+                             AnnRef(ann_pool_[r.ann])};
+  }
+
   /// All rows in insertion order. Refs stay valid across later Adds.
-  std::span<const AnnotatedTupleRef> tuples() const { return rows_; }
+  RowView<AnnotatedRelation, AnnotatedTupleRef> tuples() const {
+    return RowView<AnnotatedRelation, AnnotatedTupleRef>(this);
+  }
 
   /// Index probe over *proper* (non-marker) tuples: ids (ascending) of the
   /// tuples whose annotation equals `ann` and whose values at the positions
@@ -227,23 +340,36 @@ class AnnotatedRelation {
   friend bool operator==(const AnnotatedRelation& a,
                          const AnnotatedRelation& b) {
     if (a.arity_ != b.arity_ || a.size() != b.size()) return false;
-    for (const AnnotatedTupleRef& t : a.rows_) {
-      if (!b.Contains(t)) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!b.Contains(a.row(i))) return false;
     }
     return true;
   }
 
  private:
-  /// Returns the pooled copy of `ann`. Linear scan: a relation sees a
-  /// handful of distinct annotations in practice (the chase emits one per
-  /// head atom), and the pool is consulted only on Add of a new row.
-  AnnRef InternAnn(AnnRef ann);
+  /// A stored row: relocatable handle + width (0 = empty marker) + pool
+  /// annotation index. 16 bytes, no pointers — serializable as-is.
+  struct StoredRow {
+    ArenaRef ref;
+    uint32_t len = 0;
+    uint32_t ann = 0;
+  };
+
+  /// Returns the pool index of `ann`, interning it if new. Linear scan: a
+  /// relation sees a handful of distinct annotations in practice (the
+  /// chase emits one per head atom), and the pool is consulted only on
+  /// Add of a new row.
+  uint32_t InternAnn(AnnRef ann);
+
+  /// Builds the dedup table if a LoadRows deferred it (no-op otherwise).
+  void EnsureDedup() const;
 
   size_t arity_;
   ValueArena arena_;
   std::vector<AnnVec> ann_pool_;
-  std::vector<AnnotatedTupleRef> rows_;
-  DedupIndex set_;
+  std::vector<StoredRow> rows_;
+  mutable DedupIndex set_;
+  mutable bool dedup_built_ = true;
   mutable std::unordered_map<uint64_t, PositionIndex> indexes_;
 };
 

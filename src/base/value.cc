@@ -6,39 +6,78 @@
 
 namespace ocdx {
 
-std::span<Value> Universe::AllocateWitness(size_t n) {
-  if (n == 0) return {};
+std::pair<WitnessRef, std::span<Value>> Universe::AllocateWitness(size_t n) {
+  if (n == 0) return {WitnessRef{}, std::span<Value>{}};
   if (witness_chunks_.empty() || witness_left_ < n) {
     // Chunked like ValueArena (base/arena.h): chunks are never
-    // reallocated or freed, so previously returned spans stay valid.
-    // A vector resized within its reserved capacity never moves.
+    // reallocated or freed, so previously resolved spans stay valid.
+    // A vector resized within its reserved capacity never moves. The new
+    // chunk's base is the current logical size — the abandoned tail of
+    // the previous chunk was never handed out, so offsets stay dense.
     static constexpr size_t kChunk = 4096;
     size_t cap = std::max(n, kChunk);
     witness_chunks_.emplace_back();
     witness_chunks_.back().data.reserve(cap);
+    witness_chunks_.back().base = witness_size_;
     witness_left_ = cap;
   }
-  std::vector<Value>& data = witness_chunks_.back().data;
-  size_t start = data.size();
-  data.resize(start + n);
+  WitnessChunk& chunk = witness_chunks_.back();
+  size_t start = chunk.data.size();
+  chunk.data.resize(start + n);
   witness_left_ -= n;
-  return {data.data() + start, n};
+  WitnessRef ref{chunk.base + start, static_cast<uint32_t>(n)};
+  witness_size_ += n;
+  return {ref, std::span<Value>{chunk.data.data() + start, n}};
+}
+
+std::span<const Value> Universe::WitnessOf(WitnessRef ref) const {
+  CheckOwner();
+  if (ref.len == 0) return {};
+  // Binary search for the chunk whose [base, base + size) range holds the
+  // offset: chunks are in ascending base order by construction. A witness
+  // never spans chunks (it was allocated in one piece).
+  auto it = std::upper_bound(
+      witness_chunks_.begin(), witness_chunks_.end(), ref.offset,
+      [](uint64_t offset, const WitnessChunk& c) { return offset < c.base; });
+  assert(it != witness_chunks_.begin() && "WitnessRef from another universe");
+  const WitnessChunk& chunk = *(it - 1);
+  size_t pos = static_cast<size_t>(ref.offset - chunk.base);
+  assert(pos + ref.len <= chunk.data.size() && "WitnessRef out of bounds");
+  return {chunk.data.data() + pos, ref.len};
+}
+
+void Universe::AppendWitnessValues(std::vector<Value>* out) const {
+  CheckOwner();
+  out->reserve(out->size() + witness_size_);
+  for (const WitnessChunk& chunk : witness_chunks_) {
+    out->insert(out->end(), chunk.data.begin(), chunk.data.end());
+  }
+}
+
+bool Universe::LoadWitnessValues(std::span<const Value> values) {
+  CheckOwner();
+  if (witness_size_ != 0) return false;
+  if (values.empty()) return true;
+  witness_chunks_.emplace_back();
+  WitnessChunk& chunk = witness_chunks_.back();
+  chunk.base = 0;
+  chunk.data.assign(values.begin(), values.end());
+  witness_left_ = 0;
+  witness_size_ = values.size();
+  return true;
 }
 
 std::unique_ptr<Universe> Universe::Clone() const {
   CheckOwner();
   auto out = std::make_unique<Universe>();
   out->consts_ = consts_;
+  // WitnessRef handles are logical offsets, which the compacted copy
+  // below preserves — so the nulls (and any serialized ChaseTrigger refs)
+  // mean the same thing in the clone with no fixup at all.
   out->nulls_ = nulls_;
-  // NullInfo::witness spans borrow the *source* universe's justification
-  // arena; rebase each one into the clone's own arena so the clone stays
-  // valid (and race-free) whatever happens to the source afterwards.
-  for (NullInfo& info : out->nulls_) {
-    if (info.witness.empty()) continue;
-    std::span<Value> dst = out->AllocateWitness(info.witness.size());
-    for (size_t i = 0; i < info.witness.size(); ++i) dst[i] = info.witness[i];
-    info.witness = dst;
-  }
+  std::vector<Value> flat;
+  AppendWitnessValues(&flat);
+  out->LoadWitnessValues(flat);
   // Make sure the clone leaves this function unowned so a pool worker can
   // claim it (nothing above goes through the clone's public, owner-checked
   // API, but the contract is worth enforcing explicitly).

@@ -26,6 +26,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/interner.h"
@@ -52,6 +53,11 @@ class Value {
   /// Raw bits; stable hash/ordering key.
   uint64_t raw() const { return raw_; }
 
+  /// Rebuilds a Value from raw() bits *without validation* — the snapshot
+  /// loader's deserialization hook (it validates the bit pattern itself:
+  /// see snap/snapshot.cc ValidateValue).
+  static Value FromRaw(uint64_t raw) { return Value(raw); }
+
   friend bool operator==(Value a, Value b) { return a.raw_ == b.raw_; }
   friend bool operator!=(Value a, Value b) { return a.raw_ != b.raw_; }
   friend bool operator<(Value a, Value b) { return a.raw_ < b.raw_; }
@@ -75,6 +81,23 @@ struct ValueHash {
   }
 };
 
+/// A relocatable handle to a stored witness tuple in a Universe's
+/// justification arena: dense logical offset + length (see
+/// Universe::InternWitness). Offsets are stable across Universe::Clone
+/// and serializable verbatim (src/snap) — no pointer fixup on reload.
+/// The default-constructed ref is the empty witness.
+struct WitnessRef {
+  uint64_t offset = 0;
+  uint32_t len = 0;
+
+  bool empty() const { return len == 0; }
+  size_t size() const { return len; }
+
+  friend bool operator==(WitnessRef a, WitnessRef b) {
+    return a.offset == b.offset && a.len == b.len;
+  }
+};
+
 /// Provenance of a null: the "justification" of Section 2.
 ///
 /// A justification consists of an STD (identified by its index in the
@@ -83,18 +106,18 @@ struct ValueHash {
 /// instantiates. Nulls minted outside a chase (e.g. by tests) leave
 /// std_index = -1.
 ///
-/// `witness` is a *borrowed* span: the values live in the minting
-/// Universe's justification arena (see Universe::InternWitness), so the
-/// nulls of one chase trigger share one stored copy instead of each
-/// holding a heap vector — the chase mints one null per existential
-/// variable per witness, which made these copies the dominant remaining
-/// per-witness allocation.
+/// `witness` is a relocatable handle into the minting Universe's
+/// justification arena (resolve with Universe::WitnessOf), so the nulls
+/// of one chase trigger share one stored copy instead of each holding a
+/// heap vector — the chase mints one null per existential variable per
+/// witness, which made these copies the dominant remaining per-witness
+/// allocation.
 struct NullInfo {
   int32_t std_index = -1;
-  /// Must stay valid for the owning Universe's lifetime; pass spans
+  /// Handle into the owning Universe's justification arena; pass refs
   /// returned by Universe::InternWitness (MintNull asserts nothing —
   /// interning is the caller's contract).
-  std::span<const Value> witness;
+  WitnessRef witness;
   std::string var;
   std::string label;  ///< Optional pretty-print label.
 };
@@ -117,13 +140,15 @@ class Universe {
   Universe& operator=(const Universe&) = delete;
 
   /// A scratch copy for intra-job fan-out (src/certain member-enumeration
-  /// sharding): same constants under the same ids, same nulls with their
-  /// justifications re-interned into the clone's own arena. The clone is
-  /// returned *unowned* — the first thread to touch it claims it under the
-  /// one-Universe-per-job rule — so the caller can build clones up front
-  /// and hand one to each worker. Values minted before the clone point
-  /// mean the same thing in both universes; values minted afterwards are
-  /// private to whichever universe minted them.
+  /// sharding) and snapshot service (one clone per request over a
+  /// preloaded snapshot). Same constants under the same ids, same nulls,
+  /// and a compacted justification arena preserving every logical offset
+  /// (WitnessRef handles mean the same thing in both universes). The
+  /// clone is returned *unowned* — the first thread to touch it claims it
+  /// under the one-Universe-per-job rule — so the caller can build clones
+  /// up front and hand one to each worker. Values minted before the clone
+  /// point mean the same thing in both universes; values minted
+  /// afterwards are private to whichever universe minted them.
   std::unique_ptr<Universe> Clone() const;
 
   /// Interns a constant by name and returns its Value.
@@ -142,6 +167,12 @@ class Universe {
     return id == UINT32_MAX ? Value() : Value::MakeConst(id);
   }
 
+  /// The interned name of constant id `id` (< num_consts()).
+  const std::string& ConstName(uint32_t id) const {
+    CheckOwner();
+    return consts_.Get(id);
+  }
+
   /// Mints a fresh null with no justification (tests / ad-hoc instances).
   Value FreshNull(std::string label = "") {
     NullInfo info;
@@ -150,8 +181,9 @@ class Universe {
   }
 
   /// Mints a fresh null with a full justification (chase). `info.witness`
-  /// must be stable for this universe's lifetime — typically a span from
-  /// InternWitness, shared across all the nulls of one trigger.
+  /// must be a handle into *this* universe's justification arena —
+  /// typically from InternWitness, shared across all the nulls of one
+  /// trigger.
   Value MintNull(NullInfo info) {
     CheckOwner();
     uint32_t id = static_cast<uint32_t>(nulls_.size());
@@ -159,20 +191,27 @@ class Universe {
     return Value::MakeNull(id);
   }
 
+  /// Pre-sizes the null registry for `n` total nulls (bulk loaders that
+  /// know the count up front; minting is unaffected).
+  void ReserveNulls(size_t n) { nulls_.reserve(n); }
+
   /// Copies a witness tuple into the universe's justification arena and
-  /// returns the stored span (stable until the universe dies; appends
-  /// never move earlier chunks). One call per chase trigger serves that
-  /// trigger's ChaseTrigger record and every null it mints.
-  std::span<const Value> InternWitness(std::span<const Value> witness) {
+  /// returns its relocatable handle (stable until the universe dies;
+  /// appends never move earlier chunks). One call per chase trigger
+  /// serves that trigger's ChaseTrigger record and every null it mints.
+  WitnessRef InternWitness(std::span<const Value> witness) {
     CheckOwner();
-    std::span<Value> dst = AllocateWitness(witness.size());
+    auto [ref, dst] = AllocateWitness(witness.size());
     for (size_t i = 0; i < witness.size(); ++i) dst[i] = witness[i];
-    return dst;
+    return ref;
   }
 
   /// Uninitialized justification-arena space the caller fills in place
   /// (the chase writes freshly minted nulls straight into it).
-  std::span<Value> AllocateWitness(size_t n);
+  std::pair<WitnessRef, std::span<Value>> AllocateWitness(size_t n);
+
+  /// Resolves a witness handle to the stored values. O(log #chunks).
+  std::span<const Value> WitnessOf(WitnessRef ref) const;
 
   const NullInfo& null_info(Value v) const {
     CheckOwner();
@@ -184,6 +223,20 @@ class Universe {
 
   size_t num_consts() const { return consts_.size(); }
   size_t num_nulls() const { return nulls_.size(); }
+
+  /// Total values in the justification arena (== the exclusive upper
+  /// bound of the logical offset space).
+  uint64_t witness_size() const { return witness_size_; }
+
+  /// Appends the whole justification arena, in logical offset order, to
+  /// `out` — the snapshot writer's serialization hook.
+  void AppendWitnessValues(std::vector<Value>* out) const;
+
+  /// Bulk-loads a serialized justification arena into an *empty* store as
+  /// one extent whose logical offsets equal positions in `values`, so
+  /// serialized WitnessRef offsets are valid verbatim (no fixup). Returns
+  /// false if the store is not empty.
+  bool LoadWitnessValues(std::span<const Value> values);
 
  private:
   /// One-Universe-per-job tripwire: the first thread to touch the
@@ -206,14 +259,22 @@ class Universe {
   }
   mutable std::atomic<std::thread::id> owner_{};
 
+  /// Justification storage is chunked like ValueArena (base/arena.h) but
+  /// hand-rolled — arena.h includes this header — and offset-addressed:
+  /// `base` is the chunk's first logical offset, and offsets are *dense*
+  /// (they count only values actually handed out, so concatenating the
+  /// chunks reproduces the logical offset space exactly — the snapshot
+  /// relocatability contract, as in ValueArena).
   struct WitnessChunk {
     std::vector<Value> data;  ///< Reserved once; never reallocated.
+    uint64_t base = 0;        ///< Logical offset of data[0].
   };
 
   StringInterner consts_;
   std::vector<NullInfo> nulls_;
   std::vector<WitnessChunk> witness_chunks_;
   size_t witness_left_ = 0;
+  uint64_t witness_size_ = 0;
 };
 
 }  // namespace ocdx

@@ -83,6 +83,17 @@ Result<CertainAnswerEngine> CertainAnswerEngine::Create(
   return CertainAnswerEngine(mapping, std::move(csol), universe, engine_ctx);
 }
 
+CertainAnswerEngine CertainAnswerEngine::FromCanonical(
+    const Mapping& mapping, CanonicalSolution csol, Universe* universe,
+    const EngineContext& ctx) {
+  // Same cache policy as Create: member enumeration re-evaluates each
+  // query per member, so the engine wants a plan cache regardless of how
+  // the canonical solution was obtained.
+  EngineContext engine_ctx = ctx;
+  engine_ctx.EnsureCache();
+  return CertainAnswerEngine(mapping, std::move(csol), universe, engine_ctx);
+}
+
 Result<CertainAnswerEngine::Plan> CertainAnswerEngine::MakePlan(
     const FormulaPtr& q, QueryClass cls, const CertainOptions& options) const {
   Plan plan;

@@ -63,6 +63,13 @@ class CertainAnswerEngine {
       const Mapping& mapping, const Instance& source, Universe* universe,
       const EngineContext& ctx = EngineContext());
 
+  /// Prepares the engine over an already-chased canonical solution (e.g. a
+  /// snapshot-loaded one) instead of chasing. `csol` must be the canonical
+  /// solution of (`mapping`, some source) with nulls minted in `*universe`.
+  static CertainAnswerEngine FromCanonical(
+      const Mapping& mapping, CanonicalSolution csol, Universe* universe,
+      const EngineContext& ctx = EngineContext());
+
   /// DEQA(Sigma_alpha, Q): is `t` a certain answer of `q`?
   /// `order` names q's free variables in t's column order.
   Result<CertainVerdict> IsCertain(const FormulaPtr& q,

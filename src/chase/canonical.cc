@@ -53,7 +53,7 @@ Status FireNaive(const AnnotatedStd& std_, size_t std_index,
     for (size_t v = 0; v < body_vars.size(); ++v) env[body_vars[v]] = w[v];
     // One fresh null per existential variable per witness: the paper's
     // bottom-bar_(phi, psi, a-bar, b-bar).
-    std::span<Value> fresh = universe->AllocateWitness(exist_vars.size());
+    auto [fresh_ref, fresh] = universe->AllocateWitness(exist_vars.size());
     for (size_t j = 0; j < exist_vars.size(); ++j) {
       const std::string& z = exist_vars[j];
       NullInfo info;
@@ -65,7 +65,7 @@ Status FireNaive(const AnnotatedStd& std_, size_t std_index,
       env[z] = null;
       fresh[j] = null;
     }
-    trigger.fresh_nulls = fresh;
+    trigger.fresh_nulls = fresh_ref;
 
     for (const HeadAtom& atom : std_.head) {
       Tuple t;
@@ -114,7 +114,7 @@ Status FireCompiled(const AnnotatedStd& std_, size_t std_index,
     // copies were the last allocation on this path).
     trigger.witness = universe->InternWitness(w);
 
-    std::span<Value> fresh = universe->AllocateWitness(exist_vars.size());
+    auto [fresh_ref, fresh] = universe->AllocateWitness(exist_vars.size());
     for (size_t j = 0; j < exist_vars.size(); ++j) {
       NullInfo info;
       info.std_index = static_cast<int>(std_index);
@@ -125,7 +125,7 @@ Status FireCompiled(const AnnotatedStd& std_, size_t std_index,
       // measurable fraction of chase time on large sources.
       fresh[j] = universe->MintNull(std::move(info));
     }
-    trigger.fresh_nulls = fresh;
+    trigger.fresh_nulls = fresh_ref;
 
     for (size_t a = 0; a < std_.head.size(); ++a) {
       for (const plan::HeadSlot& slot : head_plans[a]) {

@@ -30,11 +30,14 @@ namespace ocdx {
 
 /// One firing of one STD: the justification shared by the nulls it minted.
 ///
-/// Both spans point into the minting Universe's justification arena
-/// (Universe::InternWitness / AllocateWitness) and stay valid for the
-/// universe's lifetime; `witness` is the *same* stored copy the trigger's
-/// NullInfo justifications reference, so a firing costs one arena append
-/// instead of 1 + #existential-variables heap vectors.
+/// Both refs are relocatable handles into the minting Universe's
+/// justification arena (Universe::InternWitness / AllocateWitness;
+/// resolve with Universe::WitnessOf) and stay valid for the universe's
+/// lifetime — and, being offsets rather than pointers, they survive
+/// Universe::Clone and binary snapshotting (src/snap) verbatim.
+/// `witness` is the *same* stored copy the trigger's NullInfo
+/// justifications reference, so a firing costs one arena append instead
+/// of 1 + #existential-variables heap vectors.
 struct ChaseTrigger {
   int std_index = -1;
   /// Order of the body's free variables for `witness`; shared across all
@@ -42,10 +45,10 @@ struct ChaseTrigger {
   /// one must not copy the variable names).
   std::shared_ptr<const std::vector<std::string>> var_order;
   /// The satisfying assignment (a-bar, b-bar) of the body.
-  std::span<const Value> witness;
+  WitnessRef witness;
   /// Fresh nulls minted for the STD's existential variables, in
   /// AnnotatedStd::ExistentialVars() order.
-  std::span<const Value> fresh_nulls;
+  WitnessRef fresh_nulls;
 };
 
 /// The result of chasing a source instance with a mapping.

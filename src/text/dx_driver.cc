@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <span>
 #include <tuple>
 
 #include "certain/certain.h"
@@ -19,6 +20,10 @@
 #include "util/str.h"
 
 namespace ocdx {
+
+bool DxChasePairOk(const DxMappingDecl& m, const DxInstanceDecl& i) {
+  return !m.mapping.IsSkolemized() && !i.annotated && i.over == m.from;
+}
 
 namespace {
 
@@ -97,9 +102,10 @@ std::map<Value, std::string> CanonicalNullNames(const AnnotatedInstance& inst,
       names[v] = u.Describe(v);
       continue;
     }
+    std::span<const Value> wvals = u.WitnessOf(info.witness);
     std::vector<std::string> witness;
-    witness.reserve(info.witness.size());
-    for (Value w : info.witness) witness.push_back(u.Describe(w));
+    witness.reserve(wvals.size());
+    for (Value w : wvals) witness.push_back(u.Describe(w));
     justified.emplace_back(
         JustKey{info.std_index, std::move(witness), info.var}, v);
   }
@@ -163,8 +169,21 @@ std::string RenderRelation(const Relation& rel, const Universe& u) {
 // Input enumeration
 // ---------------------------------------------------------------------------
 
-bool ChasePairOk(const DxMappingDecl& m, const DxInstanceDecl& i) {
-  return !m.mapping.IsSkolemized() && !i.annotated && i.over == m.from;
+// Prechased lookup-or-chase: if the caller supplied a snapshot store
+// holding this (mapping, instance) pair, copy the stored solution — the
+// copy re-interns rows into its own arenas, mirroring the ownership of a
+// fresh chase, so one immutable store serves concurrent jobs — otherwise
+// chase live. Governed pairs are never stored (see PrechasedStore::Find),
+// so the fallback reproduces their budget diagnostics byte-identically.
+Result<CanonicalSolution> ChaseOrReuse(const DxMappingDecl& m,
+                                       const DxInstanceDecl& inst,
+                                       Universe* u,
+                                       const DxDriverOptions& options) {
+  if (options.prechased != nullptr) {
+    const CanonicalSolution* hit = options.prechased->Find(m.name, inst.name);
+    if (hit != nullptr) return CanonicalSolution(*hit);
+  }
+  return Chase(m.mapping, inst.plain, u, options.engine);
 }
 
 bool QueryOverTarget(const DxQuery& q, const Mapping& m) {
@@ -325,9 +344,8 @@ Result<std::string> ChaseText(const DxScenario& sc, Universe* u,
   for (const DxMappingDecl& m : sc.mappings) {
     if (!options.mapping.empty() && m.name != options.mapping) continue;
     for (const DxInstanceDecl& inst : sc.instances) {
-      if (!ChasePairOk(m, inst)) continue;
-      Result<CanonicalSolution> chased =
-          Chase(m.mapping, inst.plain, u, options.engine);
+      if (!DxChasePairOk(m, inst)) continue;
+      Result<CanonicalSolution> chased = ChaseOrReuse(m, inst, u, options);
       if (!chased.ok()) {
         if (!Governed(chased.status())) return chased.status();
         NoteGoverned(chased.status(), governed);
@@ -368,15 +386,27 @@ Result<std::string> CertainText(const DxScenario& sc, Universe* u,
   for (const DxMappingDecl& m : sc.mappings) {
     if (!options.mapping.empty() && m.name != options.mapping) continue;
     for (const DxInstanceDecl& inst : sc.instances) {
-      if (!ChasePairOk(m, inst)) continue;
+      if (!DxChasePairOk(m, inst)) continue;
       std::vector<const DxQuery*> applicable;
       for (const DxQuery& q : sc.queries) {
         if (QueryOverTarget(q, m.mapping)) applicable.push_back(&q);
       }
       if (applicable.empty()) continue;
-      // Create chases the instance, so it can trip the chase budget.
-      Result<CertainAnswerEngine> created = CertainAnswerEngine::Create(
-          m.mapping, inst.plain, u, options.engine);
+      // Create chases the instance, so it can trip the chase budget. A
+      // prechased hit skips the chase (FromCanonical) — same engine state,
+      // since the stored solution came from an identical chase.
+      Result<CertainAnswerEngine> created = [&]() -> Result<CertainAnswerEngine> {
+        if (options.prechased != nullptr) {
+          const CanonicalSolution* hit =
+              options.prechased->Find(m.name, inst.name);
+          if (hit != nullptr) {
+            return CertainAnswerEngine::FromCanonical(
+                m.mapping, CanonicalSolution(*hit), u, options.engine);
+          }
+        }
+        return CertainAnswerEngine::Create(m.mapping, inst.plain, u,
+                                           options.engine);
+      }();
       if (!created.ok()) {
         if (!Governed(created.status())) return created.status();
         NoteGoverned(created.status(), governed);
@@ -502,8 +532,7 @@ Result<std::string> MembershipText(const DxScenario& sc, Universe* u,
       std::vector<FormulaPtr> reqs;
       if (!skolem && all_open) reqs = StdRequirements(m.mapping);
       if (!skolem && !all_open) {
-        Result<CanonicalSolution> chased =
-            Chase(m.mapping, s.plain, u, options.engine);
+        Result<CanonicalSolution> chased = ChaseOrReuse(m, s, u, options);
         if (!chased.ok()) {
           if (!Governed(chased.status())) return chased.status();
           NoteGoverned(chased.status(), governed);
@@ -668,7 +697,7 @@ Result<std::string> ComposeText(const DxScenario& sc, Universe* u,
 bool HasChasePair(const DxScenario& sc) {
   for (const DxMappingDecl& m : sc.mappings) {
     for (const DxInstanceDecl& i : sc.instances) {
-      if (ChasePairOk(m, i)) return true;
+      if (DxChasePairOk(m, i)) return true;
     }
   }
   return false;
@@ -677,7 +706,7 @@ bool HasChasePair(const DxScenario& sc) {
 bool HasCertainTriple(const DxScenario& sc) {
   for (const DxMappingDecl& m : sc.mappings) {
     for (const DxInstanceDecl& i : sc.instances) {
-      if (!ChasePairOk(m, i)) continue;
+      if (!DxChasePairOk(m, i)) continue;
       for (const DxQuery& q : sc.queries) {
         if (QueryOverTarget(q, m.mapping)) return true;
       }
@@ -782,7 +811,7 @@ Result<std::vector<DxJobSpec>> PlanDxJobs(const DxScenario& scenario,
       if (!options.mapping.empty() && m.name != options.mapping) continue;
       bool applicable = false;
       for (const DxInstanceDecl& i : scenario.instances) {
-        if (!ChasePairOk(m, i)) continue;
+        if (!DxChasePairOk(m, i)) continue;
         if (command == "chase") {
           applicable = true;
         } else {

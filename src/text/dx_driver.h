@@ -30,14 +30,54 @@
 #ifndef OCDX_TEXT_DX_DRIVER_H_
 #define OCDX_TEXT_DX_DRIVER_H_
 
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "chase/canonical.h"
 #include "logic/engine_context.h"
 #include "text/dx_scenario.h"
 #include "util/status.h"
 
 namespace ocdx {
+
+/// Pre-chased canonical solutions, keyed by (mapping name, instance name)
+/// — the warm store a loaded snapshot (src/snap) hands the driver. The
+/// driver copies a stored solution before use (the copy re-interns rows
+/// into its own arenas, mirroring the ownership of a fresh chase), so one
+/// immutable store can serve many jobs whose universes are clones of the
+/// snapshot universe.
+class PrechasedStore {
+ public:
+  void Put(std::string mapping, std::string instance, CanonicalSolution csol) {
+    store_[{std::move(mapping), std::move(instance)}] = std::move(csol);
+  }
+
+  /// The stored solution for the pair, or nullptr. Pairs whose chase was
+  /// governed (budget/deadline trip) at build time are simply absent — the
+  /// driver falls back to a live chase and reports the trip as usual.
+  const CanonicalSolution* Find(const std::string& mapping,
+                                const std::string& instance) const {
+    auto it = store_.find({mapping, instance});
+    return it == store_.end() ? nullptr : &it->second;
+  }
+
+  size_t size() const { return store_.size(); }
+  const std::map<std::pair<std::string, std::string>, CanonicalSolution>&
+  entries() const {
+    return store_;
+  }
+
+ private:
+  std::map<std::pair<std::string, std::string>, CanonicalSolution> store_;
+};
+
+/// True iff the driver's chase/certain/membership commands would chase
+/// this (mapping, instance) pair: a plain (non-Skolemized) mapping and a
+/// plain instance over its source schema. The snapshot builder pre-chases
+/// exactly these pairs.
+bool DxChasePairOk(const DxMappingDecl& m, const DxInstanceDecl& i);
 
 /// Optional by-name input selection; empty strings mean "use every
 /// applicable combination" (chase/certain/membership) or "pick the first
@@ -53,6 +93,11 @@ struct DxDriverOptions {
   /// want a non-default engine set it here (the CLI maps --engine to this
   /// field).
   EngineContext engine;
+  /// Optional warm store of pre-chased canonical solutions (snapshot
+  /// service). Not owned; must outlive the command. The driver consults it
+  /// before every chase and falls back to a live chase on a miss, so a
+  /// partially populated store is fine.
+  const PrechasedStore* prechased = nullptr;
 };
 
 /// Runs one command ("chase", "certain", "classify", "membership",

@@ -1,7 +1,9 @@
 #include "text/dx_lexer.h"
 
 #include <algorithm>
+#include <array>
 #include <cctype>
+#include <cstring>
 
 #include "util/str.h"
 
@@ -21,8 +23,13 @@ bool IsIdentChar(char c) {
 
 DxLineIndex::DxLineIndex(std::string_view src) {
   line_starts_.push_back(0);
-  for (size_t i = 0; i < src.size(); ++i) {
-    if (src[i] == '\n') line_starts_.push_back(i + 1);
+  // memchr, not a per-char loop: the index is built on every lex,
+  // including the snapshot loader's elided parse, where this scan is a
+  // measurable slice of warm-start time on MB-scale files.
+  size_t i = 0;
+  while (const void* hit = std::memchr(src.data() + i, '\n', src.size() - i)) {
+    i = static_cast<size_t>(static_cast<const char*>(hit) - src.data()) + 1;
+    line_starts_.push_back(i);
   }
 }
 
@@ -41,6 +48,11 @@ std::string DxLineIndex::Describe(size_t offset) const {
 }
 
 Result<std::vector<DxToken>> DxLex(std::string_view src) {
+  return DxLex(src, DxLexOptions{});
+}
+
+Result<std::vector<DxToken>> DxLex(std::string_view src,
+                                   const DxLexOptions& options) {
   DxLineIndex lines(src);
   std::vector<DxToken> out;
   size_t i = 0;
@@ -49,6 +61,55 @@ Result<std::vector<DxToken>> DxLex(std::string_view src) {
   };
   auto error = [&](size_t pos, std::string_view what) {
     return Status::ParseError(StrCat(what, " at ", lines.Describe(pos)));
+  };
+  // True right after the `{` of `instance NAME over SCHEMA {` when the
+  // caller asked for elision: tokenizing the facts is most of the lexing
+  // cost of a fact-heavy file, so the body is skipped with a raw
+  // character scan (honoring comments and quotes, which may contain
+  // `}`) that leaves `i` on the closing brace. Offsets of everything
+  // outside instance bodies are untouched.
+  auto at_instance_body = [&]() {
+    size_t n = out.size();
+    return options.elide_instance_rows && n >= 5 &&
+           out[n - 1].kind == DxTokKind::kLBrace &&
+           out[n - 5].kind == DxTokKind::kIdent &&
+           out[n - 5].text == "instance" &&
+           out[n - 4].kind == DxTokKind::kIdent &&
+           out[n - 3].kind == DxTokKind::kIdent &&
+           out[n - 3].text == "over" &&
+           out[n - 2].kind == DxTokKind::kIdent;
+  };
+  auto skip_instance_body = [&]() {
+    // Table-driven scan: run over uninteresting bytes in a single-branch
+    // loop and only dispatch on the four characters that matter (`}`
+    // ends the body, quotes and comments may hide one).
+    static constexpr std::array<bool, 256> kStop = [] {
+      std::array<bool, 256> t{};
+      t[static_cast<unsigned char>('}')] = true;
+      t[static_cast<unsigned char>('\'')] = true;
+      t[static_cast<unsigned char>('#')] = true;
+      t[static_cast<unsigned char>('/')] = true;
+      return t;
+    }();
+    while (i < src.size()) {
+      while (i < src.size() && !kStop[static_cast<unsigned char>(src[i])]) {
+        ++i;
+      }
+      if (i >= src.size() || src[i] == '}') return;
+      if (src[i] == '\'') {
+        ++i;
+        while (i < src.size() && src[i] != '\'' && src[i] != '\n') ++i;
+        if (i < src.size()) ++i;  // closing quote (or keep the newline)
+      } else if (src[i] == '#' ||
+                 (src[i] == '/' && i + 1 < src.size() && src[i + 1] == '/')) {
+        const void* nl = std::memchr(src.data() + i, '\n', src.size() - i);
+        i = nl ? static_cast<size_t>(static_cast<const char*>(nl) -
+                                     src.data())
+               : src.size();
+      } else {
+        ++i;  // a lone '/', ordinary body content
+      }
+    }
   };
   while (i < src.size()) {
     char c = src[i];
@@ -62,7 +123,11 @@ Result<std::vector<DxToken>> DxLex(std::string_view src) {
     }
     size_t pos = i;
     switch (c) {
-      case '{': push(DxTokKind::kLBrace, "{", pos); ++i; continue;
+      case '{':
+        push(DxTokKind::kLBrace, "{", pos);
+        ++i;
+        if (at_instance_body()) skip_instance_body();
+        continue;
       case '}': push(DxTokKind::kRBrace, "}", pos); ++i; continue;
       case '[': push(DxTokKind::kLBracket, "[", pos); ++i; continue;
       case ']': push(DxTokKind::kRBracket, "]", pos); ++i; continue;

@@ -56,9 +56,22 @@ struct DxToken {
                   ///< into "line L, col C" through DxLineIndex on demand.
 };
 
+struct DxLexOptions {
+  /// Skip the fact bodies of `instance NAME over SCHEMA { ... }` blocks
+  /// with a raw character scan, emitting `{` directly followed by `}`.
+  /// Token offsets outside instance bodies are identical to a full lex,
+  /// so parse errors and budget diagnostics keep their positions. Used
+  /// by the snapshot loader (snap/snapshot.cc), which re-parses a
+  /// scenario's *structure* from the embedded text but loads its
+  /// instances from binary sections.
+  bool elide_instance_rows = false;
+};
+
 /// Splits a `.dx` source into tokens. Fails with a positioned ParseError
 /// ("line L, col C") on unknown characters or unterminated quotes.
 Result<std::vector<DxToken>> DxLex(std::string_view src);
+Result<std::vector<DxToken>> DxLex(std::string_view src,
+                                   const DxLexOptions& options);
 
 /// Maps a byte offset back to "line L, col C" (both 1-based). Used to
 /// position errors reported by the embedded formula/rule parsers, which

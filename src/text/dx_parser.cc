@@ -563,7 +563,14 @@ Result<DxScenario> DxParser::ParseFile() {
 }  // namespace
 
 Result<DxScenario> ParseDxScenario(std::string_view src, Universe* universe) {
-  OCDX_ASSIGN_OR_RETURN(std::vector<DxToken> tokens, DxLex(src));
+  return ParseDxScenario(src, universe, DxParseOptions{});
+}
+
+Result<DxScenario> ParseDxScenario(std::string_view src, Universe* universe,
+                                   const DxParseOptions& options) {
+  DxLexOptions lex;
+  lex.elide_instance_rows = options.elide_instance_rows;
+  OCDX_ASSIGN_OR_RETURN(std::vector<DxToken> tokens, DxLex(src, lex));
   DxParser parser(src, std::move(tokens), universe);
   return parser.ParseFile();
 }

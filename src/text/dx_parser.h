@@ -35,12 +35,24 @@
 
 namespace ocdx {
 
+struct DxParseOptions {
+  /// Lex with DxLexOptions::elide_instance_rows: every instance parses
+  /// as declared-but-empty (schema relations present, zero rows, not
+  /// annotated), and no constants or nulls are interned from facts. The
+  /// snapshot loader uses this to recover scenario *structure* from the
+  /// embedded text in microseconds and fill the instances from binary
+  /// sections instead.
+  bool elide_instance_rows = false;
+};
+
 /// Parses a complete `.dx` file. Constants and nulls are interned into
 /// `*universe`; all cross-references (schema names, fact arities, query
 /// variables vs. free variables, mapping validity) are checked, so an OK
 /// result is ready for the driver (text/dx_driver.h) with no further
 /// validation.
 Result<DxScenario> ParseDxScenario(std::string_view src, Universe* universe);
+Result<DxScenario> ParseDxScenario(std::string_view src, Universe* universe,
+                                   const DxParseOptions& options);
 
 }  // namespace ocdx
 

@@ -33,7 +33,9 @@ namespace fault {
 /// Known probe sites, for reference (probes accept any name):
 ///   "chase"      once per STD in Chase, before firing its witnesses;
 ///   "plan-bind"  once per Evaluator query dispatch, before BindQuery;
-///   "enum"       once per valuation in RepAMemberEnumerator.
+///   "enum"       once per valuation in RepAMemberEnumerator;
+///   "snap-write" once per section in snap::WriteSnapshot;
+///   "snap-read"  once per section in snap::LoadSnapshot.
 
 /// Parses OCDX_FAULT="<site>:<n>" and installs the fault (fires from the
 /// n-th probe hit onward; n >= 1). Malformed values are ignored. No-op

@@ -27,6 +27,7 @@ enum class StatusCode {
   kInternal,            ///< Invariant violation: a bug in ocdx itself.
   kDeadlineExceeded,    ///< A wall-clock deadline expired mid-evaluation.
   kCancelled,           ///< The job's cooperative cancellation flag was set.
+  kDataLoss,            ///< Stored data is corrupt (snapshot checksum, ...).
 };
 
 /// Returns a short human-readable name ("InvalidArgument", ...).
@@ -72,6 +73,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -163,7 +163,7 @@ TEST_F(ChaseTest, NullJustifications) {
   const NullInfo& info = u_.null_info(nulls[0]);
   EXPECT_EQ(info.std_index, 0);
   EXPECT_EQ(info.var, "z");
-  EXPECT_EQ(info.witness, (Tuple{u_.Const("a"), u_.Const("c1")}));
+  EXPECT_EQ(u_.WitnessOf(info.witness), (Tuple{u_.Const("a"), u_.Const("c1")}));
 }
 
 // Chasing must reject Skolemized mappings and schema violations.

@@ -1,0 +1,169 @@
+// Version-skew and framing rejection, pinned by a golden file.
+//
+// A reader must reject — with STABLE error text — snapshots it cannot
+// safely interpret: wrong magic, a bumped format version, a foreign byte
+// order, truncated framing, checksum mismatches and trailing garbage.
+// The exact error strings are an API (operators grep for them, the
+// daemon forwards them over the wire), so this test collects each
+// rejection's text and diffs the block against
+// tests/corpus/golden/snapshot_errors.golden.
+//
+// To regenerate after an intentional message change:
+//
+//   OCDX_REGEN_GOLDEN=1 ./build/snap_version_test
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "snap/format.h"
+#include "snap/snapshot.h"
+
+namespace ocdx {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFileOrDie(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::span<const uint8_t> AsBytes(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+std::string BaselineSnapshot() {
+  const fs::path file = fs::path(OCDX_CORPUS_DIR) / "conference.dx";
+  const std::string src = ReadFileOrDie(file);
+  Result<snap::SnapshotBundle> bundle =
+      snap::BuildSnapshotBundle(file.string(), src);
+  EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+  if (!bundle.ok()) return "";
+  Result<std::string> bytes = snap::SerializeSnapshot(bundle.value());
+  EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+  return bytes.ok() ? bytes.value() : "";
+}
+
+// Offsets into the fixed header (snap/format.h): magic[8], then
+// version:u32 at 8, endian:u32 at 12, section_count:u32 at 16.
+constexpr size_t kVersionOffset = 8;
+constexpr size_t kEndianOffset = 12;
+
+void PutU32(std::string* buf, size_t at, uint32_t v) {
+  std::memcpy(buf->data() + at, &v, sizeof v);
+}
+
+uint32_t GetU32(const std::string& buf, size_t at) {
+  uint32_t v;
+  std::memcpy(&v, buf.data() + at, sizeof v);
+  return v;
+}
+
+uint32_t ByteSwap32(uint32_t v) {
+  return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+         ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+
+TEST(SnapVersion, RejectionTextsMatchGolden) {
+  const std::string base = BaselineSnapshot();
+  ASSERT_FALSE(base.empty());
+
+  std::ostringstream report;
+  auto reject = [&](const char* label, const std::string& mutant) {
+    Result<snap::SnapshotBundle> loaded =
+        snap::ParseSnapshot(AsBytes(mutant));
+    ASSERT_FALSE(loaded.ok()) << label << ": mutant loaded successfully";
+    report << label << ": " << loaded.status().ToString() << "\n";
+  };
+
+  // Wrong magic.
+  {
+    std::string m = base;
+    m[0] = 'X';
+    reject("bad-magic", m);
+  }
+  // Bumped format version (a future writer's file).
+  {
+    std::string m = base;
+    PutU32(&m, kVersionOffset, snap::kFormatVersion + 1);
+    reject("future-version", m);
+  }
+  // Foreign byte order: the whole header as a big-endian writer would
+  // produce it — every u32 swapped, endian tag included.
+  {
+    std::string m = base;
+    PutU32(&m, kVersionOffset,
+           ByteSwap32(GetU32(base, kVersionOffset)));
+    PutU32(&m, kEndianOffset, ByteSwap32(snap::kEndianTag));
+    reject("foreign-endian", m);
+  }
+  // Foreign byte order wins over version skew: a swapped header must
+  // report endianness, not a nonsense version number.
+  {
+    std::string m = base;
+    PutU32(&m, kEndianOffset, ByteSwap32(snap::kEndianTag));
+    reject("foreign-endian-before-version", m);
+  }
+  // Truncated header.
+  reject("short-header", base.substr(0, 10));
+  // Truncated mid-section-header.
+  reject("short-section-header", base.substr(0, 26));
+  // Payload byte flip: the per-section checksum catches it before any
+  // decoder runs (last byte of the file lives in the final section).
+  {
+    std::string m = base;
+    m.back() = static_cast<char>(static_cast<uint8_t>(m.back()) ^ 0xff);
+    reject("checksum-mismatch", m);
+  }
+  // Trailing garbage after the last section.
+  reject("trailing-bytes", base + "xyz");
+  // A structurally valid container with the wrong section layout.
+  {
+    std::string m;
+    snap::AppendHeader(&m, 1);
+    snap::Sink empty;
+    snap::AppendSection(&m, snap::SectionId::kMeta, empty);
+    reject("wrong-section-count", m);
+  }
+
+  const fs::path golden_path =
+      fs::path(OCDX_CORPUS_DIR) / "golden" / "snapshot_errors.golden";
+  if (std::getenv("OCDX_REGEN_GOLDEN") != nullptr) {
+    fs::create_directories(golden_path.parent_path());
+    std::ofstream out(golden_path, std::ios::binary);
+    out << report.str();
+    return;
+  }
+  ASSERT_TRUE(fs::exists(golden_path))
+      << "missing golden file " << golden_path
+      << " (run with OCDX_REGEN_GOLDEN=1 to create it)";
+  EXPECT_EQ(ReadFileOrDie(golden_path), report.str())
+      << "rejection text drifted from " << golden_path
+      << " (re-run with OCDX_REGEN_GOLDEN=1 if the change is intended)";
+}
+
+// The version gate is exact: this build reads exactly kFormatVersion,
+// and a reader one version behind a future writer refuses rather than
+// misparsing — the upgrade path is re-writing the snapshot, never a
+// silent best-effort read.
+TEST(SnapVersion, CurrentVersionRoundTrips) {
+  const std::string base = BaselineSnapshot();
+  ASSERT_FALSE(base.empty());
+  EXPECT_EQ(GetU32(base, kVersionOffset), snap::kFormatVersion);
+  EXPECT_EQ(GetU32(base, kEndianOffset), snap::kEndianTag);
+  EXPECT_TRUE(snap::ParseSnapshot(AsBytes(base)).ok());
+}
+
+}  // namespace
+}  // namespace ocdx

@@ -63,7 +63,8 @@ class Theorem1Test : public ::testing::Test {
     // Order nulls by the x-value of their witness: nulls_[0], nulls_[1]
     // belong to x = a, nulls_[2] to x = b.
     std::sort(nulls_.begin(), nulls_.end(), [&](Value p, Value q) {
-      return u_.null_info(p).witness < u_.null_info(q).witness;
+      return u_.WitnessOf(u_.null_info(p).witness) <
+             u_.WitnessOf(u_.null_info(q).witness);
     });
   }
 

@@ -11,6 +11,17 @@
 //                                    worker pool (-j N); stdout is byte-
 //                                    identical for every -j, timing goes
 //                                    to stderr
+//   ocdx snapshot write FILE.dx OUT.snap
+//                                    parse + chase once, persist the
+//                                    result as a relocatable binary
+//                                    snapshot (snap/format.h)
+//   ocdx snapshot read SNAP.snap     validate a snapshot and print its
+//                                    summary (scenario, universe totals,
+//                                    stored pairs)
+//   ocdx snapshot run SNAP.snap [--command=CMD]
+//                                    warm-start: serve a driver command
+//                                    from the snapshot, byte-identical to
+//                                    the cold `ocdx CMD FILE.dx` output
 //
 // Flags:
 //   --engine=indexed|naive|generic   join-engine mode (default: indexed)
@@ -51,6 +62,7 @@
 #include "exec/batch_runner.h"
 #include "logic/budget.h"
 #include "logic/engine_context.h"
+#include "snap/snapshot.h"
 #include "text/dx_driver.h"
 #include "text/dx_parser.h"
 #include "text/dx_printer.h"
@@ -69,6 +81,11 @@ constexpr char kUsage[] =
     "            [--shards=N]\n"
     "       ocdx batch FILE.dx... [-j N] [--command=CMD] "
     "[--engine=MODE] [--no-split]\n"
+    "       ocdx snapshot write FILE.dx OUT.snap [--engine=MODE] "
+    "[budget flags]\n"
+    "       ocdx snapshot read SNAP.snap\n"
+    "       ocdx snapshot run SNAP.snap [--command=CMD] [--engine=MODE]\n"
+    "                                   [--shards=N] [budget flags]\n"
     "exit codes: 0 ok, 1 error, 2 usage, 3 resource budget tripped\n";
 
 bool FlagValue(std::string_view arg, std::string_view name,
@@ -242,6 +259,70 @@ int main(int argc, char** argv) {
     // both success and failure.
     if (!report.value().ok()) return 1;
     return report.value().governed_jobs > 0 ? 3 : 0;
+  }
+
+  if (command == "snapshot") {
+    const std::string& sub = positional[1];
+    if (sub == "write") {
+      if (positional.size() != 4) {
+        std::fprintf(stderr, "ocdx: snapshot write needs FILE.dx OUT.snap\n%s",
+                     kUsage);
+        return 2;
+      }
+      const std::string& dx_path = positional[2];
+      const std::string& out_path = positional[3];
+      Result<std::string> src = ReadDxFile(dx_path);
+      if (!src.ok()) {
+        std::fprintf(stderr, "ocdx: %s\n", src.status().ToString().c_str());
+        return 1;
+      }
+      Result<snap::SnapshotBundle> bundle = snap::BuildSnapshotBundle(
+          dx_path, src.value(), options.engine);
+      if (!bundle.ok()) {
+        std::fprintf(stderr, "ocdx: %s: %s\n", dx_path.c_str(),
+                     bundle.status().ToString().c_str());
+        return 1;
+      }
+      Status written = snap::WriteSnapshotFile(bundle.value(), out_path);
+      if (!written.ok()) {
+        std::fprintf(stderr, "ocdx: %s\n", written.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "ocdx: wrote '%s' (%zu prechased pairs)\n",
+                   out_path.c_str(), bundle.value().prechased.size());
+      return 0;
+    }
+    if (sub == "read" || sub == "run") {
+      if (positional.size() != 3) {
+        std::fprintf(stderr, "ocdx: snapshot %s needs one SNAP file\n%s",
+                     sub.c_str(), kUsage);
+        return 2;
+      }
+      Result<snap::SnapshotBundle> bundle =
+          snap::LoadSnapshotFile(positional[2]);
+      if (!bundle.ok()) {
+        std::fprintf(stderr, "ocdx: %s\n", bundle.status().ToString().c_str());
+        return 1;
+      }
+      if (sub == "read") {
+        std::fputs(snap::DescribeSnapshot(bundle.value()).c_str(), stdout);
+        return 0;
+      }
+      std::string run_command = command_flag.empty() ? "all" : command_flag;
+      Status governed;
+      Result<std::string> out = snap::RunSnapshotCommand(
+          bundle.value(), run_command, options, &governed);
+      if (!out.ok()) {
+        std::fprintf(stderr, "ocdx: %s: %s\n", positional[2].c_str(),
+                     out.status().ToString().c_str());
+        return 1;
+      }
+      std::fputs(out.value().c_str(), stdout);
+      return governed.ok() ? 0 : 3;
+    }
+    std::fprintf(stderr, "ocdx: unknown snapshot subcommand '%s'\n%s",
+                 sub.c_str(), kUsage);
+    return 2;
   }
 
   if (positional.size() != 2) {

@@ -3,6 +3,16 @@
 //   ocdxd serve [--engine=indexed|naive|generic]
 //               [--chase-max-triggers=N] [--max-members=N]
 //               [--deadline-ms=N] [--shards=N]
+//               [--preload=SNAP.snap ...]
+//
+// --preload (repeatable) loads binary snapshots (snap/snapshot.h) at
+// startup: a request whose <file-path> names either a preloaded snapshot
+// file or the `.dx` path recorded inside one is served warm from the
+// snapshot's pre-chased universe — no re-parse, no re-chase — with a
+// response byte-identical to the cold path. Unmatched paths fall through
+// to the usual fresh-parse job. A snapshot that fails to load aborts
+// startup with exit 1 (a server silently missing its warm set would be a
+// latency regression, not a convenience).
 //
 // Protocol (stdin/stdout, one request per line — run it under socat or
 // (x)inetd for network service; keeping the transport external keeps the
@@ -42,11 +52,13 @@
 #include <iostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "exec/batch_runner.h"
 #include "logic/budget.h"
 #include "logic/engine_context.h"
+#include "snap/snapshot.h"
 #include "text/dx_driver.h"
 #include "util/fault.h"
 
@@ -55,7 +67,8 @@ namespace {
 constexpr char kUsage[] =
     "usage: ocdxd serve [--engine=indexed|naive|generic]\n"
     "                   [--chase-max-triggers=N] [--max-members=N]\n"
-    "                   [--deadline-ms=N] [--shards=N]\n";
+    "                   [--deadline-ms=N] [--shards=N]\n"
+    "                   [--preload=SNAP.snap ...]\n";
 
 // Two shutdown flags: the sig_atomic_t is the only thing a handler may
 // portably touch and gates the accept loop; the atomic<bool> is what the
@@ -116,6 +129,8 @@ int main(int argc, char** argv) {
   std::string max_members;
   std::string deadline_ms;
   std::string shards;
+  std::string preload;
+  std::vector<std::string> preload_paths;
   bool serve = false;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -129,6 +144,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "serve") {
       serve = true;
+    } else if (flag("preload", &preload)) {
+      preload_paths.push_back(preload);  // repeatable
     } else if (flag("engine", &engine) ||
                flag("chase-max-triggers", &chase_max_triggers) ||
                flag("max-members", &max_members) ||
@@ -186,6 +203,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ocdxd: bad --shards value '%s' (want 1..64)\n%s",
                  shards.c_str(), kUsage);
     return 2;
+  }
+
+  // Warm set: each entry keeps the snapshot's own file path alongside the
+  // bundle (whose source_path is the `.dx` path recorded at write time);
+  // a request may address the bundle by either name.
+  std::vector<std::pair<std::string, snap::SnapshotBundle>> preloaded;
+  preloaded.reserve(preload_paths.size());
+  for (const std::string& snap_path : preload_paths) {
+    Result<snap::SnapshotBundle> bundle = snap::LoadSnapshotFile(snap_path);
+    if (!bundle.ok()) {
+      std::fprintf(stderr, "ocdxd: --preload=%s: %s\n", snap_path.c_str(),
+                   bundle.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "ocdxd: preloaded '%s' (%zu prechased pairs)\n",
+                 snap_path.c_str(), bundle.value().prechased.size());
+    preloaded.emplace_back(snap_path, std::move(bundle.value()));
   }
 
   // Graceful drain on SIGTERM/SIGINT: no SA_RESTART, so a read blocked in
@@ -253,15 +287,26 @@ int main(int argc, char** argv) {
     }
     if (bad_field) continue;
 
-    Result<std::string> source = ReadDxFile(path);
-    if (!source.ok()) {
-      std::printf("err %s\n", source.status().ToString().c_str());
-      std::fflush(stdout);
-      continue;
+    // Warm path: a preloaded snapshot addressed by its own file name or
+    // by the `.dx` path it was built from serves the request without
+    // touching the filesystem.
+    const snap::SnapshotBundle* warm = nullptr;
+    for (const auto& [snap_path, bundle] : preloaded) {
+      if (path == snap_path || path == bundle.source_path) {
+        warm = &bundle;
+        break;
+      }
     }
+
     Status governed;
-    Result<std::string> out =
-        RunDxFile(path, source.value(), command, request, &governed);
+    Result<std::string> out = [&]() -> Result<std::string> {
+      if (warm != nullptr) {
+        return snap::RunSnapshotCommand(*warm, command, request, &governed);
+      }
+      Result<std::string> source = ReadDxFile(path);
+      if (!source.ok()) return source.status();
+      return RunDxFile(path, source.value(), command, request, &governed);
+    }();
     if (!out.ok()) {
       // One-line error: newlines in the message would break the framing.
       std::string msg = out.status().ToString();

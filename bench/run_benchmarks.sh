@@ -56,19 +56,36 @@ for bin in "$BUILD_DIR"/bench_*; do
   "$bin" "${args[@]}" >/dev/null
 done
 
+# One instrumented corpus sweep alongside the microbenchmarks: the final
+# EngineStats aggregate (plan cache traffic, shard fan-out, phase ns) is
+# embedded into BENCH_<tag>.json so counter drift is tracked PR over PR
+# with the timings. Exit 3 = governed corpus files (cyclic_chase trips
+# its chase budget by design) — the stats are still complete.
+echo "== corpus engine stats"
+"$BUILD_DIR/ocdx" batch --command=all \
+  --stats-json="$RESULTS_DIR/engine_stats.json" \
+  "$REPO_ROOT"/tests/corpus/*.dx >/dev/null 2>&1 || true
+
 python3 - "$OUT" "$RESULTS_DIR" <<'EOF'
 import json, os, sys
 
 out_path, results_dir = sys.argv[1], sys.argv[2]
 merged = {"benchmarks": {}, "context": None}
 for fname in sorted(os.listdir(results_dir)):
-    if not fname.endswith(".json"):
+    if not fname.endswith(".json") or fname == "engine_stats.json":
         continue
     with open(os.path.join(results_dir, fname)) as f:
         data = json.load(f)
     if merged["context"] is None:
         merged["context"] = data.get("context")
     merged["benchmarks"][fname[: -len(".json")]] = data.get("benchmarks", [])
+# Engine-counter aggregate from the corpus sweep above. Kept under its
+# own key: --check reads only "benchmarks", so baselines predating this
+# field stay comparable.
+stats_path = os.path.join(results_dir, "engine_stats.json")
+if os.path.exists(stats_path):
+    with open(stats_path) as f:
+        merged["engine_stats"] = json.load(f)
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)
 print(f"wrote {out_path}")

@@ -6,6 +6,7 @@
 
 #include "exec/pool.h"
 #include "logic/engine_context.h"
+#include "obs/trace.h"
 #include "util/combinatorics.h"
 #include "util/fault.h"
 #include "util/str.h"
@@ -51,6 +52,9 @@ void RepAMemberEnumerator::RunShard(const MemberShard& shard,
                                     std::atomic<bool>* stop,
                                     std::atomic<uint64_t>* total_members,
                                     ShardOutcome* out) const {
+  obs::ScopedSpan span(shard.ctx != nullptr ? shard.ctx->stats : nullptr,
+                       shard.ctx != nullptr ? shard.ctx->trace : nullptr,
+                       obs::kPhaseEnumShard);
   Universe* universe = shard.universe;
   const Budget no_budget;
   const Budget& budget = shard.ctx != nullptr ? shard.ctx->budget : no_budget;
@@ -287,6 +291,9 @@ void RepAMemberEnumerator::RunShard(const MemberShard& shard,
 
 Status RepAMemberEnumerator::RunSharded(size_t shards,
                                         const ShardFnFactory& factory) {
+  obs::ScopedSpan run_span(ctx_ != nullptr ? ctx_->stats : nullptr,
+                           ctx_ != nullptr ? ctx_->trace : nullptr,
+                           obs::kPhaseMemberEnum);
   outcome_ = EnumOutcome::kExhausted;
   members_ = 0;
 
@@ -312,6 +319,11 @@ Status RepAMemberEnumerator::RunSharded(size_t shards,
     clones.reserve(shards - 1);
     std::vector<EngineContext> shard_ctxs(shards);
     std::vector<EngineStats> shard_stats(shards);
+    // Trace sinks follow the stats rule — one per thread. Shard 0 runs
+    // on the calling thread and keeps the caller's sink; worker shards
+    // get their own sink on its shard-numbered track, absorbed into the
+    // caller's in shard order after the pool drains.
+    std::vector<std::unique_ptr<obs::TraceSink>> shard_sinks(shards);
     std::vector<MemberShard> shard_descs(shards);
     std::vector<ShardMemberFn> fns;
     fns.reserve(shards);
@@ -327,6 +339,11 @@ Status RepAMemberEnumerator::RunSharded(size_t shards,
       shard_ctxs[s].stats = &shard_stats[s];
       shard_ctxs[s].budget.cancel = &stop;
       shard_ctxs[s].shards = 1;  // Fan-out never nests.
+      if (s > 0 && base_ctx.trace != nullptr) {
+        shard_sinks[s] =
+            std::make_unique<obs::TraceSink>(static_cast<uint32_t>(s));
+        shard_ctxs[s].trace = shard_sinks[s].get();
+      }
       shard_descs[s] = MemberShard{s, shards, su, &shard_ctxs[s]};
       fns.push_back(factory(shard_descs[s]));
     }
@@ -344,6 +361,11 @@ Status RepAMemberEnumerator::RunSharded(size_t shards,
       }
       RunShard(shard_descs[0], fns[0], &stop, &total_members, &outcomes[0]);
     }  // <- pool drained: every shard finished, results visible here.
+    if (ctx_ != nullptr && ctx_->trace != nullptr) {
+      for (size_t s = 1; s < shards; ++s) {
+        if (shard_sinks[s] != nullptr) ctx_->trace->Absorb(*shard_sinks[s]);
+      }
+    }
     if (ctx_ != nullptr && ctx_->stats != nullptr) {
       for (const EngineStats& st : shard_stats) *ctx_->stats += st;
       ++ctx_->stats->enum_shard_runs;

@@ -4,6 +4,7 @@
 
 #include "logic/budget.h"
 #include "logic/evaluator.h"
+#include "obs/trace.h"
 #include "plan/head_plan.h"
 #include "util/fault.h"
 #include "util/str.h"
@@ -164,6 +165,7 @@ Status FireCompiled(const AnnotatedStd& std_, size_t std_index,
 Result<CanonicalSolution> Chase(const Mapping& mapping, const Instance& source,
                                 Universe* universe,
                                 const EngineContext& ctx) {
+  obs::ScopedSpan span(ctx, obs::kPhaseChase);
   OCDX_RETURN_IF_ERROR(mapping.Validate(/*allow_functions=*/false));
   OCDX_RETURN_IF_ERROR(mapping.source().Validate(source));
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "exec/pool.h"
@@ -25,21 +26,38 @@ BatchJobResult RunJob(const BatchJob& job) {
   // one across jobs.
   options.engine = options.engine.WithFreshCache();
   options.engine.stats = &result.stats;
-
-  Universe universe;
-  Result<DxScenario> scenario = ParseDxScenario(*job.source, &universe);
-  if (!scenario.ok()) {
-    result.status = scenario.status();
-    result.millis = timer.ElapsedMillis();
-    return result;
+  // Same rule for the trace sink: allocated here, owned by this job's
+  // result, never seen by another worker. A sink inherited from the
+  // spec's context would be shared across workers, so it is always
+  // dropped.
+  options.engine.trace = nullptr;
+  if (job.collect_trace) {
+    result.trace = std::make_unique<obs::TraceSink>();
+    options.engine.trace = result.trace.get();
   }
-  Result<std::string> text = RunDxCommand(scenario.value(), job.spec.command,
-                                          &universe, options,
-                                          &result.governed);
-  if (!text.ok()) {
-    result.status = text.status();
-  } else {
-    result.output = StrCat(job.spec.prefix, text.value());
+
+  {
+    obs::ScopedSpan job_span(&result.stats, result.trace.get(),
+                             obs::kPhaseJob);
+    Universe universe;
+    std::optional<Result<DxScenario>> scenario;
+    {
+      obs::ScopedSpan parse_span(&result.stats, result.trace.get(),
+                                 obs::kPhaseParse);
+      scenario.emplace(ParseDxScenario(*job.source, &universe));
+    }
+    if (!scenario->ok()) {
+      result.status = scenario->status();
+    } else {
+      Result<std::string> text =
+          RunDxCommand(scenario->value(), job.spec.command, &universe,
+                       options, &result.governed);
+      if (!text.ok()) {
+        result.status = text.status();
+      } else {
+        result.output = StrCat(job.spec.prefix, text.value());
+      }
+    }
   }
   // Cancellation has no in-engine trip counter (the flag is observed at
   // many sites); count it per job, where it is well-defined.
@@ -67,13 +85,22 @@ Result<std::string> RunDxFile(const std::string& path,
                               const std::string& command,
                               const DxDriverOptions& options,
                               Status* governed) {
+  // The job span brackets parse + command, exactly as in RunJob — so an
+  // ocdxd request and a batch job time identically.
+  obs::ScopedSpan job_span(options.engine.stats, options.engine.trace,
+                           obs::kPhaseJob);
   Universe universe;
-  Result<DxScenario> scenario = ParseDxScenario(source, &universe);
-  if (!scenario.ok()) {
-    return Status(scenario.status().code(),
-                  StrCat(path, ": ", scenario.status().message()));
+  std::optional<Result<DxScenario>> scenario;
+  {
+    obs::ScopedSpan parse_span(options.engine.stats, options.engine.trace,
+                               obs::kPhaseParse);
+    scenario.emplace(ParseDxScenario(source, &universe));
   }
-  return RunDxCommand(scenario.value(), command, &universe, options,
+  if (!scenario->ok()) {
+    return Status(scenario->status().code(),
+                  StrCat(path, ": ", scenario->status().message()));
+  }
+  return RunDxCommand(scenario->value(), command, &universe, options,
                       governed);
 }
 
@@ -110,6 +137,7 @@ Result<BatchReport> RunDxBatch(const std::vector<std::string>& files,
     DxDriverOptions base = options.driver;
     base.engine = options.engine;
     base.engine.stats = nullptr;
+    base.engine.trace = nullptr;
     if (options.split_scenarios) {
       Universe scoping;
       Result<DxScenario> scenario = ParseDxScenario(*shared_source, &scoping);
@@ -140,6 +168,7 @@ Result<BatchReport> RunDxBatch(const std::vector<std::string>& files,
       job.file = files[f];
       job.source = shared_source;
       job.spec = std::move(spec);
+      job.collect_trace = options.collect_traces;
       jobs.push_back(std::move(job));
     }
     file_job_ranges[f].second = jobs.size();
@@ -183,6 +212,15 @@ Result<BatchReport> RunDxBatch(const std::vector<std::string>& files,
       }
     }
   }
+  // Trace handoff in submission order: job i always lands at traces[i],
+  // so the merged render's tid layout is identical for every -j.
+  if (options.collect_traces) {
+    report.traces.reserve(results.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      report.traces.push_back(BatchJobTrace{
+          StrCat("job-", i, " ", jobs[i].file), std::move(results[i].trace)});
+    }
+  }
   report.wall_millis = wall.ElapsedMillis();
   return report;
 }
@@ -214,7 +252,7 @@ std::string RenderBatchSummary(const BatchReport& report,
       "batch: ", report.files.size(), " file(s), ", report.total_jobs,
       " job(s), ", options.workers, " worker(s), command=", options.command,
       "\n");
-  char buf[160];
+  char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "batch: wall %.2f ms, cpu (sum of jobs) %.2f ms, "
                 "speedup %.2fx\n",
@@ -232,6 +270,27 @@ std::string RenderBatchSummary(const BatchReport& report,
                 ", cache_misses=", report.stats.plan_cache_misses,
                 ", guard_depth_fallbacks=",
                 report.stats.guard_depth_fallbacks, "\n");
+  const uint64_t lookups =
+      report.stats.plan_cache_hits + report.stats.plan_cache_misses;
+  if (lookups > 0) {
+    std::snprintf(buf, sizeof(buf), "batch: plan cache hit rate: %.1f%%\n",
+                  100.0 * static_cast<double>(report.stats.plan_cache_hits) /
+                      static_cast<double>(lookups));
+    out += buf;
+  } else {
+    out += "batch: plan cache hit rate: n/a (no lookups)\n";
+  }
+  std::snprintf(buf, sizeof(buf),
+                "batch: phase ms: parse=%.2f chase=%.2f plan_compile=%.2f "
+                "plan_bind=%.2f member_enum=%.2f hom=%.2f repa=%.2f\n",
+                static_cast<double>(report.stats.parse_ns) / 1e6,
+                static_cast<double>(report.stats.chase_ns) / 1e6,
+                static_cast<double>(report.stats.plan_compile_ns) / 1e6,
+                static_cast<double>(report.stats.plan_bind_ns) / 1e6,
+                static_cast<double>(report.stats.member_enum_ns) / 1e6,
+                static_cast<double>(report.stats.hom_search_ns) / 1e6,
+                static_cast<double>(report.stats.repa_search_ns) / 1e6);
+  out += buf;
   out += StrCat("batch: governance: chase_budget_trips=",
                 report.stats.chase_budget_trips, ", deadline_trips=",
                 report.stats.deadline_trips, ", cancelled_jobs=",

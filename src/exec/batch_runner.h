@@ -44,6 +44,10 @@ struct BatchOptions {
   /// Fan out the slices within a scenario (per-mapping chase/certain
   /// jobs). Off = one job per file.
   bool split_scenarios = true;
+  /// Give every job its own obs::TraceSink and return the sinks on the
+  /// report (BatchReport::traces, submission order) for a merged Chrome
+  /// trace. Stdout stays byte-identical either way.
+  bool collect_traces = false;
   /// Extra driver selection applied to every file (mapping/sigma/...).
   DxDriverOptions driver;
 };
@@ -62,12 +66,23 @@ struct BatchFileReport {
   double millis = 0;   ///< Sum of the file's job times (not wall time).
 };
 
+/// One job's trace, labeled for the merged Chrome render (the label
+/// becomes the thread name; the job's submission index fixes its tid
+/// block, so traces are stably laid out for every worker count).
+struct BatchJobTrace {
+  std::string label;  ///< "job-<index> <file>".
+  std::unique_ptr<obs::TraceSink> sink;
+};
+
 struct BatchReport {
   std::vector<BatchFileReport> files;  ///< Input order.
   size_t total_jobs = 0;
   size_t governed_jobs = 0;  ///< Jobs that tripped a budget/deadline/cancel.
   double wall_millis = 0;  ///< End-to-end batch wall time.
   EngineStats stats;       ///< Aggregated over all jobs.
+  /// Per-job sinks in submission order (only when
+  /// BatchOptions::collect_traces was set).
+  std::vector<BatchJobTrace> traces;
 
   bool ok() const {
     for (const BatchFileReport& f : files) {

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "logic/engine_context.h"
+#include "obs/trace.h"
 #include "text/dx_driver.h"
 #include "util/status.h"
 
@@ -29,6 +30,10 @@ struct BatchJob {
   std::string file;       ///< Path (for error messages).
   std::shared_ptr<const std::string> source;  ///< File contents.
   DxJobSpec spec;         ///< Command slice to run.
+  /// When set, the job allocates its own obs::TraceSink (one sink per
+  /// job, like its stats) and returns it on the result for the batch
+  /// trace merge.
+  bool collect_trace = false;
 };
 
 /// The outcome of one job, written into the report slot matching the
@@ -42,7 +47,10 @@ struct BatchJobResult {
   Status governed;
   std::string output;  ///< prefix + canonical command text (when ok).
   double millis = 0;   ///< Wall time of this job alone.
-  EngineStats stats;   ///< This job's evaluation counters.
+  EngineStats stats;   ///< This job's evaluation counters and timers.
+  /// The job's span buffer (only when BatchJob::collect_trace was set).
+  /// Owned here so the merge can absorb sinks in submission order.
+  std::unique_ptr<obs::TraceSink> trace;
 };
 
 }  // namespace ocdx

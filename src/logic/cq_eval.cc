@@ -17,7 +17,7 @@ std::optional<Relation> TryEvalCQ(const FormulaPtr& f,
   plan::CompiledQueryPtr cq = plan::GetOrCompile(
       req, inst, JoinEngineMode::kIndexed, /*force_generic=*/false, ctx);
   if (cq->kind != plan::PlanKind::kRelational) return std::nullopt;
-  plan::BoundQuery bound = plan::BindQuery(*cq, inst);
+  plan::BoundQuery bound = plan::BindQuery(*cq, inst, &ctx);
   if (!bound.arity_ok) return std::nullopt;  // Generic reports the error.
   if (ctx.stats != nullptr) ++ctx.stats->cq_plans;
   Relation out(order.size());
@@ -37,7 +37,7 @@ std::optional<Relation> TryEvalCQNaive(const FormulaPtr& f,
   plan::CompiledQueryPtr cq = plan::GetOrCompile(
       req, inst, JoinEngineMode::kNaive, /*force_generic=*/false, ctx);
   if (cq->kind != plan::PlanKind::kShape) return std::nullopt;
-  plan::BoundQuery bound = plan::BindQuery(*cq, inst);
+  plan::BoundQuery bound = plan::BindQuery(*cq, inst, &ctx);
   if (!bound.arity_ok) return std::nullopt;
   if (ctx.stats != nullptr) ++ctx.stats->cq_plans;
   Relation out(order.size());
@@ -59,7 +59,7 @@ std::optional<bool> TryHoldsCQ(const FormulaPtr& f,
   plan::CompiledQueryPtr cq = plan::GetOrCompile(
       req, inst, JoinEngineMode::kIndexed, /*force_generic=*/false, ctx);
   if (cq->kind != plan::PlanKind::kRelational) return std::nullopt;
-  plan::BoundQuery bound = plan::BindQuery(*cq, inst);
+  plan::BoundQuery bound = plan::BindQuery(*cq, inst, &ctx);
   if (!bound.arity_ok) return std::nullopt;
   if (ctx.stats != nullptr) ++ctx.stats->cq_plans;
   if (bound.trivially_empty) return false;

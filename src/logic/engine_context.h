@@ -37,8 +37,21 @@ namespace plan {
 class PlanCache;
 }  // namespace plan
 
-/// Per-job evaluation counters. Plain (unsynchronized) integers: a sink
-/// must be owned by exactly one job, like everything else a job touches.
+namespace obs {
+class TraceSink;
+}  // namespace obs
+
+/// Per-job evaluation counters and phase timers. Plain (unsynchronized)
+/// integers: a sink must be owned by exactly one job, like everything
+/// else a job touches.
+///
+/// Every field is a uint64_t — counters count work units, `*_ns` timers
+/// accumulate monotonic-clock nanoseconds per engine phase (written by
+/// obs::ScopedSpan, src/obs/trace.h). The struct is deliberately a flat
+/// bag of uint64_t words: kU64Fields pins the field count (the
+/// static_assert below fires when a field is added without updating the
+/// manifest), tests/obs_test.cc pins that operator+= merges every word,
+/// and src/obs/report.cc pins that the rendering tables name every field.
 struct EngineStats {
   uint64_t cq_plans = 0;        ///< CQ join plans run (indexed or naive).
   uint64_t generic_evals = 0;   ///< Active-domain fallback evaluations.
@@ -67,6 +80,28 @@ struct EngineStats {
   /// member cap, a governed trip, or caller cancellation).
   uint64_t enum_shard_stops = 0;
 
+  // Phase timers (monotonic-clock ns, accumulated by obs::ScopedSpan).
+  // Wall time on the thread that ran the phase; under shard fan-out the
+  // per-shard timers merge like every other field, so a sharded phase can
+  // legitimately sum to more than the job's wall clock.
+  uint64_t parse_ns = 0;         ///< .dx text -> DxScenario parses.
+  uint64_t chase_ns = 0;         ///< Chase() runs (per mapping/instance pair).
+  uint64_t plan_compile_ns = 0;  ///< CompiledQuery construction (cache misses).
+  uint64_t plan_bind_ns = 0;     ///< Per-instance BindQuery rebinding.
+  uint64_t member_enum_ns = 0;   ///< Whole member-enumeration runs.
+  uint64_t enum_shard_ns = 0;    ///< Individual shard tasks (sum over shards).
+  uint64_t hom_search_ns = 0;    ///< Homomorphism searches.
+  uint64_t repa_search_ns = 0;   ///< RepA backtracking searches.
+  uint64_t snap_write_ns = 0;    ///< Snapshot build + serialize + write.
+  uint64_t snap_load_ns = 0;     ///< Snapshot read + validate + load.
+  uint64_t job_ns = 0;           ///< Whole job lifecycles (parse + command).
+
+  /// Field manifest: the number of uint64_t words in this struct. Update
+  /// it when adding a counter or timer — the static_assert below fails
+  /// otherwise — and extend operator+= and the src/obs/report.cc field
+  /// table in the same change (each is pinned by its own check).
+  static constexpr size_t kU64Fields = 26;
+
   EngineStats& operator+=(const EngineStats& o) {
     cq_plans += o.cq_plans;
     generic_evals += o.generic_evals;
@@ -83,9 +118,25 @@ struct EngineStats {
     enum_shard_runs += o.enum_shard_runs;
     enum_shard_tasks += o.enum_shard_tasks;
     enum_shard_stops += o.enum_shard_stops;
+    parse_ns += o.parse_ns;
+    chase_ns += o.chase_ns;
+    plan_compile_ns += o.plan_compile_ns;
+    plan_bind_ns += o.plan_bind_ns;
+    member_enum_ns += o.member_enum_ns;
+    enum_shard_ns += o.enum_shard_ns;
+    hom_search_ns += o.hom_search_ns;
+    repa_search_ns += o.repa_search_ns;
+    snap_write_ns += o.snap_write_ns;
+    snap_load_ns += o.snap_load_ns;
+    job_ns += o.job_ns;
     return *this;
   }
 };
+
+static_assert(sizeof(EngineStats) == EngineStats::kU64Fields * sizeof(uint64_t),
+              "EngineStats field added without updating the kU64Fields "
+              "manifest — also extend operator+= (pinned by "
+              "tests/obs_test.cc) and the src/obs/report.cc field table");
 
 /// All engine configuration for one job. Value type; default-constructed
 /// means "indexed engine, paper-default budgets, no stats, no cache"
@@ -104,6 +155,12 @@ struct EngineContext {
   Budget budget;
   /// Optional per-job counters; must not be shared across jobs.
   EngineStats* stats = nullptr;
+  /// Optional per-job trace sink (src/obs/trace.h) fed by the same
+  /// obs::ScopedSpan instrumentation that accumulates the `*_ns` timers.
+  /// Same ownership contract as `stats`: one sink per job, never shared
+  /// across threads — shard fan-out (certain/member_enum.cc) gives each
+  /// worker shard its own sink and absorbs them in shard order.
+  obs::TraceSink* trace = nullptr;
   /// Optional per-job compiled-plan cache (see src/plan/plan_cache.h).
   /// Shared by every copy of this context; like `stats` and the job's
   /// Universe it must be owned by exactly one job — fan-out code hands

@@ -64,7 +64,7 @@ Result<bool> Evaluator::Holds(const FormulaPtr& f, const Env& binding) {
       req, inst_, cq_eligible ? JoinEngineMode::kIndexed : JoinEngineMode::kGeneric,
       /*force_generic=*/!cq_eligible, ctx_);
   if (cq->kind == plan::PlanKind::kRelational) {
-    plan::BoundQuery bound = plan::BindQuery(*cq, inst_);
+    plan::BoundQuery bound = plan::BindQuery(*cq, inst_, &ctx_);
     if (bound.arity_ok) {
       if (ctx_.stats != nullptr) ++ctx_.stats->cq_plans;
       if (bound.trivially_empty) return false;
@@ -76,7 +76,7 @@ Result<bool> Evaluator::Holds(const FormulaPtr& f, const Env& binding) {
   if (ctx_.stats != nullptr) ++ctx_.stats->generic_evals;
   std::vector<Value> domain = Domain(f);
   const plan::GenericPlan& gp = *cq->generic;
-  plan::BoundQuery bound = plan::BindQuery(*cq, inst_);
+  plan::BoundQuery bound = plan::BindQuery(*cq, inst_, &ctx_);
   plan::GenericRunner runner(bound, oracle_);
   BudgetGauge gauge(ctx_.budget, ctx_.stats);
   runner.set_gauge(&gauge);
@@ -111,7 +111,7 @@ Result<Relation> Evaluator::Answers(const FormulaPtr& f,
       req, inst_, fast_eligible ? ctx_.mode : JoinEngineMode::kGeneric,
       /*force_generic=*/!fast_eligible, ctx_);
   if (cq->kind != plan::PlanKind::kGeneric) {
-    plan::BoundQuery bound = plan::BindQuery(*cq, inst_);
+    plan::BoundQuery bound = plan::BindQuery(*cq, inst_, &ctx_);
     if (bound.arity_ok) {
       if (ctx_.stats != nullptr) ++ctx_.stats->cq_plans;
       Relation out(order.size());
@@ -139,7 +139,7 @@ Result<Relation> Evaluator::Answers(const FormulaPtr& f,
   if (domain.empty()) return out;
 
   const plan::GenericPlan& gp = *cq->generic;
-  plan::BoundQuery bound = plan::BindQuery(*cq, inst_);
+  plan::BoundQuery bound = plan::BindQuery(*cq, inst_, &ctx_);
   plan::GenericRunner runner(bound, oracle_);
   BudgetGauge gauge(ctx_.budget, ctx_.stats);
   runner.set_gauge(&gauge);

@@ -1,0 +1,180 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+namespace ocdx {
+namespace obs {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void TraceSink::Exit(const char* name, uint64_t start_ns, uint64_t end_ns,
+                     uint32_t depth) {
+  if (depth_ > 0) --depth_;
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(
+      TraceEvent{name, start_ns, end_ns - start_ns, track_, depth});
+}
+
+void TraceSink::Absorb(const TraceSink& other) {
+  for (const TraceEvent& e : other.events_) {
+    if (events_.size() >= kMaxEvents) {
+      ++dropped_;
+      continue;
+    }
+    events_.push_back(e);
+  }
+  dropped_ += other.dropped_;
+}
+
+std::vector<std::string> TraceSink::StructureLines() const {
+  std::vector<std::string> lines;
+  lines.reserve(events_.size());
+  for (const TraceEvent& e : events_) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%" PRIu32 "/%" PRIu32 " %s", e.track,
+                  e.depth, e.name);
+    lines.push_back(buf);
+  }
+  return lines;
+}
+
+ScopedSpan::ScopedSpan(EngineStats* stats, TraceSink* sink,
+                       const PhaseDef& phase)
+    : stats_(stats), sink_(sink), phase_(phase) {
+  if (stats_ == nullptr && sink_ == nullptr) return;
+  if (sink_ != nullptr) depth_ = sink_->Enter();
+  start_ns_ = NowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (stats_ == nullptr && sink_ == nullptr) return;
+  uint64_t end_ns = NowNs();
+  if (stats_ != nullptr) stats_->*(phase_.ns_field) += end_ns - start_ns_;
+  if (sink_ != nullptr) sink_->Exit(phase_.name, start_ns_, end_ns, depth_);
+}
+
+namespace {
+
+// Escapes a string for embedding in a JSON string literal. Job names are
+// file paths, so backslashes and quotes are realistic, not theoretical.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) {
+    out->append(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1));
+  }
+}
+
+}  // namespace
+
+std::string RenderChromeTrace(const std::vector<TraceJob>& jobs) {
+  // Timestamps are rebased to the earliest span so the trace opens at
+  // t=0 regardless of the monotonic clock's epoch.
+  uint64_t base_ns = UINT64_MAX;
+  for (const TraceJob& job : jobs) {
+    if (job.sink == nullptr) continue;
+    for (const TraceEvent& e : job.sink->events()) {
+      base_ns = std::min(base_ns, e.start_ns);
+    }
+  }
+  if (base_ns == UINT64_MAX) base_ns = 0;
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  uint64_t dropped = 0;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const TraceJob& job = jobs[i];
+    if (job.sink == nullptr) continue;
+    dropped += job.sink->dropped();
+    uint64_t tid_base = static_cast<uint64_t>(i) * kTrackStride;
+    std::string name = JsonEscape(job.name);
+
+    // One thread_name metadata row per distinct track this job used.
+    std::map<uint32_t, bool> tracks;
+    tracks[0] = true;
+    for (const TraceEvent& e : job.sink->events()) tracks[e.track] = true;
+    for (const auto& [track, unused] : tracks) {
+      if (!first) out += ",";
+      first = false;
+      if (track == 0) {
+        AppendF(&out,
+                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                "\"tid\":%" PRIu64 ",\"args\":{\"name\":\"%s\"}}",
+                tid_base, name.c_str());
+      } else {
+        AppendF(&out,
+                "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                "\"tid\":%" PRIu64 ",\"args\":{\"name\":\"%s [shard %" PRIu32
+                "]\"}}",
+                tid_base + track, name.c_str(), track);
+      }
+    }
+
+    for (const TraceEvent& e : job.sink->events()) {
+      if (!first) out += ",";
+      first = false;
+      AppendF(&out,
+              "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%" PRIu64
+              ",\"ts\":%.3f,\"dur\":%.3f}",
+              e.name, tid_base + e.track,
+              static_cast<double>(e.start_ns - base_ns) / 1000.0,
+              static_cast<double>(e.dur_ns) / 1000.0);
+    }
+  }
+  AppendF(&out, "],\"otherData\":{\"dropped_events\":\"%" PRIu64 "\"}}\n",
+          dropped);
+  return out;
+}
+
+}  // namespace obs
+}  // namespace ocdx

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "obs/trace.h"
+
 namespace ocdx {
 namespace plan {
 
@@ -85,8 +87,11 @@ CompiledQueryPtr GetOrCompile(const CompileRequest& req, const Instance& inst,
     if (ctx.stats != nullptr) ++ctx.stats->plan_cache_misses;
   }
 
-  CompiledQueryPtr fresh =
-      CompileQuery(req, inst, engine, force_generic, schema_key);
+  CompiledQueryPtr fresh;
+  {
+    obs::ScopedSpan span(ctx, obs::kPhasePlanCompile);
+    fresh = CompileQuery(req, inst, engine, force_generic, schema_key);
+  }
   if (ctx.stats != nullptr) {
     ++ctx.stats->plan_compiles;
     if (fresh->guard_depth_fallback) ++ctx.stats->guard_depth_fallbacks;

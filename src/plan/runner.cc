@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "obs/trace.h"
 #include "util/str.h"
 
 namespace ocdx {
@@ -295,6 +296,15 @@ BoundQuery BindQuery(const CompiledQuery& q, const Instance& inst) {
       // InvalidArgument during execution, as they always have.
       break;
   }
+  return b;
+}
+
+BoundQuery BindQuery(const CompiledQuery& q, const Instance& inst,
+                     const EngineContext* ctx) {
+  if (ctx == nullptr || ctx->stats == nullptr) return BindQuery(q, inst);
+  uint64_t start_ns = obs::NowNs();
+  BoundQuery b = BindQuery(q, inst);
+  ctx->stats->plan_bind_ns += obs::NowNs() - start_ns;
   return b;
 }
 

@@ -29,6 +29,9 @@
 #include "util/status.h"
 
 namespace ocdx {
+
+struct EngineContext;
+
 namespace plan {
 
 /// A compiled plan resolved against one concrete instance.
@@ -52,6 +55,13 @@ struct BoundQuery {
 
 /// Resolves `q` against `inst`. Cheap; call per instance.
 BoundQuery BindQuery(const CompiledQuery& q, const Instance& inst);
+
+/// As above, accumulating the bind time into ctx->stats->plan_bind_ns
+/// when a stats sink is attached. Binding is the hottest instrumented
+/// phase (once per member instance in enumeration loops), so it feeds
+/// the timer only — deliberately no trace event per bind.
+BoundQuery BindQuery(const CompiledQuery& q, const Instance& inst,
+                     const EngineContext* ctx);
 
 /// Executes a bound relational plan (kind kRelational, arity_ok, and not
 /// trivially_empty). In boolean mode (`out` == nullptr) stops at the

@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/str.h"
 
 namespace ocdx {
@@ -33,6 +34,7 @@ class HomSearch {
   }
 
   Result<std::optional<NullMap>> Run() {
+    obs::ScopedSpan span(ctx_, obs::kPhaseHomSearch);
     // Marker preconditions. A homomorphism fixes markers, so every marker
     // of `a` must occur in `b`; the exact-image mode also needs the
     // converse.

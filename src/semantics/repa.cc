@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/str.h"
 
 namespace ocdx {
@@ -79,6 +80,7 @@ class RepASearch {
   }
 
   Result<bool> Run(Valuation* witness) {
+    obs::ScopedSpan span(ctx_, obs::kPhaseRepASearch);
     Result<bool> found = Search();
     if (ctx_.stats != nullptr) ctx_.stats->repa_steps += steps_;
     OCDX_RETURN_IF_ERROR(found.status());

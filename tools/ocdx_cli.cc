@@ -34,6 +34,18 @@
 //   --shards=N                       intra-job fan-out width for the
 //                                    member-enumeration loops (default 1;
 //                                    output is byte-identical for every N)
+//   --stats                          render the run's EngineStats table
+//                                    (counters + phase timings) to stderr
+//   --stats-json=FILE                write the run's EngineStats as JSON
+//   --trace-out=FILE                 write Chrome trace-event JSON (open
+//                                    in about://tracing or Perfetto);
+//                                    batch merges per-job sinks under
+//                                    stable job-indexed tids
+//
+// Observability contract: canonical output on stdout stays byte-
+// identical whether or not --stats/--stats-json/--trace-out are set —
+// the table goes to stderr, traces and JSON to their named files (see
+// docs/observability.md).
 //   -j N / --jobs=N                  batch: worker threads (default 1)
 //   --command=CMD                    batch: driver command (default all)
 //   --no-split                       batch: one job per file (no
@@ -55,6 +67,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -62,6 +75,8 @@
 #include "exec/batch_runner.h"
 #include "logic/budget.h"
 #include "logic/engine_context.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "snap/snapshot.h"
 #include "text/dx_driver.h"
 #include "text/dx_parser.h"
@@ -78,9 +93,11 @@ constexpr char kUsage[] =
     "[--target=NAME]\n"
     "            [--chase-max-triggers=N] [--max-members=N] "
     "[--deadline-ms=N]\n"
-    "            [--shards=N]\n"
+    "            [--shards=N] [--stats] [--stats-json=FILE] "
+    "[--trace-out=FILE]\n"
     "       ocdx batch FILE.dx... [-j N] [--command=CMD] "
     "[--engine=MODE] [--no-split]\n"
+    "                  [--stats] [--stats-json=FILE] [--trace-out=FILE]\n"
     "       ocdx snapshot write FILE.dx OUT.snap [--engine=MODE] "
     "[budget flags]\n"
     "       ocdx snapshot read SNAP.snap\n"
@@ -114,6 +131,37 @@ bool ParseU64(const std::string& text, uint64_t* out) {
   return true;
 }
 
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  int rc = std::fclose(f);
+  return n == content.size() && rc == 0;
+}
+
+// End-of-run observability surfaces: --stats table to stderr, --stats-
+// json and --trace-out to their files. Canonical stdout is never
+// touched. Returns 0, or 1 on a file-write failure.
+int EmitObservability(bool stats_table, const std::string& stats_json,
+                      const std::string& trace_out,
+                      const ocdx::EngineStats& stats,
+                      const std::vector<ocdx::obs::TraceJob>& trace_jobs) {
+  if (stats_table) {
+    std::fputs(ocdx::obs::RenderStatsTable(stats).c_str(), stderr);
+  }
+  if (!stats_json.empty() &&
+      !WriteTextFile(stats_json, ocdx::obs::RenderStatsJson(stats) + "\n")) {
+    std::fprintf(stderr, "ocdx: cannot write '%s'\n", stats_json.c_str());
+    return 1;
+  }
+  if (!trace_out.empty() &&
+      !WriteTextFile(trace_out, ocdx::obs::RenderChromeTrace(trace_jobs))) {
+    std::fprintf(stderr, "ocdx: cannot write '%s'\n", trace_out.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 bool ParseEngine(const std::string& engine, ocdx::JoinEngineMode* mode) {
   if (engine == "indexed") {
     *mode = ocdx::JoinEngineMode::kIndexed;
@@ -144,6 +192,9 @@ int main(int argc, char** argv) {
   std::string max_members_flag;
   std::string deadline_ms_flag;
   std::string shards_flag;
+  std::string stats_json_flag;
+  std::string trace_out_flag;
+  bool stats_flag = false;
   bool no_split = false;
   DxDriverOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -164,6 +215,10 @@ int main(int argc, char** argv) {
       no_split = true;
       continue;
     }
+    if (arg == "--stats") {
+      stats_flag = true;
+      continue;
+    }
     if (FlagValue(arg, "engine", &engine) ||
         FlagValue(arg, "jobs", &jobs_flag) ||
         FlagValue(arg, "command", &command_flag) ||
@@ -171,6 +226,8 @@ int main(int argc, char** argv) {
         FlagValue(arg, "max-members", &max_members_flag) ||
         FlagValue(arg, "deadline-ms", &deadline_ms_flag) ||
         FlagValue(arg, "shards", &shards_flag) ||
+        FlagValue(arg, "stats-json", &stats_json_flag) ||
+        FlagValue(arg, "trace-out", &trace_out_flag) ||
         FlagValue(arg, "mapping", &options.mapping) ||
         FlagValue(arg, "sigma", &options.sigma) ||
         FlagValue(arg, "delta", &options.delta) ||
@@ -231,6 +288,17 @@ int main(int argc, char** argv) {
     options.engine.shards = static_cast<size_t>(shards);
   }
 
+  // Observability attachment. Detached (the default) the ScopedSpan
+  // instrumentation is two null checks per phase — nothing is timed,
+  // nothing allocated. Batch ignores these pointers and gives every job
+  // its own sinks; it aggregates into its report instead.
+  EngineStats run_stats;
+  obs::TraceSink trace_sink;
+  if (stats_flag || !stats_json_flag.empty()) {
+    options.engine.stats = &run_stats;
+  }
+  if (!trace_out_flag.empty()) options.engine.trace = &trace_sink;
+
   if (command == "batch") {
     BatchOptions batch;
     batch.engine = options.engine;
@@ -246,6 +314,7 @@ int main(int argc, char** argv) {
       }
       batch.workers = static_cast<size_t>(n);
     }
+    batch.collect_traces = !trace_out_flag.empty();
     std::vector<std::string> files(positional.begin() + 1, positional.end());
     Result<BatchReport> report = RunDxBatch(files, batch);
     if (!report.ok()) {
@@ -254,6 +323,15 @@ int main(int argc, char** argv) {
     }
     std::fputs(RenderBatchOutput(report.value()).c_str(), stdout);
     std::fputs(RenderBatchSummary(report.value(), batch).c_str(), stderr);
+    std::vector<obs::TraceJob> trace_jobs;
+    trace_jobs.reserve(report.value().traces.size());
+    for (const BatchJobTrace& t : report.value().traces) {
+      trace_jobs.push_back(obs::TraceJob{t.label, t.sink.get()});
+    }
+    int obs_rc = EmitObservability(stats_flag, stats_json_flag,
+                                   trace_out_flag, report.value().stats,
+                                   trace_jobs);
+    if (obs_rc != 0) return obs_rc;
     // Hard failures dominate the exit code; a clean-but-governed batch
     // reports 3 so scripts can tell "completed under budget trips" from
     // both success and failure.
@@ -276,21 +354,32 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "ocdx: %s\n", src.status().ToString().c_str());
         return 1;
       }
-      Result<snap::SnapshotBundle> bundle = snap::BuildSnapshotBundle(
-          dx_path, src.value(), options.engine);
-      if (!bundle.ok()) {
-        std::fprintf(stderr, "ocdx: %s: %s\n", dx_path.c_str(),
-                     bundle.status().ToString().c_str());
-        return 1;
-      }
-      Status written = snap::WriteSnapshotFile(bundle.value(), out_path);
-      if (!written.ok()) {
-        std::fprintf(stderr, "ocdx: %s\n", written.ToString().c_str());
-        return 1;
+      size_t prechased = 0;
+      {
+        // One span over build + serialize + write: the phase a warm
+        // start amortizes away.
+        obs::ScopedSpan span(options.engine.stats, options.engine.trace,
+                             obs::kPhaseSnapWrite);
+        Result<snap::SnapshotBundle> bundle = snap::BuildSnapshotBundle(
+            dx_path, src.value(), options.engine);
+        if (!bundle.ok()) {
+          std::fprintf(stderr, "ocdx: %s: %s\n", dx_path.c_str(),
+                       bundle.status().ToString().c_str());
+          return 1;
+        }
+        Status written = snap::WriteSnapshotFile(bundle.value(), out_path);
+        if (!written.ok()) {
+          std::fprintf(stderr, "ocdx: %s\n", written.ToString().c_str());
+          return 1;
+        }
+        prechased = bundle.value().prechased.size();
       }
       std::fprintf(stderr, "ocdx: wrote '%s' (%zu prechased pairs)\n",
-                   out_path.c_str(), bundle.value().prechased.size());
-      return 0;
+                   out_path.c_str(), prechased);
+      return EmitObservability(stats_flag, stats_json_flag, trace_out_flag,
+                               run_stats,
+                               {obs::TraceJob{"snapshot-write " + dx_path,
+                                              &trace_sink}});
     }
     if (sub == "read" || sub == "run") {
       if (positional.size() != 3) {
@@ -298,27 +387,43 @@ int main(int argc, char** argv) {
                      sub.c_str(), kUsage);
         return 2;
       }
-      Result<snap::SnapshotBundle> bundle =
-          snap::LoadSnapshotFile(positional[2]);
-      if (!bundle.ok()) {
-        std::fprintf(stderr, "ocdx: %s\n", bundle.status().ToString().c_str());
+      std::optional<Result<snap::SnapshotBundle>> bundle;
+      {
+        obs::ScopedSpan span(options.engine.stats, options.engine.trace,
+                             obs::kPhaseSnapLoad);
+        bundle.emplace(snap::LoadSnapshotFile(positional[2]));
+      }
+      if (!bundle->ok()) {
+        std::fprintf(stderr, "ocdx: %s\n",
+                     bundle->status().ToString().c_str());
         return 1;
       }
+      int exit_code = 0;
       if (sub == "read") {
-        std::fputs(snap::DescribeSnapshot(bundle.value()).c_str(), stdout);
-        return 0;
+        std::fputs(snap::DescribeSnapshot(bundle->value()).c_str(), stdout);
+      } else {
+        std::string run_command = command_flag.empty() ? "all" : command_flag;
+        Status governed;
+        std::optional<Result<std::string>> out;
+        {
+          obs::ScopedSpan span(options.engine.stats, options.engine.trace,
+                               obs::kPhaseJob);
+          out.emplace(snap::RunSnapshotCommand(bundle->value(), run_command,
+                                               options, &governed));
+        }
+        if (!out->ok()) {
+          std::fprintf(stderr, "ocdx: %s: %s\n", positional[2].c_str(),
+                       out->status().ToString().c_str());
+          return 1;
+        }
+        std::fputs(out->value().c_str(), stdout);
+        exit_code = governed.ok() ? 0 : 3;
       }
-      std::string run_command = command_flag.empty() ? "all" : command_flag;
-      Status governed;
-      Result<std::string> out = snap::RunSnapshotCommand(
-          bundle.value(), run_command, options, &governed);
-      if (!out.ok()) {
-        std::fprintf(stderr, "ocdx: %s: %s\n", positional[2].c_str(),
-                     out.status().ToString().c_str());
-        return 1;
-      }
-      std::fputs(out.value().c_str(), stdout);
-      return governed.ok() ? 0 : 3;
+      int obs_rc = EmitObservability(
+          stats_flag, stats_json_flag, trace_out_flag, run_stats,
+          {obs::TraceJob{"snapshot-" + sub + " " + positional[2],
+                         &trace_sink}});
+      return obs_rc != 0 ? obs_rc : exit_code;
     }
     std::fprintf(stderr, "ocdx: unknown snapshot subcommand '%s'\n%s",
                  sub.c_str(), kUsage);
@@ -337,27 +442,43 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Universe universe;
-  Result<DxScenario> scenario = ParseDxScenario(src.value(), &universe);
-  if (!scenario.ok()) {
-    std::fprintf(stderr, "ocdx: %s: %s\n", path.c_str(),
-                 scenario.status().ToString().c_str());
-    return 1;
-  }
+  int exit_code = 0;
+  {
+    // The job span brackets parse + command, mirroring one batch job.
+    obs::ScopedSpan job_span(options.engine.stats, options.engine.trace,
+                             obs::kPhaseJob);
+    Universe universe;
+    std::optional<Result<DxScenario>> scenario;
+    {
+      obs::ScopedSpan parse_span(options.engine.stats, options.engine.trace,
+                                 obs::kPhaseParse);
+      scenario.emplace(ParseDxScenario(src.value(), &universe));
+    }
+    if (!scenario->ok()) {
+      std::fprintf(stderr, "ocdx: %s: %s\n", path.c_str(),
+                   scenario->status().ToString().c_str());
+      return 1;
+    }
 
-  if (command == "print") {
-    std::fputs(PrintDxScenario(scenario.value(), universe).c_str(), stdout);
-    return 0;
+    if (command == "print") {
+      std::fputs(PrintDxScenario(scenario->value(), universe).c_str(),
+                 stdout);
+    } else {
+      Status governed;
+      Result<std::string> out = RunDxCommand(scenario->value(), command,
+                                             &universe, options, &governed);
+      if (!out.ok()) {
+        std::fprintf(stderr, "ocdx: %s: %s\n", path.c_str(),
+                     out.status().ToString().c_str());
+        return 1;
+      }
+      std::fputs(out.value().c_str(), stdout);
+      exit_code = governed.ok() ? 0 : 3;
+    }
   }
-
-  Status governed;
-  Result<std::string> out =
-      RunDxCommand(scenario.value(), command, &universe, options, &governed);
-  if (!out.ok()) {
-    std::fprintf(stderr, "ocdx: %s: %s\n", path.c_str(),
-                 out.status().ToString().c_str());
-    return 1;
-  }
-  std::fputs(out.value().c_str(), stdout);
-  return governed.ok() ? 0 : 3;
+  int obs_rc =
+      EmitObservability(stats_flag, stats_json_flag, trace_out_flag,
+                        run_stats, {obs::TraceJob{"job-0 " + path,
+                                                  &trace_sink}});
+  return obs_rc != 0 ? obs_rc : exit_code;
 }

@@ -20,7 +20,14 @@
 //
 //   request:   <command> <file-path> [key=value ...]
 //              where <command> is any ocdx driver command
-//              (chase | certain | classify | membership | compose | all)
+//              (chase | certain | classify | membership | compose | all),
+//              or the single token "stats": respond with the process-
+//              lifetime metrics aggregate (obs/stats_registry.h) as one
+//              line of JSON — requests served / ok / governed-per-cause /
+//              failed counts, plan-cache hit rate, shard fan-out totals,
+//              uptime, and the merged EngineStats of every command
+//              request served so far ("stats" requests themselves are
+//              not counted)
 //              and the optional trailing fields tighten the request's
 //              resource budget: deadline-ms, chase-max-triggers,
 //              max-members, hom-max-steps, repa-max-steps — or set its
@@ -58,6 +65,7 @@
 #include "exec/batch_runner.h"
 #include "logic/budget.h"
 #include "logic/engine_context.h"
+#include "obs/stats_registry.h"
 #include "snap/snapshot.h"
 #include "text/dx_driver.h"
 #include "util/fault.h"
@@ -231,11 +239,22 @@ int main(int argc, char** argv) {
   sigaction(SIGTERM, &sa, nullptr);
   sigaction(SIGINT, &sa, nullptr);
 
+  // Process-lifetime metrics, folded in at request completion only (the
+  // registry's mutex is never touched inside evaluation).
+  obs::StatsRegistry registry;
+
   std::string line;
   while (!g_stop && std::getline(std::cin, line)) {
     if (g_stop) break;
     if (line == "quit") break;
     if (line.empty()) continue;
+    if (line == "stats") {
+      std::string payload = registry.RenderJson() + "\n";
+      std::printf("ok %zu\n", payload.size());
+      std::fwrite(payload.data(), 1, payload.size(), stdout);
+      std::fflush(stdout);
+      continue;
+    }
 
     // Tokenize: <command> <file> [key=value ...].
     std::vector<std::string> tokens;
@@ -298,6 +317,11 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Per-request stats sink (one per job, like its Universe), folded
+    // into the registry when the response is decided.
+    EngineStats request_stats;
+    request.engine.stats = &request_stats;
+
     Status governed;
     Result<std::string> out = [&]() -> Result<std::string> {
       if (warm != nullptr) {
@@ -307,6 +331,7 @@ int main(int argc, char** argv) {
       if (!source.ok()) return source.status();
       return RunDxFile(path, source.value(), command, request, &governed);
     }();
+    registry.Record(request_stats, governed, /*failed=*/!out.ok());
     if (!out.ok()) {
       // One-line error: newlines in the message would break the framing.
       std::string msg = out.status().ToString();

@@ -7,6 +7,7 @@
 namespace ocdx {
 
 std::pair<WitnessRef, std::span<Value>> Universe::AllocateWitness(size_t n) {
+  CheckWrite();
   if (n == 0) return {WitnessRef{}, std::span<Value>{}};
   if (witness_chunks_.empty() || witness_left_ < n) {
     // Chunked like ValueArena (base/arena.h): chunks are never
@@ -14,6 +15,8 @@ std::pair<WitnessRef, std::span<Value>> Universe::AllocateWitness(size_t n) {
     // A vector resized within its reserved capacity never moves. The new
     // chunk's base is the current logical size — the abandoned tail of
     // the previous chunk was never handed out, so offsets stay dense.
+    // On an overlay witness_size_ starts at the base's arena size, so
+    // overlay offsets continue the base's logical offset space.
     static constexpr size_t kChunk = 4096;
     size_t cap = std::max(n, kChunk);
     witness_chunks_.emplace_back();
@@ -31,8 +34,14 @@ std::pair<WitnessRef, std::span<Value>> Universe::AllocateWitness(size_t n) {
 }
 
 std::span<const Value> Universe::WitnessOf(WitnessRef ref) const {
-  CheckOwner();
+  CheckRead();
   if (ref.len == 0) return {};
+  // Offsets below the overlay boundary belong to the base's arena (a
+  // witness never spans the boundary: it was allocated in one piece by
+  // whichever universe owned the allocation).
+  if (base_ != nullptr && ref.offset < base_witness_) {
+    return base_->WitnessOf(ref);
+  }
   // Binary search for the chunk whose [base, base + size) range holds the
   // offset: chunks are in ascending base order by construction. A witness
   // never spans chunks (it was allocated in one piece).
@@ -47,15 +56,17 @@ std::span<const Value> Universe::WitnessOf(WitnessRef ref) const {
 }
 
 void Universe::AppendWitnessValues(std::vector<Value>* out) const {
-  CheckOwner();
+  CheckRead();
   out->reserve(out->size() + witness_size_);
+  if (base_ != nullptr) base_->AppendWitnessValues(out);
   for (const WitnessChunk& chunk : witness_chunks_) {
     out->insert(out->end(), chunk.data.begin(), chunk.data.end());
   }
 }
 
 bool Universe::LoadWitnessValues(std::span<const Value> values) {
-  CheckOwner();
+  CheckWrite();
+  assert(base_ == nullptr && "bulk witness loads target root universes");
   if (witness_size_ != 0) return false;
   if (values.empty()) return true;
   witness_chunks_.emplace_back();
@@ -67,17 +78,45 @@ bool Universe::LoadWitnessValues(std::span<const Value> values) {
   return true;
 }
 
-std::unique_ptr<Universe> Universe::Clone() const {
-  CheckOwner();
+uint64_t Universe::ApproxCloneBytes() const {
+  // Approximate on purpose: NullInfo's var/label heap strings are not
+  // counted (labels are rare outside tests), and interner hash-table
+  // overhead is ignored. Good enough to make the clone-vs-overlay win
+  // visible in EngineStats without an O(n) walk.
+  uint64_t bytes = consts_.byte_size() +
+                   uint64_t{nulls_.size()} * sizeof(NullInfo) +
+                   (witness_size_ - base_witness_) * sizeof(Value);
+  if (base_ != nullptr) bytes += base_->ApproxCloneBytes();
+  return bytes;
+}
+
+std::unique_ptr<Universe> Universe::Clone(uint64_t* copied_bytes) const {
+  CheckRead();
+  assert(base_ == nullptr &&
+         "Clone() targets root universes; an overlay is already a cheap "
+         "view — overlay the root instead");
   auto out = std::make_unique<Universe>();
   out->consts_ = consts_;
   // WitnessRef handles are logical offsets, which the compacted copy
   // below preserves — so the nulls (and any serialized ChaseTrigger refs)
   // mean the same thing in the clone with no fixup at all.
   out->nulls_ = nulls_;
-  std::vector<Value> flat;
-  AppendWitnessValues(&flat);
-  out->LoadWitnessValues(flat);
+  if (witness_size_ != 0) {
+    // One pass: a single chunk reserved to the exact arena size, filled
+    // straight from the source chunks. (This used to flatten into a
+    // temporary vector with AppendWitnessValues and then copy *again*
+    // through LoadWitnessValues.)
+    out->witness_chunks_.emplace_back();
+    WitnessChunk& chunk = out->witness_chunks_.back();
+    chunk.base = 0;
+    chunk.data.reserve(static_cast<size_t>(witness_size_));
+    for (const WitnessChunk& c : witness_chunks_) {
+      chunk.data.insert(chunk.data.end(), c.data.begin(), c.data.end());
+    }
+    out->witness_left_ = 0;
+    out->witness_size_ = witness_size_;
+  }
+  if (copied_bytes != nullptr) *copied_bytes += ApproxCloneBytes();
   // Make sure the clone leaves this function unowned so a pool worker can
   // claim it (nothing above goes through the clone's public, owner-checked
   // API, but the contract is worth enforcing explicitly).
@@ -85,11 +124,24 @@ std::unique_ptr<Universe> Universe::Clone() const {
   return out;
 }
 
+std::unique_ptr<Universe> Universe::NewOverlay() const {
+  assert(read_only() &&
+         "NewOverlay() needs a frozen or shared base: call Freeze() or "
+         "hold a ScopedReadShare before minting overlays");
+  auto out = std::make_unique<Universe>();
+  out->base_ = this;
+  out->base_consts_ = static_cast<uint32_t>(num_consts());
+  out->base_nulls_ = static_cast<uint32_t>(num_nulls());
+  out->base_witness_ = witness_size();
+  out->witness_size_ = witness_size();
+  return out;
+}
+
 std::string Universe::Describe(Value v) const {
-  CheckOwner();
+  CheckRead();
   if (!v.IsValid()) return "<invalid>";
-  if (v.IsConst()) return consts_.Get(v.id());
-  const NullInfo& info = nulls_.at(v.id());
+  if (v.IsConst()) return ConstName(v.id());
+  const NullInfo& info = null_info(v);
   if (!info.label.empty()) return StrCat("_", info.label);
   // Chase nulls skip eager label materialization (it is measurable chase
   // time); synthesize a readable, unique name from the justification.

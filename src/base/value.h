@@ -127,34 +127,113 @@ struct NullInfo {
 /// Instances, mappings and solvers all operate on Values minted by one
 /// Universe. Creating a fresh Universe per test gives deterministic ids.
 ///
-/// Concurrency contract: a Universe (together with every instance,
-/// relation index and arena built over its values) belongs to exactly one
-/// job at a time — the batch executor (src/exec) gives each job its own
-/// Universe and never migrates one across threads. There is no internal
-/// synchronization; debug builds enforce the rule with a first-use thread
-/// ownership assert.
+/// \invariant Concurrency contract (amends the one-Universe-per-job
+///   rule). A Universe is in exactly one of three states:
+///
+///   - *Mutable* (the default): it belongs to exactly one job at a time —
+///     the batch executor (src/exec) gives each job its own Universe and
+///     never migrates one across threads. No internal synchronization;
+///     debug builds enforce the rule with a first-use thread ownership
+///     assert on every read and write.
+///   - *Frozen* (after Freeze(), permanent) or *shared* (inside a
+///     ScopedReadShare, temporary): the constant table, null registry and
+///     justification arena are immutable and may be READ from any number
+///     of threads concurrently with no locking — reads skip the owner
+///     assert, writes assert unconditionally. Freeze()/share entry must
+///     happen-before the reader threads start (thread creation/join
+///     provides the ordering; both fan-out and snapshot preload satisfy
+///     this by construction).
+///   - *Overlay* (from NewOverlay() on a frozen or shared base): a
+///     lightweight copy-on-write view. Reads fall through to the base;
+///     mints (constants, nulls, witnesses) land in the overlay's private
+///     delta under the ordinary one-owner rule. Ids continue the base's
+///     id spaces, so a value minted through an overlay is bit-identical
+///     to the value a full Clone() would have minted — which is what
+///     keeps canonical output byte-identical when fan-out and snapshot
+///     serving build overlays instead of clones. The base must stay
+///     frozen/shared (and alive) for the overlay's whole lifetime.
 class Universe {
  public:
   Universe() = default;
   Universe(const Universe&) = delete;
   Universe& operator=(const Universe&) = delete;
 
-  /// A scratch copy for intra-job fan-out (src/certain member-enumeration
-  /// sharding) and snapshot service (one clone per request over a
-  /// preloaded snapshot). Same constants under the same ids, same nulls,
+  /// A deep scratch copy. Same constants under the same ids, same nulls,
   /// and a compacted justification arena preserving every logical offset
   /// (WitnessRef handles mean the same thing in both universes). The
   /// clone is returned *unowned* — the first thread to touch it claims it
-  /// under the one-Universe-per-job rule — so the caller can build clones
-  /// up front and hand one to each worker. Values minted before the clone
+  /// under the one-Universe-per-job rule. Values minted before the clone
   /// point mean the same thing in both universes; values minted
   /// afterwards are private to whichever universe minted them.
-  std::unique_ptr<Universe> Clone() const;
+  ///
+  /// The former hot-path users (shard fan-out, snapshot serving) now take
+  /// NewOverlay() instead; Clone() remains for callers that genuinely
+  /// need an independent mutable copy. When `copied_bytes` is given,
+  /// ApproxCloneBytes() is added to it — callers fold that into
+  /// EngineStats::clone_bytes_copied. Root universes only (asserts on
+  /// overlays).
+  std::unique_ptr<Universe> Clone(uint64_t* copied_bytes = nullptr) const;
 
-  /// Interns a constant by name and returns its Value.
+  /// Seals the universe read-only, permanently: after Freeze() any thread
+  /// may read concurrently, every mutation asserts, and NewOverlay()
+  /// hands out copy-on-write views. Freezing must happen-before reader
+  /// threads start (see the class \invariant).
+  void Freeze() { frozen_ = true; }
+
+  bool frozen() const { return frozen_; }
+
+  /// Temporarily puts the universe in the shared read-only state for a
+  /// lexical scope — the fan-out form of Freeze(): the caller's universe
+  /// must become mutable again once the scoped worker pool drains.
+  /// Entry/exit must happen-before/after the reader threads run (the
+  /// scoped ThreadPool's create/join provides exactly that). Shares nest.
+  class ScopedReadShare {
+   public:
+    explicit ScopedReadShare(const Universe& u) : u_(u) {
+      u_.shared_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~ScopedReadShare() { u_.shared_.fetch_sub(1, std::memory_order_relaxed); }
+    ScopedReadShare(const ScopedReadShare&) = delete;
+    ScopedReadShare& operator=(const ScopedReadShare&) = delete;
+
+   private:
+    const Universe& u_;
+  };
+
+  /// True while reads are thread-safe: frozen, or inside a
+  /// ScopedReadShare.
+  bool read_only() const {
+    return frozen_ || shared_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// A copy-on-write overlay over this (frozen or shared) universe: reads
+  /// fall through, mints land in the overlay's private delta, and ids
+  /// continue this universe's id spaces — exactly the ids Clone() + mint
+  /// would have produced, with none of the copying. Returned unowned,
+  /// like Clone(). The base must outlive the overlay and stay read-only
+  /// for the overlay's whole lifetime.
+  std::unique_ptr<Universe> NewOverlay() const;
+
+  /// True iff this universe is an overlay (NewOverlay) over some base.
+  bool is_overlay() const { return base_ != nullptr; }
+
+  /// Approximate heap bytes a Clone() of this universe copies: interned
+  /// constant characters, the null registry records and the justification
+  /// arena values. O(1); feeds the clone_bytes_copied / clone_bytes_avoided
+  /// EngineStats counters.
+  uint64_t ApproxCloneBytes() const;
+
+  /// Interns a constant by name and returns its Value. On an overlay the
+  /// frozen base is probed first (read, any thread); only genuinely new
+  /// names land in the overlay's private delta, continuing the base's id
+  /// space — the same id a clone would have assigned.
   Value Const(std::string_view name) {
-    CheckOwner();
-    return Value::MakeConst(consts_.Intern(name));
+    if (base_ != nullptr) {
+      Value v = base_->FindConst(name);
+      if (v.IsValid()) return v;
+    }
+    CheckWrite();
+    return Value::MakeConst(base_consts_ + consts_.Intern(name));
   }
 
   /// Interns an integer constant (rendered in decimal).
@@ -162,15 +241,20 @@ class Universe {
 
   /// Returns the constant named `name` if it exists (invalid Value if not).
   Value FindConst(std::string_view name) const {
-    CheckOwner();
+    CheckRead();
+    if (base_ != nullptr) {
+      Value v = base_->FindConst(name);
+      if (v.IsValid()) return v;
+    }
     uint32_t id = consts_.Find(name);
-    return id == UINT32_MAX ? Value() : Value::MakeConst(id);
+    return id == UINT32_MAX ? Value() : Value::MakeConst(base_consts_ + id);
   }
 
   /// The interned name of constant id `id` (< num_consts()).
   const std::string& ConstName(uint32_t id) const {
-    CheckOwner();
-    return consts_.Get(id);
+    CheckRead();
+    if (base_ != nullptr && id < base_consts_) return base_->ConstName(id);
+    return consts_.Get(id - base_consts_);
   }
 
   /// Mints a fresh null with no justification (tests / ad-hoc instances).
@@ -185,8 +269,8 @@ class Universe {
   /// typically from InternWitness, shared across all the nulls of one
   /// trigger.
   Value MintNull(NullInfo info) {
-    CheckOwner();
-    uint32_t id = static_cast<uint32_t>(nulls_.size());
+    CheckWrite();
+    uint32_t id = static_cast<uint32_t>(base_nulls_ + nulls_.size());
     nulls_.push_back(std::move(info));
     return Value::MakeNull(id);
   }
@@ -200,7 +284,7 @@ class Universe {
   /// appends never move earlier chunks). One call per chase trigger
   /// serves that trigger's ChaseTrigger record and every null it mints.
   WitnessRef InternWitness(std::span<const Value> witness) {
-    CheckOwner();
+    CheckWrite();
     auto [ref, dst] = AllocateWitness(witness.size());
     for (size_t i = 0; i < witness.size(); ++i) dst[i] = witness[i];
     return ref;
@@ -214,18 +298,22 @@ class Universe {
   std::span<const Value> WitnessOf(WitnessRef ref) const;
 
   const NullInfo& null_info(Value v) const {
-    CheckOwner();
-    return nulls_.at(v.id());
+    CheckRead();
+    if (base_ != nullptr && v.id() < base_nulls_) return base_->null_info(v);
+    return nulls_.at(v.id() - base_nulls_);
   }
 
   /// Printable form: the constant's name, or "_N<i>" / the null's label.
   std::string Describe(Value v) const;
 
-  size_t num_consts() const { return consts_.size(); }
-  size_t num_nulls() const { return nulls_.size(); }
+  /// Counts include the base's values when this is an overlay: an overlay
+  /// looks like the clone it replaces.
+  size_t num_consts() const { return base_consts_ + consts_.size(); }
+  size_t num_nulls() const { return base_nulls_ + nulls_.size(); }
 
   /// Total values in the justification arena (== the exclusive upper
-  /// bound of the logical offset space).
+  /// bound of the logical offset space; includes the base's arena when
+  /// this is an overlay).
   uint64_t witness_size() const { return witness_size_; }
 
   /// Appends the whole justification arena, in logical offset order, to
@@ -240,12 +328,11 @@ class Universe {
 
  private:
   /// One-Universe-per-job tripwire: the first thread to touch the
-  /// universe owns it for good. Reads are checked too — a concurrent
-  /// reader would race the interner/arena growth of the owner. A no-op
-  /// in NDEBUG builds; the owner_ member is unconditional so the class
-  /// layout never depends on the consumer's NDEBUG setting (the library
-  /// and its users may be compiled with different flags).
-  void CheckOwner() const {
+  /// universe owns it for good. A no-op in NDEBUG builds; the owner_
+  /// member is unconditional so the class layout never depends on the
+  /// consumer's NDEBUG setting (the library and its users may be
+  /// compiled with different flags).
+  void ClaimOwner() const {
 #ifndef NDEBUG
     std::thread::id expected{};
     if (!owner_.compare_exchange_strong(expected, std::this_thread::get_id(),
@@ -257,7 +344,41 @@ class Universe {
     }
 #endif
   }
+
+  /// Read-side assert: frozen or shared universes are readable from any
+  /// thread; otherwise a concurrent reader would race the interner/arena
+  /// growth of the owner, so the owner claim applies to reads too.
+  void CheckRead() const {
+#ifndef NDEBUG
+    if (read_only()) return;
+    ClaimOwner();
+#endif
+  }
+
+  /// Write-side assert: mutating a frozen or shared universe is a bug
+  /// (overlays exist precisely so nobody has to); otherwise the ordinary
+  /// one-owner rule applies.
+  void CheckWrite() {
+#ifndef NDEBUG
+    assert(!read_only() &&
+           "mutating a frozen/shared Universe: mint through NewOverlay() "
+           "instead (see the Universe concurrency contract)");
+    ClaimOwner();
+#endif
+  }
+
   mutable std::atomic<std::thread::id> owner_{};
+  bool frozen_ = false;
+  mutable std::atomic<uint32_t> shared_{0};
+
+  /// Overlay linkage (null for root universes). base_consts_/base_nulls_
+  /// cache the base's counts at overlay creation — the base is read-only,
+  /// so they never go stale — and every id/offset handed out by the
+  /// overlay is displaced past them.
+  const Universe* base_ = nullptr;
+  uint32_t base_consts_ = 0;
+  uint32_t base_nulls_ = 0;
+  uint64_t base_witness_ = 0;
 
   /// Justification storage is chunked like ValueArena (base/arena.h) but
   /// hand-rolled — arena.h includes this header — and offset-addressed:

@@ -7,6 +7,8 @@
 #include "exec/pool.h"
 #include "logic/engine_context.h"
 #include "obs/trace.h"
+#include "plan/plan_cache.h"
+#include "plan/shared_plan_table.h"
 #include "util/combinatorics.h"
 #include "util/fault.h"
 #include "util/str.h"
@@ -310,13 +312,19 @@ Status RepAMemberEnumerator::RunSharded(size_t shards,
     ShardMemberFn fn = factory(shard);
     RunShard(shard, fn, &stop, &total_members, &outcomes[0]);
   } else {
-    // Fan-out. Shard 0 runs on the calling thread over the caller's
-    // universe/cache; shards 1..n-1 run on a scoped pool, each over its
-    // own scratch Universe clone and fresh-cache context. Contexts and
-    // visitors are fully built (factory called serially, in shard order)
-    // before any worker starts.
-    std::vector<std::unique_ptr<Universe>> clones;
-    clones.reserve(shards - 1);
+    // Fan-out over copy-on-write overlays of the caller's universe. The
+    // caller's universe is read-shared for the fan-out's duration; every
+    // shard (including shard 0, which runs on the calling thread) mints
+    // through its own private overlay, so nothing is deep-copied — the
+    // PR 7 design cloned the whole universe per worker shard. Overlay
+    // ids continue the base's id spaces, which is exactly what a clone
+    // would have assigned, so canonical output is unchanged bit for bit.
+    // Compiled plans are shared through one thread-safe SharedPlanTable
+    // (seeded from / exported back to the caller's per-job cache), so a
+    // fan-out compiles each query exactly once instead of once per
+    // shard. Contexts and visitors are fully built (factory called
+    // serially, in shard order) before any worker starts.
+    std::vector<std::unique_ptr<Universe>> overlays;
     std::vector<EngineContext> shard_ctxs(shards);
     std::vector<EngineStats> shard_stats(shards);
     // Trace sinks follow the stats rule — one per thread. Shard 0 runs
@@ -329,23 +337,49 @@ Status RepAMemberEnumerator::RunSharded(size_t shards,
     fns.reserve(shards);
     const EngineContext base_ctx =
         ctx_ != nullptr ? *ctx_ : EngineContext();
-    for (size_t s = 0; s < shards; ++s) {
-      Universe* su = universe_;
-      if (s > 0) {
-        clones.push_back(universe_->Clone());
-        su = clones.back().get();
+
+    // The shard plan table: the job's own (ocdxd preload serving hands
+    // one down) or a fan-out-local one. Seeding from the caller's cache
+    // keeps repeated fan-outs of one job compile-once — certain-answer
+    // checks run one fan-out per candidate tuple.
+    std::unique_ptr<plan::SharedPlanTable> local_table;
+    plan::SharedPlanTable* table = base_ctx.shared_plans;
+    if (table == nullptr && !base_ctx.plan_cache_opt_out &&
+        plan::PlanCache::EnabledByEnv()) {
+      local_table = std::make_unique<plan::SharedPlanTable>();
+      if (base_ctx.plan_cache != nullptr) {
+        local_table->SeedFromCache(*base_ctx.plan_cache);
       }
-      shard_ctxs[s] = s == 0 ? base_ctx : base_ctx.WithFreshCache();
-      shard_ctxs[s].stats = &shard_stats[s];
-      shard_ctxs[s].budget.cancel = &stop;
-      shard_ctxs[s].shards = 1;  // Fan-out never nests.
-      if (s > 0 && base_ctx.trace != nullptr) {
-        shard_sinks[s] =
-            std::make_unique<obs::TraceSink>(static_cast<uint32_t>(s));
-        shard_ctxs[s].trace = shard_sinks[s].get();
+      table = local_table.get();
+    }
+
+    Universe::ScopedReadShare share(*universe_);
+    {
+      obs::ScopedSpan setup_span(ctx_ != nullptr ? ctx_->stats : nullptr,
+                                 ctx_ != nullptr ? ctx_->trace : nullptr,
+                                 obs::kPhaseFanoutSetup);
+      overlays.reserve(shards);
+      for (size_t s = 0; s < shards; ++s) {
+        overlays.push_back(universe_->NewOverlay());
+        shard_ctxs[s] = base_ctx;
+        // The shared table replaces per-shard caches on this path (the
+        // caller's unsynchronized cache must not be touched from worker
+        // threads; WithFreshCache here meant compiling every query once
+        // per shard).
+        shard_ctxs[s].plan_cache = nullptr;
+        shard_ctxs[s].shared_plans = table;
+        shard_ctxs[s].stats = &shard_stats[s];
+        shard_ctxs[s].budget.cancel = &stop;
+        shard_ctxs[s].shards = 1;  // Fan-out never nests.
+        if (s > 0 && base_ctx.trace != nullptr) {
+          shard_sinks[s] =
+              std::make_unique<obs::TraceSink>(static_cast<uint32_t>(s));
+          shard_ctxs[s].trace = shard_sinks[s].get();
+        }
+        shard_descs[s] = MemberShard{s, shards, overlays[s].get(),
+                                     &shard_ctxs[s]};
+        fns.push_back(factory(shard_descs[s]));
       }
-      shard_descs[s] = MemberShard{s, shards, su, &shard_ctxs[s]};
-      fns.push_back(factory(shard_descs[s]));
     }
     {
       // A scoped pool of our own: submitting intra-job work to the outer
@@ -361,6 +395,12 @@ Status RepAMemberEnumerator::RunSharded(size_t shards,
       }
       RunShard(shard_descs[0], fns[0], &stop, &total_members, &outcomes[0]);
     }  // <- pool drained: every shard finished, results visible here.
+    // Give plans compiled during this fan-out back to the caller's
+    // per-job cache (counter-free), so the next fan-out — or the job's
+    // own sequential evaluations — need not recompile them.
+    if (local_table != nullptr && base_ctx.plan_cache != nullptr) {
+      local_table->ExportTo(base_ctx.plan_cache.get());
+    }
     if (ctx_ != nullptr && ctx_->trace != nullptr) {
       for (size_t s = 1; s < shards; ++s) {
         if (shard_sinks[s] != nullptr) ctx_->trace->Absorb(*shard_sinks[s]);
@@ -370,6 +410,12 @@ Status RepAMemberEnumerator::RunSharded(size_t shards,
       for (const EngineStats& st : shard_stats) *ctx_->stats += st;
       ++ctx_->stats->enum_shard_runs;
       ctx_->stats->enum_shard_tasks += shards;
+      ++ctx_->stats->frozen_base_reuses;
+      ctx_->stats->overlay_mints += shards;
+      // What the PR 7 design would have deep-copied: one clone per
+      // worker shard (shard 0 ran on the caller's universe directly).
+      ctx_->stats->clone_bytes_avoided +=
+          (shards - 1) * universe_->ApproxCloneBytes();
       if (stop.load(std::memory_order_relaxed)) {
         ++ctx_->stats->enum_shard_stops;
       }

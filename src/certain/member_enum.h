@@ -26,9 +26,14 @@
 //     and reports a non-exhausted outcome.
 //
 // Intra-job fan-out (EngineContext::shards > 1): the valuation space is
-// partitioned round-robin across a scoped worker pool. Each shard runs on
-// its own scratch Universe clone with its own fresh-cache EngineContext
-// (honoring the one-Universe-per-job contract), and the shard contexts'
+// partitioned round-robin across a scoped worker pool. The caller's
+// Universe is read-shared (Universe::ScopedReadShare) for the fan-out's
+// duration and each shard mints through its own copy-on-write overlay
+// (Universe::NewOverlay — nothing is cloned; overlay ids continue the
+// base's id spaces, honoring the one-Universe-per-job contract per
+// overlay), compiled plans are shared through one thread-safe
+// plan::SharedPlanTable (compile-once per fan-out), and the shard
+// contexts'
 // Budget::cancel points at a per-fan-out stop flag, so the first shard
 // that stops the run (counterexample found, intersection emptied, budget
 // trip) cooperatively cancels the NP searches still running in the
@@ -95,9 +100,10 @@ enum class EnumOutcome {
 /// One shard of a fanned-out ForEachMember run, handed to the visitor
 /// factory. `universe` and `ctx` are what the shard's visitor must
 /// evaluate against: at shard count 1 they are the enumerator's own
-/// universe/context; under fan-out they are a scratch Universe clone and
-/// a per-shard fresh-cache context whose Budget::cancel is the fan-out's
-/// shared stop flag.
+/// universe/context; under fan-out they are a private copy-on-write
+/// overlay of the read-shared caller universe and a per-shard context
+/// (no private plan cache — plans come from the fan-out's shared table)
+/// whose Budget::cancel is the fan-out's shared stop flag.
 struct MemberShard {
   size_t index = 0;
   size_t count = 1;

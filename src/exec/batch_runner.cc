@@ -39,18 +39,32 @@ BatchJobResult RunJob(const BatchJob& job) {
   {
     obs::ScopedSpan job_span(&result.stats, result.trace.get(),
                              obs::kPhaseJob);
-    Universe universe;
+    // Frozen-base reuse: when the planning pass attached a frozen
+    // scoping universe (null-free scenarios only — see exec/job.h), the
+    // job parses into a copy-on-write overlay of it, so the file's
+    // constant table is interned once per *file*, not once per job, and
+    // the overlay assigns exactly the ids a cold parse would. Otherwise
+    // the job owns a cold universe, as before.
+    std::unique_ptr<Universe> overlay;
+    Universe cold;
+    Universe* universe = &cold;
+    if (job.frozen_base != nullptr) {
+      overlay = job.frozen_base->NewOverlay();
+      universe = overlay.get();
+      ++result.stats.frozen_base_reuses;
+      ++result.stats.overlay_mints;
+    }
     std::optional<Result<DxScenario>> scenario;
     {
       obs::ScopedSpan parse_span(&result.stats, result.trace.get(),
                                  obs::kPhaseParse);
-      scenario.emplace(ParseDxScenario(*job.source, &universe));
+      scenario.emplace(ParseDxScenario(*job.source, universe));
     }
     if (!scenario->ok()) {
       result.status = scenario->status();
     } else {
       Result<std::string> text =
-          RunDxCommand(scenario->value(), job.spec.command, &universe,
+          RunDxCommand(scenario->value(), job.spec.command, universe,
                        options, &result.governed);
       if (!text.ok()) {
         result.status = text.status();
@@ -138,9 +152,11 @@ Result<BatchReport> RunDxBatch(const std::vector<std::string>& files,
     base.engine = options.engine;
     base.engine.stats = nullptr;
     base.engine.trace = nullptr;
+    std::shared_ptr<const Universe> frozen_base;
     if (options.split_scenarios) {
-      Universe scoping;
-      Result<DxScenario> scenario = ParseDxScenario(*shared_source, &scoping);
+      auto scoping = std::make_shared<Universe>();
+      Result<DxScenario> scenario =
+          ParseDxScenario(*shared_source, scoping.get());
       if (!scenario.ok()) {
         report.files[f].status = scenario.status();
         file_job_ranges[f].second = jobs.size();
@@ -154,6 +170,14 @@ Result<BatchReport> RunDxBatch(const std::vector<std::string>& files,
         continue;
       }
       specs = std::move(plan).value();
+      // Null-free planning parse → the overlay re-parse assigns exactly
+      // the ids a cold parse would (see BatchJob::frozen_base), so the
+      // jobs can share this universe as a frozen base instead of each
+      // re-interning the file's constant table from scratch.
+      if (scoping->num_nulls() == 0) {
+        scoping->Freeze();
+        frozen_base = std::move(scoping);
+      }
     } else {
       DxJobSpec spec;
       spec.command = options.command;
@@ -168,6 +192,7 @@ Result<BatchReport> RunDxBatch(const std::vector<std::string>& files,
       job.file = files[f];
       job.source = shared_source;
       job.spec = std::move(spec);
+      job.frozen_base = frozen_base;
       job.collect_trace = options.collect_traces;
       jobs.push_back(std::move(job));
     }

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "base/value.h"
 #include "logic/engine_context.h"
 #include "obs/trace.h"
 #include "text/dx_driver.h"
@@ -30,6 +31,16 @@ struct BatchJob {
   std::string file;       ///< Path (for error messages).
   std::shared_ptr<const std::string> source;  ///< File contents.
   DxJobSpec spec;         ///< Command slice to run.
+  /// Optional frozen base from the planning parse, shared (read-only) by
+  /// the slices of one file: when set, the job parses into a
+  /// copy-on-write overlay of this universe instead of a cold one —
+  /// constants resolve against the base with no re-interning, and no
+  /// allocation is shared mutably across workers. Attached only when the
+  /// planning parse minted no nulls (a null-free base guarantees the
+  /// overlay parse assigns exactly the ids a cold parse would, keeping
+  /// output byte-identical); scenarios that declare nulls keep the
+  /// fresh-Universe path.
+  std::shared_ptr<const Universe> frozen_base;
   /// When set, the job allocates its own obs::TraceSink (one sink per
   /// job, like its stats) and returns it on the result for the batch
   /// trace merge.

@@ -35,6 +35,7 @@ namespace ocdx {
 
 namespace plan {
 class PlanCache;
+class SharedPlanTable;
 }  // namespace plan
 
 namespace obs {
@@ -79,6 +80,25 @@ struct EngineStats {
   /// Fan-outs ended early by the shared stop flag (first success, soft
   /// member cap, a governed trip, or caller cancellation).
   uint64_t enum_shard_stops = 0;
+  /// Fan-outs / requests / jobs served from an existing frozen (or
+  /// read-shared) base Universe instead of building their own copy.
+  uint64_t frozen_base_reuses = 0;
+  /// Copy-on-write overlays minted over frozen/shared bases
+  /// (Universe::NewOverlay) — one per shard, preload request, or
+  /// overlay-parsed batch job.
+  uint64_t overlay_mints = 0;
+  /// Approximate bytes NOT deep-copied because an overlay replaced a
+  /// Universe::Clone (ApproxCloneBytes per avoided clone).
+  uint64_t clone_bytes_avoided = 0;
+  /// Approximate bytes deep-copied by the remaining legitimate
+  /// Universe::Clone sites (ApproxCloneBytes per clone).
+  uint64_t clone_bytes_copied = 0;
+  /// Shared-plan-table probes served from a published compiled plan
+  /// (plan::SharedPlanTable) — compile-once across shards/requests.
+  uint64_t shared_plan_hits = 0;
+  /// Shared-plan-table probes that had to compile (first sight of a
+  /// query for this table's lifetime).
+  uint64_t shared_plan_misses = 0;
 
   // Phase timers (monotonic-clock ns, accumulated by obs::ScopedSpan).
   // Wall time on the thread that ran the phase; under shard fan-out the
@@ -95,12 +115,13 @@ struct EngineStats {
   uint64_t snap_write_ns = 0;    ///< Snapshot build + serialize + write.
   uint64_t snap_load_ns = 0;     ///< Snapshot read + validate + load.
   uint64_t job_ns = 0;           ///< Whole job lifecycles (parse + command).
+  uint64_t fanout_setup_ns = 0;  ///< Shard fan-out setup (overlays + ctxs).
 
   /// Field manifest: the number of uint64_t words in this struct. Update
   /// it when adding a counter or timer — the static_assert below fails
   /// otherwise — and extend operator+= and the src/obs/report.cc field
   /// table in the same change (each is pinned by its own check).
-  static constexpr size_t kU64Fields = 26;
+  static constexpr size_t kU64Fields = 33;
 
   EngineStats& operator+=(const EngineStats& o) {
     cq_plans += o.cq_plans;
@@ -118,6 +139,12 @@ struct EngineStats {
     enum_shard_runs += o.enum_shard_runs;
     enum_shard_tasks += o.enum_shard_tasks;
     enum_shard_stops += o.enum_shard_stops;
+    frozen_base_reuses += o.frozen_base_reuses;
+    overlay_mints += o.overlay_mints;
+    clone_bytes_avoided += o.clone_bytes_avoided;
+    clone_bytes_copied += o.clone_bytes_copied;
+    shared_plan_hits += o.shared_plan_hits;
+    shared_plan_misses += o.shared_plan_misses;
     parse_ns += o.parse_ns;
     chase_ns += o.chase_ns;
     plan_compile_ns += o.plan_compile_ns;
@@ -129,6 +156,7 @@ struct EngineStats {
     snap_write_ns += o.snap_write_ns;
     snap_load_ns += o.snap_load_ns;
     job_ns += o.job_ns;
+    fanout_setup_ns += o.fanout_setup_ns;
     return *this;
   }
 };
@@ -171,13 +199,22 @@ struct EngineContext {
   /// tests' cache-off leg; the OCDX_PLAN_CACHE=off environment variable
   /// has the same effect process-wide.
   bool plan_cache_opt_out = false;
+  /// Optional *shared, thread-safe* compiled-plan table
+  /// (plan::SharedPlanTable): plans compiled once against a frozen base
+  /// and probed lock-free by every shard of a fan-out or every request of
+  /// a preloaded server snapshot. Not owned; the table must outlive every
+  /// context that points at it. Consulted by plan::GetOrCompile after the
+  /// private `plan_cache` misses — the private cache stays the first-level
+  /// lookup so per-job counter semantics are unchanged.
+  plan::SharedPlanTable* shared_plans = nullptr;
   /// Intra-job fan-out width for the exponential member-enumeration loops
   /// (certain/member_enum.h): >1 shards each ForEachMember run across a
-  /// scoped worker pool, one scratch Universe clone + fresh-cache context
-  /// per shard, with deterministic shard-ordered merge — canonical output
-  /// is byte-identical for every value. 1 (the default, and any 0) keeps
-  /// the sequential path. Shard workers run with shards = 1, so fan-out
-  /// never nests.
+  /// scoped worker pool, one copy-on-write Universe overlay per shard
+  /// over the read-shared caller universe (no cloning) plus a shared
+  /// compiled-plan table, with deterministic shard-ordered merge —
+  /// canonical output is byte-identical for every value. 1 (the default,
+  /// and any 0) keeps the sequential path. Shard workers run with
+  /// shards = 1, so fan-out never nests.
   size_t shards = 1;
 
   bool indexed() const { return mode == JoinEngineMode::kIndexed; }

@@ -24,6 +24,12 @@ constexpr StatsField kFields[] = {
     {"enum_shard_runs", &EngineStats::enum_shard_runs, false},
     {"enum_shard_tasks", &EngineStats::enum_shard_tasks, false},
     {"enum_shard_stops", &EngineStats::enum_shard_stops, false},
+    {"frozen_base_reuses", &EngineStats::frozen_base_reuses, false},
+    {"overlay_mints", &EngineStats::overlay_mints, false},
+    {"clone_bytes_avoided", &EngineStats::clone_bytes_avoided, false},
+    {"clone_bytes_copied", &EngineStats::clone_bytes_copied, false},
+    {"shared_plan_hits", &EngineStats::shared_plan_hits, false},
+    {"shared_plan_misses", &EngineStats::shared_plan_misses, false},
     {"parse_ns", &EngineStats::parse_ns, true},
     {"chase_ns", &EngineStats::chase_ns, true},
     {"plan_compile_ns", &EngineStats::plan_compile_ns, true},
@@ -35,6 +41,7 @@ constexpr StatsField kFields[] = {
     {"snap_write_ns", &EngineStats::snap_write_ns, true},
     {"snap_load_ns", &EngineStats::snap_load_ns, true},
     {"job_ns", &EngineStats::job_ns, true},
+    {"fanout_setup_ns", &EngineStats::fanout_setup_ns, true},
 };
 
 // The report table is pinned to the field manifest: adding an

@@ -67,6 +67,8 @@ inline constexpr PhaseDef kPhaseSnapWrite{"snap-write",
 inline constexpr PhaseDef kPhaseSnapLoad{"snap-load",
                                          &EngineStats::snap_load_ns};
 inline constexpr PhaseDef kPhaseJob{"job", &EngineStats::job_ns};
+inline constexpr PhaseDef kPhaseFanoutSetup{"fanout-setup",
+                                            &EngineStats::fanout_setup_ns};
 
 /// One completed span. `track` separates concurrent timelines inside a
 /// job (0 = the job's own thread, s = shard s's worker); `depth` is the

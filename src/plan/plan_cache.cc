@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "obs/trace.h"
+#include "plan/shared_plan_table.h"
 
 namespace ocdx {
 namespace plan {
@@ -21,22 +22,29 @@ bool SameFormula(const FormulaPtr& a, const FormulaPtr& b) {
 
 }  // namespace
 
-CompiledQueryPtr PlanCache::Lookup(const FormulaPtr& formula,
-                                   uint64_t schema_key, JoinEngineMode engine,
-                                   bool boolean_mode,
-                                   const std::vector<std::string>& order,
-                                   const std::set<std::string>& prebound) {
+bool PlanKeyMatches(const CompiledQuery& q, const FormulaPtr& formula,
+                    uint64_t schema_key, JoinEngineMode engine,
+                    bool boolean_mode, const std::vector<std::string>& order,
+                    const std::set<std::string>& prebound) {
   // q.prebound is sorted (it came from a std::set), so set equality is a
   // size check plus an in-order scan.
   auto prebound_eq = [&prebound](const std::vector<std::string>& have) {
     return have.size() == prebound.size() &&
            std::equal(have.begin(), have.end(), prebound.begin());
   };
+  return SameFormula(q.source, formula) && q.schema_key == schema_key &&
+         q.engine == engine && q.boolean_mode == boolean_mode &&
+         (boolean_mode ? prebound_eq(q.prebound) : q.order == order);
+}
+
+CompiledQueryPtr PlanCache::Lookup(const FormulaPtr& formula,
+                                   uint64_t schema_key, JoinEngineMode engine,
+                                   bool boolean_mode,
+                                   const std::vector<std::string>& order,
+                                   const std::set<std::string>& prebound) {
   for (size_t i = 0; i < entries_.size(); ++i) {
-    const CompiledQuery& q = *entries_[i];
-    if (SameFormula(q.source, formula) && q.schema_key == schema_key &&
-        q.engine == engine && q.boolean_mode == boolean_mode &&
-        (boolean_mode ? prebound_eq(q.prebound) : q.order == order)) {
+    if (PlanKeyMatches(*entries_[i], formula, schema_key, engine, boolean_mode,
+                       order, prebound)) {
       CompiledQueryPtr hit = entries_[i];
       if (i != 0) {
         std::rotate(entries_.begin(),
@@ -53,6 +61,21 @@ CompiledQueryPtr PlanCache::Lookup(const FormulaPtr& formula,
 
 void PlanCache::Insert(CompiledQueryPtr compiled) {
   ++counters_.compiles;
+  entries_.insert(entries_.begin(), std::move(compiled));
+  if (entries_.size() > kCapacity) entries_.pop_back();
+}
+
+void PlanCache::InsertIfAbsent(CompiledQueryPtr compiled) {
+  const CompiledQuery& q = *compiled;
+  // The entry's own key fields reconstruct its lookup key exactly
+  // (prebound is sorted, see compiled_query.h).
+  std::set<std::string> prebound(q.prebound.begin(), q.prebound.end());
+  for (const CompiledQueryPtr& e : entries_) {
+    if (PlanKeyMatches(*e, q.source, q.schema_key, q.engine, q.boolean_mode,
+                       q.order, prebound)) {
+      return;
+    }
+  }
   entries_.insert(entries_.begin(), std::move(compiled));
   if (entries_.size() > kCapacity) entries_.pop_back();
 }
@@ -85,6 +108,18 @@ CompiledQueryPtr GetOrCompile(const CompileRequest& req, const Instance& inst,
       return hit;
     }
     if (ctx.stats != nullptr) ++ctx.stats->plan_cache_misses;
+  }
+
+  // Second level: the shared, thread-safe table attached by frozen-base
+  // consumers (shard fan-out, preloaded snapshot serving). It owns the
+  // compile-once discipline across threads; a plan it returns is
+  // absorbed into the private cache so the next lookup stays on the
+  // unsynchronized fast path.
+  if (ctx.shared_plans != nullptr) {
+    CompiledQueryPtr shared = ctx.shared_plans->GetOrCompile(
+        req, inst, engine, force_generic, schema_key, ctx);
+    if (ctx.plan_cache != nullptr) ctx.plan_cache->InsertIfAbsent(shared);
+    return shared;
   }
 
   CompiledQueryPtr fresh;

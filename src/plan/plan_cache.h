@@ -21,7 +21,11 @@
 //   shares the cache within its job, and fan-out code must hand each
 //   parallel job its own cache (EngineContext::WithFreshCache). The
 //   cached CompiledQuery objects themselves are immutable and *are*
-//   safe to share across threads; the cache's index is not.
+//   safe to share across threads; the cache's index is not. When
+//   parallel units need to *share* compiled plans (frozen-base shard
+//   fan-out, preloaded snapshot serving), the synchronized sibling is
+//   plan::SharedPlanTable (shared_plan_table.h), consulted by
+//   GetOrCompile after the private cache misses.
 // \invariant The cache never dangles: entries hold the CompiledQuery by
 //   shared_ptr, and a CompiledQuery retains its source formula (see
 //   compiled_query.h), so a hit is always safe to execute.
@@ -73,6 +77,16 @@ class PlanCache {
   /// Inserts at the MRU position, evicting the LRU entry past capacity.
   void Insert(CompiledQueryPtr compiled);
 
+  /// Inserts at the MRU position unless an entry with the same key is
+  /// already cached; touches *no* counters. This is the absorption path
+  /// for plans that were compiled elsewhere (a SharedPlanTable, another
+  /// fan-out) — counters keep describing only this cache's own lookup
+  /// and compile traffic.
+  void InsertIfAbsent(CompiledQueryPtr compiled);
+
+  /// The cached entries, MRU first (SharedPlanTable::SeedFromCache).
+  const std::vector<CompiledQueryPtr>& entries() const { return entries_; }
+
   const Counters& counters() const { return counters_; }
 
   /// False iff OCDX_PLAN_CACHE is "off", "0" or "false" (checked once).
@@ -86,10 +100,26 @@ class PlanCache {
   Counters counters_;
 };
 
-/// The one compilation funnel: consults the context's cache (when
-/// present), compiles on miss, and maintains the EngineStats counters
-/// (plan_compiles, plan_cache_hits/misses, guard_depth_fallbacks).
-/// Without a cache every call compiles privately. The schema key is
+/// True iff `q` was compiled for exactly this lookup key: same formula
+/// (shared AST owner identity), schema fingerprint, engine mode and
+/// boolean/answers convention, plus the mode-specific tail (prebound
+/// name set in boolean mode, output order in answers mode). Shared by
+/// PlanCache::Lookup and SharedPlanTable's lock-free probe so the two
+/// levels can never disagree about what a key is.
+bool PlanKeyMatches(const CompiledQuery& q, const FormulaPtr& formula,
+                    uint64_t schema_key, JoinEngineMode engine,
+                    bool boolean_mode, const std::vector<std::string>& order,
+                    const std::set<std::string>& prebound);
+
+/// The one compilation funnel: consults the context's private cache
+/// first, then the context's SharedPlanTable (when present — frozen-base
+/// fan-out and snapshot serving attach one), and compiles on miss,
+/// maintaining the EngineStats counters (plan_compiles,
+/// plan_cache_hits/misses, shared_plan_hits/misses,
+/// guard_depth_fallbacks). A plan obtained from the shared table is
+/// absorbed into the private cache (counter-free InsertIfAbsent) so
+/// subsequent lookups stay on the unsynchronized fast path. Without a
+/// cache every call compiles privately. The schema key is
 /// SchemaFingerprint(inst), or 0 for generic-forced compiles (the
 /// generic skeleton is schema-independent, so it is shared across
 /// schemas).

@@ -1,0 +1,95 @@
+#include "plan/shared_plan_table.h"
+
+#include "obs/trace.h"
+
+namespace ocdx {
+namespace plan {
+
+SharedPlanTable::SharedPlanTable(size_t capacity)
+    : capacity_(capacity), slots_(capacity, nullptr) {}
+
+const CompiledQueryPtr* SharedPlanTable::Probe(
+    const FormulaPtr& formula, uint64_t schema_key, JoinEngineMode engine,
+    bool boolean_mode, const std::vector<std::string>& order,
+    const std::set<std::string>& prebound) const {
+  // The acquire load synchronizes with the publisher's release store, so
+  // every slot below `n` — written before that store, under the mutex —
+  // is visible and final. The pointed-to CompiledQueryPtr is never
+  // modified after publication; copying it increments an atomic
+  // refcount, which is safe from any thread.
+  size_t n = count_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    const CompiledQueryPtr* entry = slots_[i];
+    if (PlanKeyMatches(**entry, formula, schema_key, engine, boolean_mode,
+                       order, prebound)) {
+      return entry;
+    }
+  }
+  return nullptr;
+}
+
+void SharedPlanTable::PublishLocked(const CompiledQueryPtr& compiled) {
+  size_t n = count_.load(std::memory_order_relaxed);
+  if (n >= capacity_) return;  // Full: callers still got their plan.
+  owners_.push_back(compiled);
+  slots_[n] = &owners_.back();
+  count_.store(n + 1, std::memory_order_release);
+}
+
+CompiledQueryPtr SharedPlanTable::GetOrCompile(
+    const CompileRequest& req, const Instance& inst, JoinEngineMode engine,
+    bool force_generic, uint64_t schema_key, const EngineContext& ctx) {
+  if (const CompiledQueryPtr* hit =
+          Probe(req.formula, schema_key, engine, req.boolean_mode, req.order,
+                req.prebound)) {
+    if (ctx.stats != nullptr) ++ctx.stats->shared_plan_hits;
+    return *hit;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Double-check: another shard may have compiled while we waited.
+  if (const CompiledQueryPtr* hit =
+          Probe(req.formula, schema_key, engine, req.boolean_mode, req.order,
+                req.prebound)) {
+    if (ctx.stats != nullptr) ++ctx.stats->shared_plan_hits;
+    return *hit;
+  }
+
+  CompiledQueryPtr fresh;
+  {
+    obs::ScopedSpan span(ctx, obs::kPhasePlanCompile);
+    fresh = CompileQuery(req, inst, engine, force_generic, schema_key);
+  }
+  if (ctx.stats != nullptr) {
+    ++ctx.stats->shared_plan_misses;
+    ++ctx.stats->plan_compiles;
+    if (fresh->guard_depth_fallback) ++ctx.stats->guard_depth_fallbacks;
+  }
+  PublishLocked(fresh);
+  return fresh;
+}
+
+void SharedPlanTable::SeedFromCache(const PlanCache& cache) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Seed in LRU-to-MRU order so the probe scans the hottest plans last —
+  // irrelevant for correctness, and the table is small either way.
+  const std::vector<CompiledQueryPtr>& entries = cache.entries();
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    const CompiledQuery& q = **it;
+    std::set<std::string> prebound(q.prebound.begin(), q.prebound.end());
+    if (Probe(q.source, q.schema_key, q.engine, q.boolean_mode, q.order,
+              prebound) == nullptr) {
+      PublishLocked(*it);
+    }
+  }
+}
+
+void SharedPlanTable::ExportTo(PlanCache* cache) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const CompiledQueryPtr& entry : owners_) {
+    cache->InsertIfAbsent(entry);
+  }
+}
+
+}  // namespace plan
+}  // namespace ocdx

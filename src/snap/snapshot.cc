@@ -546,6 +546,10 @@ Result<SnapshotBundle> BuildSnapshotBundle(std::string source_path,
       b.prechased.Put(m.name, inst.name, std::move(chased).value());
     }
   }
+  // Seal: from here the bundle serves concurrent readers (ocdxd
+  // preload), and every run mints through a private overlay instead of
+  // cloning (RunSnapshotCommand).
+  b.universe->Freeze();
   return b;
 }
 
@@ -650,6 +654,8 @@ Result<SnapshotBundle> ParseSnapshot(std::span<const uint8_t> bytes) {
                                     b.universe->num_nulls(),
                                     b.universe->witness_size(),
                                     &b.prechased));
+  // Same seal as BuildSnapshotBundle: a loaded bundle is a frozen base.
+  b.universe->Freeze();
   return b;
 }
 
@@ -705,12 +711,21 @@ Result<std::string> RunSnapshotCommand(const SnapshotBundle& bundle,
                                        const std::string& command,
                                        const DxDriverOptions& options,
                                        Status* governed) {
-  // One clone per run: the warm chase fallback and the member-enumeration
-  // loops mint scratch nulls into the universe they are given, and the
-  // bundle must stay reusable (and byte-stable) across requests.
-  std::unique_ptr<Universe> u = bundle.universe->Clone();
+  // One copy-on-write overlay per run: the warm chase fallback and the
+  // member-enumeration loops mint scratch values into the universe they
+  // are given, and the bundle must stay reusable (and byte-stable)
+  // across requests. The frozen bundle universe is never copied — the
+  // overlay's mints start at exactly the ids a clone's would have, so
+  // output is unchanged.
+  std::unique_ptr<Universe> u = bundle.universe->NewOverlay();
   DxDriverOptions run = options;
   run.prechased = &bundle.prechased;
+  if (run.engine.stats != nullptr) {
+    ++run.engine.stats->frozen_base_reuses;
+    ++run.engine.stats->overlay_mints;
+    run.engine.stats->clone_bytes_avoided +=
+        bundle.universe->ApproxCloneBytes();
+  }
   return RunDxCommand(bundle.scenario, command, u.get(), run, governed);
 }
 

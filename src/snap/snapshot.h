@@ -42,6 +42,12 @@ namespace snap {
 /// Universe plus the pre-chased canonical solutions. Movable; the
 /// scenario's Values stay valid because the Universe lives behind a
 /// stable pointer.
+///
+/// The universe comes back *frozen* (Universe::Freeze) from both
+/// BuildSnapshotBundle and ParseSnapshot: a bundle is a read-only base
+/// that any number of threads may serve concurrently, with every run
+/// minting through its own copy-on-write overlay (RunSnapshotCommand) —
+/// the frozen-base architecture ocdxd --preload serving is built on.
 struct SnapshotBundle {
   std::string source_path;  ///< `.dx` path recorded at write time.
   std::string dx_text;      ///< Embedded scenario text.
@@ -84,10 +90,14 @@ Result<SnapshotBundle> LoadSnapshotFile(const std::string& path);
 /// universe totals, stored pairs with row/trigger counts. Deterministic.
 std::string DescribeSnapshot(const SnapshotBundle& bundle);
 
-/// Runs one driver command warm: clones the bundle's universe (the bundle
-/// stays read-only and reusable), points the driver at the prechased
-/// store and otherwise behaves exactly like RunDxCommand over a fresh
-/// parse — byte-identical output, both engines, any shard width.
+/// Runs one driver command warm: mints a copy-on-write overlay over the
+/// bundle's frozen universe (the bundle stays read-only and reusable; no
+/// deep copy), points the driver at the prechased store and otherwise
+/// behaves exactly like RunDxCommand over a fresh parse — byte-identical
+/// output, both engines, any shard width. Attach
+/// options.engine.shared_plans (a plan::SharedPlanTable owned alongside
+/// the bundle) to make repeated runs compile each query once per bundle
+/// lifetime instead of once per run — the ocdxd --preload serving path.
 Result<std::string> RunSnapshotCommand(const SnapshotBundle& bundle,
                                        const std::string& command,
                                        const DxDriverOptions& options = {},

@@ -240,6 +240,50 @@ TEST(NonInterference, CorpusByteIdenticalWithSinksAttached) {
   }
 }
 
+// Sharded enumeration must not multiply plan compiles: the fan-out's
+// shared plan table (plan::SharedPlanTable) compiles each query exactly
+// once regardless of how many shards probe it, and the extra shard
+// probes surface as shared_plan_hits. Also pins the frozen-base wiring:
+// shards mint overlays (overlay_mints, clone_bytes_avoided) and the hot
+// path performs NO deep Universe clone (clone_bytes_copied == 0).
+TEST(SharedPlanCompileOnce, ShardCountDoesNotChangeCompileCount) {
+  const char* kScenarios[] = {"valuation_enum.dx", "member_search.dx",
+                              "membership_sweep.dx"};
+  auto run = [&](size_t shards) {
+    EngineStats total;
+    for (const char* name : kScenarios) {
+      const std::string path = std::string(OCDX_CORPUS_DIR) + "/" + name;
+      Result<std::string> source = ReadDxFile(path);
+      EXPECT_TRUE(source.ok()) << source.status().ToString();
+      EngineStats stats;
+      DxDriverOptions options;
+      options.engine.stats = &stats;
+      options.engine.shards = shards;
+      Status governed;
+      Result<std::string> out =
+          RunDxFile(path, source.value(), "all", options, &governed);
+      EXPECT_TRUE(out.ok()) << name << ": " << out.status().ToString();
+      total += stats;
+    }
+    return total;
+  };
+
+  const EngineStats base = run(1);
+  ASSERT_GT(base.plan_compiles, 0u);
+  for (size_t shards : {size_t{4}, size_t{8}}) {
+    const EngineStats sharded = run(shards);
+    EXPECT_EQ(sharded.plan_compiles, base.plan_compiles)
+        << "shards=" << shards << " changed the compile count";
+    EXPECT_GT(sharded.enum_shard_runs, 0u) << "shards=" << shards;
+    EXPECT_GT(sharded.shared_plan_hits, 0u) << "shards=" << shards;
+    EXPECT_GT(sharded.frozen_base_reuses, 0u) << "shards=" << shards;
+    EXPECT_GE(sharded.overlay_mints, shards) << "shards=" << shards;
+    EXPECT_GT(sharded.clone_bytes_avoided, 0u) << "shards=" << shards;
+    EXPECT_EQ(sharded.clone_bytes_copied, 0u)
+        << "shards=" << shards << ": a hot-path Universe::Clone survived";
+  }
+}
+
 // The batch summary surfaces the derived hit rate and the phase line.
 TEST(BatchSummary, SurfacesHitRateAndPhases) {
   std::vector<std::string> files = CorpusFiles();

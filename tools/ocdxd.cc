@@ -66,6 +66,8 @@
 #include "logic/budget.h"
 #include "logic/engine_context.h"
 #include "obs/stats_registry.h"
+#include "plan/plan_cache.h"
+#include "plan/shared_plan_table.h"
 #include "snap/snapshot.h"
 #include "text/dx_driver.h"
 #include "util/fault.h"
@@ -215,8 +217,18 @@ int main(int argc, char** argv) {
 
   // Warm set: each entry keeps the snapshot's own file path alongside the
   // bundle (whose source_path is the `.dx` path recorded at write time);
-  // a request may address the bundle by either name.
-  std::vector<std::pair<std::string, snap::SnapshotBundle>> preloaded;
+  // a request may address the bundle by either name. The bundle's
+  // universe is frozen (snap/snapshot.h), and each bundle owns one
+  // SharedPlanTable so plans compile once per *server lifetime*, not per
+  // request — ROADMAP item 3's serving contract. The table is omitted
+  // when OCDX_PLAN_CACHE=off, preserving the compile-per-call escape
+  // hatch.
+  struct PreloadedEntry {
+    std::string snap_path;
+    snap::SnapshotBundle bundle;
+    std::unique_ptr<plan::SharedPlanTable> plans;
+  };
+  std::vector<PreloadedEntry> preloaded;
   preloaded.reserve(preload_paths.size());
   for (const std::string& snap_path : preload_paths) {
     Result<snap::SnapshotBundle> bundle = snap::LoadSnapshotFile(snap_path);
@@ -227,7 +239,13 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "ocdxd: preloaded '%s' (%zu prechased pairs)\n",
                  snap_path.c_str(), bundle.value().prechased.size());
-    preloaded.emplace_back(snap_path, std::move(bundle.value()));
+    PreloadedEntry entry;
+    entry.snap_path = snap_path;
+    entry.bundle = std::move(bundle.value());
+    if (plan::PlanCache::EnabledByEnv()) {
+      entry.plans = std::make_unique<plan::SharedPlanTable>();
+    }
+    preloaded.push_back(std::move(entry));
   }
 
   // Graceful drain on SIGTERM/SIGINT: no SA_RESTART, so a read blocked in
@@ -309,10 +327,10 @@ int main(int argc, char** argv) {
     // Warm path: a preloaded snapshot addressed by its own file name or
     // by the `.dx` path it was built from serves the request without
     // touching the filesystem.
-    const snap::SnapshotBundle* warm = nullptr;
-    for (const auto& [snap_path, bundle] : preloaded) {
-      if (path == snap_path || path == bundle.source_path) {
-        warm = &bundle;
+    const PreloadedEntry* warm = nullptr;
+    for (const PreloadedEntry& entry : preloaded) {
+      if (path == entry.snap_path || path == entry.bundle.source_path) {
+        warm = &entry;
         break;
       }
     }
@@ -325,7 +343,15 @@ int main(int argc, char** argv) {
     Status governed;
     Result<std::string> out = [&]() -> Result<std::string> {
       if (warm != nullptr) {
-        return snap::RunSnapshotCommand(*warm, command, request, &governed);
+        // The bundle's server-lifetime plan table rides the request
+        // context; each request still runs over its own private overlay
+        // of the frozen bundle universe (RunSnapshotCommand). Cold
+        // requests get no table — a fresh parse mints fresh formula
+        // identities, so cross-request sharing could never hit.
+        request.engine.shared_plans =
+            warm->plans != nullptr ? warm->plans.get() : nullptr;
+        return snap::RunSnapshotCommand(warm->bundle, command, request,
+                                        &governed);
       }
       Result<std::string> source = ReadDxFile(path);
       if (!source.ok()) return source.status();
